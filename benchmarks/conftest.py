@@ -1,0 +1,32 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each bench regenerates one of the paper's tables/figures, prints it, writes
+it under ``benchmarks/results/`` and asserts the paper's *shape* claims
+(who wins, rough factors, crossovers).  ``REPRO_FULL_SCALE=1`` lifts runs
+to paper scale (P up to 1024, full iteration counts).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Print a rendered experiment table and persist it to disk."""
+
+    def _record(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record

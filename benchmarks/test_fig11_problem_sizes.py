@@ -1,0 +1,25 @@
+"""Figure 11: overhead per method vs input problem size (LU classes A-D).
+
+Paper (Observation 8): at P=256 with a marker at every timestep, Chameleon
+retains an order of magnitude lower overhead than ScalaTrace irrespective
+of the input class; Chameleon's overhead grows with the number of timesteps
+(each one a marker call).
+
+Shape assertions: Chameleon overhead stays below ScalaTrace's for every
+class, and application time grows with the class size.
+"""
+
+from repro.harness.figures import figure11
+
+
+def test_figure11(benchmark, record_result):
+    rows, text = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    record_result("fig11_problem_sizes", text)
+
+    app_times = [r["app_time"] for r in rows]
+    assert app_times == sorted(app_times)  # A < B < C < D
+    for r in rows:
+        assert r["chameleon_overhead"] < r["scalatrace_overhead"], r
+        # Chameleon's inter-compression share stays small (the clustering
+        # share is what grows with timesteps)
+        assert r["ch_intercompression"] < r["scalatrace_overhead"]

@@ -1,0 +1,29 @@
+"""Figure 6: weak-scaling execution overhead (LU-W, Sweep3D).
+
+Paper (Observation 4): Chameleon's clustering yields 1-3 orders of magnitude
+shorter (tracing) execution time than ScalaTrace under weak scaling.
+
+Shape assertions: the ScalaTrace/Chameleon overhead ratio exceeds 1 at the
+largest P for both weak-scaling codes and grows with P.
+"""
+
+from repro.harness.figures import figure6
+
+
+def test_figure6(benchmark, record_result):
+    rows, text = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    record_result("fig6_weak_overhead", text)
+
+    by_bench: dict[str, list[dict]] = {}
+    for r in rows:
+        by_bench.setdefault(r["benchmark"], []).append(r)
+
+    for name, series in by_bench.items():
+        series.sort(key=lambda r: r["P"])
+        ratios = [
+            r["scalatrace_overhead"] / r["chameleon_overhead"]
+            for r in series
+            if r["chameleon_overhead"] > 0
+        ]
+        assert ratios[-1] > 1.0, (name, ratios)
+        assert ratios[-1] >= ratios[0], (name, ratios)

@@ -1,0 +1,22 @@
+"""Figure 7: weak-scaling replay time and accuracy.
+
+Paper (Observation 5): clustered traces replay as accurately as ScalaTrace
+under weak scaling — 90.75% (LU-W) and 98.32% (Sweep3D) relative to the
+application; Sweep3D's load imbalance does not hurt because delta times
+live in histograms.
+"""
+
+from repro.harness.figures import figure7
+
+
+def test_figure7(benchmark, record_result):
+    rows, text = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    record_result("fig7_weak_replay", text)
+
+    for r in rows:
+        assert r["acc_vs_app"] >= 0.80, r
+    by_bench: dict[str, list[float]] = {}
+    for r in rows:
+        by_bench.setdefault(r["benchmark"], []).append(r["acc_vs_app"])
+    for name, accs in by_bench.items():
+        assert sum(accs) / len(accs) >= 0.85, (name, accs)

@@ -1,0 +1,24 @@
+"""Figure 8: time per clustering state, maximum marker calls.
+
+Paper (Observation 6): with a marker at every timestep, Chameleon's
+combined clustering + inter-compression time stays an order of magnitude
+below ScalaTrace's inter-compression for the stencil codes; for EMF the
+costs are tiny for both and ScalaTrace's single merge is reported as the
+larger inter-compression share.
+
+Shape assertions: ScalaTrace's inter-compression exceeds Chameleon's for
+every stencil benchmark; ScalaTrace never spends time in clustering.
+"""
+
+from repro.harness.figures import figure8
+
+
+def test_figure8(benchmark, record_result):
+    rows, text = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    record_result("fig8_state_breakdown", text)
+
+    for r in rows:
+        assert r["st_clustering"] == 0.0
+        assert r["ch_clustering"] > 0.0
+        if r["benchmark"] != "emf":
+            assert r["st_intercompression"] > r["ch_intercompression"], r

@@ -1,0 +1,23 @@
+"""Figure 9: Chameleon overhead vs number of marker (clustering) calls.
+
+Paper: LU class D at P=1024; the overhead maxes out when Chameleon creates
+signatures at every timestep (300 calls) and is still an order of magnitude
+below ScalaTrace's.
+
+Shape assertions: overhead is monotone(ish) increasing in the number of
+effective marker calls and the every-timestep maximum stays bounded.
+"""
+
+from repro.harness.figures import figure9
+
+
+def test_figure9(benchmark, record_result):
+    rows, text = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    record_result("fig9_marker_sweep", text)
+
+    rows = sorted(rows, key=lambda r: r["marker_calls"])
+    assert rows[0]["marker_calls"] < rows[-1]["marker_calls"]
+    # the max-marker configuration costs the most
+    assert rows[-1]["overhead"] >= max(r["overhead"] for r in rows) * 0.99
+    # and no more than ~3x the single-call configuration at these scales
+    assert rows[-1]["overhead"] < 5 * rows[0]["overhead"]

@@ -1,0 +1,31 @@
+"""Table I: number of clusters (K) per benchmark.
+
+Paper: K is configured a priori per benchmark (BT/SP/POP: 3, LU/S3D/LUW: 9,
+EMF: 2) and Chameleon grows K dynamically when the number of distinct
+Call-Path clusters exceeds it.  The bench regenerates the configured K per
+benchmark plus this reproduction's *measured* Call-Path cluster counts.
+"""
+
+from repro.harness.tables import table1
+from repro.workloads import PAPER_K
+
+PAPER_TABLE1 = {"bt": 3, "lu": 9, "sp": 3, "pop": 3, "sweep3d": 9, "luw": 9, "emf": 2}
+
+
+def test_table1(benchmark, record_result):
+    rows, text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record_result("table1_clusters", text)
+
+    by_pgm = {r["pgm"]: r for r in rows}
+    # the configured K values are exactly the paper's Table I
+    assert PAPER_K == PAPER_TABLE1
+    for row in rows:
+        assert row["configured_k"] == row["paper_k"]
+        # dynamic-K rule: every Call-Path cluster gets a representative
+        assert row["k_used"] >= min(row["configured_k"], row["measured_callpaths"])
+    # EMF: exactly master + workers (paper: K=2)
+    assert by_pgm["EMF"]["measured_callpaths"] == 2
+    # paper: "the number of Call-Path usually is below 9, ... sufficient to
+    # cover stencil codes" — position classes on a 2-D grid cap at 9
+    for pgm in ("BT", "LU", "SP", "S3D", "LUW"):
+        assert by_pgm[pgm]["measured_callpaths"] <= 9

@@ -1,0 +1,23 @@
+"""Table III: ACURDION vs Chameleon execution overhead (BT, max markers).
+
+Paper: with the maximum number of marker calls, Chameleon's *time* overhead
+is roughly twice ACURDION's (ACURDION clusters only once inside finalize) —
+the price of online phase tracking, bought back in space (Table IV) and in
+the online global trace.
+"""
+
+from repro.harness.tables import table3
+
+
+def test_table3(benchmark, record_result):
+    rows, text = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record_result("table3_acurdion", text)
+
+    for row in rows:
+        # direction: the single-pass baseline is cheaper in time ...
+        assert row["acurdion"] < row["chameleon"], row
+    # ... and both overheads grow with P
+    acur = [r["acurdion"] for r in rows]
+    cham = [r["chameleon"] for r in rows]
+    assert acur == sorted(acur)
+    assert cham == sorted(cham)

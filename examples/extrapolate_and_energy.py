@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Extensions tour: auto-markers, trace extrapolation, DVFS energy.
+
+Three capabilities beyond the paper's evaluation (built from its §VII
+discussion and conclusion):
+
+1. **Automatic marker insertion** — trace an iterative kernel that never
+   calls ``marker()``; the tracer detects the timestep period on its own.
+2. **ScalaExtrap-lite** — extrapolate the trace from 8 to 32 ranks and
+   replay it at the larger scale.
+3. **DVFS energy model** — estimate the energy saved by down-clocking the
+   idle non-lead ranks during the lead phase.
+
+Run:  python examples/extrapolate_and_energy.py
+"""
+
+from repro.core import (
+    AutoMarkerTracer,
+    ChameleonConfig,
+    PowerModel,
+    energy_report,
+)
+from repro.replay import extrapolate_trace, replay_trace
+from repro.simmpi import run_spmd
+from repro.workloads import NullTracer
+
+NPROCS = 8
+STEPS = 12
+
+
+async def kernel(ctx, tracer):
+    """Iterative kernel with NO manual markers."""
+    for _ in range(STEPS):
+        with ctx.frame("halo"):
+            ctx.compute(0.003)
+            if ctx.rank + 1 < ctx.size:
+                await tracer.send(ctx.rank + 1, None, size=4096)
+            if ctx.rank > 0:
+                await tracer.recv(ctx.rank - 1)
+        with ctx.frame("residual"):
+            await tracer.allreduce(0.0, size=8)
+
+
+async def traced_main(ctx):
+    tracer = AutoMarkerTracer(ctx, ChameleonConfig(k=3))
+    await kernel(ctx, tracer)
+    trace = await tracer.finalize()
+    return {
+        "trace": trace,
+        "auto_markers": tracer.auto_markers,
+        "states": dict(tracer.cstats.state_counts),
+        "is_lead": tracer.tracing,
+    }
+
+
+async def app_main(ctx):
+    await kernel(ctx, NullTracer(ctx))
+    return None
+
+
+def main() -> None:
+    print(f"== extensions tour: {NPROCS} ranks, {STEPS} timesteps ==\n")
+
+    traced = run_spmd(traced_main, NPROCS)
+    app = run_spmd(app_main, NPROCS)
+    r0 = traced.results[0]
+
+    print("1) automatic marker insertion")
+    print(f"   markers fired automatically: {r0['auto_markers']}")
+    print(f"   transition-graph states:     {r0['states']}\n")
+
+    trace = r0["trace"]
+    print("2) trace extrapolation (ScalaExtrap-lite)")
+    big, report = extrapolate_trace(trace, 32)
+    replay_small = replay_trace(trace)
+    replay_big = replay_trace(big)
+    print(f"   original : P={trace.nprocs}, replay {replay_small.time * 1e3:.2f} ms")
+    print(f"   extrapolated: P={big.nprocs}, replay {replay_big.time * 1e3:.2f} ms "
+          f"({report.coverage * 100:.0f}% of ranklists rescaled)\n")
+
+    print("3) DVFS energy on non-lead ranks (paper's future work)")
+    leads = {r for r, res in enumerate(traced.results) if res["is_lead"]}
+    rep = energy_report(
+        app.busy_times, app.max_time,
+        traced.busy_times, traced.max_time,
+        leads, PowerModel(),
+    )
+    print(f"   leads: {sorted(leads)} of {NPROCS} ranks")
+    print(f"   traced energy          : {rep.traced_joules:.3f} J")
+    print(f"   traced energy with DVFS: {rep.traced_dvfs_joules:.3f} J "
+          f"({rep.dvfs_savings * 100:.1f}% saved)")
+
+
+if __name__ == "__main__":
+    main()

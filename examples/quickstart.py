@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: trace a small stencil code with Chameleon.
+
+Runs a 1-D halo-exchange kernel on 8 simulated MPI ranks under the
+Chameleon tracer, prints the transition-graph decisions the marker took,
+the compressed online trace, and replays it to check the timing accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.replay import accuracy, replay_trace
+from repro.simmpi import run_spmd
+from repro.workloads import NullTracer
+
+NPROCS = 8
+TIMESTEPS = 12
+
+
+async def stencil(ctx, tracer):
+    """A toy iterative SPMD kernel: halo exchange + reduction per step."""
+    for step in range(TIMESTEPS):
+        with ctx.frame("halo_exchange"):
+            ctx.compute(0.002)  # 2 ms of local work
+            if ctx.rank + 1 < ctx.size:
+                await tracer.send(ctx.rank + 1, None, tag=1, size=8 * 1024)
+            if ctx.rank > 0:
+                await tracer.recv(ctx.rank - 1, tag=1)
+        with ctx.frame("residual"):
+            await tracer.allreduce(0.0, size=8)
+        await tracer.marker()  # timestep boundary: the Chameleon marker
+
+
+async def traced_main(ctx):
+    tracer = ChameleonTracer(ctx, ChameleonConfig(k=3))
+    await stencil(ctx, tracer)
+    trace = await tracer.finalize()
+    return {"trace": trace, "cstats": tracer.cstats, "clock": ctx.clock}
+
+
+async def app_main(ctx):
+    await stencil(ctx, NullTracer(ctx))
+    return ctx.clock
+
+
+def main() -> None:
+    print(f"== Chameleon quickstart: {NPROCS} ranks, {TIMESTEPS} timesteps ==\n")
+
+    traced = run_spmd(traced_main, NPROCS)
+    app = run_spmd(app_main, NPROCS)
+
+    cstats = traced.results[0]["cstats"]
+    print("marker calls:", cstats.effective_calls)
+    print("states:      ", dict(cstats.state_counts))
+    print("clusters (Call-Paths):", cstats.num_callpaths, "- K used:", cstats.k_used)
+    print()
+
+    trace = traced.results[0]["trace"]
+    print("online trace at rank 0:")
+    print(f"  {trace.leaf_count()} PRSD events representing "
+          f"{trace.expanded_count()} original MPI calls "
+          f"(compression ratio {trace.compression_ratio():.1f}x)")
+    for node in trace.nodes:
+        print("   ", node)
+    print()
+
+    app_time = max(app.results)
+    traced_time = max(r["clock"] for r in traced.results)
+    print(f"application time : {app_time * 1e3:8.3f} ms")
+    print(f"traced time      : {traced_time * 1e3:8.3f} ms "
+          f"(overhead {100 * (traced_time - app_time) / app_time:.2f}%)")
+
+    replay = replay_trace(trace)
+    acc = accuracy(app_time, replay.time)
+    print(f"replay time      : {replay.time * 1e3:8.3f} ms "
+          f"(accuracy vs app: {100 * acc:.2f}%)")
+
+    out = "/tmp/quickstart.scalatrace"
+    trace.save(out)
+    print(f"\ntrace written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure at full scale (P up to 1024, paper
+# iteration counts).  Expect hours of CPU time; the quick-scale run
+# (`pytest benchmarks/ --benchmark-only`) finishes in minutes instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export REPRO_FULL_SCALE=1
+exec python -m pytest benchmarks/ --benchmark-only -q "$@"

@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the `wheel` package that
+PEP-517 editable installs require, so `pip install -e .` falls back to
+`setup.py develop` via this file."""
+from setuptools import setup
+
+setup()

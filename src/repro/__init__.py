@@ -1,0 +1,21 @@
+"""repro — full reproduction of *Chameleon: Online Clustering of MPI Program
+Traces* (Bahmani & Mueller, IPDPS 2018).
+
+Subpackages:
+
+* :mod:`repro.simmpi`     — deterministic simulated MPI runtime (substrate)
+* :mod:`repro.scalatrace` — ScalaTrace V2: RSD/PRSD compression, ranklists,
+  signatures, radix-tree inter-node compression
+* :mod:`repro.core`       — Chameleon: call-path signatures, the AT/C/L/F
+  transition graph, signature clustering, online inter-compression
+* :mod:`repro.replay`     — ScalaReplay: trace interpretation and the
+  cluster-wide replay used for the accuracy experiments
+* :mod:`repro.workloads`  — communication skeletons of NPB BT/SP/LU/CG,
+  Sweep3D, POP and EMF
+* :mod:`repro.harness`    — experiment runner regenerating every table and
+  figure of the paper's evaluation
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

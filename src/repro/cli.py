@@ -1,0 +1,239 @@
+"""Command-line interface: run, inspect, replay, and reproduce.
+
+Usage (installed as a module)::
+
+    python -m repro list
+    python -m repro run --workload bt --nprocs 16 --mode chameleon -o bt.st
+    python -m repro info bt.st
+    python -m repro replay bt.st
+    python -m repro experiment table2
+    python -m repro experiment fig4
+
+``experiment`` regenerates one of the paper's tables/figures and prints the
+same rows the paper reports (see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .harness import Mode, overhead, run_suite
+from .harness import figures, tables
+from .replay import accuracy, replay_trace
+from .scalatrace.analysis import communication_matrix, hotspots, summarize
+from .scalatrace.trace import Trace
+from .workloads.registry import make_workload, workload_names
+
+_EXPERIMENTS: dict[str, Callable[[], tuple]] = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig4": figures.figure4,
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("experiments:")
+    for name in sorted(_EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mode = Mode(args.mode)
+    params = {}
+    if args.problem_class:
+        params["problem_class"] = args.problem_class
+    if args.iterations:
+        params["iterations"] = args.iterations
+    modes = (Mode.APP, mode) if mode is not Mode.APP else (Mode.APP,)
+    suite = run_suite(
+        args.workload,
+        args.nprocs,
+        modes=modes,
+        workload_params=params,
+        call_frequency=args.call_frequency,
+    )
+    app = suite[Mode.APP]
+    print(f"application time (aggregated): {app.total_time:.6f} s")
+    if mode is not Mode.APP:
+        result = suite[mode]
+        print(f"{mode.value} overhead:            {overhead(result, app):.6f} s")
+        if result.trace is not None:
+            print(
+                f"trace: {result.trace.leaf_count()} PRSD events / "
+                f"{result.trace.expanded_count()} MPI calls"
+            )
+            if args.output:
+                result.trace.save(args.output)
+                print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    print(summarize(trace).report())
+    hs = hotspots(trace)
+    if hs:
+        print("  top senders (p2p bytes):")
+        for rank, nbytes in hs:
+            print(f"    rank {rank:5d}: {nbytes:.0f} B")
+    if args.matrix:
+        matrix = communication_matrix(trace)
+        print("  communication matrix (bytes):")
+        for row in matrix:
+            print("   ", " ".join(f"{v:10.0f}" for v in row))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    nprocs = args.nprocs or trace.nprocs
+    result = replay_trace(trace, nprocs=nprocs)
+    print(f"replayed {result.stats.ops_issued} operations on {nprocs} ranks")
+    print(f"replay time: {result.time:.6f} s")
+    if result.stats.p2p_dropped:
+        print(f"warning: {result.stats.p2p_dropped} unmatched p2p ops dropped")
+    if args.reference is not None:
+        print(f"accuracy vs reference: {100 * accuracy(args.reference, result.time):.2f}%")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .replay import reconstruct_timeline
+
+    trace = Trace.load(args.trace)
+    nprocs = args.nprocs or trace.nprocs
+    timeline = reconstruct_timeline(trace, nprocs=nprocs)
+    print(timeline.gantt(width=args.width))
+    print()
+    for rank in range(timeline.nprocs):
+        print(
+            f"rank {rank:4d}: busy "
+            f"{100 * timeline.busy_fraction(rank):5.1f}%"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .scalatrace.difftool import diff_traces
+
+    a = Trace.load(args.trace_a)
+    b = Trace.load(args.trace_b)
+    diff = diff_traces(a, b)
+    print(diff.report())
+    return 0 if diff.similarity() >= args.threshold else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        fn = _EXPERIMENTS[args.name]
+    except KeyError:
+        print(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{', '.join(sorted(_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    rows, text = fn()
+    print(text)
+    if args.export:
+        from .harness.export import save_rows
+
+        if isinstance(rows, dict):  # table4 returns a dict payload
+            rows = [rows]
+        path = save_rows(rows, args.export)
+        print(f"rows exported to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chameleon reproduction: run workloads, inspect traces, "
+        "regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run a workload under a tracing mode")
+    p_run.add_argument("--workload", required=True, choices=workload_names())
+    p_run.add_argument("--nprocs", type=int, default=16)
+    p_run.add_argument(
+        "--mode",
+        default="chameleon",
+        choices=[m.value for m in Mode],
+    )
+    p_run.add_argument("--problem-class", default="")
+    p_run.add_argument("--iterations", type=int, default=0)
+    p_run.add_argument("--call-frequency", type=int, default=1)
+    p_run.add_argument("-o", "--output", default="", help="save trace here")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_info = sub.add_parser("info", help="summarize a trace file")
+    p_info.add_argument("trace")
+    p_info.add_argument("--matrix", action="store_true",
+                        help="print the full communication matrix")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_replay = sub.add_parser("replay", help="replay a trace file")
+    p_replay.add_argument("trace")
+    p_replay.add_argument("--nprocs", type=int, default=0)
+    p_replay.add_argument(
+        "--reference", type=float, default=None,
+        help="reference time for the accuracy metric",
+    )
+    p_replay.set_defaults(fn=_cmd_replay)
+
+    p_tl = sub.add_parser("timeline", help="ASCII Gantt chart of a trace")
+    p_tl.add_argument("trace")
+    p_tl.add_argument("--nprocs", type=int, default=0)
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.set_defaults(fn=_cmd_timeline)
+
+    p_diff = sub.add_parser("diff", help="semantically compare two traces")
+    p_diff.add_argument("trace_a")
+    p_diff.add_argument("trace_b")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.95,
+        help="exit non-zero if similarity falls below this",
+    )
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    p_exp.add_argument("name")
+    p_exp.add_argument(
+        "--export", default="",
+        help="also write the rows to this .json or .csv file",
+    )
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

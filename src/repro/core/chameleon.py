@@ -1,0 +1,238 @@
+"""The Chameleon tracer: online clustering + incremental global trace.
+
+:class:`ChameleonTracer` extends the ScalaTrace interposition layer with the
+paper's marker machinery:
+
+* every recorded event also feeds a :class:`SignatureAccumulator` (O(1));
+* at each *effective* marker call (every ``call_frequency``-th invocation)
+  Algorithm 1 votes on Call-Path stability and the transition graph decides
+  between AT / C / L;
+* in state **C** the ranks cluster over the radix tree, the Top-K leads are
+  broadcast, non-leads *turn tracing off* (signature tracking stays on so
+  they can still vote on phase changes);
+* whenever a merge is due (state C, an L flush, or finalize) the K lead
+  traces are reduced over a K-member radix tree and folded into the *online
+  trace* held by rank 0, after which **all** ranks delete their partial
+  intra-node traces;
+* ``finalize`` forces one last cluster + merge and returns the completed
+  online trace on rank 0 — the incremental equivalent of ScalaTrace's
+  ``MPI_Finalize`` output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..scalatrace.events import EventRecord, Op
+from ..scalatrace.ranklist import RankSet
+from ..scalatrace.trace import Trace
+from ..scalatrace.tracer import ScalaTraceTracer
+from ..simmpi.launcher import RankContext
+from .callpath import SignatureAccumulator
+from .clustering import ClusterSet
+from .config import ChameleonConfig
+from .online import cluster_over_tree, merge_lead_traces
+from .phase import MarkerDecision, MarkerState, PhaseTracker
+
+
+@dataclass
+class ChameleonStats:
+    """Per-rank counters for the paper's evaluation tables/figures."""
+
+    marker_invocations: int = 0  # raw marker() calls (timesteps)
+    effective_calls: int = 0  # calls surviving the Call_Frequency gate
+    state_counts: Counter = field(default_factory=Counter)  # AT/C/L per call
+    reclusterings: int = 0
+    signature_time: float = 0.0
+    vote_time: float = 0.0
+    clustering_time: float = 0.0
+    intercompression_time: float = 0.0
+    #: (state, bytes currently allocated) sampled at each effective call
+    space_samples: list[tuple[str, int]] = field(default_factory=list)
+    k_used: int = 0
+    num_callpaths: int = 0
+
+
+class ChameleonTracer(ScalaTraceTracer):
+    """Online signature-clustering tracer (the paper's contribution)."""
+
+    def __init__(
+        self, ctx: RankContext, config: ChameleonConfig | None = None
+    ) -> None:
+        config = config or ChameleonConfig()
+        super().__init__(
+            ctx,
+            costs=config.costs,
+            window=config.window,
+            tree_arity=config.tree_arity,
+        )
+        self.config = config
+        self.phase = PhaseTracker()
+        self.sigacc = SignatureAccumulator(mode=config.signature_filter)
+        # Signatures accumulated since the last *merge* (not the last
+        # marker): finalize clusters on these so the clustering reflects
+        # the trace content actually being merged — clustering on a nearly
+        # empty final marker interval would collapse all ranks into one
+        # cluster and replay a single rank's behaviour everywhere.
+        self.mergeacc = SignatureAccumulator(mode=config.signature_filter)
+        #: building trace structures (False on non-leads during lead phase)
+        self.tracing = True
+        self.topk: ClusterSet | None = None
+        self.my_cluster_members: RankSet = RankSet.single(self.rank)
+        self.online: Trace | None = (
+            Trace(nprocs=self.nprocs) if self.rank == 0 else None
+        )
+        self.cstats = ChameleonStats()
+
+    # -- recording override --------------------------------------------------
+
+    def _record(self, op: Op, **kw: Any) -> EventRecord | None:
+        if self.tracing:
+            rec = super()._record(op, **kw)
+            if rec is not None:
+                self.sigacc.observe(rec.stack_sig, rec.src_offset, rec.dest_offset)
+                self.mergeacc.observe(
+                    rec.stack_sig, rec.src_offset, rec.dest_offset
+                )
+            return rec
+        # Lead phase, non-lead: no trace is built (zero allocation), but the
+        # signatures must keep flowing so this rank can vote on phase
+        # changes (paper Fig. 2).
+        self.stats.events_skipped += 1
+        sig, _frames = self.walker.capture(self.ctx.task.logical_stack)
+        src = kw.get("src")
+        dest = kw.get("dest")
+        src_off = None if src is None else src - self.rank
+        dest_off = None if dest is None else dest - self.rank
+        self.sigacc.observe(sig, src_off, dest_off)
+        self.mergeacc.observe(sig, src_off, dest_off)
+        self.ctx.compute(self.costs.per_signature_event)
+        return None
+
+    # -- the marker (Algorithm 3) ----------------------------------------------
+
+    async def marker(self) -> MarkerDecision | None:
+        """Called at every timestep boundary; returns the decision taken at
+        effective calls, None when gated off by ``call_frequency``."""
+        self.cstats.marker_invocations += 1
+        self.ctx.compute(self.costs.per_marker_call)
+        if self.cstats.marker_invocations % self.config.call_frequency != 0:
+            return None
+        self.cstats.effective_calls += 1
+
+        # (1) interval signatures — O(n) over PRSD events
+        t0 = self.ctx.clock
+        sigs = self.sigacc.snapshot()
+        self.ctx.compute(
+            self.costs.per_signature_event * max(self.sigacc.prsd_events, 1)
+        )
+        self.cstats.signature_time += self.ctx.clock - t0
+
+        # (2) Algorithm 1: collective vote + transition graph
+        t0 = self.ctx.clock
+        decision = await self.phase.decide(self.comm, sigs.callpath)
+        self.cstats.vote_time += self.ctx.clock - t0
+        self.cstats.state_counts[decision.state.value] += 1
+
+        # Memory accounting snapshot (Table IV): the space this marker's
+        # state required is what was allocated when the marker fired —
+        # before any flush deletes the partial traces.
+        intra_bytes_pre = self.compressor.size_bytes() if self.tracing else 0
+
+        # (3) clustering (state C)
+        if decision.do_cluster:
+            t0 = self.ctx.clock
+            self.topk = await cluster_over_tree(self, sigs, self.config)
+            self.cstats.clustering_time += self.ctx.clock - t0
+            self.cstats.reclusterings += 1
+            self.cstats.k_used = max(self.cstats.k_used, len(self.topk))
+            self.cstats.num_callpaths = max(
+                self.cstats.num_callpaths, self.topk.num_callpaths
+            )
+            mine = self.topk.find_cluster_of(self.rank)
+            if mine is not None:
+                self.my_cluster_members = mine.members
+
+        # (4) inter-compression of lead traces into the online trace
+        if decision.do_merge and self.topk is not None:
+            t0 = self.ctx.clock
+            merged = await merge_lead_traces(
+                self, self.topk, self.online, self.config.window
+            )
+            if self.rank == 0:
+                self.online = merged
+            self.cstats.intercompression_time += self.ctx.clock - t0
+            # (6) all ranks drop their partial intra-node trace; the last
+            # event end is kept so delta times stay stitched.
+            self.compressor.take_nodes()
+            self.mergeacc.reset()
+
+        # (5) tracing control for the lead phase
+        if decision.state is MarkerState.C:
+            leads = set(self.topk.leads()) if self.topk else {self.rank}
+            self.tracing = self.rank in leads
+        elif decision.do_merge or decision.phase_changed:
+            # flush or pattern break: everyone traces again
+            self.tracing = True
+
+        self._sample_space(decision.state.value, intra_bytes_pre)
+        self.sigacc.reset()
+        return decision
+
+    def _sample_space(self, state: str, intra_bytes: int) -> None:
+        allocated = intra_bytes
+        if self.rank == 0 and self.online is not None:
+            allocated += self.online.size_bytes()
+        self.cstats.space_samples.append((state, allocated))
+        self.stats.bytes_by_state[state] = (
+            self.stats.bytes_by_state.get(state, 0) + allocated
+        )
+
+    # -- finalize -----------------------------------------------------------
+
+    async def finalize(self) -> Trace | None:
+        """Add the last events to the online trace; return it on rank 0.
+
+        Per the paper, Algorithm 1 is skipped (re-clustering is certain) and
+        the inter-compression is identical to a marker's.  One correctness
+        nuance the pseudocode leaves implicit: when the run ends inside a
+        lead phase, the unfetched partial traces live on the *current*
+        leads, so re-clustering on the (possibly empty) final interval would
+        elect different leads and lose them.  We therefore re-cluster only
+        when every rank is still tracing, and otherwise flush with the
+        existing Top-K — "the inter-compression part remains the same".
+        """
+        decision = self.phase.force_final()
+        intra_bytes_pre = self.compressor.size_bytes() if self.tracing else 0
+        all_tracing = bool(
+            await self.comm.allreduce(1 if self.tracing else 0, size=8)
+            == self.nprocs
+        )
+        if self.topk is None or all_tracing:
+            sigs = self.mergeacc.snapshot()
+            t0 = self.ctx.clock
+            self.topk = await cluster_over_tree(self, sigs, self.config)
+            self.cstats.clustering_time += self.ctx.clock - t0
+            self.cstats.reclusterings += 1
+            self.cstats.k_used = max(self.cstats.k_used, len(self.topk))
+            self.cstats.num_callpaths = max(
+                self.cstats.num_callpaths, self.topk.num_callpaths
+            )
+            mine = self.topk.find_cluster_of(self.rank)
+            if mine is not None:
+                self.my_cluster_members = mine.members
+        t0 = self.ctx.clock
+        merged = await merge_lead_traces(
+            self, self.topk, self.online, self.config.window
+        )
+        self.cstats.intercompression_time += self.ctx.clock - t0
+        self.compressor.take_nodes()
+        self._sample_space(decision.state.value, intra_bytes_pre)
+        if self.rank == 0:
+            self.online = merged
+            assert self.online is not None
+            self.online.nprocs = self.nprocs
+            return self.online
+        return None

@@ -1,0 +1,129 @@
+"""Energy accounting for clustered tracing (the paper's future work).
+
+The paper's conclusion proposes exploiting the idle time of the P − K
+non-representative processes during marker-triggered tracing phases with
+dynamic voltage/frequency scaling (DVFS): non-leads neither record events
+nor participate in inter-compression, so their cores could drop to a low
+power state while leads do the tracing work.
+
+This module implements that proposal as an *accounting model* over the
+simulator's virtual timelines:
+
+* every rank's virtual time is split into **busy** (application compute +
+  its own tracing work) and **slack** (waiting inside synchronizations for
+  slower ranks — the time DVFS could harvest);
+* a :class:`PowerModel` assigns wattages to the busy, idle and DVFS-scaled
+  states;
+* :func:`energy_report` compares three policies: the uninstrumented
+  application, tracing without DVFS (slack burned at idle power), and
+  tracing with DVFS on non-leads (slack at the scaled power).
+
+The result is the paper's envisioned energy-saving estimate, computed from
+the same runs the timing experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-core power states in watts.
+
+    Defaults approximate the paper's AMD Opteron 6128 era hardware:
+    ~115 W TDP over 8 cores ≈ 14 W busy per core, ~60% of that when
+    spinning idle in an MPI wait, and ~4 W in a deep DVFS state.
+    """
+
+    busy_watts: float = 14.0
+    idle_watts: float = 8.5
+    dvfs_watts: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.dvfs_watts <= self.idle_watts <= self.busy_watts):
+            raise ValueError(
+                "expected 0 <= dvfs_watts <= idle_watts <= busy_watts"
+            )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules under the three policies, for one run."""
+
+    app_joules: float
+    traced_joules: float  # tracing, slack at idle power
+    traced_dvfs_joules: float  # tracing, non-lead slack at DVFS power
+
+    @property
+    def tracing_energy_overhead(self) -> float:
+        """Extra energy of tracing vs the application (fraction)."""
+        if self.app_joules == 0:
+            return 0.0
+        return (self.traced_joules - self.app_joules) / self.app_joules
+
+    @property
+    def dvfs_savings(self) -> float:
+        """Energy saved by DVFS on non-leads vs plain tracing (fraction)."""
+        if self.traced_joules == 0:
+            return 0.0
+        return (self.traced_joules - self.traced_dvfs_joules) / self.traced_joules
+
+
+def rank_energy(
+    busy: float, makespan: float, power: PowerModel, scaled: bool
+) -> float:
+    """Energy of one rank over the run: busy time at busy watts, the rest
+    (waiting for the makespan) at idle or DVFS watts."""
+    if busy > makespan + 1e-12:
+        busy = makespan
+    slack = max(makespan - busy, 0.0)
+    slack_watts = power.dvfs_watts if scaled else power.idle_watts
+    return busy * power.busy_watts + slack * slack_watts
+
+
+def run_energy(
+    busy_times: list[float],
+    makespan: float,
+    power: PowerModel,
+    dvfs_ranks: set[int] | None = None,
+) -> float:
+    """Total energy of a run from per-rank busy times and the makespan.
+
+    Every rank occupies its core for the whole makespan (job teardown is
+    collective): ``busy`` seconds at busy watts, the rest waiting at idle
+    watts — or DVFS watts for ranks in ``dvfs_ranks``.
+    """
+    if not busy_times:
+        return 0.0
+    dvfs_ranks = dvfs_ranks or set()
+    return sum(
+        rank_energy(busy, makespan, power, scaled=(rank in dvfs_ranks))
+        for rank, busy in enumerate(busy_times)
+    )
+
+
+def energy_report(
+    app_busy: list[float],
+    app_makespan: float,
+    traced_busy: list[float],
+    traced_makespan: float,
+    lead_ranks: set[int],
+    power: PowerModel | None = None,
+) -> EnergyReport:
+    """Compare application / traced / traced+DVFS energy for one workload.
+
+    ``lead_ranks`` are the ranks that remained tracing (cluster leads plus
+    rank 0's online-trace duty); all other ranks' slack is assumed
+    DVFS-scalable per the paper's proposal.
+    """
+    power = power or PowerModel()
+    nprocs = len(traced_busy)
+    non_leads = {r for r in range(nprocs) if r not in lead_ranks}
+    return EnergyReport(
+        app_joules=run_energy(app_busy, app_makespan, power),
+        traced_joules=run_energy(traced_busy, traced_makespan, power),
+        traced_dvfs_joules=run_energy(
+            traced_busy, traced_makespan, power, dvfs_ranks=non_leads
+        ),
+    )

@@ -1,0 +1,25 @@
+"""The Chameleon marker: a tagged MPI_Barrier at timestep boundaries.
+
+The paper distinguishes marker barriers from application barriers by giving
+the marker a unique communicator value.  In this reproduction the marker is
+an explicit tracer hook — ``await tracer.marker()`` — inserted by workloads
+at their progress-reporting points, mirroring the source-level marker
+insertion the paper describes (§VII weakness (1): source modification is
+required; binary instrumentation is future work).
+
+``MARKER_COMM_ID`` is the magic communicator value a PMPI-based port would
+use; it is recorded here so trace consumers can recognize marker events if a
+workload chooses to trace them explicitly.
+"""
+
+from __future__ import annotations
+
+from ..scalatrace.tracer import ScalaTraceTracer
+
+#: magic communicator id reserved for marker barriers
+MARKER_COMM_ID = 0x7FFFFFFF
+
+
+async def chameleon_marker(tracer: ScalaTraceTracer) -> object | None:
+    """Invoke the marker on any tracer (no-op for plain ScalaTrace)."""
+    return await tracer.marker()

@@ -1,0 +1,175 @@
+"""Online inter-compression: Algorithm 3's tree procedures.
+
+Two collective phases run at a clustering/flush marker:
+
+* :func:`cluster_over_tree` — every rank contributes its signature triple;
+  cluster maps are merged up the radix tree (pruned to at most ``2K + 1``
+  entries per node), the root selects the Top-K clusters and broadcasts
+  them.
+* :func:`merge_lead_traces` — each Top-K lead replaces its events'
+  ranklists with its *cluster's* ranklist, the K leads reduce their traces
+  over a radix tree restricted to the leads (``O(n^2 log K)``), the Top-K
+  root ships the partial global trace to rank 0, and rank 0 folds it into
+  the incrementally grown *online trace*.
+
+Both functions use the raw communicator (tracer-internal traffic is never
+recorded) and charge measured work to virtual time through the tracer's
+meter and cost model.
+"""
+
+from __future__ import annotations
+
+from ..scalatrace.intra import fold_tail
+from ..scalatrace.inter import merge_traces
+from ..scalatrace.ranklist import RankSet
+from ..scalatrace.rsd import TraceNode, iter_leaves
+from ..scalatrace.trace import Trace
+from ..scalatrace.tracer import ScalaTraceTracer
+from ..simmpi.comm import MAX_USER_TAG
+from ..simmpi.topology import RadixTree
+from .callpath import IntervalSignatures
+from .clustering import ClusterSet
+from .config import ChameleonConfig
+
+#: reserved tag for cluster-map reduction traffic (above MAX_USER_TAG:
+#: invisible to application wildcard receives)
+CLUSTER_TAG = MAX_USER_TAG + 2
+#: reserved tag for shipping the partial global trace to rank 0
+ONLINE_TAG = MAX_USER_TAG + 3
+
+
+async def cluster_over_tree(
+    tracer: ScalaTraceTracer,
+    sigs: IntervalSignatures,
+    config: ChameleonConfig,
+) -> ClusterSet:
+    """Algorithm 3 lines 7–24: cluster signatures over the radix tree.
+
+    Returns the broadcast Top-K :class:`ClusterSet` (identical on all ranks).
+    """
+    comm = tracer.comm
+    rank, size = comm.rank, comm.size
+    meter = tracer.meter
+    tree = RadixTree(size, arity=config.tree_arity)
+
+    local = ClusterSet.local(sigs.as_tuple(), rank)
+    for child in reversed(tree.children(rank)):
+        child_set: ClusterSet = await comm.recv(child, tag=CLUSTER_TAG)
+        work0 = meter.total
+        local.merge(child_set, meter)
+        # prune only when over the per-node budget (paper: <= 2K + 1 items)
+        if len(local) > 2 * config.k + 1:
+            local.prune(config.k, config.algorithm, meter, config.seed)
+        tracer.ctx.compute(
+            (meter.total - work0) * tracer.costs.per_cluster_op
+        )
+    parent = tree.parent(rank)
+    if parent is not None:
+        await comm.send(parent, local, tag=CLUSTER_TAG, size=local.size_bytes())
+        topk: ClusterSet | None = None
+    else:
+        work0 = meter.total
+        local.prune(config.k, config.algorithm, meter, config.seed)
+        tracer.ctx.compute((meter.total - work0) * tracer.costs.per_cluster_op)
+        topk = local
+    topk = await comm.bcast(topk, root=0)
+    assert topk is not None
+    return topk
+
+
+def replace_participants(
+    nodes: list[TraceNode],
+    members: RankSet,
+    src_homogeneous: bool = True,
+    dest_homogeneous: bool = True,
+) -> None:
+    """A lead substitutes its cluster's ranklist into its collected events
+    (Algorithm 3, highlighted step (4)).
+
+    When the cluster absorbed processes with *different* endpoint signatures
+    (a heterogeneous cluster, e.g. all workers of a master-worker code), the
+    lead's relative offsets do not generalize to the other members; the
+    absolute encoding — when one survived — is the meaningful one, so the
+    relative candidate is dropped before replay can transpose it.
+    """
+    for leaf in iter_leaves(nodes):
+        rec = leaf.record
+        rec.participants = RankSet(members.ranks())
+        if not src_homogeneous and rec.src is not None and rec.src.abs_ is not None:
+            rec.src.rel = None
+            rec.src.pattern = None
+        if (
+            not dest_homogeneous
+            and rec.dest is not None
+            and rec.dest.abs_ is not None
+        ):
+            rec.dest.rel = None
+            rec.dest.pattern = None
+
+
+async def merge_lead_traces(
+    tracer: ScalaTraceTracer,
+    topk: ClusterSet,
+    online: Trace | None,
+    window: int,
+) -> Trace | None:
+    """Algorithm 3 lines 25–47: merge the Top-K lead traces into the online
+    trace at rank 0.
+
+    Every rank participates in the call; non-leads simply delete their
+    partial traces (done by the caller).  Returns the updated online trace
+    on rank 0, ``None`` elsewhere.
+    """
+    comm = tracer.comm
+    rank = comm.rank
+    meter = tracer.meter
+    leads = topk.leads()
+
+    partial: Trace | None = None
+    if rank in leads:
+        my_cluster = topk.find_cluster_of(rank)
+        assert my_cluster is not None
+        nodes = tracer.compressor.take_nodes()
+        replace_participants(
+            nodes,
+            my_cluster.members,
+            my_cluster.src_homogeneous,
+            my_cluster.dest_homogeneous,
+        )
+        local = Trace(
+            nodes=nodes,
+            origin=RankSet(my_cluster.members.ranks()),
+            nprocs=comm.size,
+        )
+        partial = await tracer.merge_over_tree(local, members=leads)
+
+    # The Top-K tree root ships the partial global trace to rank 0.
+    topk_root = leads[0]
+    if topk_root != 0:
+        if rank == topk_root:
+            assert partial is not None
+            await comm.send(
+                0, partial, tag=ONLINE_TAG, size=partial.size_bytes()
+            )
+            partial = None
+        elif rank == 0:
+            partial = await comm.recv(topk_root, tag=ONLINE_TAG)
+
+    if rank == 0:
+        assert online is not None
+        if partial is not None and partial.nodes:
+            work0 = meter.total
+            online.nodes.extend(partial.nodes)
+            fold_tail(online.nodes, window, meter, match_participants=True)
+            online.origin = online.origin.union(partial.origin)
+            tracer.ctx.compute(
+                (meter.total - work0) * tracer.costs.per_merge_cell
+            )
+        return online
+    return None
+
+
+async def merge_full_traces(tracer: ScalaTraceTracer) -> Trace | None:
+    """Plain ScalaTrace finalize (all P ranks participate) — kept here for
+    symmetry so baselines share the entry point."""
+    return await tracer.finalize()

@@ -1,0 +1,45 @@
+"""repro.harness — experiment harness regenerating the paper's evaluation.
+
+``runner`` executes (workload, P, mode) combinations; ``tables`` and
+``figures`` regenerate Tables I-IV and Figures 4-11; ``reporting`` renders
+the ASCII tables the bench targets print.
+"""
+
+from .export import rows_to_csv, rows_to_json, save_rows
+from .metrics import OverheadBreakdown, breakdown, overhead_fraction, state_space_summary
+from .reporting import ascii_bars, fmt, percent, render_table
+from .runner import (
+    Mode,
+    RunResult,
+    chameleon_config_for,
+    default_p_list,
+    full_scale,
+    overhead,
+    run_mode,
+    run_suite,
+)
+from . import figures, tables
+
+__all__ = [
+    "Mode",
+    "OverheadBreakdown",
+    "RunResult",
+    "ascii_bars",
+    "breakdown",
+    "chameleon_config_for",
+    "default_p_list",
+    "figures",
+    "fmt",
+    "full_scale",
+    "overhead",
+    "overhead_fraction",
+    "percent",
+    "render_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "run_mode",
+    "run_suite",
+    "save_rows",
+    "state_space_summary",
+    "tables",
+]

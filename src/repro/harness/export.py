@@ -1,0 +1,51 @@
+"""Exporting experiment results to JSON/CSV for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def _plain(value: Any) -> Any:
+    """Coerce experiment values into JSON-serializable primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_plain(v) for v in value]
+    return str(value)
+
+
+def rows_to_json(rows: Sequence[dict], indent: int = 2) -> str:
+    """Serialize experiment rows as a JSON array."""
+    return json.dumps([_plain(r) for r in rows], indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Sequence[dict]) -> str:
+    """Serialize experiment rows as CSV (union of keys, sorted header)."""
+    if not rows:
+        return ""
+    fields = sorted({k for r in rows for k in r})
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, extrasaction="ignore")
+    writer.writeheader()
+    for r in rows:
+        writer.writerow({k: _plain(v) for k, v in r.items()})
+    return buf.getvalue()
+
+
+def save_rows(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write rows to ``path``; the suffix picks the format (.json/.csv)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        text = rows_to_json(rows)
+    elif path.suffix == ".csv":
+        text = rows_to_csv(rows)
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r}")
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,0 +1,449 @@
+"""Generators for the paper's Figures 4-11 (series + rendered tables).
+
+Each function reruns the underlying experiment at the configured scale and
+returns ``(series, text)`` where ``series`` is the figure's data (the bars /
+lines the paper plots) and ``text`` an ASCII rendering.  Scale defaults are
+small (see ``runner.default_p_list``); ``REPRO_FULL_SCALE=1`` lifts them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..replay.accuracy import AccuracyReport
+from ..replay.replayer import replay_trace
+from ..simmpi.timing import QDR_CLUSTER
+from ..workloads.registry import make_workload
+from .metrics import breakdown
+from .reporting import percent, render_table
+from .runner import (
+    Mode,
+    chameleon_config_for,
+    default_p_list,
+    full_scale,
+    overhead,
+    run_mode,
+    run_suite,
+)
+
+#: strong-scaling benchmarks of Figure 4/5 with quick-mode parameters
+STRONG_BENCHMARKS: dict[str, dict[str, Any]] = {
+    "bt": {"problem_class": "A", "iterations": 15},
+    "lu": {"problem_class": "A", "iterations": 16},
+    "sp": {"problem_class": "A", "iterations": 20},
+    "pop": {"grid_points": 64, "block": 8, "iterations": 10},
+    "emf": {"total_tasks": 360, "task_seconds": 0.002},
+}
+
+#: per-benchmark marker frequency (scaled Table II values)
+STRONG_FREQ = {"bt": 3, "lu": 4, "sp": 4, "pop": 1, "emf": 4}
+
+
+def _params_for(name: str) -> dict[str, Any]:
+    params = dict(STRONG_BENCHMARKS[name])
+    if full_scale():
+        scale_up = {
+            "bt": {"problem_class": "D", "iterations": 250},
+            "lu": {"problem_class": "D", "iterations": 300},
+            "sp": {"problem_class": "D", "iterations": 500},
+            "pop": {"grid_points": 896, "block": 16, "iterations": 20},
+            "emf": {"total_tasks": 36000},
+        }
+        params.update(scale_up[name])
+        params.pop("task_seconds", None)
+    return params
+
+
+def _freq_for(name: str) -> int:
+    if full_scale():
+        return {"bt": 25, "lu": 20, "sp": 20, "pop": 1, "emf": 32}[name]
+    return STRONG_FREQ[name]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — strong scaling: overhead of APP vs Chameleon vs ScalaTrace
+# ---------------------------------------------------------------------------
+
+
+def figure4(
+    benchmarks: list[str] | None = None, p_list: list[int] | None = None
+) -> tuple[list[dict], str]:
+    benchmarks = benchmarks or list(STRONG_BENCHMARKS)
+    p_list = p_list or default_p_list()
+    rows = []
+    for name in benchmarks:
+        for p in p_list:
+            if name == "emf" and p < 2:
+                continue
+            suite = run_suite(
+                name,
+                p,
+                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+                workload_params=_params_for(name),
+                call_frequency=_freq_for(name),
+            )
+            app = suite[Mode.APP]
+            rows.append(
+                {
+                    "benchmark": name,
+                    "P": p,
+                    "app_time": app.total_time,
+                    "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
+                    "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
+                }
+            )
+    text = render_table(
+        ["bench", "P", "APP total [s]", "Chameleon ovh [s]",
+         "ScalaTrace ovh [s]", "ST/CH"],
+        [
+            [r["benchmark"], r["P"], r["app_time"], r["chameleon_overhead"],
+             r["scalatrace_overhead"],
+             r["scalatrace_overhead"] / r["chameleon_overhead"]
+             if r["chameleon_overhead"] else float("inf")]
+            for r in rows
+        ],
+        title="Figure 4: strong-scaling execution overhead",
+    )
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — strong scaling: replay time and accuracy
+# ---------------------------------------------------------------------------
+
+
+def figure5(
+    benchmarks: list[str] | None = None, p_list: list[int] | None = None
+) -> tuple[list[dict], str]:
+    benchmarks = benchmarks or list(STRONG_BENCHMARKS)
+    p_list = p_list or default_p_list()
+    rows = []
+    for name in benchmarks:
+        for p in p_list:
+            if name == "emf" and p < 2:
+                continue
+            suite = run_suite(
+                name,
+                p,
+                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+                workload_params=_params_for(name),
+                call_frequency=_freq_for(name),
+            )
+            st_trace = suite[Mode.SCALATRACE].trace
+            ch_trace = suite[Mode.CHAMELEON].trace
+            assert st_trace is not None and ch_trace is not None
+            st_replay = replay_trace(st_trace, nprocs=p, network=QDR_CLUSTER)
+            ch_replay = replay_trace(ch_trace, nprocs=p, network=QDR_CLUSTER)
+            report = AccuracyReport(
+                app_time=suite[Mode.APP].max_time,
+                scalatrace_replay_time=st_replay.time,
+                chameleon_replay_time=ch_replay.time,
+            )
+            rows.append(
+                {
+                    "benchmark": name,
+                    "P": p,
+                    "app": report.app_time,
+                    "replay_scalatrace": report.scalatrace_replay_time,
+                    "replay_chameleon": report.chameleon_replay_time,
+                    "acc_vs_app": report.chameleon_vs_app,
+                    "acc_vs_scalatrace": report.chameleon_vs_scalatrace,
+                    "dropped_p2p": ch_replay.stats.p2p_dropped,
+                }
+            )
+    text = render_table(
+        ["bench", "P", "APP [s]", "ST replay [s]", "CH replay [s]",
+         "ACC vs APP", "ACC vs ST"],
+        [
+            [r["benchmark"], r["P"], r["app"], r["replay_scalatrace"],
+             r["replay_chameleon"], percent(r["acc_vs_app"]),
+             percent(r["acc_vs_scalatrace"])]
+            for r in rows
+        ],
+        title="Figure 5: strong-scaling replay time / accuracy",
+    )
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figures 6/7 — weak scaling: overhead and replay
+# ---------------------------------------------------------------------------
+
+
+def _weak_workloads() -> dict[str, dict[str, Any]]:
+    if full_scale():
+        return {
+            "luw": {"per_rank_grid": 64, "iterations": 250},
+            "sweep3d": {"nx": 100, "ny": 100, "nz": 1000, "iterations": 10,
+                        "weak_scaling": True},
+        }
+    return {
+        "luw": {"per_rank_grid": 8, "iterations": 15},
+        "sweep3d": {"nx": 8, "ny": 8, "nz": 32, "iterations": 5,
+                    "weak_scaling": True},
+    }
+
+
+def figure6(p_list: list[int] | None = None) -> tuple[list[dict], str]:
+    p_list = p_list or default_p_list()
+    rows = []
+    for name, params in _weak_workloads().items():
+        freq = 3 if name == "luw" else 1
+        for p in p_list:
+            suite = run_suite(
+                name,
+                p,
+                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+                workload_params=params,
+                call_frequency=freq,
+            )
+            app = suite[Mode.APP]
+            rows.append(
+                {
+                    "benchmark": name,
+                    "P": p,
+                    "app_time": app.total_time,
+                    "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
+                    "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
+                }
+            )
+    text = render_table(
+        ["bench", "P", "APP total [s]", "Chameleon ovh [s]",
+         "ScalaTrace ovh [s]", "ST/CH"],
+        [
+            [r["benchmark"], r["P"], r["app_time"], r["chameleon_overhead"],
+             r["scalatrace_overhead"],
+             r["scalatrace_overhead"] / r["chameleon_overhead"]
+             if r["chameleon_overhead"] else float("inf")]
+            for r in rows
+        ],
+        title="Figure 6: weak-scaling execution overhead (LU-W, Sweep3D)",
+    )
+    return rows, text
+
+
+def figure7(p_list: list[int] | None = None) -> tuple[list[dict], str]:
+    p_list = p_list or default_p_list()
+    rows = []
+    for name, params in _weak_workloads().items():
+        freq = 3 if name == "luw" else 1
+        for p in p_list:
+            suite = run_suite(
+                name,
+                p,
+                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+                workload_params=params,
+                call_frequency=freq,
+            )
+            st_replay = replay_trace(suite[Mode.SCALATRACE].trace, nprocs=p)
+            ch_replay = replay_trace(suite[Mode.CHAMELEON].trace, nprocs=p)
+            report = AccuracyReport(
+                app_time=suite[Mode.APP].max_time,
+                scalatrace_replay_time=st_replay.time,
+                chameleon_replay_time=ch_replay.time,
+            )
+            rows.append(
+                {
+                    "benchmark": name,
+                    "P": p,
+                    "app": report.app_time,
+                    "replay_scalatrace": report.scalatrace_replay_time,
+                    "replay_chameleon": report.chameleon_replay_time,
+                    "acc_vs_app": report.chameleon_vs_app,
+                }
+            )
+    text = render_table(
+        ["bench", "P", "APP [s]", "ST replay [s]", "CH replay [s]",
+         "ACC vs APP"],
+        [
+            [r["benchmark"], r["P"], r["app"], r["replay_scalatrace"],
+             r["replay_chameleon"], percent(r["acc_vs_app"])]
+            for r in rows
+        ],
+        title="Figure 7: weak-scaling replay time / accuracy",
+    )
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — per-state time breakdown at maximum marker calls
+# ---------------------------------------------------------------------------
+
+
+def figure8(
+    benchmarks: list[str] | None = None, nprocs: int | None = None
+) -> tuple[list[dict], str]:
+    benchmarks = benchmarks or ["bt", "lu", "sp", "pop", "emf"]
+    nprocs = nprocs or (1024 if full_scale() else 16)
+    rows = []
+    for name in benchmarks:
+        suite = run_suite(
+            name,
+            nprocs,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=_params_for(name),
+            call_frequency=1,  # max marker calls: one per timestep
+        )
+        ch = breakdown(suite[Mode.CHAMELEON])
+        st = breakdown(suite[Mode.SCALATRACE])
+        rows.append(
+            {
+                "benchmark": name,
+                "ch_clustering": ch.clustering + ch.vote + ch.signature,
+                "ch_intercompression": ch.intercompression,
+                "st_clustering": 0.0,
+                "st_intercompression": st.intercompression,
+            }
+        )
+    text = render_table(
+        ["bench", "CH clustering [s]", "CH inter-comp [s]",
+         "ST clustering [s]", "ST inter-comp [s]"],
+        [
+            [r["benchmark"], r["ch_clustering"], r["ch_intercompression"],
+             r["st_clustering"], r["st_intercompression"]]
+            for r in rows
+        ],
+        title=f"Figure 8: per-state time, max markers, P={nprocs}",
+    )
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — overhead vs number of marker (clustering) calls
+# ---------------------------------------------------------------------------
+
+
+def figure9(
+    nprocs: int | None = None, call_counts: list[int] | None = None
+) -> tuple[list[dict], str]:
+    nprocs = nprocs or (1024 if full_scale() else 16)
+    params = _params_for("lu")
+    iters = params["iterations"]
+    call_counts = call_counts or sorted(
+        {1, max(iters // 8, 1), max(iters // 4, 1), max(iters // 2, 1), iters}
+    )
+    app = run_mode(
+        make_workload("lu", **params), nprocs, Mode.APP
+    )
+    rows = []
+    for calls in call_counts:
+        freq = max(iters // calls, 1)
+        workload = make_workload("lu", **params)
+        cfg = chameleon_config_for(workload, call_frequency=freq)
+        result = run_mode(workload, nprocs, Mode.CHAMELEON, config=cfg)
+        rows.append(
+            {
+                "marker_calls": result.cstats0.effective_calls,
+                "freq": freq,
+                "overhead": overhead(result, app),
+            }
+        )
+    text = render_table(
+        ["#effective calls", "freq", "Chameleon overhead [s]"],
+        [[r["marker_calls"], r["freq"], r["overhead"]] for r in rows],
+        title=f"Figure 9: overhead vs # clustering calls (LU, P={nprocs})",
+    )
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — re-clustering cost (modified LU)
+# ---------------------------------------------------------------------------
+
+
+def figure10(
+    nprocs: int | None = None, recluster_counts: list[int] | None = None
+) -> tuple[list[dict], str]:
+    nprocs = nprocs or (1024 if full_scale() else 16)
+    params = _params_for("lu")
+    iters = params["iterations"]
+    # a phase needs >= 4 stable markers to flush, re-cluster and re-enter
+    # the lead state, so the number of *achievable* re-clusterings is
+    # bounded by iterations / 4
+    recluster_counts = recluster_counts or [1, 2, max(iters // 4, 1)]
+    app = run_mode(make_workload("lu", **params), nprocs, Mode.APP)
+    st = run_mode(
+        make_workload("lu", **params), nprocs, Mode.SCALATRACE
+    )
+    rows = []
+    for n in recluster_counts:
+        period = max(iters // n, 4)
+        workload = make_workload(
+            "lu_modified", phase_period=period, **params
+        )
+        cfg = chameleon_config_for(workload, call_frequency=1)
+        result = run_mode(workload, nprocs, Mode.CHAMELEON, config=cfg)
+        rows.append(
+            {
+                "requested_reclusterings": n,
+                "phase_period": period,
+                "measured_reclusterings": result.cstats0.reclusterings,
+                "overhead": overhead(result, app),
+            }
+        )
+    st_overhead = overhead(st, app)
+    text = render_table(
+        ["#reclusterings (req)", "period", "#reclusterings (measured)",
+         "Chameleon overhead [s]", "ScalaTrace overhead [s]"],
+        [
+            [r["requested_reclusterings"], r["phase_period"],
+             r["measured_reclusterings"], r["overhead"], st_overhead]
+            for r in rows
+        ],
+        title=f"Figure 10: re-clustering cost (modified LU, P={nprocs})",
+    )
+    for r in rows:
+        r["scalatrace_overhead"] = st_overhead
+    return rows, text
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — overhead per method vs input problem size (LU classes)
+# ---------------------------------------------------------------------------
+
+
+def figure11(
+    nprocs: int | None = None, classes: list[str] | None = None
+) -> tuple[list[dict], str]:
+    nprocs = nprocs or (256 if full_scale() else 16)
+    classes = classes or ["A", "B", "C", "D"]
+    rows = []
+    for cls in classes:
+        iterations = (
+            None if full_scale() else {"A": 8, "B": 10, "C": 12, "D": 15}[cls]
+        )
+        params: dict[str, Any] = {"problem_class": cls}
+        if iterations is not None:
+            params["iterations"] = iterations
+        suite = run_suite(
+            "lu",
+            nprocs,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=params,
+            call_frequency=1,
+        )
+        app = suite[Mode.APP]
+        ch = breakdown(suite[Mode.CHAMELEON])
+        rows.append(
+            {
+                "class": cls,
+                "iterations": suite[Mode.APP].extra.get("iters", iterations),
+                "app_time": app.total_time,
+                "ch_clustering": ch.clustering + ch.vote + ch.signature,
+                "ch_intercompression": ch.intercompression,
+                "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
+                "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
+            }
+        )
+    text = render_table(
+        ["class", "APP [s]", "CH clustering [s]", "CH inter-comp [s]",
+         "CH total ovh [s]", "ST ovh [s]"],
+        [
+            [r["class"], r["app_time"], r["ch_clustering"],
+             r["ch_intercompression"], r["chameleon_overhead"],
+             r["scalatrace_overhead"]]
+            for r in rows
+        ],
+        title=f"Figure 11: overhead per method vs input class (LU, P={nprocs})",
+    )
+    return rows, text

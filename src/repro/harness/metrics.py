@@ -1,0 +1,83 @@
+"""Derived metrics shared by the table/figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runner import Mode, RunResult, overhead
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Where a traced run's extra virtual time went (summed over ranks)."""
+
+    record: float  # event recording + intra compression
+    signature: float  # interval signature computation (Chameleon)
+    vote: float  # Algorithm 1 reduce+bcast (Chameleon)
+    clustering: float  # tree clustering (Chameleon/ACURDION)
+    intercompression: float  # inter-node trace merging + shipping
+
+    @property
+    def total(self) -> float:
+        return (
+            self.record
+            + self.signature
+            + self.vote
+            + self.clustering
+            + self.intercompression
+        )
+
+
+def breakdown(result: RunResult) -> OverheadBreakdown:
+    record = result.sum_stat("record_time") if result.tracer_stats else 0.0
+    if result.chameleon_stats:
+        return OverheadBreakdown(
+            record=record,
+            signature=result.sum_cstat("signature_time"),
+            vote=result.sum_cstat("vote_time"),
+            clustering=result.sum_cstat("clustering_time"),
+            intercompression=result.sum_cstat("intercompression_time"),
+        )
+    if result.mode is Mode.ACURDION and "acurdion" in result.extra:
+        entries = result.extra["acurdion"]
+        return OverheadBreakdown(
+            record=record,
+            signature=0.0,
+            vote=0.0,
+            clustering=sum(e["clustering_time"] for e in entries),
+            intercompression=sum(e["intercompression_time"] for e in entries),
+        )
+    merge = result.sum_stat("merge_time") if result.tracer_stats else 0.0
+    return OverheadBreakdown(
+        record=record,
+        signature=0.0,
+        vote=0.0,
+        clustering=0.0,
+        intercompression=merge,
+    )
+
+
+def overhead_fraction(traced: RunResult, app: RunResult) -> float:
+    """Overhead relative to the application's aggregated runtime."""
+    if app.total_time == 0:
+        return 0.0
+    return overhead(traced, app) / app.total_time
+
+
+def state_space_summary(result: RunResult) -> dict[int, dict[str, float]]:
+    """Per-rank average bytes per state from the space samples (Table IV)."""
+    out: dict[int, dict[str, float]] = {}
+    for rank, cs in enumerate(result.chameleon_stats):
+        per_state: dict[str, list[int]] = {}
+        for state, nbytes in cs.space_samples:
+            per_state.setdefault(state, []).append(nbytes)
+        out[rank] = {
+            state: sum(v) / len(v) for state, v in per_state.items()
+        }
+        out[rank]["calls"] = float(len(cs.space_samples))
+        out[rank]["avg"] = (
+            sum(b for _s, b in cs.space_samples) / len(cs.space_samples)
+            if cs.space_samples
+            else 0.0
+        )
+    return out

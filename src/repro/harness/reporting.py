@@ -1,0 +1,79 @@
+"""ASCII rendering of experiment tables (what the bench targets print)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Plain monospace table with aligned columns."""
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def percent(x: float) -> str:
+    return f"{100.0 * x:.2f}%"
+
+
+def ascii_bars(
+    series: Sequence[tuple[str, float]],
+    width: int = 48,
+    log_scale: bool = False,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart in plain text (the paper's figures are bar
+    plots; this renders the same series in a terminal).
+
+    ``log_scale`` mirrors the paper's logarithmic overhead axes: bars span
+    the decades between the smallest and largest positive value.
+    """
+    import math
+
+    out = []
+    if title:
+        out.append(title)
+    if not series:
+        return "\n".join(out + ["(no data)"])
+    label_w = max(len(label) for label, _v in series)
+    positives = [v for _l, v in series if v > 0]
+    vmax = max(positives, default=0.0)
+    vmin = min(positives, default=0.0)
+    for label, value in series:
+        if value <= 0 or vmax <= 0:
+            bar = ""
+        elif log_scale and vmax > vmin:
+            span = math.log10(vmax) - math.log10(vmin) or 1.0
+            frac = (math.log10(value) - math.log10(vmin)) / span
+            bar = "#" * max(int(frac * (width - 1)) + 1, 1)
+        else:
+            bar = "#" * max(int(value / vmax * width), 1)
+        out.append(f"{label.ljust(label_w)} |{bar} {fmt(value)}")
+    return "\n".join(out)

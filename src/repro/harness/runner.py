@@ -1,0 +1,181 @@
+"""Experiment runner: one workload x process-count x tracing mode.
+
+Four modes reproduce the paper's comparison points:
+
+* ``APP``        — uninstrumented application (NullTracer)
+* ``SCALATRACE`` — ScalaTrace V2 default: per-rank tracing, global merge in
+  ``MPI_Finalize`` over all P ranks
+* ``CHAMELEON``  — online clustering with markers (the contribution)
+* ``ACURDION``   — signature clustering once at finalize (Table III baseline)
+
+Every run is deterministic; *overhead* is the virtual-time difference
+against the APP run of the same configuration, aggregated over all ranks
+(the paper reports aggregated wall-clock across nodes).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.acurdion import AcurdionTracer
+from ..core.chameleon import ChameleonStats, ChameleonTracer
+from ..core.config import ChameleonConfig
+from ..scalatrace.costmodel import DEFAULT_COSTS
+from ..scalatrace.trace import Trace
+from ..scalatrace.tracer import ScalaTraceTracer, TracerStats
+from ..simmpi.launcher import run_spmd
+from ..simmpi.timing import NetworkModel, QDR_CLUSTER
+from ..workloads.base import NullTracer, Workload
+from ..workloads.registry import PAPER_K, make_workload
+
+
+class Mode(enum.Enum):
+    APP = "app"
+    SCALATRACE = "scalatrace"
+    CHAMELEON = "chameleon"
+    ACURDION = "acurdion"
+
+
+def full_scale() -> bool:
+    """Paper-scale runs (P up to 1024) when REPRO_FULL_SCALE=1."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+def default_p_list() -> list[int]:
+    """Process counts for scaling sweeps (paper: 16..1024)."""
+    return [16, 64, 256, 1024] if full_scale() else [16, 64]
+
+
+@dataclass
+class RunResult:
+    """Everything the tables/figures need from one run."""
+
+    mode: Mode
+    nprocs: int
+    workload: str
+    max_time: float  # virtual makespan
+    total_time: float  # aggregated over ranks (paper's overhead basis)
+    clocks: list[float]
+    busy_times: list[float] = field(default_factory=list)
+    lead_ranks: set[int] = field(default_factory=set)
+    trace: Trace | None = None
+    tracer_stats: list[TracerStats] = field(default_factory=list)
+    chameleon_stats: list[ChameleonStats] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- aggregates ---------------------------------------------------------
+
+    def sum_stat(self, name: str) -> float:
+        return sum(getattr(s, name) for s in self.tracer_stats)
+
+    def sum_cstat(self, name: str) -> float:
+        return sum(getattr(s, name) for s in self.chameleon_stats)
+
+    @property
+    def cstats0(self) -> ChameleonStats:
+        if not self.chameleon_stats:
+            raise ValueError("not a Chameleon run")
+        return self.chameleon_stats[0]
+
+
+def chameleon_config_for(
+    workload: Workload, call_frequency: int = 1, **overrides: Any
+) -> ChameleonConfig:
+    """The paper's configuration for a workload: K from Table I, the
+    dedup signature filter where the paper applies it (POP)."""
+    kwargs: dict[str, Any] = {
+        "k": PAPER_K.get(workload.name, getattr(workload, "paper_k", 9)),
+        "call_frequency": call_frequency,
+        "costs": DEFAULT_COSTS,
+    }
+    if getattr(workload, "needs_signature_filter", False):
+        kwargs["signature_filter"] = "dedup"
+    kwargs.update(overrides)
+    return ChameleonConfig(**kwargs)
+
+
+def run_mode(
+    workload: Workload,
+    nprocs: int,
+    mode: Mode,
+    config: ChameleonConfig | None = None,
+    network: NetworkModel = QDR_CLUSTER,
+) -> RunResult:
+    """Execute one (workload, P, mode) combination."""
+    cfg = config or chameleon_config_for(workload)
+
+    async def main(ctx):
+        if mode is Mode.APP:
+            tracer: Any = NullTracer(ctx)
+        elif mode is Mode.SCALATRACE:
+            tracer = ScalaTraceTracer(ctx, costs=cfg.costs, window=cfg.window,
+                                      tree_arity=cfg.tree_arity)
+        elif mode is Mode.CHAMELEON:
+            tracer = ChameleonTracer(ctx, cfg)
+        elif mode is Mode.ACURDION:
+            tracer = AcurdionTracer(ctx, cfg)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(mode)
+        await workload.run(ctx, tracer)
+        trace = await tracer.finalize()
+        out: dict[str, Any] = {"trace": trace}
+        if isinstance(tracer, ScalaTraceTracer):
+            out["stats"] = tracer.stats
+        if isinstance(tracer, ChameleonTracer):
+            out["cstats"] = tracer.cstats
+            out["is_lead"] = tracer.tracing
+        if isinstance(tracer, AcurdionTracer):
+            out["acurdion"] = {
+                "clustering_time": tracer.clustering_time,
+                "intercompression_time": tracer.intercompression_time,
+            }
+        return out
+
+    res = run_spmd(main, nprocs, network=network)
+    per_rank = res.results
+    result = RunResult(
+        mode=mode,
+        nprocs=nprocs,
+        workload=workload.name,
+        max_time=res.max_time,
+        total_time=res.total_time,
+        clocks=res.clocks,
+        busy_times=res.busy_times,
+        lead_ranks={
+            rank for rank, r in enumerate(per_rank) if r.get("is_lead")
+        },
+        trace=per_rank[0].get("trace"),
+        tracer_stats=[r["stats"] for r in per_rank if "stats" in r],
+        chameleon_stats=[r["cstats"] for r in per_rank if "cstats" in r],
+    )
+    if "acurdion" in per_rank[0]:
+        result.extra["acurdion"] = [r["acurdion"] for r in per_rank]
+    return result
+
+
+def run_suite(
+    workload_name: str,
+    nprocs: int,
+    modes: tuple[Mode, ...] = (Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+    workload_params: dict[str, Any] | None = None,
+    call_frequency: int = 1,
+    config_overrides: dict[str, Any] | None = None,
+    network: NetworkModel = QDR_CLUSTER,
+) -> dict[Mode, RunResult]:
+    """Run a workload under several modes with identical parameters."""
+    out: dict[Mode, RunResult] = {}
+    for mode in modes:
+        workload = make_workload(workload_name, **(workload_params or {}))
+        cfg = chameleon_config_for(
+            workload, call_frequency=call_frequency, **(config_overrides or {})
+        )
+        out[mode] = run_mode(workload, nprocs, mode, config=cfg, network=network)
+    return out
+
+
+def overhead(traced: RunResult, app: RunResult) -> float:
+    """Aggregated tracing overhead in virtual seconds (>= 0)."""
+    return max(traced.total_time - app.total_time, 0.0)

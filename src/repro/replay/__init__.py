@@ -1,0 +1,43 @@
+"""repro.replay — ScalaReplay: trace interpretation and timed replay.
+
+Replays compressed traces on the simulated MPI runtime, including the
+paper's cluster-wide replay (a lead's trace re-interpreted by every member
+of its cluster with endpoint transposition), and computes the replay
+accuracy metric used in Figures 5 and 7.
+"""
+
+from .accuracy import AccuracyReport, accuracy
+from .cluster_replay import CoverageReport, coverage, events_by_rank
+from .extrapolate import ExtrapolationReport, extrapolate_trace
+from .timeline import Interval, Timeline, reconstruct_timeline
+from .replayer import (
+    REPLAY_TAG,
+    ReplayOp,
+    ReplayResult,
+    ReplayStats,
+    build_schedule,
+    coalesce_collectives,
+    reconcile,
+    replay_trace,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "CoverageReport",
+    "ExtrapolationReport",
+    "Interval",
+    "REPLAY_TAG",
+    "Timeline",
+    "ReplayOp",
+    "ReplayResult",
+    "ReplayStats",
+    "accuracy",
+    "build_schedule",
+    "coalesce_collectives",
+    "coverage",
+    "events_by_rank",
+    "extrapolate_trace",
+    "reconcile",
+    "reconstruct_timeline",
+    "replay_trace",
+]

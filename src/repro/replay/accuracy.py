@@ -1,0 +1,50 @@
+"""Replay accuracy metric (paper §V):  ``ACC = 1 - |t - t'| / t``.
+
+``t`` is the replay time of the unclustered (ScalaTrace) trace and ``t'``
+the replay time of the clustered (Chameleon) trace; the paper also reports
+both against the uninstrumented application time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def accuracy(reference_time: float, measured_time: float) -> float:
+    """``1 - |t - t'| / t`` (1.0 when the reference time is zero and the
+    measurement matches; 0 floor is NOT applied — large errors can go
+    negative, which the caller should treat as 0% accuracy)."""
+    if reference_time == 0.0:
+        return 1.0 if measured_time == 0.0 else 0.0
+    return 1.0 - abs(reference_time - measured_time) / reference_time
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Replay-accuracy comparison for one workload/P configuration."""
+
+    app_time: float
+    scalatrace_replay_time: float
+    chameleon_replay_time: float
+
+    @property
+    def chameleon_vs_scalatrace(self) -> float:
+        """The paper's ACC: clustered vs unclustered replay."""
+        return accuracy(self.scalatrace_replay_time, self.chameleon_replay_time)
+
+    @property
+    def chameleon_vs_app(self) -> float:
+        return accuracy(self.app_time, self.chameleon_replay_time)
+
+    @property
+    def scalatrace_vs_app(self) -> float:
+        return accuracy(self.app_time, self.scalatrace_replay_time)
+
+    def row(self) -> dict:
+        return {
+            "app": self.app_time,
+            "replay_scalatrace": self.scalatrace_replay_time,
+            "replay_chameleon": self.chameleon_replay_time,
+            "acc_vs_scalatrace": self.chameleon_vs_scalatrace,
+            "acc_vs_app": self.chameleon_vs_app,
+        }

@@ -1,0 +1,168 @@
+"""Trace extrapolation to larger process counts (ScalaExtrap-lite).
+
+ScalaTrace's location-independent encodings were designed so that traces
+generalize across scales (Wu & Mueller, ScalaExtrap [28]: "trace-based
+communication extrapolation for SPMD programs").  This module implements
+the 1-D core of that idea: given a global trace collected at ``P`` ranks,
+produce a trace for ``P' > P`` by rescaling the *rank-population* artefacts
+while leaving the location-independent parts untouched:
+
+* **participants**: ranklists are classified as world / prefix / suffix /
+  interior-band / strided-to-end patterns and re-extended to the new size
+  (a suffix ``{P-2, P-1}`` becomes ``{P'-2, P'-1}``, the world ranklist
+  ``<0,(P,1)>`` becomes ``<0,(P',1)>``, ...);
+* **endpoints**: relative offsets transfer verbatim (that is the point of
+  the encoding); absolute endpoints anchored near rank 0 stay, ones
+  anchored at the tail shift with the size; strided fan-out patterns of
+  length ``P−1`` (master-worker) stretch to ``P'−1``;
+* everything else (call sites, loop structure, histograms, byte counts)
+  is scale-invariant for SPMD codes and is copied.
+
+Full ScalaExtrap fits geometric models over *several* input scales and can
+extrapolate multi-dimensional decompositions; this lite version covers 1-D
+and hub topologies exactly and leaves 2-D grids to the caller (the report
+flags ranklists it could only copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scalatrace.endpoint import EndpointStat
+from ..scalatrace.ranklist import Ranklist, RankSet
+from ..scalatrace.rsd import LoopNode, TraceNode
+from ..scalatrace.trace import Trace
+
+
+@dataclass
+class ExtrapolationReport:
+    """What the extrapolation did (and could not do)."""
+
+    old_nprocs: int
+    new_nprocs: int
+    scaled_ranklists: int = 0
+    copied_ranklists: int = 0
+    scaled_endpoints: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        total = self.scaled_ranklists + self.copied_ranklists
+        return self.scaled_ranklists / total if total else 1.0
+
+
+def _scale_ranklist(
+    rl: Ranklist, old_p: int, new_p: int, report: ExtrapolationReport
+) -> list[int]:
+    """New member ranks for one ranklist (may return the old members)."""
+    dp = new_p - old_p
+    if rl.dimension == 0:
+        # singleton: anchored at the front stays, anchored at the back moves
+        rank = rl.start
+        if rank >= old_p / 2:
+            report.scaled_ranklists += 1
+            return [rank + dp]
+        report.scaled_ranklists += 1
+        return [rank]
+    if rl.dimension == 1:
+        (n, stride) = rl.dims[0]
+        start = rl.start
+        end = start + (n - 1) * stride
+        if stride > 0:
+            front, back = start, old_p - 1 - end
+            if front >= 0 and back >= 0 and front + back < new_p:
+                # a band [front .. P-1-back]: stretch the population
+                new_n = (new_p - front - back - 1) // stride + 1
+                if new_n >= 1:
+                    report.scaled_ranklists += 1
+                    return [front + i * stride for i in range(new_n)]
+    report.copied_ranklists += 1
+    report.notes.append(f"copied ranklist {rl} (unsupported shape)")
+    return list(rl.members())
+
+
+def _scale_rankset(
+    rs: RankSet, old_p: int, new_p: int, report: ExtrapolationReport
+) -> RankSet:
+    members: list[int] = []
+    for rl in rs.ranklists:
+        members.extend(_scale_ranklist(rl, old_p, new_p, report))
+    return RankSet(m for m in members if 0 <= m < new_p)
+
+
+def _scale_endpoint(
+    ep: EndpointStat | None, old_p: int, new_p: int, report: ExtrapolationReport
+) -> EndpointStat | None:
+    if ep is None:
+        return None
+    out = ep.copy()
+    dp = new_p - old_p
+    if out.abs_ is not None and out.abs_ >= old_p / 2:
+        # tail-anchored absolute endpoint (e.g. "last rank") moves
+        out.abs_ = out.abs_ + dp
+        report.scaled_endpoints += 1
+    if out.pattern is not None and out.pattern.stride not in (None, 0):
+        p = out.pattern
+        span = p.length  # e.g. a master fanning out to P-1 workers
+        if span in (old_p - 1, old_p):
+            p.length = span + dp
+            p.n = p.length  # one fresh cycle at the new scale
+            report.scaled_endpoints += 1
+    return out
+
+
+def _scale_loops(
+    nodes: list[TraceNode], old_p: int, new_p: int, report: ExtrapolationReport
+) -> None:
+    """Rescale loop trip counts that are functions of the process count.
+
+    Hub codes iterate communication loops ``P-1`` (or ``P``) times per
+    round (a master dispatching one message per worker); those trip counts
+    must follow the new size or the stretched endpoint patterns would be
+    driven for too few occurrences.  Full ScalaExtrap fits these models
+    from several scales; the lite heuristic rescales exact ``P``/``P-1``
+    matches (guarded to ``P >= 4`` to avoid colliding with small constant
+    loops).
+    """
+    if old_p < 4:
+        return
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            if node.iters == old_p - 1:
+                node.iters = new_p - 1
+                report.notes.append("scaled P-1 loop")
+            elif node.iters == old_p:
+                node.iters = new_p
+                report.notes.append("scaled P loop")
+            _scale_loops(node.body, old_p, new_p, report)
+
+
+def extrapolate_trace(
+    trace: Trace, new_nprocs: int
+) -> tuple[Trace, ExtrapolationReport]:
+    """Extrapolate a global trace to a larger process count.
+
+    Returns the new trace plus a report of what was rescaled.  Raises
+    ValueError when shrinking is requested (unsupported: information about
+    removed ranks cannot be invented away consistently).
+    """
+    old_p = trace.nprocs
+    if new_nprocs < old_p:
+        raise ValueError("extrapolation only grows the process count")
+    report = ExtrapolationReport(old_nprocs=old_p, new_nprocs=new_nprocs)
+    out = trace.copy()
+    out.nprocs = new_nprocs
+    if new_nprocs == old_p:
+        return out, report
+    _scale_loops(out.nodes, old_p, new_nprocs, report)
+    for leaf in out.leaves():
+        rec = leaf.record
+        rec.participants = _scale_rankset(
+            rec.participants, old_p, new_nprocs, report
+        )
+        rec.src = _scale_endpoint(rec.src, old_p, new_nprocs, report)
+        rec.dest = _scale_endpoint(rec.dest, old_p, new_nprocs, report)
+        if rec.root is not None and rec.root >= old_p / 2:
+            rec.root += new_nprocs - old_p
+    out.origin = RankSet(range(new_nprocs))
+    return out, report

@@ -1,0 +1,111 @@
+"""Trace analysis: summaries and communication matrices from trace files.
+
+Downstream users of a tracing toolset mostly want aggregate views: which
+operations dominate, how much data moved between which ranks, where compute
+time went.  These helpers derive them from a (compressed) trace without
+expanding it per rank more than once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import Op
+from .trace import Trace
+
+_P2P_SENDING = {Op.SEND, Op.ISEND, Op.SENDRECV}
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one trace."""
+
+    nprocs: int
+    prsd_events: int
+    total_events: int
+    compression_ratio: float
+    size_bytes: int
+    events_by_op: Counter = field(default_factory=Counter)
+    bytes_by_op: Counter = field(default_factory=Counter)
+    compute_seconds: float = 0.0
+    distinct_callsites: int = 0
+
+    def report(self) -> str:
+        lines = [
+            f"trace over {self.nprocs} ranks",
+            f"  {self.prsd_events} PRSD events representing "
+            f"{self.total_events} MPI calls "
+            f"({self.compression_ratio:.1f}x compression)",
+            f"  {self.distinct_callsites} distinct call sites, "
+            f"~{self.size_bytes} bytes",
+            f"  recorded compute time: {self.compute_seconds:.6f} s",
+            "  events by operation:",
+        ]
+        for op, count in self.events_by_op.most_common():
+            nbytes = self.bytes_by_op.get(op, 0)
+            lines.append(f"    {op:10s} {count:8d} calls  {nbytes:12.0f} B")
+        return "\n".join(lines)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Aggregate per-operation counts, bytes and compute time."""
+    summary = TraceSummary(
+        nprocs=trace.nprocs,
+        prsd_events=trace.leaf_count(),
+        total_events=trace.expanded_count(),
+        compression_ratio=trace.compression_ratio(),
+        size_bytes=trace.size_bytes(),
+        distinct_callsites=len(trace.distinct_stack_signatures()),
+    )
+    for rec in trace.events():
+        participants = rec.participants.count
+        summary.events_by_op[rec.op.value] += participants
+        if rec.count.n:
+            summary.bytes_by_op[rec.op.value] += rec.count.mean * participants
+        summary.compute_seconds += rec.dhist.mean * participants
+    return summary
+
+
+def communication_matrix(trace: Trace, nprocs: int | None = None) -> np.ndarray:
+    """P x P matrix of bytes sent from rank i to rank j during replay.
+
+    Endpoints are resolved exactly like the replay engine does (relative /
+    absolute / strided encodings, occurrence-indexed), so the matrix shows
+    the traffic the trace *represents*.
+    """
+    nprocs = trace.nprocs if nprocs is None else nprocs
+    matrix = np.zeros((nprocs, nprocs), dtype=np.float64)
+    occurrences: dict[int, int] = {}
+    for rec in trace.events():
+        idx = occurrences.get(id(rec), 0)
+        occurrences[id(rec)] = idx + 1
+        if rec.op not in _P2P_SENDING or rec.dest is None:
+            continue
+        nbytes = rec.count.mean if rec.count.n else 0.0
+        for r in rec.participants.ranks():
+            if r >= nprocs:
+                continue
+            target = rec.dest.resolve(r, idx)
+            if target is not None and 0 <= target < nprocs:
+                matrix[r, target] += nbytes
+    return matrix
+
+
+def collective_volume(trace: Trace) -> float:
+    """Total bytes moved through collective operations (modelled payloads)."""
+    total = 0.0
+    for rec in trace.events():
+        if rec.op.is_collective and rec.count.n:
+            total += rec.count.mean * rec.participants.count
+    return total
+
+
+def hotspots(trace: Trace, top: int = 5) -> list[tuple[int, float]]:
+    """Ranks sending the most point-to-point bytes: [(rank, bytes)]."""
+    matrix = communication_matrix(trace)
+    sent = matrix.sum(axis=1)
+    order = np.argsort(sent)[::-1][:top]
+    return [(int(r), float(sent[r])) for r in order if sent[r] > 0]

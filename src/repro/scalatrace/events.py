@@ -1,0 +1,240 @@
+"""MPI event records: the leaves of ScalaTrace's compressed trace.
+
+Each record captures one MPI call site's parameters with ScalaTrace's
+location-independent encodings (paper §II):
+
+* endpoints are :class:`~repro.scalatrace.endpoint.EndpointStat` values
+  tracking relative-constant, absolute-constant and strided-pattern
+  representations simultaneously (``None`` = wildcard/no endpoint);
+* the calling context is a 64-bit stack signature;
+* per-occurrence values (payload bytes, tags, compute gaps) are kept as
+  mergeable statistics, not per-occurrence lists.
+
+Two records are *mergeable* — into one compressed event covering more loop
+iterations or more ranks — when their static keys match and their endpoint
+encodings are still jointly representable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from .endpoint import EndpointStat
+from .ranklist import RankSet
+from .timehist import DeltaHistogram
+
+
+class Op(enum.Enum):
+    """MPI operation kinds the tracer records."""
+
+    SEND = "send"
+    RECV = "recv"
+    ISEND = "isend"
+    IRECV = "irecv"
+    SENDRECV = "sendrecv"
+    BARRIER = "barrier"
+    BCAST = "bcast"
+    REDUCE = "reduce"
+    ALLREDUCE = "allreduce"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    ALLGATHER = "allgather"
+    ALLTOALL = "alltoall"
+    SCAN = "scan"
+    MARKER = "marker"
+    FINALIZE = "finalize"
+
+    @property
+    def is_collective(self) -> bool:
+        return self in _COLLECTIVES
+
+    @property
+    def is_p2p(self) -> bool:
+        return self in _P2P
+
+
+_COLLECTIVES = {
+    Op.BARRIER,
+    Op.BCAST,
+    Op.REDUCE,
+    Op.ALLREDUCE,
+    Op.GATHER,
+    Op.SCATTER,
+    Op.ALLGATHER,
+    Op.ALLTOALL,
+    Op.SCAN,
+    Op.MARKER,
+    Op.FINALIZE,
+}
+_P2P = {Op.SEND, Op.RECV, Op.ISEND, Op.IRECV, Op.SENDRECV}
+
+
+@dataclass
+class ParamStat:
+    """Mergeable min/max/mean statistic of an integer call parameter."""
+
+    n: int = 0
+    mean: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    @classmethod
+    def of(cls, value: float) -> "ParamStat":
+        s = cls()
+        s.add(value)
+        return s
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.mean += (value - self.mean) / self.n
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "ParamStat") -> None:
+        if other.n == 0:
+            return
+        total = self.n + other.n
+        self.mean += (other.mean - self.mean) * other.n / total
+        self.n = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def copy(self) -> "ParamStat":
+        s = ParamStat()
+        s.n, s.mean, s.min, s.max = self.n, self.mean, self.min, self.max
+        return s
+
+    def to_text(self) -> str:
+        lo = "inf" if math.isinf(self.min) else repr(self.min)
+        hi = "-inf" if math.isinf(self.max) and self.max < 0 else repr(self.max)
+        return f"{self.n}~{self.mean!r}~{lo}~{hi}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "ParamStat":
+        n, mean, lo, hi = text.split("~")
+        s = cls()
+        s.n = int(n)
+        s.mean = float(mean)
+        s.min = math.inf if lo == "inf" else float(lo)
+        s.max = -math.inf if hi == "-inf" else float(hi)
+        return s
+
+
+#: Fields that must agree exactly for two records to describe one event.
+StaticKey = tuple[str, int, int, int | None, bool, bool]
+
+
+@dataclass
+class EventRecord:
+    """One compressed MPI event (possibly covering many ranks/iterations)."""
+
+    op: Op
+    stack_sig: int
+    comm_id: int = 0
+    src: EndpointStat | None = None  # None = wildcard / no source param
+    dest: EndpointStat | None = None
+    root: int | None = None  # collectives: absolute root rank
+    participants: RankSet = field(default_factory=lambda: RankSet.single(0))
+    count: ParamStat = field(default_factory=ParamStat)  # payload bytes
+    tag: ParamStat = field(default_factory=ParamStat)
+    dhist: DeltaHistogram = field(default_factory=DeltaHistogram)
+    frames: tuple[str, ...] = ()  # human-readable call path (debug only)
+
+    def static_key(self) -> StaticKey:
+        return (
+            self.op.value,
+            self.stack_sig,
+            self.comm_id,
+            self.root,
+            self.src is None,
+            self.dest is None,
+        )
+
+    # Backwards-compatible alias used throughout the tests/tools.
+    def match_key(self):
+        return (
+            self.static_key(),
+            None if self.src is None else self.src.rel,
+            None if self.dest is None else self.dest.rel,
+        )
+
+    @property
+    def src_offset(self) -> int | None:
+        """Constant relative source offset if that encoding survived."""
+        return None if self.src is None else self.src.rel
+
+    @property
+    def dest_offset(self) -> int | None:
+        return None if self.dest is None else self.dest.rel
+
+    @staticmethod
+    def _ep_compatible(
+        a: EndpointStat | None, b: EndpointStat | None, allow_chain: bool
+    ) -> bool:
+        if a is None or b is None:
+            return a is None and b is None
+        return a.can_merge(b, allow_chain)
+
+    def can_merge(self, other: "EventRecord", allow_chain: bool = True) -> bool:
+        """Whether ``other`` may fold into this record.
+
+        ``allow_chain`` distinguishes intra-node folding (stream order —
+        strided endpoint patterns may extend) from inter-node merging
+        (different ranks — only matching constant/cycle encodings merge).
+        """
+        return (
+            self.static_key() == other.static_key()
+            and self._ep_compatible(self.src, other.src, allow_chain)
+            and self._ep_compatible(self.dest, other.dest, allow_chain)
+        )
+
+    def merge(self, other: "EventRecord", allow_chain: bool = True) -> None:
+        """Fold ``other`` into this record (``can_merge`` must hold)."""
+        if not self.can_merge(other, allow_chain):
+            raise ValueError(
+                f"cannot merge events: {self} vs {other}"
+            )
+        if self.src is not None:
+            self.src.merge(other.src, allow_chain)  # type: ignore[arg-type]
+        if self.dest is not None:
+            self.dest.merge(other.dest, allow_chain)  # type: ignore[arg-type]
+        self.participants = self.participants.union(other.participants)
+        self.count.merge(other.count)
+        self.tag.merge(other.tag)
+        self.dhist.merge(other.dhist)
+
+    def copy(self) -> "EventRecord":
+        return EventRecord(
+            op=self.op,
+            stack_sig=self.stack_sig,
+            comm_id=self.comm_id,
+            src=self.src.copy() if self.src else None,
+            dest=self.dest.copy() if self.dest else None,
+            root=self.root,
+            participants=RankSet(self.participants.ranks()),
+            count=self.count.copy(),
+            tag=self.tag.copy(),
+            dhist=self.dhist.copy(),
+            frames=self.frames,
+        )
+
+    def size_bytes(self) -> int:
+        """Modelled allocation of this record (paper Table IV accounting):
+        fixed header + endpoint encodings + ranklist + sparse histogram."""
+        ep = sum(e.size_bytes() for e in (self.src, self.dest) if e is not None)
+        return 96 + ep + self.participants.size_bytes() + self.dhist.size_bytes()
+
+    def __str__(self) -> str:
+        ep = ""
+        if self.dest is not None:
+            ep += f" dest{self.dest!r}"
+        if self.src is not None:
+            ep += f" src{self.src!r}"
+        if self.root is not None:
+            ep += f" root={self.root}"
+        return (
+            f"{self.op.value}{ep} sig={self.stack_sig & 0xFFFF:04x} "
+            f"ranks={self.participants}"
+        )

@@ -1,0 +1,137 @@
+"""Intra-node (loop-level) trace compression.
+
+ScalaTrace compresses each rank's event stream *online*: every time an event
+is appended, the compressor greedily looks for a repetition at the tail of
+the node list and folds it into an RSD/PRSD loop (paper §II).  Two rewrite
+rules run to fixpoint after each append:
+
+* **absorb** — the last *m* nodes are congruent to the body of the loop node
+  immediately preceding them: increment that loop's iteration count and
+  merge the statistics.  (``[Loop(k, B), B] -> Loop(k+1, B)``)
+* **create** — the last *m* nodes are congruent to the *m* nodes before
+  them: replace both with a 2-iteration loop.
+  (``[B, B] -> Loop(2, B)``)
+
+Applied to an iterative kernel this builds nested PRSDs bottom-up, e.g. the
+paper's send/recv/barrier example compresses to
+``Loop(1000, [Loop(100, [send, recv]), barrier])``.
+
+The compressor is windowed: repetition bodies longer than ``window`` nodes
+are not detected (real ScalaTrace has the same bound).  All comparison work
+is counted in a :class:`~repro.scalatrace.rsd.WorkMeter` so the tracer can
+charge virtual time for it.
+"""
+
+from __future__ import annotations
+
+from .events import EventRecord
+from .rsd import EventNode, LoopNode, TraceNode, WorkMeter, merge_nodes, same_shape
+
+DEFAULT_WINDOW = 64
+
+
+def _participants_equal(a: TraceNode, b: TraceNode) -> bool:
+    """Whether two congruent subtrees cover the same rank populations."""
+    from .rsd import EventNode
+
+    if isinstance(a, EventNode) and isinstance(b, EventNode):
+        return a.record.participants == b.record.participants
+    return all(
+        _participants_equal(x, y)
+        for x, y in zip(a.body, b.body)  # type: ignore[union-attr]
+    )
+
+
+def fold_tail(
+    nodes: list[TraceNode],
+    window: int,
+    meter: WorkMeter,
+    match_participants: bool = False,
+) -> None:
+    """Run the absorb/create rewrite rules to fixpoint on the list's tail.
+
+    Shared by the per-rank compressor (folding raw events) and Chameleon's
+    online trace (folding whole merged phase segments that repeat across
+    marker intervals).  The online trace passes ``match_participants=True``:
+    its nodes cover *cluster* populations, and folding two same-call-site
+    records from different clusters would union their ranklists and
+    misattribute iterations (a per-rank stream never needs the check —
+    every node covers exactly the owning rank).
+    """
+
+    def congruent(a: TraceNode, b: TraceNode) -> bool:
+        if not same_shape(a, b, meter, match_iters=True):
+            return False
+        return not match_participants or _participants_equal(a, b)
+
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: absorb the tail into an immediately preceding loop.
+        for m in range(1, min(window, len(nodes) - 1) + 1):
+            prev = nodes[-m - 1]
+            if not isinstance(prev, LoopNode) or len(prev.body) != m:
+                continue
+            tail = nodes[-m:]
+            if all(congruent(b, t) for b, t in zip(prev.body, tail)):
+                for b, t in zip(prev.body, tail):
+                    merge_nodes(b, t, meter)
+                prev.iters += 1
+                del nodes[-m:]
+                meter.folds += 1
+                changed = True
+                break
+        if changed:
+            continue
+        # Rule 2: fold two adjacent congruent runs into a new loop.
+        for m in range(1, window + 1):
+            if len(nodes) < 2 * m:
+                break
+            first = nodes[-2 * m : -m]
+            second = nodes[-m:]
+            if all(congruent(a, b) for a, b in zip(first, second)):
+                for a, b in zip(first, second):
+                    merge_nodes(a, b, meter)
+                loop = LoopNode(2, first)
+                del nodes[-2 * m :]
+                nodes.append(loop)
+                meter.folds += 1
+                changed = True
+                break
+
+
+class IntraCompressor:
+    """Online RSD/PRSD compressor for one rank's event stream."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW, meter: WorkMeter | None = None):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.meter = meter if meter is not None else WorkMeter()
+        self.nodes: list[TraceNode] = []
+        self.appended_events = 0
+
+    def append(self, record: EventRecord) -> None:
+        """Add one event and re-compress the tail."""
+        self.nodes.append(EventNode(record))
+        self.appended_events += 1
+        fold_tail(self.nodes, self.window, self.meter)
+
+    # -- introspection ---------------------------------------------------
+
+    def leaf_count(self) -> int:
+        """`n` of the paper: events in PRSD-compressed notation."""
+        return sum(n.leaf_count() for n in self.nodes)
+
+    def expanded_count(self) -> int:
+        """Number of original (uncompressed) events represented."""
+        return sum(n.expanded_count() for n in self.nodes)
+
+    def size_bytes(self) -> int:
+        return sum(n.size_bytes() for n in self.nodes)
+
+    def take_nodes(self) -> list[TraceNode]:
+        """Detach and return the compressed nodes (compressor resets)."""
+        nodes, self.nodes = self.nodes, []
+        self.appended_events = 0
+        return nodes

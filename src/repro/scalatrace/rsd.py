@@ -1,0 +1,179 @@
+"""RSD / PRSD trace tree: loop-compressed event sequences.
+
+A compressed trace is a list of nodes where each node is either
+
+* an :class:`EventNode` — one MPI event with merged statistics (an RSD leaf),
+* a :class:`LoopNode` — ``iters`` repetitions of a body sequence (an RSD for
+  the innermost level, a power-RSD when loops nest).
+
+``<100, Send1, Recv1>`` from the paper's example becomes
+``LoopNode(100, [EventNode(send), EventNode(recv)])`` and the enclosing
+``<1000, RSD1, Barrier1>`` a LoopNode around that.
+
+Two predicates drive compression:
+
+* :func:`same_shape` — structural congruence (same match keys / loop shapes,
+  ignoring statistics and loop counts where noted); used to *detect*
+  repetitions.
+* :func:`merge_nodes` — folds one congruent subtree's statistics into
+  another; used when a repetition is found or when traces from different
+  ranks are combined.
+
+Both count their comparisons in an optional :class:`WorkMeter`, which the
+cost model converts to virtual time — this is how the paper's
+``O(n^2 log P)`` inter-compression cost arises mechanically in the
+simulation rather than being assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from .events import EventRecord
+
+
+@dataclass
+class WorkMeter:
+    """Counts the primitive operations compression performs."""
+
+    comparisons: int = 0
+    merges: int = 0
+    folds: int = 0
+
+    def reset(self) -> None:
+        self.comparisons = 0
+        self.merges = 0
+        self.folds = 0
+
+    @property
+    def total(self) -> int:
+        return self.comparisons + self.merges + self.folds
+
+
+@dataclass
+class EventNode:
+    """A leaf: one compressed MPI event."""
+
+    record: EventRecord
+
+    def size_bytes(self) -> int:
+        return self.record.size_bytes()
+
+    def leaf_count(self) -> int:
+        return 1
+
+    def expanded_count(self) -> int:
+        return 1
+
+    def copy(self) -> "EventNode":
+        return EventNode(self.record.copy())
+
+    def __str__(self) -> str:
+        return str(self.record)
+
+
+@dataclass
+class LoopNode:
+    """``iters`` repetitions of a node sequence (RSD / PRSD)."""
+
+    iters: int
+    body: list["TraceNode"] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return 16 + sum(n.size_bytes() for n in self.body)
+
+    def leaf_count(self) -> int:
+        return sum(n.leaf_count() for n in self.body)
+
+    def expanded_count(self) -> int:
+        return self.iters * sum(n.expanded_count() for n in self.body)
+
+    def copy(self) -> "LoopNode":
+        return LoopNode(self.iters, [n.copy() for n in self.body])
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(n) for n in self.body)
+        return f"loop x{self.iters} [{inner}]"
+
+
+TraceNode = Union[EventNode, LoopNode]
+
+
+def same_shape(
+    a: TraceNode,
+    b: TraceNode,
+    meter: WorkMeter | None = None,
+    match_iters: bool = True,
+    allow_chain: bool = True,
+) -> bool:
+    """Structural congruence of two subtrees.
+
+    EventNodes are congruent when their records are mergeable; LoopNodes
+    when their bodies are pairwise congruent (and, if ``match_iters``, the
+    iteration counts agree — inter-node merging requires it so that merged
+    statistics keep a consistent meaning; intra-node folding absorbs a
+    repetition into a neighbouring loop regardless of its count).
+    ``allow_chain`` is False for cross-rank merges (see EventRecord).
+    """
+    if meter is not None:
+        meter.comparisons += 1
+    if isinstance(a, EventNode) and isinstance(b, EventNode):
+        return a.record.can_merge(b.record, allow_chain)
+    if isinstance(a, LoopNode) and isinstance(b, LoopNode):
+        if match_iters and a.iters != b.iters:
+            return False
+        if len(a.body) != len(b.body):
+            return False
+        return all(
+            same_shape(x, y, meter, match_iters, allow_chain)
+            for x, y in zip(a.body, b.body)
+        )
+    return False
+
+
+def merge_nodes(
+    dst: TraceNode,
+    src: TraceNode,
+    meter: WorkMeter | None = None,
+    allow_chain: bool = True,
+) -> None:
+    """Fold ``src``'s statistics into the congruent subtree ``dst``."""
+    if meter is not None:
+        meter.merges += 1
+    if isinstance(dst, EventNode) and isinstance(src, EventNode):
+        dst.record.merge(src.record, allow_chain)
+        return
+    if isinstance(dst, LoopNode) and isinstance(src, LoopNode):
+        if len(dst.body) != len(src.body):
+            raise ValueError("merge of loops with different body lengths")
+        for d, s in zip(dst.body, src.body):
+            merge_nodes(d, s, meter, allow_chain)
+        return
+    raise ValueError(f"cannot merge {type(dst).__name__} with {type(src).__name__}")
+
+
+def iter_leaves(nodes: list[TraceNode]) -> Iterator[EventNode]:
+    """All EventNode leaves in trace order (loop bodies visited once)."""
+    for node in nodes:
+        if isinstance(node, EventNode):
+            yield node
+        else:
+            yield from iter_leaves(node.body)
+
+
+def expand(nodes: list[TraceNode]) -> Iterator[EventRecord]:
+    """Full event stream: loop bodies repeated ``iters`` times."""
+    for node in nodes:
+        if isinstance(node, EventNode):
+            yield node.record
+        else:
+            for _ in range(node.iters):
+                yield from expand(node.body)
+
+
+def shape_signature(node: TraceNode) -> tuple:
+    """A hashable structural key (used to prefilter congruence checks)."""
+    if isinstance(node, EventNode):
+        return ("E", node.record.match_key())
+    return ("L", node.iters, tuple(shape_signature(n) for n in node.body))

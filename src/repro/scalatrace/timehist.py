@@ -1,0 +1,130 @@
+"""Delta-time histograms for computation intervals between MPI events.
+
+ScalaTrace does not store one timestamp per event occurrence — that would
+defeat compression.  Instead each compressed event keeps a *histogram* of
+the delta times (compute gaps) observed across loop iterations and ranks
+(Wu et al. [27]: "probabilistic communication and I/O tracing").  The replay
+engine draws from the histogram to regenerate computation as sleeps.
+
+Bins are logarithmic from 1 ns to ~1000 s, which covers every interval a
+simulated workload produces while keeping the structure constant-size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+_MIN_DT = 1e-9
+_DECADES = 12  # 1e-9 .. 1e3 seconds
+_BINS_PER_DECADE = 4
+_NBINS = _DECADES * _BINS_PER_DECADE + 1
+
+
+def _bin_index(dt: float) -> int:
+    if dt <= _MIN_DT:
+        return 0
+    idx = int((math.log10(dt) + 9.0) * _BINS_PER_DECADE) + 1
+    return min(max(idx, 0), _NBINS - 1)
+
+
+def _bin_bounds(idx: int) -> tuple[float, float]:
+    """(low, high) duration bounds of one logarithmic bin."""
+    if idx == 0:
+        return (0.0, _MIN_DT)
+    lo = 10.0 ** ((idx - 1) / _BINS_PER_DECADE - 9.0)
+    hi = 10.0 ** (idx / _BINS_PER_DECADE - 9.0)
+    return (lo, hi)
+
+
+@dataclass
+class DeltaHistogram:
+    """Mergeable log-binned histogram of non-negative durations."""
+
+    counts: list[int] = field(default_factory=lambda: [0] * _NBINS)
+    total: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+
+    def record(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("delta times are non-negative")
+        self.counts[_bin_index(dt)] += 1
+        self.total += 1
+        self.sum += dt
+        self.min = dt if dt < self.min else self.min
+        self.max = dt if dt > self.max else self.max
+
+    def merge(self, other: "DeltaHistogram") -> None:
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def sample(self) -> float:
+        """Deterministic replay value: the mean preserves total replay time
+        exactly, which is what the paper's accuracy metric measures."""
+        return self.mean
+
+    def draw(self, rng: "random.Random") -> float:
+        """Probabilistic replay value (Wu et al. [27]): draw a bin weighted
+        by its population and return a uniform value inside it."""
+        if self.total == 0:
+            return 0.0
+        target = rng.randrange(self.total)
+        acc = 0
+        idx = 0
+        for i, c in enumerate(self.counts):
+            acc += c
+            if target < acc:
+                idx = i
+                break
+        lo, hi = _bin_bounds(idx)
+        lo = max(lo, self.min if self.min != math.inf else lo)
+        hi = min(hi, self.max if self.max > 0 else hi)
+        if hi <= lo:
+            return lo
+        return lo + rng.random() * (hi - lo)
+
+    def size_bytes(self) -> int:
+        """Modelled allocation: only non-empty bins are stored (sparse)."""
+        nonzero = sum(1 for c in self.counts if c)
+        return 8 * (4 + 2 * nonzero)  # total/sum/min/max + (bin, count) pairs
+
+    def copy(self) -> "DeltaHistogram":
+        h = DeltaHistogram()
+        h.counts = list(self.counts)
+        h.total = self.total
+        h.sum = self.sum
+        h.min = self.min
+        h.max = self.max
+        return h
+
+    # -- serialization ----------------------------------------------------
+
+    def to_text(self) -> str:
+        bins = ";".join(f"{i}:{c}" for i, c in enumerate(self.counts) if c)
+        lo = "inf" if math.isinf(self.min) else repr(self.min)
+        return f"{self.total}|{self.sum!r}|{lo}|{self.max!r}|{bins}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "DeltaHistogram":
+        total_s, sum_s, min_s, max_s, bins = text.split("|")
+        h = cls()
+        h.total = int(total_s)
+        h.sum = float(sum_s)
+        h.min = math.inf if min_s == "inf" else float(min_s)
+        h.max = float(max_s)
+        if bins:
+            for part in bins.split(";"):
+                i, c = part.split(":")
+                h.counts[int(i)] = int(c)
+        return h

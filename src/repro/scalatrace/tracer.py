@@ -1,0 +1,335 @@
+"""The ScalaTrace tracer: a PMPI-style interposition layer.
+
+:class:`ScalaTraceTracer` wraps a rank's :class:`~repro.simmpi.Communicator`
+with the same awaitable API and records every MPI call into the online
+intra-node compressor.  Its :meth:`finalize` performs the classic ScalaTrace
+inter-node compression: all P ranks reduce their compressed traces over a
+radix tree rooted at rank 0, interior nodes merging child traces into their
+own — the ``O(n^2 log P)`` step whose cost Chameleon attacks.
+
+Recording can be switched off per rank (``tracer.enabled``); Chameleon uses
+this for non-lead processes in the L state, which is where the paper's
+Table IV space savings come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..simmpi.comm import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Request
+from ..simmpi.datatypes import payload_nbytes
+from ..simmpi.launcher import RankContext
+from ..simmpi.topology import RadixTree
+from .costmodel import DEFAULT_COSTS, InstrumentationCostModel
+from .endpoint import EndpointStat
+from .events import EventRecord, Op
+from .inter import merge_traces
+from .intra import DEFAULT_WINDOW, IntraCompressor
+from .ranklist import RankSet
+from .rsd import WorkMeter
+from .signatures import StackWalker
+from .trace import Trace
+
+#: reserved tag for shipping trace payloads up the reduction tree
+#: (above MAX_USER_TAG: invisible to application wildcard receives)
+TRACE_TAG = MAX_USER_TAG + 1
+
+
+@dataclass
+class TracerStats:
+    """Counters the experiment harness reads after a run."""
+
+    events_recorded: int = 0
+    events_skipped: int = 0  # calls made while tracing was disabled
+    record_time: float = 0.0  # virtual seconds spent recording/compressing
+    merge_time: float = 0.0  # virtual seconds spent in inter-node merging
+    merge_comm_time: float = 0.0  # virtual seconds in merge communication
+    peak_bytes: int = 0
+    bytes_by_state: dict[str, int] = field(default_factory=dict)
+
+
+class ScalaTraceTracer:
+    """Interposition layer recording one rank's MPI activity."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        costs: InstrumentationCostModel = DEFAULT_COSTS,
+        window: int = DEFAULT_WINDOW,
+        tree_arity: int = 2,
+    ) -> None:
+        self.ctx = ctx
+        self.comm = ctx.comm
+        self.costs = costs
+        self.tree_arity = tree_arity
+        self.meter = WorkMeter()
+        self.compressor = IntraCompressor(window=window, meter=self.meter)
+        self.walker = StackWalker()
+        self.enabled = True
+        self.stats = TracerStats()
+        self._last_event_end = ctx.clock
+        self._interval_records: list[EventRecord] = []  # since last marker
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def nprocs(self) -> int:
+        return self.comm.size
+
+    # -- recording ---------------------------------------------------------
+
+    def _record(
+        self,
+        op: Op,
+        *,
+        src: int | None = None,
+        dest: int | None = None,
+        root: int | None = None,
+        nbytes: int = 0,
+        tag: int = 0,
+        comm_id: int | None = None,
+    ) -> EventRecord | None:
+        """PMPI pre-wrapper: build and compress the event record.
+
+        Returns the record (or None when tracing is disabled) so subclasses
+        can feed signature accumulators.
+        """
+        if not self.enabled:
+            self.stats.events_skipped += 1
+            return None
+        t0 = self.ctx.clock
+        dt = max(self.ctx.clock - self._last_event_end, 0.0)
+        sig, frames = self.walker.capture(self.ctx.task.logical_stack)
+        rec = EventRecord(
+            op=op,
+            stack_sig=sig,
+            comm_id=self.comm.context.id if comm_id is None else comm_id,
+            src=None if src is None else EndpointStat.of(src, self.rank),
+            dest=None if dest is None else EndpointStat.of(dest, self.rank),
+            root=root,
+            participants=RankSet.single(self.rank),
+            frames=frames,
+        )
+        rec.count.add(nbytes)
+        rec.tag.add(tag)
+        rec.dhist.record(dt)
+        work0 = self.meter.total
+        self.compressor.append(rec)
+        self._interval_records.append(rec)
+        self.stats.events_recorded += 1
+        charge = (
+            self.costs.per_event_record
+            + (self.meter.total - work0) * self.costs.per_compression_op
+        )
+        self.ctx.compute(charge)
+        self.stats.record_time += self.ctx.clock - t0
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self.current_bytes())
+        return rec
+
+    def _post(self) -> None:
+        """PMPI post-wrapper: next delta time starts after the call."""
+        self._last_event_end = self.ctx.clock
+
+    def current_bytes(self) -> int:
+        return self.compressor.size_bytes()
+
+    def interval_records(self) -> list[EventRecord]:
+        """Events recorded since the last :meth:`clear_interval` call."""
+        return list(self._interval_records)
+
+    def clear_interval(self) -> None:
+        self._interval_records.clear()
+
+    # -- traced MPI API ------------------------------------------------------
+
+    async def send(
+        self, dest: int, payload: Any = None, tag: int = 0, size: int | None = None
+    ) -> None:
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        self._record(Op.SEND, dest=dest, nbytes=nbytes, tag=tag)
+        await self.comm.send(dest, payload, tag=tag, size=size)
+        self._post()
+
+    async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        payload, status = await self.recv_with_status(source, tag)
+        return payload
+
+    async def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, dict]:
+        # ANY_SOURCE is recorded as a wildcard (no source encoding) so the
+        # replay engine re-issues it as a wildcard receive.
+        src = None if source == ANY_SOURCE else source
+        self._record(Op.RECV, src=src, tag=0 if tag == ANY_TAG else tag)
+        payload, status = await self.comm.recv_with_status(source, tag)
+        self._post()
+        return payload, status
+
+    async def sendrecv(
+        self,
+        dest: int,
+        payload: Any = None,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        size: int | None = None,
+    ) -> Any:
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        src = None if source == ANY_SOURCE else source
+        self._record(
+            Op.SENDRECV, dest=dest, src=src, nbytes=nbytes, tag=sendtag
+        )
+        value = await self.comm.sendrecv(
+            dest, payload, source=source, sendtag=sendtag, recvtag=recvtag, size=size
+        )
+        self._post()
+        return value
+
+    def isend(
+        self, dest: int, payload: Any = None, tag: int = 0, size: int | None = None
+    ) -> Request:
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        self._record(Op.ISEND, dest=dest, nbytes=nbytes, tag=tag)
+        req = self.comm.isend(dest, payload, tag=tag, size=size)
+        self._post()
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        src = None if source == ANY_SOURCE else source
+        self._record(Op.IRECV, src=src, tag=0 if tag == ANY_TAG else tag)
+        req = self.comm.irecv(source, tag)
+        self._post()
+        return req
+
+    async def wait(self, request: Request) -> Any:
+        value = await request.wait()
+        self._post()
+        return value
+
+    async def wait_all(self, requests: Sequence[Request]) -> list[Any]:
+        values = [await r.wait() for r in requests]
+        self._post()
+        return values
+
+    async def barrier(self) -> None:
+        self._record(Op.BARRIER)
+        await self.comm.barrier()
+        self._post()
+
+    async def bcast(self, value: Any, root: int = 0, size: int | None = None) -> Any:
+        nbytes = payload_nbytes(value) if size is None else int(size)
+        self._record(Op.BCAST, root=root, nbytes=nbytes)
+        out = await self.comm.bcast(value, root=root, size=size)
+        self._post()
+        return out
+
+    async def reduce(
+        self, value: Any, op=None, root: int = 0, size: int | None = None
+    ) -> Any:
+        from ..simmpi.collectives import SUM
+
+        nbytes = payload_nbytes(value) if size is None else int(size)
+        self._record(Op.REDUCE, root=root, nbytes=nbytes)
+        out = await self.comm.reduce(value, op=op or SUM, root=root, size=size)
+        self._post()
+        return out
+
+    async def allreduce(self, value: Any, op=None, size: int | None = None) -> Any:
+        from ..simmpi.collectives import SUM
+
+        nbytes = payload_nbytes(value) if size is None else int(size)
+        self._record(Op.ALLREDUCE, nbytes=nbytes)
+        out = await self.comm.allreduce(value, op=op or SUM, size=size)
+        self._post()
+        return out
+
+    async def gather(self, value: Any, root: int = 0, size: int | None = None):
+        nbytes = payload_nbytes(value) if size is None else int(size)
+        self._record(Op.GATHER, root=root, nbytes=nbytes)
+        out = await self.comm.gather(value, root=root, size=size)
+        self._post()
+        return out
+
+    async def scatter(self, values, root: int = 0, size: int | None = None):
+        self._record(Op.SCATTER, root=root, nbytes=0 if size is None else size)
+        out = await self.comm.scatter(values, root=root, size=size)
+        self._post()
+        return out
+
+    async def allgather(self, value: Any, size: int | None = None):
+        nbytes = payload_nbytes(value) if size is None else int(size)
+        self._record(Op.ALLGATHER, nbytes=nbytes)
+        out = await self.comm.allgather(value, size=size)
+        self._post()
+        return out
+
+    async def alltoall(self, values, size: int | None = None):
+        self._record(Op.ALLTOALL, nbytes=0 if size is None else size)
+        out = await self.comm.alltoall(values, size=size)
+        self._post()
+        return out
+
+    async def marker(self):
+        """Timestep-boundary marker hook.
+
+        Plain ScalaTrace ignores markers (all clustering work happens in
+        ``MPI_Finalize``); Chameleon overrides this with Algorithm 3.
+        Returns the marker decision (None here).
+        """
+        return None
+
+    # -- inter-node compression ----------------------------------------------
+
+    async def merge_over_tree(
+        self, trace: Trace, members: Sequence[int] | None = None
+    ) -> Trace | None:
+        """Reduce ``trace`` over the radix tree of ``members`` (default: all
+        ranks).  Returns the merged trace on the tree root, None elsewhere.
+
+        Interior nodes receive child traces as (rendezvous-sized) messages
+        and merge them with the LCS alignment, charging virtual time for the
+        measured merge work — the mechanics behind ``O(n^2 log P)``.
+        """
+        tree = RadixTree(members if members is not None else self.nprocs,
+                         arity=self.tree_arity)
+        if self.rank not in tree:
+            return None
+        t0 = self.ctx.clock
+        for child in reversed(tree.children(self.rank)):
+            tc0 = self.ctx.clock
+            child_trace: Trace = await self.comm.recv(child, tag=TRACE_TAG)
+            self.stats.merge_comm_time += self.ctx.clock - tc0
+            work0 = self.meter.total
+            trace.nodes = merge_traces(trace.nodes, child_trace.nodes, self.meter)
+            trace.origin = trace.origin.union(child_trace.origin)
+            self.ctx.compute(
+                (self.meter.total - work0) * self.costs.per_merge_cell
+            )
+        parent = tree.parent(self.rank)
+        result: Trace | None = trace
+        if parent is not None:
+            tc0 = self.ctx.clock
+            await self.comm.send(
+                parent, trace, tag=TRACE_TAG, size=trace.size_bytes()
+            )
+            self.stats.merge_comm_time += self.ctx.clock - tc0
+            result = None
+        self.stats.merge_time += self.ctx.clock - t0
+        return result
+
+    async def finalize(self) -> Trace | None:
+        """ScalaTrace's ``MPI_Finalize`` wrapper: global inter-node merge.
+
+        Returns the global trace on rank 0 and ``None`` on other ranks.
+        """
+        local = Trace(
+            nodes=self.compressor.take_nodes(),
+            origin=RankSet.single(self.rank),
+            nprocs=self.nprocs,
+        )
+        return await self.merge_over_tree(local)

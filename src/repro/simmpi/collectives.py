@@ -1,0 +1,308 @@
+"""Collective operations built from point-to-point messages.
+
+Each collective is implemented with the classic algorithm an MPI library
+would use, so its virtual-time cost has the right shape automatically:
+
+* ``barrier``      — dissemination, ``ceil(log2 P)`` rounds
+* ``bcast``        — binomial tree, ``ceil(log2 P)`` rounds
+* ``reduce``       — binomial tree (leaves fold upward)
+* ``allreduce``    — reduce + bcast
+* ``gather``       — binomial tree with growing segments
+* ``scatter``      — binomial tree with shrinking segments
+* ``allgather``    — ring, ``P - 1`` steps
+* ``alltoall``     — pairwise exchange, ``P - 1`` steps
+* ``split``/``dup``— communicator construction via gather + bcast
+
+Every collective instance claims a private tag window derived from the
+caller's per-communicator collective sequence number; SPMD programs call
+collectives in the same order on every rank, which keeps the windows
+aligned (the same assumption a real MPI library makes about matching
+collective calls).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .comm import Comm, CommContext, MAX_USER_TAG
+from .errors import CollectiveMismatchError
+
+# -- reduction operators -----------------------------------------------------
+
+
+def SUM(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def PROD(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def MAX(a: Any, b: Any) -> Any:
+    import numpy as np
+
+    if hasattr(a, "shape") or hasattr(b, "shape"):
+        return np.maximum(a, b)
+    return a if a >= b else b
+
+
+def MIN(a: Any, b: Any) -> Any:
+    import numpy as np
+
+    if hasattr(a, "shape") or hasattr(b, "shape"):
+        return np.minimum(a, b)
+    return a if a <= b else b
+
+
+def LOR(a: Any, b: Any) -> Any:
+    return bool(a) or bool(b)
+
+
+def LAND(a: Any, b: Any) -> Any:
+    return bool(a) and bool(b)
+
+
+def BOR(a: Any, b: Any) -> Any:
+    return a | b
+
+
+#: Tags per collective instance: room for log2(P) rounds plus ring steps.
+_TAG_STRIDE = 4096
+
+
+class Communicator(Comm):
+    """A :class:`Comm` with collective operations attached."""
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _claim_tags(self) -> int:
+        """Reserve a tag window for one collective instance.
+
+        Windows start well above MAX_USER_TAG (tags 1..1023 above it are
+        reserved for tool traffic such as trace shipping).
+        """
+        seq = self.context.coll_seq[self.rank]
+        self.context.coll_seq[self.rank] = seq + 1
+        self.task.collectives += 1
+        return MAX_USER_TAG + 1024 + seq * _TAG_STRIDE
+
+    # -- collectives ---------------------------------------------------------
+
+    async def barrier(self) -> None:
+        """Dissemination barrier: ceil(log2 P) rounds of paired messages."""
+        size = self.size
+        base = self._claim_tags()
+        if size == 1:
+            return
+        round_no = 0
+        dist = 1
+        while dist < size:
+            to = (self.rank + dist) % size
+            frm = (self.rank - dist) % size
+            sreq = self.isend(to, None, tag=base + round_no, size=0)
+            await self.recv(frm, tag=base + round_no)
+            await sreq.wait()
+            dist <<= 1
+            round_no += 1
+
+    async def bcast(self, value: Any, root: int = 0, size: int | None = None) -> Any:
+        """Binomial-tree broadcast; returns the value on every rank."""
+        self._check_peer(root, "root")
+        base = self._claim_tags()
+        if self.size == 1:
+            return value
+        from .topology import binomial_children, binomial_parent
+
+        parent = binomial_parent(self.rank, self.size, root)
+        if parent is not None:
+            value = await self.recv(parent, tag=base)
+        for child in binomial_children(self.rank, self.size, root):
+            await self.send(child, value, tag=base, size=size)
+        return value
+
+    async def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = SUM,
+        root: int = 0,
+        size: int | None = None,
+    ) -> Any:
+        """Binomial-tree reduction; the result is returned on ``root`` only
+        (other ranks get ``None``), matching ``MPI_Reduce``."""
+        self._check_peer(root, "root")
+        base = self._claim_tags()
+        if self.size == 1:
+            return value
+        from .topology import binomial_children, binomial_parent
+
+        # Children in the bcast tree are exactly the senders in the reduce
+        # tree; fold deepest-first for determinism.
+        acc = value
+        for child in reversed(binomial_children(self.rank, self.size, root)):
+            child_val = await self.recv(child, tag=base)
+            acc = op(child_val, acc)
+        parent = binomial_parent(self.rank, self.size, root)
+        if parent is not None:
+            await self.send(parent, acc, tag=base, size=size)
+            return None
+        return acc
+
+    async def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = SUM,
+        size: int | None = None,
+    ) -> Any:
+        """Reduce to rank 0 followed by broadcast; all ranks get the result."""
+        reduced = await self.reduce(value, op=op, root=0, size=size)
+        return await self.bcast(reduced, root=0, size=size)
+
+    async def gather(
+        self, value: Any, root: int = 0, size: int | None = None
+    ) -> list[Any] | None:
+        """Binomial-tree gather; ``root`` returns the rank-ordered list."""
+        self._check_peer(root, "root")
+        base = self._claim_tags()
+        if self.size == 1:
+            return [value]
+        from .topology import binomial_children, binomial_parent
+
+        segment: dict[int, Any] = {self.rank: value}
+        for child in reversed(binomial_children(self.rank, self.size, root)):
+            child_seg: dict[int, Any] = await self.recv(child, tag=base)
+            segment.update(child_seg)
+        parent = binomial_parent(self.rank, self.size, root)
+        if parent is not None:
+            seg_size = None if size is None else size * len(segment)
+            await self.send(parent, segment, tag=base, size=seg_size)
+            return None
+        if len(segment) != self.size:  # pragma: no cover - invariant
+            raise CollectiveMismatchError(
+                f"gather assembled {len(segment)} of {self.size} values"
+            )
+        return [segment[r] for r in range(self.size)]
+
+    async def scatter(
+        self, values: Sequence[Any] | None, root: int = 0, size: int | None = None
+    ) -> Any:
+        """Binomial-tree scatter; each rank returns its element of ``values``."""
+        self._check_peer(root, "root")
+        base = self._claim_tags()
+        if self.size == 1:
+            if values is None or len(values) != 1:
+                raise CollectiveMismatchError("scatter needs one value per rank")
+            return values[0]
+        from .topology import binomial_children, binomial_parent
+
+        parent = binomial_parent(self.rank, self.size, root)
+        if parent is None:
+            if values is None or len(values) != self.size:
+                raise CollectiveMismatchError(
+                    "scatter root must supply exactly one value per rank"
+                )
+            segment = {r: values[r] for r in range(self.size)}
+        else:
+            segment = await self.recv(parent, tag=base)
+
+        # Each child owns the contiguous block of tree descendants; compute
+        # membership by walking the binomial structure.
+        for child in binomial_children(self.rank, self.size, root):
+            members = _binomial_subtree(child, self.size, root)
+            child_seg = {r: segment[r] for r in members if r in segment}
+            seg_size = None if size is None else size * max(len(child_seg), 1)
+            await self.send(child, child_seg, tag=base, size=seg_size)
+        return segment[self.rank]
+
+    async def allgather(self, value: Any, size: int | None = None) -> list[Any]:
+        """Ring allgather: P-1 steps, each forwarding the next segment."""
+        base = self._claim_tags()
+        out: list[Any] = [None] * self.size
+        out[self.rank] = value
+        if self.size == 1:
+            return out
+        right = (self.rank + 1) % self.size
+        left = (self.rank - 1) % self.size
+        carry_rank, carry = self.rank, value
+        for step in range(self.size - 1):
+            sreq = self.isend(right, (carry_rank, carry), tag=base + step, size=size)
+            carry_rank, carry = await self.recv(left, tag=base + step)
+            await sreq.wait()
+            out[carry_rank] = carry
+        return out
+
+    async def alltoall(
+        self, values: Sequence[Any], size: int | None = None
+    ) -> list[Any]:
+        """Pairwise-exchange all-to-all; ``values[i]`` goes to rank ``i``."""
+        if len(values) != self.size:
+            raise CollectiveMismatchError(
+                f"alltoall needs {self.size} values, got {len(values)}"
+            )
+        base = self._claim_tags()
+        out: list[Any] = [None] * self.size
+        out[self.rank] = values[self.rank]
+        for step in range(1, self.size):
+            to = (self.rank + step) % self.size
+            frm = (self.rank - step) % self.size
+            sreq = self.isend(to, values[to], tag=base + step, size=size)
+            out[frm] = await self.recv(frm, tag=base + step)
+            await sreq.wait()
+        return out
+
+    async def scan(
+        self, value: Any, op: Callable[[Any, Any], Any] = SUM, size: int | None = None
+    ) -> Any:
+        """Inclusive prefix scan (linear chain, like small-P MPI_Scan)."""
+        base = self._claim_tags()
+        acc = value
+        if self.rank > 0:
+            prev = await self.recv(self.rank - 1, tag=base)
+            acc = op(prev, value)
+        if self.rank < self.size - 1:
+            await self.send(self.rank + 1, acc, tag=base, size=size)
+        return acc
+
+    # -- communicator construction ----------------------------------------
+
+    async def split(self, color: int, key: int | None = None) -> "Communicator | None":
+        """Collective split; returns the new communicator (None if color<0)."""
+        key = self.rank if key is None else key
+        triples = await self.gather((color, key, self.rank), root=0)
+        contexts: dict[int, CommContext] | None = None
+        if self.rank == 0:
+            assert triples is not None
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for c, k, r in triples:
+                if c >= 0:
+                    groups.setdefault(c, []).append((k, r))
+            contexts = {}
+            for c in sorted(groups):
+                members = [r for _k, r in sorted(groups[c])]
+                contexts[c] = CommContext(self.engine, [self.world_rank(m) for m in members])
+        contexts = await self.bcast(contexts, root=0)
+        if color < 0:
+            return None
+        ctx = contexts[color]
+        my_world = self.world_rank(self.rank)
+        local_rank = ctx.ranks.index(my_world)
+        return Communicator(ctx, local_rank, self.task)
+
+    async def dup(self) -> "Communicator":
+        """Collective duplicate: a congruent communicator with fresh state."""
+        new = await self.split(color=0, key=self.rank)
+        assert new is not None
+        return new
+
+
+def _binomial_subtree(rank: int, size: int, root: int) -> list[int]:
+    """All ranks in the binomial subtree rooted at ``rank``."""
+    from .topology import binomial_children
+
+    out = [rank]
+    stack = [rank]
+    while stack:
+        node = stack.pop()
+        for child in binomial_children(node, size, root):
+            out.append(child)
+            stack.append(child)
+    return out

@@ -1,0 +1,353 @@
+"""Point-to-point communication with MPI matching semantics.
+
+Implements blocking/non-blocking send/recv over the virtual-time engine:
+
+* **Matching** follows MPI rules: a receive names ``(source, tag)`` where
+  either may be a wildcard; messages between a sender/receiver pair on the
+  same communicator are non-overtaking (FIFO scan of the arrival queue).
+* **Eager protocol** (payload <= ``eager_threshold``): the send completes
+  locally after the buffer copy; the message arrives ``latency`` later.
+* **Rendezvous protocol** (large payloads): the sender blocks until the
+  matching receive is posted; the wire transfer starts at the later of the
+  two parties being ready.  This models the synchronizing behaviour that
+  makes shipping large trace payloads up a reduction tree expensive —
+  exactly the cost Chameleon's clustering is designed to avoid.
+
+Every rank holds its own :class:`Comm` view (rank, size, bound task) of a
+shared :class:`CommContext` (mailboxes, membership).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .datatypes import payload_nbytes
+from .engine import Engine, Task
+from .errors import CommunicatorError, MatchingError
+from .futures import SimFuture
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Tags above this are reserved for internal collective plumbing.
+MAX_USER_TAG = 1 << 20
+
+
+@dataclass
+class Message:
+    """An in-flight message (eager: buffered; rendezvous: an offer)."""
+
+    src: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float  # eager: absolute arrival time of the payload
+    rendezvous: bool = False
+    send_ready: float = 0.0  # rendezvous: when the sender became ready
+    sender_future: SimFuture | None = None  # rendezvous: wakes the sender
+    sender_task: Task | None = None  # rendezvous: busy-time accounting
+
+
+@dataclass
+class PendingRecv:
+    src: int
+    tag: int
+    post_time: float
+    future: SimFuture
+    task: Task
+
+
+@dataclass
+class Mailbox:
+    """Per-(context, destination) matching state."""
+
+    queued: deque[Message] = field(default_factory=deque)
+    pending: deque[PendingRecv] = field(default_factory=deque)
+
+
+class CommContext:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, engine: Engine, ranks: Sequence[int]) -> None:
+        self.engine = engine
+        self.id = engine.alloc_comm_id()
+        self.ranks = list(ranks)
+        self._mailboxes: dict[int, Mailbox] = {
+            i: Mailbox() for i in range(len(self.ranks))
+        }
+        # Per-rank collective sequence numbers; SPMD programs call
+        # collectives in the same order so these align across ranks and give
+        # each collective instance a private tag window.
+        self.coll_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def mailbox(self, local_rank: int) -> Mailbox:
+        return self._mailboxes[local_rank]
+
+
+def _tag_matches(want: int, have: int) -> bool:
+    if want == ANY_TAG:
+        # Wildcards only see user-level traffic: tags above MAX_USER_TAG
+        # belong to collective plumbing and tool (tracer) messages, which
+        # real MPI isolates in separate communicator contexts.
+        return have <= MAX_USER_TAG
+    return want == have
+
+
+def _src_matches(want: int, have: int) -> bool:
+    return want == ANY_SOURCE or want == have
+
+
+def _status_of(msg: Message) -> dict:
+    return {"source": msg.src, "tag": msg.tag, "nbytes": msg.nbytes}
+
+
+class Request:
+    """Handle for a non-blocking operation (isend/irecv).
+
+    Receive requests resolve with the raw :class:`Message`; :meth:`wait`
+    unwraps it to the payload and advances the caller's clock to the
+    operation's completion time.
+    """
+
+    __slots__ = ("_future", "_task", "_kind")
+
+    def __init__(self, future: SimFuture, task: Task, kind: str) -> None:
+        self._future = future
+        self._task = task
+        self._kind = kind
+
+    @property
+    def done(self) -> bool:
+        return self._future.done
+
+    async def wait(self) -> Any:
+        value = await self._future
+        self._task.advance_to(self._future.time)
+        if isinstance(value, Message):
+            return value.payload
+        return value
+
+    async def wait_with_status(self) -> tuple[Any, dict]:
+        value = await self._future
+        self._task.advance_to(self._future.time)
+        if not isinstance(value, Message):
+            raise MatchingError("wait_with_status is only valid on receives")
+        return value.payload, _status_of(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request {self._kind} done={self.done}>"
+
+
+async def wait_all(requests: Sequence[Request]) -> list[Any]:
+    """Wait for every request, returning their payloads in order."""
+    return [await r.wait() for r in requests]
+
+
+class Comm:
+    """A rank's view of a communicator; all methods are awaitable."""
+
+    def __init__(self, context: CommContext, rank: int, task: Task) -> None:
+        if not (0 <= rank < context.size):
+            raise CommunicatorError(
+                f"rank {rank} outside communicator of size {context.size}"
+            )
+        self.context = context
+        self.rank = rank
+        self.task = task
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.context.size
+
+    @property
+    def engine(self) -> Engine:
+        return self.context.engine
+
+    @property
+    def net(self):
+        return self.context.engine.network
+
+    def world_rank(self, local_rank: int) -> int:
+        """Translate a rank in this communicator to a world rank."""
+        return self.context.ranks[local_rank]
+
+    # -- validation ------------------------------------------------------
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise MatchingError(
+                f"{what} rank {peer} outside communicator of size {self.size}"
+            )
+
+    def _check_tag(self, tag: int, recv: bool) -> None:
+        if recv and tag == ANY_TAG:
+            return
+        if tag < 0:
+            raise MatchingError(f"negative tag {tag}")
+
+    # -- point to point ----------------------------------------------------
+
+    async def send(
+        self, dest: int, payload: Any = None, tag: int = 0, size: int | None = None
+    ) -> None:
+        """Blocking standard-mode send (eager or rendezvous by size)."""
+        req = self.isend(dest, payload, tag=tag, size=size)
+        await req.wait()
+
+    async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        payload, _status = await self.recv_with_status(source, tag)
+        return payload
+
+    async def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, dict]:
+        """Blocking receive returning ``(payload, status)``.
+
+        ``status`` carries ``source``, ``tag`` and ``nbytes`` like
+        ``MPI_Status`` so wildcard receivers can learn the actual sender.
+        """
+        req = self.irecv(source, tag)
+        return await req.wait_with_status()
+
+    async def sendrecv(
+        self,
+        dest: int,
+        payload: Any = None,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        size: int | None = None,
+    ) -> Any:
+        """Combined send+recv (deadlock-free like ``MPI_Sendrecv``)."""
+        sreq = self.isend(dest, payload, tag=sendtag, size=size)
+        rreq = self.irecv(source, recvtag)
+        value = await rreq.wait()
+        await sreq.wait()
+        return value
+
+    def isend(
+        self, dest: int, payload: Any = None, tag: int = 0, size: int | None = None
+    ) -> Request:
+        """Non-blocking send.
+
+        Eager sends complete immediately (buffered); rendezvous sends
+        complete when the matching receive is posted.  The local overhead is
+        charged at post time either way, mirroring real ``MPI_Isend``.
+        """
+        self._check_peer(dest, "destination")
+        self._check_tag(tag, recv=False)
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        net = self.net
+        task = self.task
+        mbox = self.context.mailbox(dest)
+        task.msgs_sent += 1
+        task.bytes_sent += nbytes
+        self.engine.total_messages += 1
+        self.engine.total_bytes += nbytes
+
+        fut = SimFuture(label=f"isend {self.rank}->{dest} tag={tag} comm={self.context.id}")
+        if net.eager(nbytes):
+            task.charge(net.o_send + net.transfer_time(nbytes))
+            msg = Message(
+                src=self.rank,
+                dest=dest,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+                arrival=task.clock + net.latency,
+            )
+            self._deliver(mbox, msg)
+            fut.resolve(None, time=task.clock)
+        else:
+            task.charge(net.o_send)  # posting cost is paid now
+            send_ready = task.clock
+            msg = Message(
+                src=self.rank,
+                dest=dest,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+                arrival=0.0,
+                rendezvous=True,
+                send_ready=send_ready,
+                sender_future=fut,
+                sender_task=task,
+            )
+            self._deliver(mbox, msg)
+        return Request(fut, task, "isend")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``await req.wait()`` returns the payload."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        self._check_tag(tag, recv=True)
+        task = self.task
+        mbox = self.context.mailbox(self.rank)
+        fut = SimFuture(label=f"irecv src={source} rank={self.rank} tag={tag} comm={self.context.id}")
+
+        msg = self._match_queued(mbox, source, tag)
+        if msg is not None:
+            self._fire_match(
+                PendingRecv(source, tag, task.clock, fut, task), msg
+            )
+        else:
+            mbox.pending.append(PendingRecv(source, tag, task.clock, fut, task))
+        return Request(fut, task, "irecv")
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> dict | None:
+        """Non-blocking probe: status of the first matching queued message."""
+        mbox = self.context.mailbox(self.rank)
+        for msg in mbox.queued:
+            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
+                return _status_of(msg)
+        return None
+
+    # -- matching internals --------------------------------------------
+
+    @staticmethod
+    def _match_queued(mbox: Mailbox, source: int, tag: int) -> Message | None:
+        for i, msg in enumerate(mbox.queued):
+            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
+                del mbox.queued[i]
+                return msg
+        return None
+
+    def _deliver(self, mbox: Mailbox, msg: Message) -> None:
+        """Offer a message to the destination mailbox, matching if possible."""
+        for i, pending in enumerate(mbox.pending):
+            if _src_matches(pending.src, msg.src) and _tag_matches(
+                pending.tag, msg.tag
+            ):
+                del mbox.pending[i]
+                self._fire_match(pending, msg)
+                return
+        mbox.queued.append(msg)
+
+    def _fire_match(self, pending: PendingRecv, msg: Message) -> None:
+        """Compute completion times and resolve both sides' futures."""
+        net = self.net
+        if msg.rendezvous:
+            start = max(msg.send_ready, pending.post_time + net.o_recv)
+            done_send = start + net.transfer_time(msg.nbytes)
+            done_recv = start + net.latency + net.transfer_time(msg.nbytes)
+            assert msg.sender_future is not None
+            if msg.sender_task is not None:
+                # streaming the payload is active work for the sender
+                msg.sender_task.busy += net.transfer_time(msg.nbytes)
+            msg.sender_future.resolve(None, time=done_send)
+        else:
+            done_recv = max(pending.post_time + net.o_recv, msg.arrival)
+        pending.task.msgs_received += 1
+        pending.task.bytes_received += msg.nbytes
+        pending.task.busy += net.o_recv
+        pending.future.resolve(msg, time=done_recv)

@@ -1,0 +1,223 @@
+"""Deterministic discrete-event engine driving rank coroutines.
+
+Every simulated MPI rank is an ``async def`` coroutine.  The engine runs
+tasks from a FIFO ready queue; a task runs until it awaits a
+:class:`~repro.simmpi.futures.SimFuture` that is not yet resolved, at which
+point it parks and the next ready task runs.  All cross-task interaction
+(message matching, collective voting) happens through futures, so execution
+order — and therefore every virtual timestamp — is fully deterministic.
+
+Virtual time is *per rank*: each task owns a ``clock`` that only the rank's
+own operations advance.  Causality between ranks is enforced at the moment a
+communication operation completes (see :mod:`repro.simmpi.comm`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Coroutine
+
+from .errors import DeadlockError, TaskFailedError
+from .futures import SimFuture
+from .timing import NetworkModel, QDR_CLUSTER
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Task:
+    """One simulated rank: a coroutine plus its virtual clock and stats."""
+
+    __slots__ = (
+        "rank",
+        "coro",
+        "clock",
+        "busy",
+        "state",
+        "blocked_on",
+        "result",
+        "error",
+        "msgs_sent",
+        "bytes_sent",
+        "msgs_received",
+        "bytes_received",
+        "collectives",
+        "logical_stack",
+    )
+
+    def __init__(self, rank: int, coro: Coroutine[Any, Any, Any]) -> None:
+        self.rank = rank
+        self.coro = coro
+        self.clock = 0.0
+        #: virtual time spent actively computing/copying (vs waiting);
+        #: the busy/slack split drives the DVFS energy model
+        self.busy = 0.0
+        self.state = TaskState.READY
+        self.blocked_on: SimFuture | None = None
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.msgs_received = 0
+        self.bytes_received = 0
+        self.collectives = 0
+        # Logical call frames pushed by workloads (see RankContext.frame);
+        # consumed by the tracer's stack-signature walker.
+        self.logical_stack: list[str] = []
+
+    def advance_to(self, time: float | None) -> None:
+        """Move the clock forward to ``time`` (never backward).
+
+        The skipped span is *waiting*, not work — it does not count as busy.
+        """
+        if time is not None and time > self.clock:
+            self.clock = time
+
+    def charge(self, dt: float) -> None:
+        """Advance the clock by active work (counts toward busy time)."""
+        self.clock += dt
+        self.busy += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task rank={self.rank} {self.state.value} t={self.clock:.3e}>"
+
+
+class Engine:
+    """FIFO scheduler over rank tasks with deadlock detection."""
+
+    def __init__(
+        self,
+        network: NetworkModel = QDR_CLUSTER,
+        max_steps: int | None = None,
+    ) -> None:
+        self.network = network
+        self.tasks: list[Task] = []
+        self._ready: deque[Task] = deque()
+        self._current: Task | None = None
+        self._steps = 0
+        self._max_steps = max_steps
+        # Global communication counters (all comms, all ranks).
+        self.total_messages = 0
+        self.total_bytes = 0
+        self._next_comm_id = 0
+        self._trace_hooks: list[Callable[[str, Task], None]] = []
+
+    # -- task management ---------------------------------------------------
+
+    def spawn(self, rank: int, coro: Coroutine[Any, Any, Any]) -> Task:
+        task = Task(rank, coro)
+        self.adopt(task)
+        return task
+
+    def adopt(self, task: Task) -> None:
+        """Register an externally constructed task and make it runnable."""
+        self.tasks.append(task)
+        self._ready.append(task)
+
+    def alloc_comm_id(self) -> int:
+        self._next_comm_id += 1
+        return self._next_comm_id
+
+    @property
+    def current_task(self) -> Task:
+        if self._current is None:
+            raise RuntimeError("no task is currently running")
+        return self._current
+
+    # -- scheduling --------------------------------------------------------
+
+    def _wake(self, task: Task, fut: SimFuture) -> None:
+        assert task.state == TaskState.BLOCKED
+        task.state = TaskState.READY
+        task.blocked_on = None
+        self._ready.append(task)
+
+    def _park(self, task: Task, fut: SimFuture) -> None:
+        task.state = TaskState.BLOCKED
+        task.blocked_on = fut
+        fut.add_done_callback(lambda _f, t=task: self._wake(t, _f))
+
+    def run(self) -> None:
+        """Drive all tasks to completion.
+
+        Raises :class:`TaskFailedError` if any rank raised, and
+        :class:`DeadlockError` if unfinished tasks remain with an empty ready
+        queue (classic message-matching deadlock).
+        """
+        while self._ready:
+            task = self._ready.popleft()
+            if task.state != TaskState.READY:  # pragma: no cover - invariant
+                continue
+            task.state = TaskState.RUNNING
+            self._current = task
+            try:
+                while True:
+                    self._steps += 1
+                    if self._max_steps is not None and self._steps > self._max_steps:
+                        raise RuntimeError(
+                            f"engine exceeded max_steps={self._max_steps}"
+                        )
+                    fut = task.coro.send(None)
+                    if not isinstance(fut, SimFuture):
+                        raise TypeError(
+                            f"rank {task.rank} yielded {type(fut).__name__}; "
+                            "only SimFuture awaitables are supported"
+                        )
+                    if fut.done:
+                        # Resolved while we were getting here; loop and let
+                        # the coroutine pick the value up immediately.
+                        continue
+                    self._park(task, fut)
+                    break
+            except StopIteration as stop:
+                task.state = TaskState.DONE
+                task.result = stop.value
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                task.state = TaskState.FAILED
+                task.error = exc
+                self._current = None
+                self._close_unfinished()
+                raise TaskFailedError(task.rank, exc) from exc
+            finally:
+                if self._current is task:
+                    self._current = None
+
+        unfinished = [t for t in self.tasks if t.state not in (TaskState.DONE,)]
+        if unfinished:
+            detail = [
+                f"rank {t.rank}: blocked on "
+                f"{(t.blocked_on.label if t.blocked_on else '<not started>')!s}"
+                for t in unfinished
+            ]
+            raise DeadlockError(detail)
+
+    def _close_unfinished(self) -> None:
+        """Abandon remaining tasks after a fatal error (suppresses the
+        'coroutine was never awaited' warnings for ranks that never ran)."""
+        for t in self.tasks:
+            if t.state in (TaskState.READY, TaskState.BLOCKED) and t.coro is not None:
+                t.coro.close()
+                t.state = TaskState.FAILED
+
+    # -- results -----------------------------------------------------------
+
+    def results(self) -> list[Any]:
+        """Per-rank return values (tasks sorted by rank)."""
+        return [t.result for t in sorted(self.tasks, key=lambda t: t.rank)]
+
+    def clocks(self) -> list[float]:
+        """Final virtual clocks per rank."""
+        return [t.clock for t in sorted(self.tasks, key=lambda t: t.rank)]
+
+    def busy_times(self) -> list[float]:
+        """Per-rank active (non-waiting) virtual time."""
+        return [t.busy for t in sorted(self.tasks, key=lambda t: t.rank)]
+
+    def max_clock(self) -> float:
+        return max((t.clock for t in self.tasks), default=0.0)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+The simulator is deterministic, so every error here indicates a genuine
+program bug (mismatched collectives, deadlock, bad arguments) rather than a
+transient runtime condition.
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class DeadlockError(SimMPIError):
+    """Raised when no task can make progress but unfinished tasks remain.
+
+    The message lists every blocked rank and the operation it is blocked on,
+    mirroring the diagnostics a real MPI debugger would produce.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        detail = "\n  ".join(blocked) if blocked else "(no detail)"
+        super().__init__(f"deadlock: no runnable task; blocked ranks:\n  {detail}")
+
+
+class CommunicatorError(SimMPIError):
+    """Invalid communicator usage (rank out of range, bad color/key, ...)."""
+
+
+class MatchingError(SimMPIError):
+    """Invalid message-matching arguments (bad tag, bad source...)."""
+
+
+class TaskFailedError(SimMPIError):
+    """A rank's program raised an exception; wraps the original error."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} failed: {original!r}")
+
+
+class CollectiveMismatchError(SimMPIError):
+    """Ranks disagreed on a collective's parameters (e.g. different roots)."""

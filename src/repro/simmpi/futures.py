@@ -1,0 +1,72 @@
+"""Awaitable primitives for the deterministic virtual-time scheduler.
+
+A :class:`SimFuture` is the only thing a rank coroutine ever yields to the
+engine.  It carries both a value and a *virtual completion time*; when the
+engine resumes the waiting task it advances the task's clock to
+``max(task.clock, future.time)``, which is how causality (e.g. a receive
+finishing no earlier than the matching send's arrival) propagates through
+the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+
+class SimFuture:
+    """A one-shot future resolved by the engine or by another task.
+
+    Attributes:
+        done: whether :meth:`resolve` has been called.
+        value: payload delivered to the awaiter.
+        time: virtual time at which the awaited operation completed.  ``None``
+            means "no time constraint" (the awaiter keeps its own clock).
+        label: human-readable description used in deadlock reports.
+    """
+
+    __slots__ = ("done", "value", "time", "label", "_callbacks")
+
+    def __init__(self, label: str = "") -> None:
+        self.done = False
+        self.value: Any = None
+        self.time: float | None = None
+        self.label = label
+        self._callbacks: list[Callable[[SimFuture], None]] = []
+
+    def resolve(self, value: Any = None, time: float | None = None) -> None:
+        """Mark the future complete, waking any awaiting task."""
+        if self.done:
+            raise RuntimeError(f"future {self.label!r} resolved twice")
+        self.done = True
+        self.value = value
+        self.time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[[SimFuture], None]) -> None:
+        if self.done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __await__(self) -> Generator["SimFuture", None, Any]:
+        if not self.done:
+            yield self
+        if not self.done:  # pragma: no cover - engine invariant
+            raise RuntimeError(f"future {self.label!r} resumed before resolution")
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"<SimFuture {self.label!r} {state}>"
+
+
+async def gather(*awaitables: Any) -> list[Any]:
+    """Await several awaitables sequentially, returning their values.
+
+    In the simulator awaiting in sequence is equivalent to true concurrent
+    completion *within one task* because each await simply advances the
+    task's clock to the max of the completion times.
+    """
+    return [await aw for aw in awaitables]

@@ -1,0 +1,56 @@
+"""repro.workloads — communication skeletons of the paper's benchmarks.
+
+NPB BT/SP/LU (classes A–D), LU weak scaling, CG, Sweep3D, POP and the EMF
+master-worker pipeline, plus synthetic kernels with controlled phase
+structure.  See :mod:`repro.workloads.base` for the timestep/marker
+framework and DESIGN.md for the skeleton-vs-real-code substitution argument.
+"""
+
+from .amg import AMG
+from .base import NullTracer, ProblemClass, Workload
+from .emf import EMF, TOTAL_TASKS_PAPER, rounds_for
+from .lulesh import LULESH
+from .npb import (
+    BT,
+    CG,
+    CLASSES_BT,
+    CLASSES_LU,
+    CLASSES_SP,
+    LU,
+    LUModified,
+    LUWeak,
+    SP,
+)
+from .pop import POP, convergence_iters
+from .registry import PAPER_K, make_workload, workload_names
+from .sweep3d import Sweep3D
+from .synthetic import AlternatingPhases, BehaviourGroups, UniformCollective
+
+__all__ = [
+    "AMG",
+    "AlternatingPhases",
+    "BT",
+    "BehaviourGroups",
+    "CG",
+    "CLASSES_BT",
+    "CLASSES_LU",
+    "CLASSES_SP",
+    "EMF",
+    "LU",
+    "LULESH",
+    "LUModified",
+    "LUWeak",
+    "NullTracer",
+    "PAPER_K",
+    "POP",
+    "ProblemClass",
+    "SP",
+    "Sweep3D",
+    "TOTAL_TASKS_PAPER",
+    "UniformCollective",
+    "Workload",
+    "convergence_iters",
+    "make_workload",
+    "rounds_for",
+    "workload_names",
+]

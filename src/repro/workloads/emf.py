@@ -1,0 +1,94 @@
+"""EMF: the ElasticMedFlow master-worker medical-pipeline skeleton.
+
+The paper's EMF experiment runs a 9-stage DNA preprocessing pipeline over
+1000 patients x 4 sequences with mpi4py: one master (rank 0) dispatches
+tasks to P-1 workers and collects results.  The total task count is
+``1000 * 4 * 9 = 36000``; the iteration counts in Table II are rounds of
+"one task per worker": ``36000 / (P-1)`` → 288 rounds at P=126, 144 at 251,
+72 at 501, 36 at 1001.
+
+Communication structure per round:
+
+* master: ``send(task)`` to workers ``1..P-1`` (a strided endpoint pattern
+  that ScalaTrace compresses to one PRSD event), then ``recv`` of P-1
+  results with ``MPI_ANY_SOURCE`` (a wildcard event);
+* worker: ``recv`` from the master (absolute-constant endpoint 0), compute
+  the stage, ``send`` the result back to 0.
+
+Intra-compression therefore reduces the whole run to a handful of PRSD
+events — the paper's "extremely effective, ... just 6 PRSD events".
+"""
+
+from __future__ import annotations
+
+from ..simmpi.comm import ANY_SOURCE
+from ..simmpi.launcher import RankContext
+from .base import Workload
+
+TOTAL_TASKS_PAPER = 1000 * 4 * 9
+
+
+def rounds_for(nprocs: int, total_tasks: int = TOTAL_TASKS_PAPER) -> int:
+    """Dispatch rounds: one task per worker per round (paper Table II)."""
+    if nprocs < 2:
+        raise ValueError("EMF needs a master and at least one worker")
+    return max(total_tasks // (nprocs - 1), 1)
+
+
+class EMF(Workload):
+    """Master-worker pipeline (one master, P-1 workers)."""
+
+    name = "emf"
+    paper_k = 2
+
+    def __init__(
+        self,
+        total_tasks: int | None = None,
+        iterations: int | None = None,
+        task_bytes: int = 4096,
+        task_seconds: float = 0.02,
+        compute_scale: float = 1.0,
+    ) -> None:
+        # iterations are resolved per-run from P unless given explicitly
+        super().__init__(iterations=iterations or 1, compute_scale=compute_scale)
+        self._explicit_iterations = iterations is not None
+        self.total_tasks = total_tasks or TOTAL_TASKS_PAPER
+        self.task_bytes = task_bytes
+        self.task_seconds = task_seconds
+
+    def validate(self, nprocs: int) -> None:
+        super().validate(nprocs)
+        if nprocs < 2:
+            raise ValueError("EMF needs at least 2 ranks")
+
+    async def run(self, ctx: RankContext, tracer) -> None:
+        self.validate(ctx.size)
+        if not self._explicit_iterations:
+            self.iterations = rounds_for(ctx.size, self.total_tasks)
+        await self.setup(ctx, tracer)
+        for step in range(self.iterations):
+            await self._pre_step(ctx, tracer, step)
+            await self.timestep(ctx, tracer, step)
+            await self._progress_point(ctx, tracer)
+            await tracer.marker()
+
+    async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
+        if ctx.rank == 0:
+            await self._master_round(ctx, tracer)
+        else:
+            await self._worker_round(ctx, tracer)
+
+    async def _master_round(self, ctx: RankContext, tracer) -> None:
+        nworkers = ctx.size - 1
+        with ctx.frame("dispatch"):
+            for worker in range(1, ctx.size):
+                await tracer.send(worker, None, tag=50, size=self.task_bytes)
+        with ctx.frame("collect"):
+            for _ in range(nworkers):
+                await tracer.recv(ANY_SOURCE, tag=51)
+
+    async def _worker_round(self, ctx: RankContext, tracer) -> None:
+        with ctx.frame("stage"):
+            await tracer.recv(0, tag=50)
+            self.compute(ctx, self.task_seconds)
+            await tracer.send(0, None, tag=51, size=self.task_bytes // 4)

@@ -1,0 +1,104 @@
+"""LULESH: Lagrangian shock-hydrodynamics proxy-app skeleton.
+
+The paper lists LULESH among the iterative codes that "report progress at
+the end of kernel loops or timesteps" — the natural marker point.  The
+communication structure per timestep (from the LLNL proxy app, which runs
+on a perfect-cube process grid):
+
+* ``CalcForceForNodes`` — nodal force ghost exchange with the (up to six)
+  face neighbours of the 3-D decomposition, send-then-receive pairs;
+* ``LagrangeElements`` — element ghost exchange (smaller messages, one
+  round with the same neighbours, distinct call site);
+* ``CalcTimeConstraints`` — two global ``MPI_Allreduce(MIN)`` calls for the
+  Courant and hydro timestep constraints.
+
+Interior / face / edge / corner ranks give up to 27 relative-encoding
+behaviour classes in principle; at the modest cube sizes the simulator
+uses (2³, 3³, 4³) the classes that actually occur stay well within
+Chameleon's dynamic-K reach.
+"""
+
+from __future__ import annotations
+
+from ..simmpi.collectives import MIN
+from ..simmpi.launcher import RankContext
+from ..simmpi.topology import cube_grid
+from .base import Workload
+
+#: the six face directions of the 3-D decomposition
+_FACES = (
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+)
+
+
+class LULESH(Workload):
+    """Sedov-blast skeleton on a cube grid (P must be a perfect cube)."""
+
+    name = "lulesh"
+    paper_k = 9  # interior/face/edge/corner classes; dynamic-K covers more
+
+    def __init__(
+        self,
+        edge_elems: int = 30,
+        iterations: int = 20,
+        compute_scale: float = 1.0,
+    ) -> None:
+        super().__init__(iterations=iterations, compute_scale=compute_scale)
+        if edge_elems < 1:
+            raise ValueError("edge_elems must be >= 1")
+        self.edge_elems = edge_elems
+
+    def validate(self, nprocs: int) -> None:
+        super().validate(nprocs)
+        cube_grid(nprocs)  # raises for non-cubes
+
+    def face_bytes(self) -> int:
+        # one face of nodal fields: (edge+1)^2 nodes x 3 components x 8 B
+        return 8 * 3 * (self.edge_elems + 1) ** 2
+
+    def elem_bytes(self) -> int:
+        return 8 * self.edge_elems**2
+
+    def step_seconds(self) -> float:
+        return self.edge_elems**3 * 6.0e-8
+
+    async def _ghost_exchange(
+        self, ctx: RankContext, tracer, tag: int, nbytes: int
+    ) -> None:
+        grid = cube_grid(ctx.size)
+        requests = []
+        for i, d in enumerate(_FACES):
+            peer = grid.neighbor(ctx.rank, *d)
+            if peer is not None:
+                requests.append(
+                    tracer.isend(peer, None, tag=tag + i, size=nbytes)
+                )
+        for i, d in enumerate(_FACES):
+            # matching receive direction: the opposite face's sends
+            opposite = i ^ 1
+            peer = grid.neighbor(ctx.rank, *d)
+            if peer is not None:
+                await tracer.recv(peer, tag=tag + opposite)
+        await tracer.wait_all(requests)
+
+    async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
+        work = self.step_seconds()
+        with ctx.frame("CalcForceForNodes"):
+            self.compute(ctx, 0.55 * work)
+            await self._ghost_exchange(
+                ctx, tracer, tag=70, nbytes=self.face_bytes()
+            )
+        with ctx.frame("LagrangeElements"):
+            self.compute(ctx, 0.35 * work)
+            await self._ghost_exchange(
+                ctx, tracer, tag=80, nbytes=self.elem_bytes()
+            )
+        with ctx.frame("CalcTimeConstraints"):
+            self.compute(ctx, 0.1 * work)
+            await tracer.allreduce(1.0, op=MIN, size=8)
+            await tracer.allreduce(1.0, op=MIN, size=8)

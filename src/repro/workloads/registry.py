@@ -1,0 +1,57 @@
+"""Workload registry: name → factory, with the paper's K values (Table I)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Workload
+from .amg import AMG
+from .emf import EMF
+from .lulesh import LULESH
+from .npb import BT, CG, LU, LUModified, LUWeak, SP
+from .pop import POP
+from .sweep3d import Sweep3D
+from .synthetic import AlternatingPhases, BehaviourGroups, UniformCollective
+
+_REGISTRY: dict[str, Callable[..., Workload]] = {
+    "bt": BT,
+    "sp": SP,
+    "lu": LU,
+    "lu_modified": LUModified,
+    "luw": LUWeak,
+    "amg": AMG,
+    "cg": CG,
+    "lulesh": LULESH,
+    "sweep3d": Sweep3D,
+    "pop": POP,
+    "emf": EMF,
+    "uniform": UniformCollective,
+    "alternating": AlternatingPhases,
+    "groups": BehaviourGroups,
+}
+
+#: The paper's Table I: number of clusters per benchmark.
+PAPER_K = {
+    "bt": 3,
+    "lu": 9,
+    "sp": 3,
+    "pop": 3,
+    "sweep3d": 9,
+    "luw": 9,
+    "emf": 2,
+}
+
+
+def workload_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, **params) -> Workload:
+    """Instantiate a workload by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+    return factory(**params)

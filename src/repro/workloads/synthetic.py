@@ -1,0 +1,104 @@
+"""Synthetic workloads: controlled phase structure for unit tests/ablations.
+
+These are not from the paper's evaluation; they exercise specific Chameleon
+code paths with knowable expected behaviour — a uniform collective kernel
+(one cluster), an alternating two-phase kernel (forced re-clustering), and a
+parameterized multi-group kernel (exact cluster counts).
+"""
+
+from __future__ import annotations
+
+from ..simmpi.launcher import RankContext
+from .base import Workload
+
+
+class UniformCollective(Workload):
+    """Every rank does the same allreduce: exactly one behaviour cluster."""
+
+    name = "uniform"
+    paper_k = 1
+
+    def __init__(self, iterations: int = 10, work: float = 0.01,
+                 compute_scale: float = 1.0) -> None:
+        super().__init__(iterations=iterations, compute_scale=compute_scale)
+        self.work = work
+
+    async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
+        with ctx.frame("kernel"):
+            self.compute(ctx, self.work)
+            await tracer.allreduce(1.0, size=8)
+
+
+class AlternatingPhases(Workload):
+    """Phases alternate every ``period`` timesteps between two kernels with
+    different call paths — the maximal re-clustering stressor."""
+
+    name = "alternating"
+    paper_k = 2
+
+    def __init__(
+        self,
+        iterations: int = 20,
+        period: int = 5,
+        work: float = 0.005,
+        compute_scale: float = 1.0,
+    ) -> None:
+        super().__init__(iterations=iterations, compute_scale=compute_scale)
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.work = work
+
+    async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
+        phase = (step // self.period) % 2
+        if phase == 0:
+            with ctx.frame("phase_a"):
+                self.compute(ctx, self.work)
+                await tracer.allreduce(1.0, size=8)
+        else:
+            with ctx.frame("phase_b"):
+                self.compute(ctx, self.work)
+                await tracer.barrier()
+
+
+class BehaviourGroups(Workload):
+    """Ranks are split into ``groups`` behaviour classes; each class runs a
+    distinct kernel, so Chameleon must produce exactly ``groups`` Call-Path
+    clusters."""
+
+    name = "groups"
+
+    def __init__(
+        self,
+        groups: int = 3,
+        iterations: int = 10,
+        work: float = 0.005,
+        compute_scale: float = 1.0,
+    ) -> None:
+        super().__init__(iterations=iterations, compute_scale=compute_scale)
+        if groups < 1:
+            raise ValueError("groups must be >= 1")
+        self.groups = groups
+        self.work = work
+
+    def validate(self, nprocs: int) -> None:
+        super().validate(nprocs)
+        if nprocs < self.groups:
+            raise ValueError("need at least one rank per behaviour group")
+
+    async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
+        my_group = ctx.rank % self.groups
+        # common collective keeps all ranks synchronized
+        with ctx.frame("common"):
+            await tracer.allreduce(1.0, size=8)
+        # group-specific kernel: a shift along the group's own members
+        # under a group-named logical frame, so each group presents a
+        # distinct Call-Path signature
+        with ctx.frame(f"group_kernel_{my_group}"):
+            self.compute(ctx, self.work * (my_group + 1))
+            nxt = ctx.rank + self.groups
+            prv = ctx.rank - self.groups
+            if nxt < ctx.size:
+                await tracer.send(nxt, None, tag=60 + my_group, size=64)
+            if prv >= 0:
+                await tracer.recv(prv, tag=60 + my_group)

@@ -1,0 +1,129 @@
+"""Automatic marker insertion (paper §VII: 'can be automated')."""
+
+import pytest
+
+from repro.core import AutoMarkerTracer, ChameleonConfig, ChameleonTracer
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def run_auto(prog, nprocs, k=3, confirmations=3):
+    async def main(ctx):
+        tracer = AutoMarkerTracer(
+            ctx, ChameleonConfig(k=k), confirmations=confirmations
+        )
+        await prog(ctx, tracer)
+        trace = await tracer.finalize()
+        return {
+            "trace": trace,
+            "cstats": tracer.cstats,
+            "anchor": tracer.anchor_sig,
+            "auto_markers": tracer.auto_markers,
+        }
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+async def stencil_no_markers(ctx, tr, steps=12):
+    """An iterative kernel WITHOUT any tracer.marker() calls."""
+    for _ in range(steps):
+        with ctx.frame("halo"):
+            if ctx.rank + 1 < ctx.size:
+                await tr.send(ctx.rank + 1, None, size=64)
+            if ctx.rank > 0:
+                await tr.recv(ctx.rank - 1)
+        with ctx.frame("residual"):
+            await tr.allreduce(0.0, size=8)
+
+
+class TestAnchorDetection:
+    def test_anchor_found_on_iterative_code(self):
+        res = run_auto(stencil_no_markers, 4)
+        r0 = res[0]
+        assert r0["anchor"] is not None
+        # 12 timesteps: detection consumes `confirmations` of them, the
+        # rest fire markers
+        assert r0["auto_markers"] >= 8
+
+    def test_all_ranks_agree_on_anchor(self):
+        res = run_auto(stencil_no_markers, 6)
+        anchors = {r["anchor"] for r in res}
+        assert len(anchors) == 1
+        markers = {r["auto_markers"] for r in res}
+        assert len(markers) == 1
+
+    def test_clustering_happens_without_manual_markers(self):
+        res = run_auto(stencil_no_markers, 8)
+        cs = res[0]["cstats"]
+        assert cs.state_counts.get("clustering", 0) >= 1
+        assert cs.state_counts.get("lead", 0) >= 1
+
+    def test_trace_complete(self):
+        steps = 12
+        res = run_auto(lambda c, t: stencil_no_markers(c, t, steps), 4)
+        trace = res[0]["trace"]
+        # every allreduce is in the trace (one per step)
+        from repro.scalatrace import Op
+
+        allreduce_mass = sum(
+            l.record.dhist.total
+            for l in trace.leaves()
+            if l.record.op is Op.ALLREDUCE
+        )
+        assert allreduce_mass >= steps  # at least the anchor occurrences
+
+    def test_manual_marker_is_noop(self):
+        async def prog(ctx, tr):
+            await stencil_no_markers(ctx, tr, steps=6)
+            assert await tr.marker() is None
+
+        run_auto(prog, 4)
+
+    def test_no_anchor_in_aperiodic_code(self):
+        async def prog(ctx, tr):
+            # every collective from a different call site: never periodic
+            with ctx.frame("a"):
+                await tr.allreduce(0.0, size=8)
+            with ctx.frame("b"):
+                await tr.allreduce(0.0, size=8)
+            with ctx.frame("c"):
+                await tr.barrier()
+            with ctx.frame("d"):
+                await tr.barrier()
+
+        res = run_auto(prog, 4)
+        assert res[0]["anchor"] is None
+        assert res[0]["auto_markers"] == 0
+
+    def test_confirmations_validation(self):
+        async def main(ctx):
+            AutoMarkerTracer(ctx, confirmations=1)
+
+        from repro.simmpi import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            run_spmd(main, 1)
+
+    def test_comparable_to_manual_markers(self):
+        """Auto markers should reach the same steady lead phase as a
+        manually markered run."""
+
+        async def manual(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=3))
+            for _ in range(12):
+                with ctx.frame("halo"):
+                    if ctx.rank + 1 < ctx.size:
+                        await tracer.send(ctx.rank + 1, None, size=64)
+                    if ctx.rank > 0:
+                        await tracer.recv(ctx.rank - 1)
+                with ctx.frame("residual"):
+                    await tracer.allreduce(0.0, size=8)
+                await tracer.marker()
+            await tracer.finalize()
+            return tracer.cstats
+
+        manual_cs = run_spmd(manual, 8, network=ZERO_COST).results[0]
+        auto_cs = run_auto(stencil_no_markers, 8)[0]["cstats"]
+        assert auto_cs.state_counts.get("clustering") == manual_cs.state_counts.get(
+            "clustering"
+        )
+        assert auto_cs.num_callpaths == manual_cs.num_callpaths

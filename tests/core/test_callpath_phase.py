@@ -1,0 +1,172 @@
+"""Interval signatures and the Algorithm 1 transition graph."""
+
+import pytest
+
+from repro.core import MarkerState, PhaseTracker, SignatureAccumulator
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+class TestSignatureAccumulator:
+    def test_empty_interval(self):
+        acc = SignatureAccumulator()
+        sigs = acc.snapshot()
+        assert sigs.callpath == 0 and sigs.src == 0 and sigs.dest == 0
+        assert acc.prsd_events == 0
+
+    def test_matches_reference_formula(self):
+        from repro.scalatrace import callpath_signature
+
+        stack_sigs = [0xDEAD, 0xBEEF, 0xDEAD, 0xCAFE]
+        acc = SignatureAccumulator()
+        for s in stack_sigs:
+            acc.observe(s)
+        assert acc.snapshot().callpath == callpath_signature(stack_sigs)
+
+    def test_reset_starts_new_interval(self):
+        acc = SignatureAccumulator()
+        acc.observe(1, src_offset=1, dest_offset=-1)
+        first = acc.snapshot()
+        acc.reset()
+        assert acc.snapshot().callpath == 0
+        acc.observe(1, src_offset=1, dest_offset=-1)
+        assert acc.snapshot() == first
+
+    def test_endpoint_signatures_flow_through(self):
+        acc = SignatureAccumulator()
+        acc.observe(1, src_offset=None, dest_offset=2)
+        sigs = acc.snapshot()
+        assert sigs.src == 0 and sigs.dest != 0
+
+    def test_prsd_events_counts_distinct_sites(self):
+        acc = SignatureAccumulator()
+        for s in [1, 2, 1, 2, 1, 2]:
+            acc.observe(s)
+        assert acc.prsd_events == 2
+        assert acc.events == 6
+
+    def test_identical_streams_identical_triples(self):
+        a, b = SignatureAccumulator(), SignatureAccumulator()
+        for acc in (a, b):
+            acc.observe(11, dest_offset=1)
+            acc.observe(22, src_offset=-1)
+        assert a.snapshot() == b.snapshot()
+
+
+def run_phase_sequence(per_rank_callpaths):
+    """Drive PhaseTracker on N ranks; per_rank_callpaths[i] is the callpath
+    rank i presents at marker i (all ranks present the same list unless a
+    dict {rank: value} is given)."""
+
+    async def main(ctx):
+        tracker = PhaseTracker()
+        out = []
+        for step in per_rank_callpaths:
+            cp = step[ctx.rank] if isinstance(step, dict) else step
+            decision = await tracker.decide(ctx.comm, cp)
+            out.append(decision)
+        return out
+
+    return run_spmd(main, 4, network=ZERO_COST).results
+
+
+class TestPhaseTracker:
+    def test_first_marker_always_at(self):
+        decisions = run_phase_sequence([100])[0]
+        assert decisions[0].state is MarkerState.AT
+        assert not decisions[0].do_cluster
+
+    def test_stable_pattern_reaches_c_then_l(self):
+        # same callpath forever: AT, C, L, L, L...
+        decisions = run_phase_sequence([7, 7, 7, 7, 7])[0]
+        states = [d.state for d in decisions]
+        assert states == [
+            MarkerState.AT,
+            MarkerState.C,
+            MarkerState.L,
+            MarkerState.L,
+            MarkerState.L,
+        ]
+        assert decisions[1].do_cluster and decisions[1].do_merge
+        assert not decisions[2].do_merge  # steady lead phase: no work
+
+    def test_phase_change_during_lead_flushes(self):
+        decisions = run_phase_sequence([7, 7, 7, 9, 9, 9])[0]
+        states = [d.state for d in decisions]
+        # AT, C, L(steady), L(flush), then 9 stabilizes: C? -> after flush
+        # Algorithm 1 needs one mismatch to re-arm Re-Clustering.
+        assert states[:4] == [
+            MarkerState.AT,
+            MarkerState.C,
+            MarkerState.L,
+            MarkerState.L,
+        ]
+        assert decisions[3].do_merge and decisions[3].phase_changed
+
+    def test_mismatch_right_after_c_returns_to_at(self):
+        # 7,7 -> C; 9 arrives before the lead flag was ever set, so there is
+        # nothing to flush: straight back to AT with Re-Clustering re-armed.
+        decisions = run_phase_sequence([7, 7, 9, 11, 11, 11])[0]
+        states = [d.state for d in decisions]
+        assert states == [
+            MarkerState.AT,
+            MarkerState.C,
+            MarkerState.AT,
+            MarkerState.AT,
+            MarkerState.C,
+            MarkerState.L,
+        ]
+        assert not decisions[2].do_merge
+        assert decisions[4].do_cluster
+
+    def test_flush_rearms_reclustering(self):
+        # Figure 2 semantics: after a lead-phase flush the next stable
+        # pattern re-clusters.
+        decisions = run_phase_sequence([7, 7, 7, 9, 9, 9])[0]
+        states = [d.state for d in decisions]
+        assert states == [
+            MarkerState.AT,
+            MarkerState.C,
+            MarkerState.L,  # steady lead phase, lead flag set
+            MarkerState.L,  # mismatch -> flush
+            MarkerState.C,  # 9 stabilized -> re-cluster
+            MarkerState.L,
+        ]
+        assert decisions[3].do_merge and decisions[3].phase_changed
+        assert decisions[4].do_cluster
+
+    def test_alternating_callpaths_never_cluster(self):
+        decisions = run_phase_sequence([1, 2, 1, 2, 1, 2])[0]
+        assert all(d.state is MarkerState.AT for d in decisions)
+        assert not any(d.do_cluster for d in decisions)
+
+    def test_single_rank_mismatch_blocks_clustering(self):
+        # rank 3 sees a different callpath on marker 2: the collective vote
+        # must keep EVERYONE in AT.
+        steps = [5, {0: 5, 1: 5, 2: 5, 3: 6}, 5]
+        per_rank = run_phase_sequence(steps)
+        for decisions in per_rank:
+            assert decisions[1].state is MarkerState.AT
+
+    def test_all_ranks_agree_on_every_decision(self):
+        steps = [1, 1, 1, 2, 2, 2, 3, 3]
+        per_rank = run_phase_sequence(steps)
+        for i in range(len(steps)):
+            states = {d[i].state for d in per_rank}
+            assert len(states) == 1
+
+    def test_force_final(self):
+        t = PhaseTracker()
+        d = t.force_final()
+        assert d.state is MarkerState.F
+        assert d.do_cluster and d.do_merge
+
+    def test_vote_count(self):
+        async def main(ctx):
+            t = PhaseTracker()
+            for cp in [1, 1, 1]:
+                await t.decide(ctx.comm, cp)
+            return t.votes
+
+        res = run_spmd(main, 2, network=ZERO_COST)
+        # first marker records baseline without voting
+        assert res.results == [2, 2]

@@ -1,0 +1,275 @@
+"""End-to-end Chameleon tracer behaviour on the simulated runtime."""
+
+import pytest
+
+from repro.core import (
+    AcurdionTracer,
+    ChameleonConfig,
+    ChameleonTracer,
+    MarkerState,
+)
+from repro.scalatrace import Op, Trace
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def run_chameleon(prog, nprocs, config=None, network=ZERO_COST):
+    async def main(ctx):
+        tracer = ChameleonTracer(ctx, config or ChameleonConfig(k=4))
+        await prog(ctx, tracer)
+        trace = await tracer.finalize()
+        return {
+            "trace": trace,
+            "cstats": tracer.cstats,
+            "stats": tracer.stats,
+            "tracing": tracer.tracing,
+            "clock": ctx.clock,
+        }
+
+    return run_spmd(main, nprocs, network=network)
+
+
+async def stencil_step(ctx, tr, tag=0):
+    """One timestep of a 1-D stencil: exchange with +/-1 neighbours."""
+    with ctx.frame("stencil"):
+        if ctx.rank + 1 < ctx.size:
+            await tr.send(ctx.rank + 1, None, tag=tag, size=64)
+        if ctx.rank > 0:
+            await tr.recv(ctx.rank - 1, tag=tag)
+        await tr.allreduce(1.0)
+
+
+class TestStatesOverRun:
+    def test_steady_workload_reaches_lead_phase(self):
+        async def prog(ctx, tr):
+            for _ in range(6):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8)
+        cs = res.results[0]["cstats"]
+        assert cs.marker_invocations == 6
+        assert cs.effective_calls == 6
+        # AT (baseline), C (cluster), then steady L
+        assert cs.state_counts["all-tracing"] == 1
+        assert cs.state_counts["clustering"] == 1
+        assert cs.state_counts["lead"] == 4
+        assert cs.reclusterings >= 1
+
+    def test_call_frequency_gates_markers(self):
+        async def prog(ctx, tr):
+            for _ in range(12):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+
+        res = run_chameleon(prog, 4, config=ChameleonConfig(k=4, call_frequency=4))
+        cs = res.results[0]["cstats"]
+        assert cs.marker_invocations == 12
+        assert cs.effective_calls == 3
+
+    def test_all_ranks_agree_on_states(self):
+        async def prog(ctx, tr):
+            for _ in range(5):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+
+        res = run_chameleon(prog, 6)
+        counts = [r["cstats"].state_counts for r in res.results]
+        assert all(c == counts[0] for c in counts)
+
+    def test_phase_change_triggers_flush_and_recluster(self):
+        async def prog(ctx, tr):
+            for _ in range(4):  # phase 1: stencil
+                await stencil_step(ctx, tr)
+                await tr.marker()
+            for _ in range(4):  # phase 2: pure collectives
+                with ctx.frame("collective-phase"):
+                    await tr.allreduce(2.0)
+                    await tr.barrier()
+                await tr.marker()
+
+        res = run_chameleon(prog, 8)
+        cs = res.results[0]["cstats"]
+        # phase 1: AT C L L; phase 2: flush(L) AT C L
+        assert cs.state_counts["clustering"] == 2
+        assert cs.reclusterings >= 2  # includes finalize
+
+
+class TestLeadBehaviour:
+    def test_non_leads_stop_tracing_in_lead_phase(self):
+        async def prog(ctx, tr):
+            for _ in range(6):
+                with ctx.frame("uniform"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8, config=ChameleonConfig(k=1))
+        tracing_flags = [r["tracing"] for r in res.results]
+        # identical signatures -> one cluster -> exactly one lead still traced
+        assert sum(tracing_flags) == 1
+        skipped = [r["stats"].events_skipped for r in res.results]
+        assert sum(1 for s in skipped if s > 0) == 7
+
+    def test_non_lead_space_is_zero_in_lead_state(self):
+        async def prog(ctx, tr):
+            for _ in range(6):
+                with ctx.frame("uniform"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8, config=ChameleonConfig(k=1))
+        # find a non-lead rank
+        non_leads = [r for r in res.results if not r["tracing"]]
+        assert non_leads
+        for r in non_leads:
+            lead_samples = [
+                b for s, b in r["cstats"].space_samples if s == "lead"
+            ]
+            assert lead_samples and all(b == 0 for b in lead_samples)
+
+    def test_leads_cover_every_callpath_cluster(self):
+        async def prog(ctx, tr):
+            # two behaviour groups: even ranks also do a send
+            for _ in range(6):
+                with ctx.frame("common"):
+                    await tr.allreduce(1.0)
+                if ctx.rank % 2 == 0:
+                    with ctx.frame("extra"):
+                        peer = ctx.rank + 1 if ctx.rank + 1 < ctx.size else 0
+                        await tr.send(peer, None, size=8)
+                        _ = None
+                if ctx.rank % 2 == 1:
+                    src = ctx.rank - 1
+                    await tr.recv(src)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8, config=ChameleonConfig(k=4))
+        cs = res.results[0]["cstats"]
+        assert cs.num_callpaths >= 2
+        assert cs.k_used >= cs.num_callpaths
+
+
+class TestOnlineTrace:
+    def test_online_trace_on_rank0_only(self):
+        async def prog(ctx, tr):
+            for _ in range(5):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8)
+        assert isinstance(res.results[0]["trace"], Trace)
+        assert all(r["trace"] is None for r in res.results[1:])
+
+    def test_online_trace_covers_all_ranks(self):
+        async def prog(ctx, tr):
+            for _ in range(5):
+                with ctx.frame("uniform"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8, config=ChameleonConfig(k=2))
+        trace = res.results[0]["trace"]
+        leaf = next(trace.leaves())
+        assert leaf.record.participants.count == 8
+
+    def test_online_trace_event_ops(self):
+        async def prog(ctx, tr):
+            for _ in range(5):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+
+        res = run_chameleon(prog, 8)
+        trace = res.results[0]["trace"]
+        ops = {l.record.op for l in trace.leaves()}
+        assert Op.ALLREDUCE in ops
+        assert Op.SEND in ops and Op.RECV in ops
+
+    def test_online_trace_grows_incrementally(self):
+        """After a phase change the flush merges the old phase into the
+        online trace before finalize."""
+
+        async def prog(ctx, tr):
+            for _ in range(4):
+                await stencil_step(ctx, tr)
+                await tr.marker()
+            for _ in range(4):
+                with ctx.frame("phase2"):
+                    await tr.barrier()
+                await tr.marker()
+
+        res = run_chameleon(prog, 4)
+        trace = res.results[0]["trace"]
+        ops = {l.record.op for l in trace.leaves()}
+        assert Op.BARRIER in ops and Op.ALLREDUCE in ops
+
+    def test_expanded_event_counts_reasonable(self):
+        steps = 6
+
+        async def prog(ctx, tr):
+            for _ in range(steps):
+                with ctx.frame("uniform"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+
+        res = run_chameleon(prog, 4, config=ChameleonConfig(k=1))
+        trace = res.results[0]["trace"]
+        # the allreduce appears once per timestep in the merged trace
+        assert trace.expanded_count() == steps
+
+
+class TestAcurdion:
+    def test_acurdion_produces_global_trace(self):
+        async def main(ctx):
+            tracer = AcurdionTracer(ctx, ChameleonConfig(k=2))
+            for _ in range(5):
+                with ctx.frame("uniform"):
+                    await tracer.allreduce(1.0)
+                await tracer.marker()  # no-op for ACURDION
+            trace = await tracer.finalize()
+            return {"trace": trace, "bytes": tracer.current_bytes(),
+                    "stats": tracer.stats}
+
+        res = run_spmd(main, 8, network=ZERO_COST)
+        trace = res.results[0]["trace"]
+        assert trace is not None
+        leaf = next(trace.leaves())
+        assert leaf.record.participants.count == 8
+
+    def test_acurdion_all_ranks_allocate(self):
+        async def main(ctx):
+            tracer = AcurdionTracer(ctx, ChameleonConfig(k=1))
+            for _ in range(5):
+                with ctx.frame("uniform"):
+                    await tracer.allreduce(1.0)
+            peak = tracer.stats.peak_bytes
+            await tracer.finalize()
+            return peak
+
+        res = run_spmd(main, 8, network=ZERO_COST)
+        # no lead phase: every rank paid trace memory
+        assert all(p > 0 for p in res.results)
+
+    def test_acurdion_cheaper_in_time_than_chameleon_markers(self):
+        """Table III's direction: with max marker calls Chameleon's online
+        machinery costs more virtual time than ACURDION's single pass."""
+        steps = 12
+
+        async def cham(ctx):
+            tr = ChameleonTracer(ctx, ChameleonConfig(k=2))
+            for _ in range(steps):
+                with ctx.frame("u"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+            await tr.finalize()
+            return ctx.clock
+
+        async def acur(ctx):
+            tr = AcurdionTracer(ctx, ChameleonConfig(k=2))
+            for _ in range(steps):
+                with ctx.frame("u"):
+                    await tr.allreduce(1.0)
+            await tr.finalize()
+            return ctx.clock
+
+        t_cham = max(run_spmd(cham, 8).results)
+        t_acur = max(run_spmd(acur, 8).results)
+        assert t_acur < t_cham

@@ -1,0 +1,199 @@
+"""Chameleon edge cases: degenerate sizes, frequencies, algorithms."""
+
+import pytest
+
+from repro.core import (
+    AcurdionTracer,
+    ChameleonConfig,
+    ChameleonTracer,
+    SignatureAccumulator,
+)
+from repro.scalatrace import Trace
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def run_with(prog, nprocs, config):
+    async def main(ctx):
+        tracer = ChameleonTracer(ctx, config)
+        await prog(ctx, tracer)
+        trace = await tracer.finalize()
+        return {"trace": trace, "cstats": tracer.cstats}
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+async def uniform(ctx, tr, steps=6):
+    for _ in range(steps):
+        with ctx.frame("k"):
+            await tr.allreduce(1.0, size=8)
+        await tr.marker()
+
+
+class TestDegenerateConfigs:
+    def test_single_rank(self):
+        res = run_with(uniform, 1, ChameleonConfig(k=1))
+        trace = res[0]["trace"]
+        assert isinstance(trace, Trace)
+        assert trace.expanded_count() == 6
+
+    def test_two_ranks(self):
+        res = run_with(uniform, 2, ChameleonConfig(k=1))
+        assert res[0]["trace"].expanded_count() == 6
+
+    def test_frequency_larger_than_iterations(self):
+        cfg = ChameleonConfig(k=2, call_frequency=100)
+        res = run_with(uniform, 4, cfg)
+        cs = res[0]["cstats"]
+        assert cs.effective_calls == 0
+        # finalize still produces the complete trace
+        assert res[0]["trace"].expanded_count() == 6
+
+    def test_k_one_single_lead(self):
+        res = run_with(uniform, 8, ChameleonConfig(k=1))
+        trace = res[0]["trace"]
+        leaf = next(trace.leaves())
+        assert leaf.record.participants.count == 8
+
+    def test_k_larger_than_p(self):
+        res = run_with(uniform, 4, ChameleonConfig(k=64))
+        assert res[0]["trace"].expanded_count() == 6
+
+    @pytest.mark.parametrize("algo", ["kmedoids", "kfarthest", "krandom", "hierarchical"])
+    def test_all_clustering_algorithms_end_to_end(self, algo):
+        async def mixed(ctx, tr):
+            for _ in range(6):
+                with ctx.frame("common"):
+                    await tr.allreduce(1.0, size=8)
+                if ctx.rank % 2 == 0:
+                    with ctx.frame("even"):
+                        peer = ctx.rank + 1
+                        if peer < ctx.size:
+                            await tr.send(peer, None, size=16)
+                else:
+                    await tr.recv(ctx.rank - 1)
+                await tr.marker()
+
+        res = run_with(mixed, 8, ChameleonConfig(k=2, algorithm=algo))
+        trace = res[0]["trace"]
+        covered = set()
+        for leaf in trace.leaves():
+            covered.update(leaf.record.participants.ranks())
+        assert covered == set(range(8))
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ValueError):
+            ChameleonConfig(k=0)
+        with pytest.raises(ValueError):
+            ChameleonConfig(call_frequency=0)
+        with pytest.raises(ValueError):
+            ChameleonConfig(algorithm="xmeans")
+        with pytest.raises(ValueError):
+            ChameleonConfig(tree_arity=1)
+        with pytest.raises(ValueError):
+            ChameleonConfig(signature_filter="fancy")
+
+    def test_tree_arity_four(self):
+        res = run_with(uniform, 9, ChameleonConfig(k=2, tree_arity=4))
+        assert res[0]["trace"].expanded_count() == 6
+
+
+class TestSignatureFilterModes:
+    def test_dedup_invariant_to_repetition_count(self):
+        a = SignatureAccumulator(mode="dedup")
+        b = SignatureAccumulator(mode="dedup")
+        for _ in range(3):
+            a.observe(11)
+            a.observe(22)
+        for _ in range(7):  # different trip count, same sites
+            b.observe(11)
+            b.observe(22)
+        assert a.snapshot().callpath == b.snapshot().callpath
+
+    def test_sequence_sensitive_to_repetition_count(self):
+        a = SignatureAccumulator(mode="sequence")
+        b = SignatureAccumulator(mode="sequence")
+        for _ in range(3):
+            a.observe(11)
+        for _ in range(7):
+            b.observe(11)
+        assert a.snapshot().callpath != b.snapshot().callpath
+
+    def test_dedup_detects_new_sites(self):
+        a = SignatureAccumulator(mode="dedup")
+        a.observe(11)
+        first = a.snapshot().callpath
+        a.observe(99)
+        assert a.snapshot().callpath != first
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            SignatureAccumulator(mode="bogus")
+
+
+class TestAcurdionEdgeCases:
+    def test_single_rank(self):
+        async def main(ctx):
+            tracer = AcurdionTracer(ctx, ChameleonConfig(k=1))
+            with ctx.frame("x"):
+                await tracer.allreduce(1.0)
+            return await tracer.finalize()
+
+        res = run_spmd(main, 1, network=ZERO_COST)
+        assert res.results[0].expanded_count() == 1
+
+    def test_marker_is_noop(self):
+        async def main(ctx):
+            tracer = AcurdionTracer(ctx, ChameleonConfig(k=1))
+            assert await tracer.marker() is None
+            with ctx.frame("x"):
+                await tracer.allreduce(1.0)
+            return await tracer.finalize()
+
+        res = run_spmd(main, 2, network=ZERO_COST)
+        assert res.results[0] is not None
+
+
+class TestLeadPhaseDataIntegrity:
+    def test_no_events_lost_across_flushes(self):
+        """Every traced MPI call appears in the online trace exactly once,
+        across AT / C / lead phases and the finalize flush."""
+        steps = 9
+
+        async def prog(ctx, tr):
+            await uniform(ctx, tr, steps=steps)
+
+        res = run_with(prog, 8, ChameleonConfig(k=1))
+        trace = res[0]["trace"]
+        # one allreduce per step, all ranks merged into one record stream
+        assert trace.expanded_count() == steps
+        # the single lead's own observations stand in for the whole cluster
+        # ("all other parameters are taken verbatim from the lead process"),
+        # so the histogram mass is one observation per step, not one per
+        # (rank, step) pair
+        leaf_mass = sum(l.record.dhist.total for l in trace.leaves())
+        assert leaf_mass == steps
+        # but the participants cover every rank
+        covered = set()
+        for l in trace.leaves():
+            covered.update(l.record.participants.ranks())
+        assert covered == set(range(8))
+
+    def test_phase_change_preserves_event_mass(self):
+        async def prog(ctx, tr):
+            for _ in range(4):
+                with ctx.frame("a"):
+                    await tr.allreduce(1.0, size=8)
+                await tr.marker()
+            for _ in range(4):
+                with ctx.frame("b"):
+                    await tr.barrier()
+                await tr.marker()
+
+        res = run_with(prog, 4, ChameleonConfig(k=2))
+        trace = res[0]["trace"]
+        # every timestep of both phases survives the flushes exactly once
+        assert trace.expanded_count() == 8
+        covered = set()
+        for l in trace.leaves():
+            covered.update(l.record.participants.ranks())
+        assert covered == set(range(4))

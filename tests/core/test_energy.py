@@ -1,0 +1,117 @@
+"""DVFS energy model (the paper's future-work proposal)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ChameleonConfig,
+    ChameleonTracer,
+    EnergyReport,
+    PowerModel,
+    energy_report,
+    rank_energy,
+    run_energy,
+)
+from repro.simmpi import run_spmd
+from repro.workloads import NullTracer
+
+
+class TestPowerModel:
+    def test_default_ordering(self):
+        p = PowerModel()
+        assert p.dvfs_watts < p.idle_watts < p.busy_watts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(busy_watts=5.0, idle_watts=10.0)
+        with pytest.raises(ValueError):
+            PowerModel(dvfs_watts=-1.0)
+
+
+class TestRankEnergy:
+    def test_fully_busy(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        assert rank_energy(2.0, 2.0, p, scaled=False) == pytest.approx(20.0)
+
+    def test_idle_slack(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        assert rank_energy(1.0, 3.0, p, scaled=False) == pytest.approx(10 + 10)
+
+    def test_dvfs_slack(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        assert rank_energy(1.0, 3.0, p, scaled=True) == pytest.approx(10 + 2)
+
+    def test_busy_clamped_to_makespan(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        assert rank_energy(5.0, 2.0, p, scaled=False) == pytest.approx(20.0)
+
+    @given(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    )
+    def test_dvfs_never_costs_more(self, busy, extra):
+        p = PowerModel()
+        makespan = busy + extra
+        assert rank_energy(busy, makespan, p, scaled=True) <= rank_energy(
+            busy, makespan, p, scaled=False
+        ) + 1e-9
+
+
+class TestRunEnergy:
+    def test_empty(self):
+        assert run_energy([], 0.0, PowerModel()) == 0.0
+
+    def test_uniform_ranks(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        assert run_energy([1.0, 1.0], 1.0, p) == pytest.approx(20.0)
+
+    def test_dvfs_subset(self):
+        p = PowerModel(busy_watts=10, idle_watts=5, dvfs_watts=1)
+        # rank 1 idle for 1s: idle 5J vs dvfs 1J
+        base = run_energy([2.0, 1.0], 2.0, p)
+        scaled = run_energy([2.0, 1.0], 2.0, p, dvfs_ranks={1})
+        assert base - scaled == pytest.approx(4.0)
+
+
+class TestEnergyReportOnRuns:
+    def _run(self, k):
+        async def traced(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=k))
+            for _ in range(10):
+                with ctx.frame("kern"):
+                    ctx.compute(0.01)
+                    await tracer.allreduce(1.0, size=8)
+                await tracer.marker()
+            await tracer.finalize()
+            return tracer.tracing
+
+        async def app(ctx):
+            tr = NullTracer(ctx)
+            for _ in range(10):
+                with ctx.frame("kern"):
+                    ctx.compute(0.01)
+                    await tr.allreduce(1.0, size=8)
+                await tr.marker()
+            return None
+
+        t = run_spmd(traced, 8)
+        a = run_spmd(app, 8)
+        leads = {r for r, is_lead in enumerate(t.results) if is_lead}
+        return energy_report(
+            a.busy_times, a.max_time, t.busy_times, t.max_time, leads
+        )
+
+    def test_dvfs_saves_energy_with_single_lead(self):
+        report = self._run(k=1)
+        assert isinstance(report, EnergyReport)
+        assert report.traced_dvfs_joules < report.traced_joules
+        assert 0 < report.dvfs_savings < 1
+
+    def test_tracing_energy_overhead_small(self):
+        report = self._run(k=1)
+        assert 0 <= report.tracing_energy_overhead < 0.5
+
+    def test_report_zero_division_guards(self):
+        r = EnergyReport(0.0, 0.0, 0.0)
+        assert r.tracing_energy_overhead == 0.0
+        assert r.dvfs_savings == 0.0

@@ -1,0 +1,148 @@
+"""Algorithm 3's tree procedures, exercised directly."""
+
+import pytest
+
+from repro.core import (
+    ChameleonConfig,
+    IntervalSignatures,
+    cluster_over_tree,
+    merge_lead_traces,
+    replace_participants,
+)
+from repro.scalatrace import (
+    EndpointStat,
+    EventNode,
+    EventRecord,
+    Op,
+    RankSet,
+    ScalaTraceTracer,
+    Trace,
+)
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def run_ranks(prog, nprocs):
+    async def main(ctx):
+        tracer = ScalaTraceTracer(ctx)
+        return await prog(ctx, tracer)
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+class TestClusterOverTree:
+    def test_identical_signatures_one_cluster(self):
+        async def prog(ctx, tr):
+            sigs = IntervalSignatures(callpath=7, src=100, dest=200)
+            topk = await cluster_over_tree(tr, sigs, ChameleonConfig(k=3))
+            return topk
+
+        results = run_ranks(prog, 8)
+        for topk in results:
+            assert len(topk) == 1
+            assert topk.covered_ranks() == tuple(range(8))
+            assert topk.leads() == [0]
+
+    def test_per_rank_signatures_cluster_by_group(self):
+        async def prog(ctx, tr):
+            group = ctx.rank % 2
+            sigs = IntervalSignatures(
+                callpath=group + 1, src=group * 1000, dest=0
+            )
+            topk = await cluster_over_tree(tr, sigs, ChameleonConfig(k=4))
+            return topk
+
+        results = run_ranks(prog, 8)
+        topk = results[0]
+        assert topk.num_callpaths == 2
+        assert topk.covered_ranks() == tuple(range(8))
+        # all ranks received identical broadcast results
+        assert all(t.leads() == topk.leads() for t in results)
+
+    def test_pruning_under_budget(self):
+        async def prog(ctx, tr):
+            # every rank a distinct src signature in ONE callpath group
+            sigs = IntervalSignatures(callpath=1, src=ctx.rank * 999, dest=0)
+            topk = await cluster_over_tree(tr, sigs, ChameleonConfig(k=2))
+            return topk
+
+        topk = run_ranks(prog, 12)[0]
+        assert len(topk) <= 2
+        assert topk.covered_ranks() == tuple(range(12))
+
+
+def _leaf(op, rank, dest_abs=None):
+    rec = EventRecord(
+        op=op,
+        stack_sig=0xABC,
+        comm_id=1,
+        dest=None if dest_abs is None else EndpointStat.of(dest_abs, rank),
+        participants=RankSet.single(rank),
+    )
+    rec.count.add(8)
+    rec.tag.add(0)
+    rec.dhist.record(0.0)
+    return EventNode(rec)
+
+
+class TestReplaceParticipants:
+    def test_homogeneous_keeps_rel(self):
+        node = _leaf(Op.SEND, rank=3, dest_abs=4)
+        replace_participants([node], RankSet([3, 4, 5]))
+        assert node.record.participants.ranks() == (3, 4, 5)
+        assert node.record.dest.rel == 1  # untouched
+
+    def test_heterogeneous_prefers_abs(self):
+        node = _leaf(Op.SEND, rank=3, dest_abs=0)
+        replace_participants(
+            [node], RankSet([1, 2, 3]), dest_homogeneous=False
+        )
+        assert node.record.dest.rel is None
+        assert node.record.dest.abs_ == 0
+
+    def test_heterogeneous_without_abs_keeps_rel(self):
+        node = _leaf(Op.SEND, rank=3, dest_abs=4)
+        node.record.dest.abs_ = None  # abs already invalidated
+        replace_participants(
+            [node], RankSet([1, 2, 3]), dest_homogeneous=False
+        )
+        assert node.record.dest.rel == 1  # nothing better available
+
+
+class TestMergeLeadTraces:
+    def test_merge_into_online_at_rank0(self):
+        async def prog(ctx, tr):
+            sigs = IntervalSignatures(callpath=1, src=0, dest=0)
+            config = ChameleonConfig(k=2)
+            with ctx.frame("k"):
+                await tr.allreduce(0.0, size=8)
+            topk = await cluster_over_tree(tr, sigs, config)
+            online = Trace(nprocs=ctx.size) if ctx.rank == 0 else None
+            merged = await merge_lead_traces(tr, topk, online, config.window)
+            return merged
+
+        results = run_ranks(prog, 6)
+        online = results[0]
+        assert online is not None
+        assert all(r is None for r in results[1:])
+        leaf = next(online.leaves())
+        assert leaf.record.participants.count == 6
+
+    def test_online_grows_across_two_merges(self):
+        async def prog(ctx, tr):
+            config = ChameleonConfig(k=1)
+            online = Trace(nprocs=ctx.size) if ctx.rank == 0 else None
+            for phase in ("a", "b"):
+                with ctx.frame(f"phase_{phase}"):
+                    await tr.allreduce(0.0, size=8)
+                sigs = IntervalSignatures(callpath=hash(phase) & 0xFF, src=0,
+                                          dest=0)
+                topk = await cluster_over_tree(tr, sigs, config)
+                merged = await merge_lead_traces(tr, topk, online,
+                                                 config.window)
+                if ctx.rank == 0:
+                    online = merged
+            return online
+
+        online = run_ranks(prog, 4)[0]
+        assert online.leaf_count() == 2  # one per phase
+        assert online.expanded_count() == 2

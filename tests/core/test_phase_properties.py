@@ -1,0 +1,87 @@
+"""Property-based tests on the transition graph over random phase streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MarkerState, PhaseTracker
+from repro.simmpi import ZERO_COST, run_spmd
+
+callpath_streams = st.lists(st.integers(1, 4), min_size=1, max_size=30)
+
+
+def drive(stream, nprocs=3):
+    async def main(ctx):
+        tracker = PhaseTracker()
+        return [await tracker.decide(ctx.comm, cp) for cp in stream]
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+class TestTransitionInvariants:
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_first_decision_is_always_at(self, stream):
+        decisions = drive(stream)[0]
+        assert decisions[0].state is MarkerState.AT
+        assert not decisions[0].do_cluster and not decisions[0].do_merge
+
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_all_ranks_always_agree(self, stream):
+        per_rank = drive(stream)
+        for step in range(len(stream)):
+            states = {d[step].state for d in per_rank}
+            merges = {d[step].do_merge for d in per_rank}
+            clusters = {d[step].do_cluster for d in per_rank}
+            assert len(states) == len(merges) == len(clusters) == 1
+
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_implies_merge_and_c_state(self, stream):
+        for d in drive(stream)[0]:
+            if d.do_cluster:
+                assert d.state is MarkerState.C
+                assert d.do_merge
+
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_c_requires_two_consecutive_matches(self, stream):
+        """C can only fire when the current callpath equals the previous
+        one (the vote saw zero mismatches)."""
+        decisions = drive(stream)[0]
+        for i, d in enumerate(decisions):
+            if d.state is MarkerState.C:
+                assert i >= 1
+                assert stream[i] == stream[i - 1]
+
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_flush_only_from_lead_phase(self, stream):
+        """A merge outside C (an L flush) only happens after a steady lead
+        phase was established."""
+        decisions = drive(stream)[0]
+        in_lead = False
+        for d in decisions:
+            if d.state is MarkerState.L and d.do_merge:
+                assert in_lead
+            if d.state is MarkerState.L and not d.do_merge:
+                in_lead = True
+            elif d.state is MarkerState.C:
+                in_lead = False  # lead flag not set yet at C
+            elif d.state is MarkerState.AT:
+                in_lead = False
+
+    @given(callpath_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_constant_stream_reaches_steady_lead(self, stream):
+        constant = [stream[0]] * max(len(stream), 5)
+        decisions = drive(constant)[0]
+        states = [d.state for d in decisions]
+        assert states[1] is MarkerState.C
+        assert all(s is MarkerState.L for s in states[2:])
+
+    @given(callpath_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_tracker_deterministic(self, stream):
+        a = [d.state for d in drive(stream)[0]]
+        b = [d.state for d in drive(stream)[0]]
+        assert a == b

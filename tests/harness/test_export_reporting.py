@@ -1,0 +1,85 @@
+"""Result export (JSON/CSV) and ASCII bar charts."""
+
+import json
+
+import pytest
+
+from repro.harness import ascii_bars, rows_to_csv, rows_to_json, save_rows
+
+ROWS = [
+    {"bench": "bt", "P": 16, "overhead": 0.01, "nested": {"a": 1}},
+    {"bench": "lu", "P": 64, "overhead": 0.07, "extra": (1, 2)},
+]
+
+
+class TestExport:
+    def test_json_roundtrip(self):
+        data = json.loads(rows_to_json(ROWS))
+        assert data[0]["bench"] == "bt"
+        assert data[0]["nested"] == {"a": 1}
+        assert data[1]["extra"] == [1, 2]
+
+    def test_csv_union_header(self):
+        text = rows_to_csv(ROWS)
+        header = text.splitlines()[0]
+        assert header == "P,bench,extra,nested,overhead"
+        assert len(text.splitlines()) == 3
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_save_json_and_csv(self, tmp_path):
+        j = save_rows(ROWS, tmp_path / "out.json")
+        c = save_rows(ROWS, tmp_path / "out.csv")
+        assert json.loads(j.read_text())[1]["P"] == 64
+        assert "bt" in c.read_text()
+
+    def test_save_rejects_unknown_suffix(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_rows(ROWS, tmp_path / "out.xml")
+
+    def test_non_serializable_coerced(self):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        data = json.loads(rows_to_json([{"x": Odd()}]))
+        assert data[0]["x"] == "odd!"
+
+
+class TestAsciiBars:
+    def test_linear(self):
+        text = ascii_bars([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_log_scale_compresses_magnitudes(self):
+        text = ascii_bars(
+            [("small", 0.001), ("big", 1.0)], width=40, log_scale=True
+        )
+        lines = text.splitlines()
+        assert 1 <= lines[0].count("#") < lines[1].count("#")
+
+    def test_zero_values_get_no_bar(self):
+        text = ascii_bars([("none", 0.0), ("some", 1.0)])
+        assert "#" not in text.splitlines()[0]
+
+    def test_title_and_empty(self):
+        assert ascii_bars([], title="T").startswith("T")
+        assert "(no data)" in ascii_bars([])
+
+    def test_labels_aligned(self):
+        text = ascii_bars([("x", 1.0), ("longer", 1.0)])
+        bars = [line.index("|") for line in text.splitlines()]
+        assert len(set(bars)) == 1
+
+
+class TestCliExport:
+    @pytest.mark.slow
+    def test_experiment_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t3.json"
+        assert main(["experiment", "table3", "--export", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        assert rows and "acurdion" in rows[0]

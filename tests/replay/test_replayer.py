@@ -1,0 +1,235 @@
+"""Replay engine: schedules, reconciliation, timed replay, accuracy."""
+
+import pytest
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.replay import (
+    AccuracyReport,
+    accuracy,
+    build_schedule,
+    coverage,
+    events_by_rank,
+    reconcile,
+    replay_trace,
+)
+from repro.scalatrace import ScalaTraceTracer
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def trace_of(prog, nprocs, tracer_cls=ScalaTraceTracer, **kw):
+    async def main(ctx):
+        tracer = tracer_cls(ctx, **kw)
+        await prog(ctx, tracer)
+        return await tracer.finalize()
+
+    res = run_spmd(main, nprocs, network=ZERO_COST)
+    return res.results[0]
+
+
+async def stencil(ctx, tr, steps=4, work=0.01):
+    for _ in range(steps):
+        with ctx.frame("sweep"):
+            ctx.compute(work)
+            if ctx.rank + 1 < ctx.size:
+                await tr.send(ctx.rank + 1, None, size=64)
+            if ctx.rank > 0:
+                await tr.recv(ctx.rank - 1)
+            await tr.allreduce(1.0)
+        await tr.marker()
+
+
+class TestScheduleBuilding:
+    def test_every_participant_scheduled(self):
+        trace = trace_of(stencil, 6)
+        schedules = build_schedule(trace, 6)
+        assert all(len(s) > 0 for s in schedules)
+
+    def test_endpoint_transposition(self):
+        trace = trace_of(stencil, 6)
+        schedules = build_schedule(trace, 6)
+        sends = [(r, op.peer) for r, s in enumerate(schedules) for op in s
+                 if op.kind == "send"]
+        # every send goes to rank+1
+        assert sends and all(dst == r + 1 for r, dst in sends)
+
+    def test_out_of_range_endpoints_skipped(self):
+        trace = trace_of(stencil, 6)
+        # replay on fewer ranks: offsets beyond the edge are dropped
+        schedules = build_schedule(trace, 3)
+        for r, sched in enumerate(schedules):
+            for op in sched:
+                if op.kind in ("send", "recv") and op.peer is not None:
+                    assert 0 <= op.peer < 3
+
+    def test_collective_groups_cover_world(self):
+        # Edge ranks fold into different loop shapes than interior ranks, so
+        # one source-level allreduce can appear as several records with
+        # partial groups; their union must still cover every rank.
+        trace = trace_of(stencil, 4)
+        schedules = build_schedule(trace, 4)
+        colls = [op for s in schedules for op in s if op.kind == "coll"]
+        assert colls
+        covered = set()
+        for op in colls:
+            covered.update(op.group)
+        assert covered == {0, 1, 2, 3}
+
+    def test_uniform_collective_group_is_world(self):
+        async def prog(ctx, tr):
+            for _ in range(3):
+                with ctx.frame("u"):
+                    await tr.allreduce(1.0)
+                await tr.marker()
+
+        trace = trace_of(prog, 4)
+        schedules = build_schedule(trace, 4)
+        colls = [op for s in schedules for op in s if op.kind == "coll"]
+        assert colls and all(op.group == (0, 1, 2, 3) for op in colls)
+
+    def test_sleep_from_histogram(self):
+        trace = trace_of(stencil, 4)
+        schedules = build_schedule(trace, 4)
+        assert any(op.sleep > 0 for s in schedules for op in s)
+
+
+class TestReconcile:
+    def test_balanced_schedule_untouched(self):
+        trace = trace_of(stencil, 6)
+        schedules = build_schedule(trace, 6)
+        before = sum(len(s) for s in schedules)
+        dropped = reconcile(schedules)
+        assert dropped == 0
+        assert sum(len(s) for s in schedules) == before
+
+    def test_unmatched_recv_dropped(self):
+        from repro.replay import ReplayOp
+
+        schedules = [
+            [ReplayOp("send", 0.0, 8, peer=1)],
+            [
+                ReplayOp("recv", 0.0, 8, peer=0),
+                ReplayOp("recv", 0.0, 8, peer=0),
+            ],
+        ]
+        dropped = reconcile(schedules)
+        assert dropped == 1
+        assert len(schedules[1]) == 1
+
+    def test_unmatched_send_dropped(self):
+        from repro.replay import ReplayOp
+
+        schedules = [
+            [ReplayOp("send", 0.0, 8, peer=1), ReplayOp("send", 0.0, 8, peer=1)],
+            [ReplayOp("recv", 0.0, 8, peer=0)],
+        ]
+        dropped = reconcile(schedules)
+        assert dropped == 1
+
+    def test_wildcard_recv_matches_leftover(self):
+        from repro.replay import ReplayOp
+
+        schedules = [
+            [ReplayOp("send", 0.0, 8, peer=1)],
+            [ReplayOp("recv", 0.0, 8, peer=None)],
+        ]
+        assert reconcile(schedules) == 0
+
+
+class TestTimedReplay:
+    def test_replay_runs_and_times(self):
+        trace = trace_of(stencil, 6)
+        result = replay_trace(trace)
+        assert result.time > 0
+        assert result.stats.ops_issued == result.stats.ops_scheduled
+        assert result.stats.p2p_dropped == 0
+
+    def test_replay_time_tracks_compute(self):
+        fast = trace_of(lambda c, t: stencil(c, t, work=0.001), 4)
+        slow = trace_of(lambda c, t: stencil(c, t, work=0.1), 4)
+        t_fast = replay_trace(fast).time
+        t_slow = replay_trace(slow).time
+        assert t_slow > t_fast * 5
+
+    def test_replay_accuracy_against_app(self):
+        """Replaying an (unclustered) trace approximates the original app's
+        virtual time — the foundation of Figures 5/7."""
+        steps, work = 5, 0.02
+
+        async def app(ctx):
+            await stencil(ctx, _NullTracer(ctx), steps=steps, work=work)
+            return ctx.clock
+
+        trace = trace_of(lambda c, t: stencil(c, t, steps=steps, work=work), 8)
+        app_time = max(run_spmd(app, 8).results)
+        rep = replay_trace(trace)
+        assert accuracy(app_time, rep.time) > 0.85
+
+    def test_chameleon_trace_cluster_replay(self):
+        """A Chameleon trace (lead events stamped with cluster ranklists)
+        replays on ALL ranks."""
+        trace = trace_of(
+            lambda c, t: stencil(c, t, steps=6),
+            8,
+            tracer_cls=ChameleonTracer,
+            config=ChameleonConfig(k=3),
+        )
+        rep = replay_trace(trace)
+        assert rep.time > 0
+        cov = coverage(trace)
+        assert cov.full_coverage
+        assert cov.out_of_range_endpoints == 0
+
+    def test_events_by_rank_balanced_for_spmd(self):
+        trace = trace_of(stencil, 8)
+        counts = events_by_rank(trace)
+        assert len(counts) == 8
+        assert min(counts) > 0
+        assert max(counts) <= 2 * min(counts)
+
+    def test_replay_invalid_nprocs(self):
+        trace = trace_of(stencil, 4)
+        with pytest.raises(ValueError):
+            replay_trace(trace, nprocs=0)
+
+
+class _NullTracer:
+    """Pass-through 'tracer' used to time the uninstrumented app."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.comm = ctx.comm
+
+    def __getattr__(self, name):
+        return getattr(self.comm, name)
+
+    async def marker(self):
+        return None
+
+
+class TestAccuracyMetric:
+    def test_perfect(self):
+        assert accuracy(10.0, 10.0) == 1.0
+
+    def test_ten_percent_off(self):
+        assert accuracy(10.0, 11.0) == pytest.approx(0.9)
+        assert accuracy(10.0, 9.0) == pytest.approx(0.9)
+
+    def test_zero_reference(self):
+        assert accuracy(0.0, 0.0) == 1.0
+        assert accuracy(0.0, 5.0) == 0.0
+
+    def test_report_properties(self):
+        rep = AccuracyReport(
+            app_time=10.0, scalatrace_replay_time=9.5, chameleon_replay_time=9.0
+        )
+        assert rep.chameleon_vs_scalatrace == pytest.approx(1 - 0.5 / 9.5)
+        assert rep.chameleon_vs_app == pytest.approx(0.9)
+        assert rep.scalatrace_vs_app == pytest.approx(0.95)
+        row = rep.row()
+        assert set(row) == {
+            "app",
+            "replay_scalatrace",
+            "replay_chameleon",
+            "acc_vs_scalatrace",
+            "acc_vs_app",
+        }

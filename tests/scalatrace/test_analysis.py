@@ -1,0 +1,99 @@
+"""Trace analysis: summaries, communication matrices, hotspots."""
+
+import numpy as np
+import pytest
+
+from repro.scalatrace import ScalaTraceTracer
+from repro.scalatrace.analysis import (
+    collective_volume,
+    communication_matrix,
+    hotspots,
+    summarize,
+)
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+@pytest.fixture(scope="module")
+def chain_trace():
+    """Each rank sends 100 B to rank+1 and allreduces, 4 times."""
+
+    async def main(ctx):
+        tracer = ScalaTraceTracer(ctx)
+        for _ in range(4):
+            with ctx.frame("step"):
+                if ctx.rank + 1 < ctx.size:
+                    await tracer.send(ctx.rank + 1, None, size=100)
+                if ctx.rank > 0:
+                    await tracer.recv(ctx.rank - 1)
+                await tracer.allreduce(0.0, size=8)
+        return await tracer.finalize()
+
+    return run_spmd(main, 6, network=ZERO_COST).results[0]
+
+
+class TestSummarize:
+    def test_counts(self, chain_trace):
+        s = summarize(chain_trace)
+        assert s.nprocs == 6
+        assert s.events_by_op["send"] == 5 * 4  # 5 senders x 4 steps
+        assert s.events_by_op["recv"] == 5 * 4
+        assert s.events_by_op["allreduce"] == 6 * 4
+
+    def test_bytes(self, chain_trace):
+        s = summarize(chain_trace)
+        assert s.bytes_by_op["send"] == pytest.approx(100 * 20)
+        assert s.bytes_by_op["allreduce"] == pytest.approx(8 * 24)
+
+    def test_report_renders(self, chain_trace):
+        text = summarize(chain_trace).report()
+        assert "PRSD events" in text
+        assert "send" in text and "allreduce" in text
+
+    def test_compression_fields(self, chain_trace):
+        s = summarize(chain_trace)
+        assert s.total_events > s.prsd_events
+        assert s.compression_ratio > 1
+        assert s.size_bytes > 0
+
+
+class TestCommunicationMatrix:
+    def test_chain_pattern(self, chain_trace):
+        m = communication_matrix(chain_trace)
+        assert m.shape == (6, 6)
+        for r in range(5):
+            assert m[r, r + 1] == pytest.approx(400.0)  # 4 steps x 100 B
+        # nothing else
+        expected = np.zeros((6, 6))
+        for r in range(5):
+            expected[r, r + 1] = 400.0
+        assert np.allclose(m, expected)
+
+    def test_collective_volume(self, chain_trace):
+        assert collective_volume(chain_trace) == pytest.approx(8 * 24)
+
+    def test_hotspots(self, chain_trace):
+        hs = hotspots(chain_trace, top=3)
+        assert len(hs) == 3
+        ranks = {r for r, _b in hs}
+        assert ranks <= set(range(5))  # rank 5 sends nothing
+        assert all(b == pytest.approx(400.0) for _r, b in hs)
+
+    def test_hub_pattern_resolved_via_abs(self):
+        """Workers sending to the absolute master show up as column 0."""
+
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            for _ in range(3):
+                with ctx.frame("round"):
+                    if ctx.rank == 0:
+                        for _w in range(ctx.size - 1):
+                            await tracer.recv()
+                    else:
+                        await tracer.send(0, None, size=64)
+            return await tracer.finalize()
+
+        trace = run_spmd(main, 5, network=ZERO_COST).results[0]
+        m = communication_matrix(trace)
+        for w in range(1, 5):
+            assert m[w, 0] == pytest.approx(3 * 64)
+        assert m[:, 1:].sum() == 0

@@ -1,0 +1,103 @@
+"""Semantic trace diffing — incl. the Chameleon ≡ ScalaTrace equivalence."""
+
+import pytest
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.scalatrace import ScalaTraceTracer, diff_traces
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def trace_with(tracer_factory, prog, nprocs):
+    async def main(ctx):
+        tracer = tracer_factory(ctx)
+        await prog(ctx, tracer)
+        return await tracer.finalize()
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results[0]
+
+
+async def kernel(ctx, tr, steps=8):
+    for _ in range(steps):
+        with ctx.frame("halo"):
+            if ctx.rank + 1 < ctx.size:
+                await tr.send(ctx.rank + 1, None, size=256)
+            if ctx.rank > 0:
+                await tr.recv(ctx.rank - 1)
+        with ctx.frame("norm"):
+            await tr.allreduce(0.0, size=8)
+        await tr.marker()
+
+
+class TestDiffBasics:
+    def test_identical_traces(self):
+        a = trace_with(ScalaTraceTracer, kernel, 6)
+        b = trace_with(ScalaTraceTracer, kernel, 6)
+        d = diff_traces(a, b)
+        assert d.similarity() == 1.0
+        assert d.rank_coverage_ok()
+        assert not d.missing_in_a and not d.missing_in_b
+
+    def test_different_workloads_detected(self):
+        async def other(ctx, tr):
+            for _ in range(8):
+                with ctx.frame("different"):
+                    await tr.barrier()
+
+        a = trace_with(ScalaTraceTracer, kernel, 4)
+        b = trace_with(ScalaTraceTracer, other, 4)
+        d = diff_traces(a, b)
+        assert d.similarity() < 0.2
+        assert d.missing_in_a and d.missing_in_b
+
+    def test_iteration_count_difference(self):
+        a = trace_with(ScalaTraceTracer, lambda c, t: kernel(c, t, steps=4), 4)
+        b = trace_with(ScalaTraceTracer, lambda c, t: kernel(c, t, steps=8), 4)
+        d = diff_traces(a, b)
+        assert 0.4 < d.similarity() < 0.6
+        assert not d.missing_in_a and not d.missing_in_b
+
+    def test_report_renders(self):
+        a = trace_with(ScalaTraceTracer, kernel, 4)
+        b = trace_with(ScalaTraceTracer, lambda c, t: kernel(c, t, steps=4), 4)
+        text = diff_traces(a, b).report()
+        assert "similarity" in text
+
+    def test_empty_traces(self):
+        from repro.scalatrace import Trace
+
+        d = diff_traces(Trace(), Trace())
+        assert d.similarity() == 1.0
+
+
+class TestOnlineTraceEquivalence:
+    """The paper's claim: the online trace 'incrementally expands to an
+    equivalent output of MPI_Finalize in the original ScalaTrace'."""
+
+    def test_chameleon_vs_scalatrace_equivalence(self):
+        st = trace_with(ScalaTraceTracer, kernel, 8)
+        ch = trace_with(
+            lambda ctx: ChameleonTracer(ctx, ChameleonConfig(k=4)), kernel, 8
+        )
+        d = diff_traces(st, ch)
+        # every event kind present on both sides
+        assert not d.missing_in_a and not d.missing_in_b
+        # rank coverage identical per event kind
+        assert d.rank_coverage_ok()
+        # occurrence counts match closely (Chameleon's flush segmentation
+        # can split loops but never drops or duplicates timesteps)
+        assert d.similarity() >= 0.95
+
+    def test_uniform_workload_exact_equivalence(self):
+        async def uniform(ctx, tr):
+            for _ in range(10):
+                with ctx.frame("k"):
+                    await tr.allreduce(1.0, size=8)
+                await tr.marker()
+
+        st = trace_with(ScalaTraceTracer, uniform, 8)
+        ch = trace_with(
+            lambda ctx: ChameleonTracer(ctx, ChameleonConfig(k=1)), uniform, 8
+        )
+        d = diff_traces(st, ch)
+        assert not d.missing_in_a and not d.missing_in_b
+        assert d.rank_coverage_ok()

@@ -1,0 +1,166 @@
+"""Endpoint encodings: relative/absolute constants and strided patterns."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scalatrace import EndpointStat, Pattern
+
+
+def stat(absolute, rank=0):
+    return EndpointStat.of(absolute, rank)
+
+
+def chain(rank, absolutes):
+    """Fold a stream of per-iteration endpoints into one stat (intra-rank)."""
+    s = stat(absolutes[0], rank)
+    for a in absolutes[1:]:
+        nxt = stat(a, rank)
+        assert s.can_merge(nxt), f"cannot extend with {a}"
+        s.merge(nxt)
+    return s
+
+
+class TestConstantEncodings:
+    def test_single_observation_has_all_encodings(self):
+        s = stat(5, rank=3)
+        assert s.rel == 2
+        assert s.abs_ == 5
+        assert s.pattern is not None
+
+    def test_repeated_constant_stays_constant(self):
+        s = chain(3, [5, 5, 5, 5])
+        assert s.rel == 2 and s.abs_ == 5
+
+    def test_cross_rank_relative_survives(self):
+        # rank 0 -> 1 and rank 4 -> 5: rel +1 survives, abs does not
+        a, b = stat(1, 0), stat(5, 4)
+        assert a.can_merge(b)
+        a.merge(b)
+        assert a.rel == 1
+        assert a.abs_ is None
+
+    def test_cross_rank_absolute_survives(self):
+        # workers 3 and 7 both talk to rank 0 (hub pattern); cross-rank
+        # merges disable pattern chaining
+        a, b = stat(0, 3), stat(0, 7)
+        a.merge(b, allow_chain=False)
+        assert a.abs_ == 0
+        assert a.rel is None
+        assert a.pattern is None
+
+    def test_cross_rank_chain_forbidden(self):
+        # different rel AND different abs: without chaining these reject
+        a, b = stat(2, 5), stat(1, 8)  # rel -3 vs -7, abs 2 vs 1
+        assert not a.can_merge(b, allow_chain=False)
+        assert a.can_merge(b, allow_chain=True)  # intra-stream could chain
+
+    def test_incompatible_constants_reject(self):
+        a = chain(1, [0, 0])  # abs 0 / rel -1, closed constant cycle
+        b = chain(5, [9, 9])  # abs 9 / rel +4
+        assert not a.can_merge(b)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestStridedPatterns:
+    def test_master_fanout_chain(self):
+        # rank 0 sends to 1, 2, 3, 4 in a loop
+        s = chain(0, [1, 2, 3, 4])
+        assert s.rel is None and s.abs_ is None
+        p = s.pattern
+        assert (p.start, p.stride, p.length) == (1, 1, 4)
+        assert not p.closed
+
+    def test_pattern_wraps_and_closes(self):
+        s = chain(0, [1, 2, 3, 1, 2, 3])
+        p = s.pattern
+        assert (p.start, p.stride, p.length, p.closed) == (1, 1, 3, True)
+        assert p.n == 6
+
+    def test_closed_pattern_rejects_off_cycle(self):
+        s = chain(0, [1, 2, 1, 2])
+        assert not s.can_merge(stat(9, 0))
+
+    def test_identical_complete_cycles_merge(self):
+        a = chain(0, [1, 2, 3])
+        b = chain(0, [1, 2, 3])
+        assert a.can_merge(b)
+        a.merge(b)
+        assert a.pattern.n == 6
+        assert a.pattern.closed
+
+    def test_different_cycles_reject(self):
+        a = chain(0, [1, 2, 3, 1])  # closed length 3
+        b = chain(0, [2, 3, 4, 2])  # closed length 3, different start
+        assert not a.can_merge(b)
+
+    def test_negative_stride(self):
+        s = chain(10, [13, 11, 9])
+        p = s.pattern
+        assert (p.start, p.stride, p.length) == (3, -2, 3)
+
+    def test_resolution_of_pattern(self):
+        s = chain(0, [1, 2, 3, 1])  # closed cycle of 3
+        assert s.resolve(rank=0, occurrence=0) == 1
+        assert s.resolve(rank=0, occurrence=1) == 2
+        assert s.resolve(rank=0, occurrence=2) == 3
+        assert s.resolve(rank=0, occurrence=3) == 1
+        # replayed by another rank: transposed
+        assert s.resolve(rank=10, occurrence=1) == 12
+
+    @given(st.integers(0, 20), st.integers(1, 8), st.integers(-3, 3).filter(lambda x: x != 0), st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_arithmetic_streams_always_chain(self, rank, start, stride, n):
+        absolutes = [rank + start + stride * i for i in range(n)]
+        s = chain(rank, absolutes)
+        p = s.pattern
+        assert p is not None
+        assert p.length == n and p.stride == stride
+
+    @given(st.integers(0, 20), st.integers(1, 5), st.integers(2, 5), st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_cyclic_streams_resolve_roundtrip(self, rank, start, period, reps):
+        cycle = [rank + start + i for i in range(period)]
+        s = chain(rank, cycle * reps)
+        for i, a in enumerate(cycle * reps):
+            assert s.resolve(rank, i) == a
+
+
+class TestResolutionPriority:
+    def test_relative_preferred(self):
+        s = stat(6, rank=5)  # rel +1, abs 6
+        assert s.resolve(rank=2, occurrence=0) == 3  # rank + 1
+
+    def test_absolute_used_when_relative_dead(self):
+        a, b = stat(0, 3), stat(0, 7)
+        a.merge(b, allow_chain=False)
+        assert a.resolve(rank=5, occurrence=0) == 0
+
+
+class TestSerialization:
+    def test_roundtrip_constant(self):
+        s = chain(2, [3, 3, 3])
+        t = EndpointStat.from_text(s.to_text())
+        assert (t.rel, t.abs_) == (s.rel, s.abs_)
+        assert t.pattern.start == s.pattern.start
+
+    def test_roundtrip_pattern(self):
+        s = chain(0, [1, 2, 3, 1, 2, 3])
+        t = EndpointStat.from_text(s.to_text())
+        p, q = s.pattern, t.pattern
+        assert (p.start, p.stride, p.length, p.closed, p.n) == (
+            q.start,
+            q.stride,
+            q.length,
+            q.closed,
+            q.n,
+        )
+
+    def test_roundtrip_invalidated(self):
+        a, b = stat(0, 3), stat(0, 7)
+        a.merge(b)
+        t = EndpointStat.from_text(a.to_text())
+        assert t.rel is None and t.abs_ == 0
+
+    def test_no_spaces_in_text(self):
+        assert " " not in chain(0, [1, 2, 3]).to_text()

@@ -1,0 +1,185 @@
+"""Intra-node RSD/PRSD loop compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scalatrace import (
+    EventNode,
+    EventRecord,
+    IntraCompressor,
+    LoopNode,
+    Op,
+    RankSet,
+    expand,
+)
+
+
+def ev(sig: int, op: Op = Op.SEND, dest_off: int | None = 1, rank: int = 0) -> EventRecord:
+    from repro.scalatrace import EndpointStat
+
+    dest = (
+        EndpointStat.of(rank + dest_off, rank)
+        if op.is_p2p and dest_off is not None
+        else None
+    )
+    r = EventRecord(
+        op=op,
+        stack_sig=sig,
+        comm_id=1,
+        dest=dest,
+        participants=RankSet.single(rank),
+    )
+    r.count.add(64)
+    r.tag.add(0)
+    r.dhist.record(0.0)
+    return r
+
+
+def feed(compressor: IntraCompressor, sigs) -> None:
+    for s in sigs:
+        compressor.append(ev(s))
+
+
+class TestBasicFolding:
+    def test_no_repetition_no_folding(self):
+        c = IntraCompressor()
+        feed(c, [1, 2, 3])
+        assert len(c.nodes) == 3
+        assert all(isinstance(n, EventNode) for n in c.nodes)
+
+    def test_two_identical_events_fold(self):
+        c = IntraCompressor()
+        feed(c, [1, 1])
+        assert len(c.nodes) == 1
+        loop = c.nodes[0]
+        assert isinstance(loop, LoopNode)
+        assert loop.iters == 2 and len(loop.body) == 1
+
+    def test_repeated_event_absorbs(self):
+        c = IntraCompressor()
+        feed(c, [1] * 10)
+        assert len(c.nodes) == 1
+        assert c.nodes[0].iters == 10
+
+    def test_pair_pattern_folds(self):
+        # A B A B A B -> Loop(3, [A, B])
+        c = IntraCompressor()
+        feed(c, [1, 2, 1, 2, 1, 2])
+        assert len(c.nodes) == 1
+        loop = c.nodes[0]
+        assert loop.iters == 3 and len(loop.body) == 2
+
+    def test_paper_example_nested_prsd(self):
+        # for 1000: (for 100: send, recv); barrier
+        # -> Loop(1000, [Loop(100, [send, recv]), barrier])
+        c = IntraCompressor()
+        outer, inner = 50, 20  # scaled-down but same structure
+        for _ in range(outer):
+            for _ in range(inner):
+                c.append(ev(101, Op.SEND))
+                c.append(ev(102, Op.RECV, dest_off=None))
+            c.append(ev(103, Op.BARRIER))
+        assert len(c.nodes) == 1
+        top = c.nodes[0]
+        assert isinstance(top, LoopNode) and top.iters == outer
+        assert len(top.body) == 2
+        inner_loop, barrier = top.body
+        assert isinstance(inner_loop, LoopNode) and inner_loop.iters == inner
+        assert len(inner_loop.body) == 2
+        assert isinstance(barrier, EventNode)
+        assert barrier.record.op is Op.BARRIER
+
+    def test_leaf_count_is_paper_n(self):
+        c = IntraCompressor()
+        for _ in range(30):
+            c.append(ev(1))
+            c.append(ev(2))
+            c.append(ev(3))
+        assert c.leaf_count() == 3
+
+    def test_expanded_count_preserved(self):
+        c = IntraCompressor()
+        sigs = [1, 2, 1, 2, 3, 1, 2, 1, 2, 3] * 5
+        feed(c, sigs)
+        assert c.expanded_count() == len(sigs)
+
+    def test_stats_merged_across_iterations(self):
+        c = IntraCompressor()
+        for i in range(8):
+            r = ev(7)
+            r.dhist = type(r.dhist)()
+            r.dhist.record(float(i))
+            c.append(r)
+        loop = c.nodes[0]
+        leaf = loop.body[0]
+        assert leaf.record.dhist.total == 8
+        assert leaf.record.dhist.mean == pytest.approx(3.5)
+
+
+class TestExpansionRoundtrip:
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expansion_reproduces_signature_stream(self, sig_stream):
+        """Fundamental invariant: compression is lossless on the event
+        *sequence* (signatures in order)."""
+        c = IntraCompressor()
+        feed(c, sig_stream)
+        expanded = [r.stack_sig for r in expand(c.nodes)]
+        assert expanded == sig_stream
+
+    @given(
+        st.lists(st.integers(1, 3), min_size=1, max_size=8),
+        st.integers(2, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_streams_compress_well(self, period, reps):
+        c = IntraCompressor()
+        stream = period * reps
+        feed(c, stream)
+        # compressed size must not exceed ~2 periods' worth of leaves
+        assert c.leaf_count() <= 2 * len(set(period)) * len(period)
+        expanded = [r.stack_sig for r in expand(c.nodes)]
+        assert expanded == stream
+
+
+class TestWindow:
+    def test_pattern_longer_than_window_not_folded(self):
+        c = IntraCompressor(window=3)
+        pattern = [1, 2, 3, 4, 5]  # body of 5 > window 3
+        feed(c, pattern * 2)
+        # No loop can form over the full pattern.
+        assert all(
+            not (isinstance(n, LoopNode) and len(n.body) == 5) for n in c.nodes
+        )
+        expanded = [r.stack_sig for r in expand(c.nodes)]
+        assert expanded == pattern * 2
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            IntraCompressor(window=0)
+
+
+class TestMeterAndState:
+    def test_meter_counts_work(self):
+        c = IntraCompressor()
+        feed(c, [1, 2] * 10)
+        assert c.meter.comparisons > 0
+        assert c.meter.folds > 0
+
+    def test_take_nodes_resets(self):
+        c = IntraCompressor()
+        feed(c, [1, 1, 1])
+        nodes = c.take_nodes()
+        assert len(nodes) == 1
+        assert c.nodes == []
+        assert c.leaf_count() == 0
+        assert c.appended_events == 0
+
+    def test_size_bytes_sublinear_for_loops(self):
+        c_loop = IntraCompressor()
+        feed(c_loop, [1] * 100)
+        c_flat = IntraCompressor()
+        feed(c_flat, list(range(100)))
+        assert c_loop.size_bytes() < c_flat.size_bytes() / 10

@@ -1,0 +1,178 @@
+"""Delta-time histograms, ParamStat, and EventRecord merging."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scalatrace import DeltaHistogram, EventRecord, Op, ParamStat, RankSet
+
+DT = st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestDeltaHistogram:
+    def test_empty(self):
+        h = DeltaHistogram()
+        assert h.total == 0
+        assert h.mean == 0.0
+        assert h.sample() == 0.0
+
+    def test_record_updates_stats(self):
+        h = DeltaHistogram()
+        h.record(1.0)
+        h.record(3.0)
+        assert h.total == 2
+        assert h.mean == pytest.approx(2.0)
+        assert h.min == 1.0 and h.max == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaHistogram().record(-0.1)
+
+    @given(st.lists(DT, min_size=1, max_size=100))
+    def test_mean_matches_stream(self, dts):
+        h = DeltaHistogram()
+        for dt in dts:
+            h.record(dt)
+        assert h.mean == pytest.approx(sum(dts) / len(dts))
+        assert h.sample() == h.mean
+
+    @given(st.lists(DT, min_size=1, max_size=50), st.lists(DT, min_size=1, max_size=50))
+    def test_merge_equals_combined(self, xs, ys):
+        a, b, c = DeltaHistogram(), DeltaHistogram(), DeltaHistogram()
+        for x in xs:
+            a.record(x)
+            c.record(x)
+        for y in ys:
+            b.record(y)
+            c.record(y)
+        a.merge(b)
+        assert a.total == c.total
+        assert a.counts == c.counts
+        assert a.mean == pytest.approx(c.mean)
+
+    def test_size_bytes_sparse(self):
+        h = DeltaHistogram()
+        empty = h.size_bytes()
+        h.record(1e-6)
+        h.record(1e-6)
+        one_bin = h.size_bytes()
+        h.record(1.0)
+        two_bins = h.size_bytes()
+        assert empty < one_bin < two_bins
+
+    @given(st.lists(DT, min_size=0, max_size=30))
+    def test_text_roundtrip(self, dts):
+        h = DeltaHistogram()
+        for dt in dts:
+            h.record(dt)
+        h2 = DeltaHistogram.from_text(h.to_text())
+        assert h2.counts == h.counts
+        assert h2.total == h.total
+        assert h2.sum == pytest.approx(h.sum)
+
+    def test_copy_independent(self):
+        h = DeltaHistogram()
+        h.record(1.0)
+        c = h.copy()
+        c.record(2.0)
+        assert h.total == 1 and c.total == 2
+
+
+class TestParamStat:
+    def test_of_and_add(self):
+        s = ParamStat.of(10)
+        s.add(20)
+        assert s.n == 2 and s.mean == 15 and s.min == 10 and s.max == 20
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=60))
+    def test_stats_match_stream(self, xs):
+        s = ParamStat()
+        for x in xs:
+            s.add(x)
+        assert s.min == min(xs) and s.max == max(xs)
+        assert s.mean == pytest.approx(sum(xs) / len(xs))
+
+    @given(
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=30),
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=30),
+    )
+    def test_merge(self, xs, ys):
+        a, b = ParamStat(), ParamStat()
+        for x in xs:
+            a.add(x)
+        for y in ys:
+            b.add(y)
+        a.merge(b)
+        allv = xs + ys
+        assert a.n == len(allv)
+        assert a.mean == pytest.approx(sum(allv) / len(allv))
+
+    def test_empty_merge_noop(self):
+        a = ParamStat.of(5)
+        a.merge(ParamStat())
+        assert a.n == 1
+
+    def test_text_roundtrip(self):
+        s = ParamStat.of(42)
+        s.add(7)
+        t = ParamStat.from_text(s.to_text())
+        assert (t.n, t.mean, t.min, t.max) == (s.n, s.mean, s.min, s.max)
+
+    def test_text_roundtrip_empty(self):
+        s = ParamStat()
+        t = ParamStat.from_text(s.to_text())
+        assert t.n == 0 and math.isinf(t.min)
+
+
+def _record(rank=0, op=Op.SEND, sig=111, dest_off=1):
+    from repro.scalatrace import EndpointStat
+
+    r = EventRecord(
+        op=op,
+        stack_sig=sig,
+        comm_id=1,
+        dest=EndpointStat.of(rank + dest_off, rank),
+        participants=RankSet.single(rank),
+    )
+    r.count.add(800)
+    r.tag.add(5)
+    r.dhist.record(0.001)
+    return r
+
+
+class TestEventRecord:
+    def test_match_key_fields(self):
+        assert _record().match_key() == _record(rank=3).match_key()
+        assert _record().match_key() != _record(op=Op.RECV).match_key()
+        assert _record().match_key() != _record(sig=222).match_key()
+        assert _record().match_key() != _record(dest_off=2).match_key()
+
+    def test_merge_unions_participants(self):
+        a, b = _record(rank=0), _record(rank=5)
+        a.merge(b)
+        assert a.participants.ranks() == (0, 5)
+        assert a.count.n == 2
+        assert a.dhist.total == 2
+
+    def test_merge_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            _record().merge(_record(op=Op.RECV))
+
+    def test_copy_deep(self):
+        a = _record()
+        c = a.copy()
+        c.merge(_record(rank=9))
+        assert a.participants.ranks() == (0,)
+        assert c.participants.ranks() == (0, 9)
+
+    def test_size_bytes_grows_with_histogram(self):
+        a = _record()
+        base = a.size_bytes()
+        a.dhist.record(100.0)  # new bin
+        assert a.size_bytes() > base
+
+    def test_collective_vs_p2p_flags(self):
+        assert Op.BARRIER.is_collective and not Op.BARRIER.is_p2p
+        assert Op.SEND.is_p2p and not Op.SEND.is_collective
+        assert Op.MARKER.is_collective

@@ -1,0 +1,192 @@
+"""ScalaTrace tracer end-to-end over the simulated runtime."""
+
+import pytest
+
+from repro.scalatrace import Op, ScalaTraceTracer, Trace, ZERO_COSTS
+from repro.simmpi import ZERO_COST, run_spmd
+
+
+def run_traced(prog, nprocs, network=ZERO_COST, **tracer_kw):
+    async def main(ctx):
+        tracer = ScalaTraceTracer(ctx, **tracer_kw)
+        ret = await prog(ctx, tracer)
+        trace = await tracer.finalize()
+        return {"trace": trace, "ret": ret, "stats": tracer.stats, "clock": ctx.clock}
+
+    return run_spmd(main, nprocs, network=network)
+
+
+class TestBasicTracing:
+    def test_ring_trace_merges_to_single_events(self):
+        async def prog(ctx, tr):
+            peer = (ctx.rank + 1) % ctx.size
+            src = (ctx.rank - 1) % ctx.size
+            for _ in range(5):
+                await tr.sendrecv(peer, b"x" * 16, source=src)
+            return None
+
+        res = run_traced(prog, 8)
+        trace = res.results[0]["trace"]
+        assert trace is not None
+        assert all(r["trace"] is None for r in res.results[1:])
+        # One call site, but the ring wraparound gives three distinct
+        # relative encodings: interior (+1,-1), rank 0 (+1,+7), rank 7
+        # (-7,-1) — exactly ScalaTrace's location-independent behaviour.
+        assert trace.leaf_count() == 3
+        leaves = list(trace.leaves())
+        assert all(l.record.op is Op.SENDRECV for l in leaves)
+        interior = max(leaves, key=lambda l: l.record.participants.count)
+        assert interior.record.participants.ranks() == (1, 2, 3, 4, 5, 6)
+        assert interior.record.dest_offset == 1
+        assert interior.record.src_offset == -1
+        # 5 iterations x 3 distinct encodings
+        assert trace.expanded_count() == 15
+
+    def test_relative_endpoint_encoding(self):
+        async def prog(ctx, tr):
+            if ctx.rank + 1 < ctx.size:
+                await tr.send(ctx.rank + 1, None, size=8)
+            if ctx.rank > 0:
+                await tr.recv(ctx.rank - 1)
+
+        res = run_traced(prog, 6)
+        trace = res.results[0]["trace"]
+        leaves = {l.record.op: l.record for l in trace.leaves()}
+        send = leaves[Op.SEND]
+        assert send.dest_offset == 1
+        # ranks 0..4 send; 5 has no +1 neighbour
+        assert send.participants.ranks() == (0, 1, 2, 3, 4)
+        recv = leaves[Op.RECV]
+        assert recv.src_offset == -1
+        assert recv.participants.ranks() == (1, 2, 3, 4, 5)
+
+    def test_collectives_merge_across_ranks(self):
+        async def prog(ctx, tr):
+            for _ in range(3):
+                await tr.allreduce(1.0)
+                await tr.barrier()
+
+        res = run_traced(prog, 4)
+        trace = res.results[0]["trace"]
+        assert trace.leaf_count() == 2
+        assert trace.expanded_count() == 6
+        for leaf in trace.leaves():
+            assert leaf.record.participants.count == 4
+
+    def test_different_call_sites_stay_distinct(self):
+        async def prog(ctx, tr):
+            await tr.barrier()  # site A
+            await tr.barrier()  # site B
+
+        res = run_traced(prog, 2)
+        trace = res.results[0]["trace"]
+        assert trace.leaf_count() == 2
+        assert len(trace.distinct_stack_signatures()) == 2
+
+    def test_isend_irecv_traced(self):
+        async def prog(ctx, tr):
+            peer = 1 - ctx.rank
+            sreq = tr.isend(peer, None, tag=1, size=8)
+            rreq = tr.irecv(peer, tag=1)
+            await tr.wait(rreq)
+            await tr.wait(sreq)
+
+        res = run_traced(prog, 2)
+        trace = res.results[0]["trace"]
+        ops = {l.record.op for l in trace.leaves()}
+        assert ops == {Op.ISEND, Op.IRECV}
+
+    def test_delta_times_recorded(self):
+        async def prog(ctx, tr):
+            for _ in range(4):
+                ctx.compute(0.25)
+                await tr.barrier()
+
+        res = run_traced(prog, 2, tracer_kw_sentinel=None) if False else run_traced(prog, 2)
+        trace = res.results[0]["trace"]
+        leaf = next(trace.leaves())
+        # 4 iterations x 2 ranks, each preceded by 0.25s compute
+        assert leaf.record.dhist.total == 8
+        assert leaf.record.dhist.mean == pytest.approx(0.25, rel=0.2)
+
+
+class TestTracingControl:
+    def test_disabled_tracer_records_nothing(self):
+        async def prog(ctx, tr):
+            tr.enabled = False
+            await tr.barrier()
+            await tr.allreduce(1)
+            tr.enabled = True
+            await tr.barrier()
+
+        res = run_traced(prog, 2)
+        trace = res.results[0]["trace"]
+        assert trace.leaf_count() == 1
+        stats = res.results[0]["stats"]
+        assert stats.events_skipped == 2
+        assert stats.events_recorded == 1
+
+    def test_disabled_tracing_costs_nothing(self):
+        async def prog(ctx, tr):
+            tr.enabled = ctx.rank == 0
+            for _ in range(50):
+                await tr.allreduce(1)
+            return ctx.clock
+
+        res = run_traced(prog, 2)
+        r0, r1 = res.results
+        assert r1["stats"].record_time == 0.0
+        assert r0["stats"].record_time > 0.0
+
+    def test_zero_costs_charge_no_time(self):
+        async def prog(ctx, tr):
+            for _ in range(10):
+                await tr.barrier()
+            return None
+
+        res = run_traced(prog, 2, costs=ZERO_COSTS)
+        assert res.results[0]["stats"].record_time == 0.0
+
+
+class TestFinalizeMerge:
+    def test_finalize_produces_global_trace_on_rank0(self):
+        async def prog(ctx, tr):
+            for _ in range(3):
+                if ctx.rank % 2 == 0 and ctx.rank + 1 < ctx.size:
+                    await tr.send(ctx.rank + 1, None, size=8)
+                elif ctx.rank % 2 == 1:
+                    await tr.recv(ctx.rank - 1)
+                await tr.barrier()
+
+        res = run_traced(prog, 8)
+        trace = res.results[0]["trace"]
+        assert isinstance(trace, Trace)
+        assert trace.origin.ranks() == tuple(range(8))
+        ops = {l.record.op for l in trace.leaves()}
+        assert ops == {Op.SEND, Op.RECV, Op.BARRIER}
+
+    def test_merge_stats_tracked(self):
+        async def prog(ctx, tr):
+            await tr.barrier()
+
+        res = run_traced(prog, 16)
+        # interior tree nodes did merging work
+        stats0 = res.results[0]["stats"]
+        assert stats0.merge_time > 0.0
+
+    def test_larger_comm_means_more_merge_comm(self):
+        async def prog(ctx, tr):
+            for i in range(10):
+                await tr.allreduce(i)
+
+        small = run_traced(prog, 4).results[0]["stats"].merge_comm_time
+        large = run_traced(prog, 64).results[0]["stats"].merge_comm_time
+        # rank 0 receives from more children / bigger subtrees take longer
+        assert large >= small
+
+    def test_tree_arity_configurable(self):
+        async def prog(ctx, tr):
+            await tr.barrier()
+
+        res = run_traced(prog, 9, tree_arity=4)
+        assert res.results[0]["trace"].leaf_count() == 1

@@ -1,0 +1,136 @@
+"""Busy-time accounting and tool-traffic isolation."""
+
+import pytest
+
+from repro.simmpi import (
+    ANY_TAG,
+    NetworkModel,
+    ZERO_COST,
+    run_spmd,
+)
+from repro.simmpi.comm import MAX_USER_TAG
+
+
+class TestBusyAccounting:
+    def test_compute_counts_as_busy(self):
+        async def main(ctx):
+            ctx.compute(2.0)
+            return None
+
+        res = run_spmd(main, 1, network=ZERO_COST)
+        assert res.busy_times == [2.0]
+
+    def test_waiting_is_not_busy(self):
+        net = NetworkModel(latency=0.0, bandwidth=float("inf"), o_send=0.0,
+                           o_recv=0.0, eager_threshold=1 << 40,
+                           min_message_bytes=0)
+
+        async def main(ctx):
+            if ctx.rank == 0:
+                ctx.compute(10.0)
+                await ctx.comm.send(1, "x")
+            else:
+                await ctx.comm.recv(0)  # waits 10s, does no work
+            return None
+
+        res = run_spmd(main, 2, network=net)
+        assert res.busy_times[0] == pytest.approx(10.0)
+        assert res.busy_times[1] == pytest.approx(0.0)
+        # but rank 1's clock advanced to the arrival
+        assert res.clocks[1] == pytest.approx(10.0)
+
+    def test_send_overheads_are_busy(self):
+        net = NetworkModel(latency=1.0, bandwidth=100.0, o_send=0.5,
+                           o_recv=0.25, eager_threshold=1 << 40,
+                           min_message_bytes=0)
+
+        async def main(ctx):
+            if ctx.rank == 0:
+                await ctx.comm.send(1, None, size=100)  # o_send + 1s copy
+            else:
+                await ctx.comm.recv(0)
+            return None
+
+        res = run_spmd(main, 2, network=net)
+        assert res.busy_times[0] == pytest.approx(1.5)
+        assert res.busy_times[1] == pytest.approx(0.25)
+
+    def test_rendezvous_transfer_busy_on_sender(self):
+        net = NetworkModel(latency=0.0, bandwidth=100.0, o_send=0.0,
+                           o_recv=0.0, eager_threshold=10,
+                           min_message_bytes=0)
+
+        async def main(ctx):
+            if ctx.rank == 0:
+                await ctx.comm.send(1, None, size=500)  # 5s stream
+            else:
+                ctx.compute(3.0)
+                await ctx.comm.recv(0)
+            return None
+
+        res = run_spmd(main, 2, network=net)
+        assert res.busy_times[0] == pytest.approx(5.0)  # streaming
+        assert res.busy_times[1] == pytest.approx(3.0)  # own compute only
+
+    def test_busy_never_exceeds_clock(self):
+        async def main(ctx):
+            peer = (ctx.rank + 1) % ctx.size
+            for i in range(5):
+                ctx.compute(0.01 * ctx.rank)
+                await ctx.comm.sendrecv(peer, None, source=(ctx.rank - 1) % ctx.size)
+            await ctx.comm.barrier()
+            return None
+
+        res = run_spmd(main, 6)
+        for busy, clock in zip(res.busy_times, res.clocks):
+            assert busy <= clock + 1e-12
+
+
+class TestWildcardIsolation:
+    def test_any_tag_ignores_internal_traffic(self):
+        """An application wildcard receive must not steal messages carrying
+        reserved (tool/collective) tags."""
+
+        async def main(ctx):
+            if ctx.rank == 0:
+                # internal-tagged message arrives FIRST
+                await ctx.comm.send(1, "internal", tag=MAX_USER_TAG + 1)
+                await ctx.comm.send(1, "user", tag=3)
+            else:
+                ctx.compute(1.0)  # both messages queued by now
+                got = await ctx.comm.recv(source=0, tag=ANY_TAG)
+                internal = await ctx.comm.recv(source=0, tag=MAX_USER_TAG + 1)
+                return (got, internal)
+            return None
+
+        res = run_spmd(main, 2)
+        assert res.results[1] == ("user", "internal")
+
+    def test_explicit_internal_tag_still_matches(self):
+        async def main(ctx):
+            if ctx.rank == 0:
+                await ctx.comm.send(1, b"trace", tag=MAX_USER_TAG + 7)
+                return None
+            return await ctx.comm.recv(0, tag=MAX_USER_TAG + 7)
+
+        assert run_spmd(main, 2).results[1] == b"trace"
+
+    def test_tracer_traffic_survives_app_wildcards(self):
+        """End to end: a master-worker app using ANY wildcards is traced and
+        finalize's tree reduction is not disturbed."""
+        from repro.scalatrace import ScalaTraceTracer
+
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            for _ in range(3):
+                if ctx.rank == 0:
+                    for _w in range(1, ctx.size):
+                        await tracer.recv()  # ANY_SOURCE, ANY_TAG
+                else:
+                    await tracer.send(0, None, size=32)
+            return await tracer.finalize()
+
+        res = run_spmd(main, 5, network=ZERO_COST)
+        trace = res.results[0]
+        assert trace is not None
+        assert trace.expanded_count() > 0

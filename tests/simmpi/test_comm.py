@@ -1,0 +1,219 @@
+"""Point-to-point semantics: matching, wildcards, ordering, protocols."""
+
+import pytest
+
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MatchingError,
+    NetworkModel,
+    TaskFailedError,
+    ZERO_COST,
+    run_spmd,
+    wait_all,
+)
+
+
+def test_basic_send_recv_payload():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, {"a": 7}, tag=11)
+            return None
+        return await ctx.comm.recv(source=0, tag=11)
+
+    res = run_spmd(main, 2)
+    assert res.results[1] == {"a": 7}
+
+
+def test_send_before_recv_and_recv_before_send():
+    async def eager_first(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, "x")
+            return None
+        ctx.compute(1.0)  # make sure the message is queued before recv
+        return await ctx.comm.recv(0)
+
+    async def recv_first(ctx):
+        if ctx.rank == 1:
+            return await ctx.comm.recv(0)
+        ctx.compute(1.0)
+        await ctx.comm.send(1, "y")
+        return None
+
+    assert run_spmd(eager_first, 2).results[1] == "x"
+    assert run_spmd(recv_first, 2).results[1] == "y"
+
+
+def test_any_source_and_any_tag():
+    async def main(ctx):
+        if ctx.rank == 0:
+            values = []
+            for _ in range(2):
+                payload, status = await ctx.comm.recv_with_status(
+                    source=ANY_SOURCE, tag=ANY_TAG
+                )
+                values.append((status["source"], status["tag"], payload))
+            return sorted(values)
+        await ctx.comm.send(0, f"from-{ctx.rank}", tag=ctx.rank * 10)
+        return None
+
+    res = run_spmd(main, 3)
+    assert res.results[0] == [(1, 10, "from-1"), (2, 20, "from-2")]
+
+
+def test_messages_non_overtaking_same_pair():
+    async def main(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                await ctx.comm.send(1, i, tag=3)
+            return None
+        got = [await ctx.comm.recv(0, tag=3) for _ in range(5)]
+        return got
+
+    assert run_spmd(main, 2).results[1] == [0, 1, 2, 3, 4]
+
+
+def test_tag_selectivity_reorders_matching():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, "first", tag=1)
+            await ctx.comm.send(1, "second", tag=2)
+            return None
+        second = await ctx.comm.recv(0, tag=2)
+        first = await ctx.comm.recv(0, tag=1)
+        return (first, second)
+
+    assert run_spmd(main, 2).results[1] == ("first", "second")
+
+
+def test_sendrecv_exchange_no_deadlock():
+    async def main(ctx):
+        peer = (ctx.rank + 1) % ctx.size
+        src = (ctx.rank - 1) % ctx.size
+        got = await ctx.comm.sendrecv(peer, ctx.rank, source=src)
+        return got
+
+    res = run_spmd(main, 6)
+    assert res.results == [5, 0, 1, 2, 3, 4]
+
+
+def test_isend_irecv_wait_all():
+    async def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.isend(1, i, tag=i) for i in range(4)]
+            await wait_all(reqs)
+            return None
+        reqs = [ctx.comm.irecv(0, tag=i) for i in range(4)]
+        return await wait_all(reqs)
+
+    assert run_spmd(main, 2).results[1] == [0, 1, 2, 3]
+
+
+def test_probe_sees_queued_message():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, b"xyz", tag=9)
+            return None
+        ctx.compute(1.0)
+        status = ctx.comm.probe()
+        assert status is not None and status["tag"] == 9
+        assert ctx.comm.probe(tag=5) is None
+        return await ctx.comm.recv(0, tag=9)
+
+    assert run_spmd(main, 2).results[1] == b"xyz"
+
+
+def test_invalid_peer_and_tag_raise():
+    async def bad_dest(ctx):
+        await ctx.comm.send(99, None)
+
+    async def bad_tag(ctx):
+        await ctx.comm.send(0, None, tag=-5)
+
+    for prog in (bad_dest, bad_tag):
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(prog, 2)
+        assert isinstance(ei.value.original, MatchingError)
+
+
+def test_eager_timing_latency_and_bandwidth():
+    net = NetworkModel(
+        latency=1.0, bandwidth=100.0, o_send=0.1, o_recv=0.2,
+        eager_threshold=1 << 30, min_message_bytes=0,
+    )
+
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, None, size=200)  # 2s wire copy
+            return ctx.clock
+        got = await ctx.comm.recv(0)
+        assert got is None
+        return ctx.clock
+
+    res = run_spmd(main, 2, network=net)
+    # Sender: o_send + 200/100 = 2.1.  Receiver: posted at 0, message
+    # arrives at sender_done + latency = 3.1 >= post + o_recv.
+    assert res.results[0] == pytest.approx(2.1)
+    assert res.results[1] == pytest.approx(3.1)
+
+
+def test_rendezvous_blocks_sender_until_recv_posted():
+    net = NetworkModel(
+        latency=1.0, bandwidth=100.0, o_send=0.1, o_recv=0.2,
+        eager_threshold=10, min_message_bytes=0,
+    )
+
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, None, size=1000)  # rendezvous
+            return ctx.clock
+        ctx.compute(50.0)  # receiver arrives late
+        await ctx.comm.recv(0)
+        return ctx.clock
+
+    res = run_spmd(main, 2, network=net)
+    # Transfer starts at max(0 + 0.1, 50 + 0.2) = 50.2; sender done at
+    # 50.2 + 10; receiver done at 50.2 + 1 + 10.
+    assert res.results[0] == pytest.approx(60.2)
+    assert res.results[1] == pytest.approx(61.2)
+
+
+def test_rendezvous_recv_first_also_synchronizes():
+    net = NetworkModel(
+        latency=0.5, bandwidth=1000.0, o_send=0.0, o_recv=0.0,
+        eager_threshold=10, min_message_bytes=0,
+    )
+
+    async def main(ctx):
+        if ctx.rank == 1:
+            await ctx.comm.recv(0)
+            return ctx.clock
+        ctx.compute(20.0)  # sender arrives late
+        await ctx.comm.send(1, None, size=2000)
+        return ctx.clock
+
+    res = run_spmd(main, 2, network=net)
+    assert res.results[0] == pytest.approx(22.0)  # 20 + 2000/1000
+    assert res.results[1] == pytest.approx(22.5)  # + latency
+
+
+def test_zero_cost_network_moves_no_time():
+    async def main(ctx):
+        peer = 1 - ctx.rank
+        await ctx.comm.sendrecv(peer, "v", source=peer)
+        return ctx.clock
+
+    res = run_spmd(main, 2, network=ZERO_COST)
+    assert res.clocks == [0.0, 0.0]
+
+
+def test_byte_accounting():
+    async def main(ctx):
+        if ctx.rank == 0:
+            await ctx.comm.send(1, None, size=500)
+        else:
+            await ctx.comm.recv(0)
+
+    res = run_spmd(main, 2)
+    assert res.total_messages == 1
+    assert res.total_bytes == 500

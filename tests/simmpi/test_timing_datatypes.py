@@ -1,0 +1,95 @@
+"""Network model and payload-size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi import NetworkModel, doubles, ints, payload_nbytes
+
+
+class TestNetworkModel:
+    def test_defaults_are_cluster_like(self):
+        net = NetworkModel()
+        assert 0 < net.latency < 1e-4
+        assert net.bandwidth > 1e8
+
+    def test_transfer_time_scales_linearly(self):
+        net = NetworkModel(bandwidth=1000.0, min_message_bytes=0)
+        assert net.transfer_time(2000) == pytest.approx(2.0)
+        assert net.transfer_time(4000) == pytest.approx(4.0)
+
+    def test_min_message_floor(self):
+        net = NetworkModel(bandwidth=8.0, min_message_bytes=8)
+        assert net.transfer_time(0) == pytest.approx(1.0)
+        assert net.transfer_time(1) == pytest.approx(1.0)
+
+    def test_eager_threshold(self):
+        net = NetworkModel(eager_threshold=100)
+        assert net.eager(100)
+        assert not net.eager(101)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(eager_threshold=-1)
+
+    def test_frozen(self):
+        net = NetworkModel()
+        with pytest.raises(Exception):
+            net.latency = 5.0  # type: ignore[misc]
+
+
+class TestPayloadSizes:
+    def test_scalars(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("hé") == 3  # utf-8
+
+    def test_numpy_exact(self):
+        a = np.zeros((10, 10), dtype=np.float64)
+        assert payload_nbytes(a) == 800
+
+    def test_containers_monotone(self):
+        small = payload_nbytes([1, 2])
+        large = payload_nbytes([1, 2, 3, 4, 5])
+        assert large > small
+        d1 = payload_nbytes({"k": 1})
+        d2 = payload_nbytes({"k": 1, "j": 2})
+        assert d2 > d1
+
+    def test_nbytes_hint_protocol(self):
+        class Sized:
+            def nbytes_hint(self):
+                return 12345
+
+        class SizedAttr:
+            nbytes_hint = 999
+
+        assert payload_nbytes(Sized()) == 12345
+        assert payload_nbytes(SizedAttr()) == 999
+
+    def test_opaque_object_envelope(self):
+        class Opaque:
+            pass
+
+        assert payload_nbytes(Opaque()) == 64
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_list_size_grows_with_len(self, xs):
+        assert payload_nbytes(xs) >= payload_nbytes(xs[: len(xs) // 2])
+
+    def test_typed_helpers(self):
+        assert doubles(10) == 80
+        assert ints(3) == 24
+        with pytest.raises(ValueError):
+            doubles(-1)
+        with pytest.raises(ValueError):
+            ints(-2)

@@ -1,0 +1,159 @@
+"""Topology helpers: radix trees, binomial trees, grids (property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi import (
+    Grid2D,
+    RadixTree,
+    binomial_children,
+    binomial_parent,
+    hypercube_neighbors,
+    square_grid,
+)
+
+
+class TestRadixTree:
+    def test_binary_shape(self):
+        t = RadixTree(7)
+        assert t.root == 0
+        assert t.children(0) == [1, 2]
+        assert t.children(1) == [3, 4]
+        assert t.children(2) == [5, 6]
+        assert t.children(3) == []
+        assert t.parent(0) is None
+        assert t.parent(4) == 1
+        assert t.depth(6) == 2
+        assert t.height() == 2
+
+    def test_arbitrary_member_list(self):
+        leads = [5, 2, 9, 7]
+        t = RadixTree(leads)
+        assert t.root == 5
+        assert t.children(5) == [2, 9]
+        assert t.children(2) == [7]
+        assert t.parent(7) == 2
+        assert 9 in t and 3 not in t
+
+    def test_levels_leaves_first(self):
+        t = RadixTree(6)
+        levels = list(t.levels())
+        assert levels[-1] == [0]
+        seen = [r for level in levels for r in level]
+        assert sorted(seen) == list(range(6))
+        # every child appears in an earlier (deeper) level than its parent
+        order = {r: i for i, level in enumerate(levels) for r in level}
+        for r in range(1, 6):
+            assert order[r] < order[t.parent(r)]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RadixTree(0)
+        with pytest.raises(ValueError):
+            RadixTree([1, 1])
+        with pytest.raises(ValueError):
+            RadixTree(4, arity=1)
+
+    @given(st.integers(1, 200), st.integers(2, 5))
+    def test_parent_child_consistency(self, size, arity):
+        t = RadixTree(size, arity=arity)
+        for r in range(size):
+            for c in t.children(r):
+                assert t.parent(c) == r
+        # Every non-root has exactly one parent; union of children = all-root.
+        all_children = [c for r in range(size) for c in t.children(r)]
+        assert sorted(all_children) == list(range(1, size))
+
+    @given(st.integers(1, 1025))
+    def test_height_logarithmic(self, size):
+        t = RadixTree(size)
+        h = t.height()
+        assert (1 << h) <= size < (1 << (h + 2))
+
+
+class TestBinomial:
+    @given(st.integers(1, 130), st.integers(0, 129))
+    def test_parent_child_inverse(self, size, root):
+        root = root % size
+        for rank in range(size):
+            for child in binomial_children(rank, size, root):
+                assert binomial_parent(child, size, root) == rank
+
+    @given(st.integers(1, 130), st.integers(0, 129))
+    def test_tree_spans_all_ranks(self, size, root):
+        root = root % size
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for child in binomial_children(node, size, root):
+                assert child not in seen
+                seen.add(child)
+                frontier.append(child)
+        assert seen == set(range(size))
+
+    def test_power_of_two_depth(self):
+        # In a binomial tree over 2^k ranks the deepest leaf is k hops away.
+        size = 64
+        def depth(rank):
+            d = 0
+            while (p := binomial_parent(rank, size, 0)) is not None:
+                rank = p
+                d += 1
+            return d
+        assert max(depth(r) for r in range(size)) == 6
+
+
+class TestHypercube:
+    def test_neighbors_power_of_two(self):
+        assert hypercube_neighbors(0, 8) == [1, 2, 4]
+        assert hypercube_neighbors(5, 8) == [4, 7, 1]
+
+    def test_neighbors_truncated(self):
+        # size 6: rank 2's peer 2^2=4 -> 6 is out of range and dropped
+        assert all(n < 6 for n in hypercube_neighbors(2, 6))
+
+    @given(st.integers(1, 100))
+    def test_symmetry(self, size):
+        for r in range(size):
+            for n in hypercube_neighbors(r, size):
+                assert r in hypercube_neighbors(n, size)
+
+
+class TestGrid:
+    def test_coords_roundtrip(self):
+        g = Grid2D(3, 4)
+        for rank in range(g.size):
+            row, col = g.coords(rank)
+            assert g.rank(row, col) == rank
+
+    def test_neighbors_and_edges(self):
+        g = Grid2D(3, 3)
+        assert g.north(4) == 1
+        assert g.south(4) == 7
+        assert g.west(4) == 3
+        assert g.east(4) == 5
+        assert g.north(1) is None
+        assert g.west(3) is None
+        assert g.east(5) is None
+        assert g.south(7) is None
+
+    def test_bad_coords_raise(self):
+        g = Grid2D(2, 2)
+        with pytest.raises(ValueError):
+            g.coords(4)
+        with pytest.raises(ValueError):
+            g.rank(2, 0)
+        with pytest.raises(ValueError):
+            Grid2D(0, 3)
+
+    @given(st.integers(1, 1024))
+    def test_square_grid_exact_factorization(self, size):
+        g = square_grid(size)
+        assert g.size == size
+        assert g.rows <= g.cols
+
+    def test_square_grid_perfect_squares(self):
+        for n in (4, 16, 64, 256, 1024):
+            g = square_grid(n)
+            assert g.rows == g.cols

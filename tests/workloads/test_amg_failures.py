@@ -1,0 +1,141 @@
+"""AMG workload + failure-injection behaviour across the stack."""
+
+import pytest
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.scalatrace import ScalaTraceTracer, Trace
+from repro.simmpi import (
+    DeadlockError,
+    TaskFailedError,
+    ZERO_COST,
+    run_spmd,
+)
+from repro.workloads import AMG, NullTracer, make_workload
+
+
+class TestAMG:
+    def test_registry(self):
+        assert isinstance(make_workload("amg", iterations=2), AMG)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AMG(levels=0)
+
+    def test_runs(self):
+        async def main(ctx):
+            await AMG(fine_points=1 << 10, levels=3, iterations=3).run(
+                ctx, NullTracer(ctx)
+            )
+            return ctx.clock
+
+        res = run_spmd(main, 8, network=ZERO_COST)
+        assert all(c > 0 for c in res.clocks)
+
+    def test_message_sizes_shrink_with_level(self):
+        wl = AMG(fine_points=1 << 12, levels=3)
+        sizes = [wl.level_bytes(lv, 8) for lv in range(3)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_coarse_levels_engage_fewer_ranks(self):
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            await AMG(fine_points=1 << 10, levels=3, iterations=2).run(
+                ctx, tracer
+            )
+            return await tracer.finalize()
+
+        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        from repro.scalatrace import Op
+
+        send_groups = {
+            l.record.participants.count
+            for l in trace.leaves()
+            if l.record.op is Op.ISEND
+        }
+        # fine level: ~all ranks; coarser levels: strided subsets
+        assert len(send_groups) >= 2
+
+    def test_chameleon_on_amg(self):
+        async def main(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=9))
+            await AMG(fine_points=1 << 10, levels=3, iterations=8).run(
+                ctx, tracer
+            )
+            await tracer.finalize()
+            return tracer.cstats
+
+        cs = run_spmd(main, 8, network=ZERO_COST).results[0]
+        assert cs.state_counts.get("clustering", 0) >= 1
+        assert cs.state_counts.get("lead", 0) >= 4
+
+
+class TestFailureInjection:
+    def test_workload_exception_mid_run_is_wrapped(self):
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            with ctx.frame("a"):
+                await tracer.allreduce(0.0)
+            if ctx.rank == 1:
+                raise RuntimeError("injected")
+            with ctx.frame("b"):
+                await tracer.allreduce(0.0)
+
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(main, 4)
+        assert ei.value.rank == 1
+        assert "injected" in str(ei.value.original)
+
+    def test_mismatched_marker_calls_deadlock_detected(self):
+        """A rank skipping the marker breaks the collective vote: the
+        simulator must report a deadlock, not hang."""
+
+        async def main(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=2))
+            for step in range(4):
+                with ctx.frame("k"):
+                    await tracer.allreduce(0.0, size=8)
+                if not (ctx.rank == 2 and step == 2):
+                    await tracer.marker()
+            await tracer.finalize()
+
+        with pytest.raises((DeadlockError, TaskFailedError)):
+            run_spmd(main, 4, max_steps=200_000)
+
+    def test_corrupt_trace_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.st"
+        path.write_text("#scalatrace v1 nprocs=2 origin=0\nev bogus line\n")
+        with pytest.raises(ValueError):
+            Trace.load(str(path))
+
+    def test_truncated_loop_rejected(self, tmp_path):
+        path = tmp_path / "trunc.st"
+        path.write_text("#scalatrace v1 nprocs=2 origin=0\nloop 5 {\n")
+        with pytest.raises(ValueError):
+            Trace.load(str(path))
+
+    def test_replay_of_foreign_nprocs_does_not_crash(self):
+        """Replaying a trace on fewer ranks than recorded drops
+        out-of-range endpoints instead of crashing."""
+
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            for _ in range(3):
+                with ctx.frame("x"):
+                    if ctx.rank + 1 < ctx.size:
+                        await tracer.send(ctx.rank + 1, None, size=16)
+                    if ctx.rank > 0:
+                        await tracer.recv(ctx.rank - 1)
+            return await tracer.finalize()
+
+        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        from repro.replay import replay_trace
+
+        result = replay_trace(trace, nprocs=3)
+        assert result.time >= 0
+
+    def test_engine_survives_tracer_internal_error(self):
+        """A broken cost model surfaces as TaskFailedError with the rank."""
+        from repro.scalatrace import InstrumentationCostModel
+
+        with pytest.raises(ValueError):
+            InstrumentationCostModel(per_event_record=-1.0)

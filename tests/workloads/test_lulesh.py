@@ -1,0 +1,116 @@
+"""LULESH skeleton and the 3-D grid topology behind it."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.scalatrace import Op, ScalaTraceTracer
+from repro.simmpi import Grid3D, ZERO_COST, cube_grid, run_spmd
+from repro.workloads import LULESH, NullTracer, make_workload
+
+
+class TestGrid3D:
+    def test_coords_roundtrip(self):
+        g = Grid3D(3, 3, 3)
+        for rank in range(g.size):
+            assert g.rank(*g.coords(rank)) == rank
+
+    def test_neighbors(self):
+        g = Grid3D(3, 3, 3)
+        center = g.rank(1, 1, 1)
+        assert len(g.face_neighbors(center)) == 6
+        corner = g.rank(0, 0, 0)
+        assert len(g.face_neighbors(corner)) == 3
+        assert g.neighbor(corner, -1, 0, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid3D(0, 2, 2)
+        with pytest.raises(ValueError):
+            Grid3D(2, 2, 2).coords(8)
+        with pytest.raises(ValueError):
+            Grid3D(2, 2, 2).rank(2, 0, 0)
+
+    @given(st.integers(1, 5))
+    def test_cube_grid_exact(self, k):
+        g = cube_grid(k**3)
+        assert (g.nx, g.ny, g.nz) == (k, k, k)
+
+    def test_cube_grid_rejects_non_cubes(self):
+        for bad in (2, 12, 30, 100):
+            with pytest.raises(ValueError):
+                cube_grid(bad)
+
+
+class TestLULESH:
+    def run_app(self, nprocs, **kw):
+        wl = LULESH(edge_elems=6, iterations=3, **kw)
+
+        async def main(ctx):
+            await wl.run(ctx, NullTracer(ctx))
+            return ctx.clock
+
+        return run_spmd(main, nprocs, network=ZERO_COST)
+
+    def test_requires_cube(self):
+        from repro.simmpi import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            self.run_app(6)
+
+    def test_runs_on_cubes(self):
+        for p in (1, 8, 27):
+            res = self.run_app(p)
+            assert all(c > 0 for c in res.clocks)
+
+    def test_registry(self):
+        wl = make_workload("lulesh", edge_elems=4, iterations=2)
+        assert isinstance(wl, LULESH)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LULESH(edge_elems=0)
+
+    def test_trace_structure(self):
+        async def main(ctx):
+            tracer = ScalaTraceTracer(ctx)
+            await LULESH(edge_elems=6, iterations=3).run(ctx, tracer)
+            return await tracer.finalize()
+
+        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        ops = {l.record.op for l in trace.leaves()}
+        assert Op.ISEND in ops and Op.RECV in ops and Op.ALLREDUCE in ops
+        frames = {f for l in trace.leaves() for f in l.record.frames}
+        for name in ("CalcForceForNodes", "LagrangeElements",
+                     "CalcTimeConstraints"):
+            assert any(name in f for f in frames)
+
+    def test_chameleon_clusters_lulesh(self):
+        async def main(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=9))
+            await LULESH(edge_elems=6, iterations=8).run(ctx, tracer)
+            trace = await tracer.finalize()
+            return {"trace": trace, "cstats": tracer.cstats}
+
+        res = run_spmd(main, 8, network=ZERO_COST).results
+        cs = res[0]["cstats"]
+        assert cs.state_counts.get("clustering", 0) == 1
+        assert cs.state_counts.get("lead", 0) >= 5
+        # a 2x2x2 cube: all 8 ranks are corners -> one behaviour class
+        assert cs.num_callpaths == 1
+        trace = res[0]["trace"]
+        covered = set()
+        for l in trace.leaves():
+            covered.update(l.record.participants.ranks())
+        assert covered == set(range(8))
+
+    def test_27_ranks_multiple_classes(self):
+        async def main(ctx):
+            tracer = ChameleonTracer(ctx, ChameleonConfig(k=9))
+            await LULESH(edge_elems=4, iterations=6).run(ctx, tracer)
+            await tracer.finalize()
+            return tracer.cstats
+
+        cs = run_spmd(main, 27, network=ZERO_COST).results[0]
+        # 3x3x3: corner/edge/face/interior classes appear
+        assert cs.num_callpaths > 1

@@ -1,0 +1,86 @@
+"""Synthetic workloads: controlled phase structure and cluster counts."""
+
+import pytest
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.simmpi import ZERO_COST, run_spmd
+from repro.workloads import (
+    AlternatingPhases,
+    BehaviourGroups,
+    UniformCollective,
+    make_workload,
+)
+
+
+def run_chameleon(workload, nprocs, k=4):
+    async def main(ctx):
+        tracer = ChameleonTracer(ctx, ChameleonConfig(k=k))
+        await workload.run(ctx, tracer)
+        await tracer.finalize()
+        return tracer.cstats
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+class TestUniform:
+    def test_single_cluster_and_lead_phase(self):
+        cs = run_chameleon(UniformCollective(iterations=8), 8, k=1)[0]
+        assert cs.num_callpaths == 1
+        assert cs.state_counts["lead"] >= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformCollective(iterations=0)
+
+
+class TestAlternating:
+    def test_forces_reclustering(self):
+        wl = AlternatingPhases(iterations=20, period=5)
+        cs = run_chameleon(wl, 4)[0]
+        base = run_chameleon(UniformCollective(iterations=20), 4)[0]
+        assert cs.reclusterings > base.reclusterings
+
+    def test_period_one_never_stabilizes(self):
+        wl = AlternatingPhases(iterations=10, period=1)
+        cs = run_chameleon(wl, 4)[0]
+        # callpath changes every marker: no online clustering at all
+        assert cs.state_counts.get("clustering", 0) == 0
+        assert cs.state_counts.get("all-tracing", 0) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlternatingPhases(period=0)
+
+
+class TestBehaviourGroups:
+    @pytest.mark.parametrize("groups", [1, 2, 3, 4])
+    def test_callpath_count_scales_with_groups(self, groups):
+        # each group's chain has first/middle/last positional variants, so
+        # the Call-Path classes are between `groups` and `3 * groups`
+        wl = BehaviourGroups(groups=groups, iterations=6)
+        cs = run_chameleon(wl, 8, k=groups)[0]
+        assert groups <= cs.num_callpaths <= 3 * groups
+        # more groups -> at least as many classes
+        if groups > 1:
+            fewer = run_chameleon(
+                BehaviourGroups(groups=groups - 1, iterations=6), 8,
+                k=groups,
+            )[0]
+            assert cs.num_callpaths >= fewer.num_callpaths
+
+    def test_needs_enough_ranks(self):
+        from repro.simmpi import TaskFailedError
+        from repro.workloads import NullTracer
+
+        async def main(ctx):
+            await BehaviourGroups(groups=5, iterations=1).run(
+                ctx, NullTracer(ctx)
+            )
+
+        with pytest.raises(TaskFailedError):
+            run_spmd(main, 3)
+
+    def test_registry_names(self):
+        assert isinstance(make_workload("uniform"), UniformCollective)
+        assert isinstance(make_workload("alternating"), AlternatingPhases)
+        assert isinstance(make_workload("groups"), BehaviourGroups)

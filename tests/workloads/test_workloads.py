@@ -1,0 +1,211 @@
+"""Workload skeletons: structure, determinism, and Chameleon interaction."""
+
+import pytest
+
+from repro.core import ChameleonConfig, ChameleonTracer
+from repro.scalatrace import Op, ScalaTraceTracer
+from repro.simmpi import ZERO_COST, run_spmd
+from repro.workloads import (
+    BT,
+    CG,
+    EMF,
+    LU,
+    LUModified,
+    LUWeak,
+    NullTracer,
+    POP,
+    SP,
+    Sweep3D,
+    UniformCollective,
+    convergence_iters,
+    make_workload,
+    rounds_for,
+    workload_names,
+)
+
+
+def run_app(workload, nprocs):
+    async def main(ctx):
+        await workload.run(ctx, NullTracer(ctx))
+        return ctx.clock
+
+    return run_spmd(main, nprocs, network=ZERO_COST)
+
+
+def run_scalatrace(workload, nprocs):
+    async def main(ctx):
+        tracer = ScalaTraceTracer(ctx)
+        await workload.run(ctx, tracer)
+        return await tracer.finalize()
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results[0]
+
+
+def run_chameleon(workload, nprocs, **cfg):
+    config = ChameleonConfig(**cfg)
+
+    async def main(ctx):
+        tracer = ChameleonTracer(ctx, config)
+        await workload.run(ctx, tracer)
+        trace = await tracer.finalize()
+        return {"trace": trace, "cstats": tracer.cstats}
+
+    return run_spmd(main, nprocs, network=ZERO_COST).results
+
+
+class TestRegistry:
+    def test_names_cover_paper_benchmarks(self):
+        names = workload_names()
+        for required in ("bt", "sp", "lu", "luw", "pop", "sweep3d", "emf"):
+            assert required in names
+
+    def test_make_workload(self):
+        wl = make_workload("bt", problem_class="A", iterations=3)
+        assert isinstance(wl, BT)
+        assert wl.iterations == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_workload("nope")
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: BT(problem_class="A", iterations=3),
+        lambda: SP(problem_class="A", iterations=3),
+        lambda: LU(problem_class="A", iterations=3),
+        lambda: LUWeak(per_rank_grid=8, iterations=3),
+        lambda: CG(problem_class="A", iterations=3),
+        lambda: Sweep3D(nx=8, ny=8, nz=8, iterations=2),
+        lambda: POP(grid_points=64, block=8, iterations=3),
+        lambda: EMF(total_tasks=32),
+        lambda: UniformCollective(iterations=3),
+    ],
+    ids=["bt", "sp", "lu", "luw", "cg", "sweep3d", "pop", "emf", "uniform"],
+)
+class TestAllWorkloadsRun:
+    def test_runs_without_deadlock(self, factory):
+        res = run_app(factory(), 8)
+        assert all(c > 0 for c in res.clocks)
+
+    def test_deterministic(self, factory):
+        a = run_app(factory(), 8)
+        b = run_app(factory(), 8)
+        assert a.clocks == b.clocks
+        assert a.total_messages == b.total_messages
+
+    def test_traceable(self, factory):
+        trace = run_scalatrace(factory(), 8)
+        assert trace is not None
+        assert trace.expanded_count() > 0
+
+
+class TestCommunicationStructure:
+    def test_bt_has_three_solve_phases(self):
+        trace = run_scalatrace(BT(problem_class="A", iterations=4), 4)
+        frames = {f for l in trace.leaves() for f in l.record.frames}
+        for name in ("copy_faces", "x_solve", "y_solve", "z_solve"):
+            assert any(name in f for f in frames)
+
+    def test_lu_wavefront_order(self):
+        # LU must not deadlock even though receives precede sends: the
+        # corner rank kick-starts the wavefront.
+        res = run_app(LU(problem_class="A", iterations=2), 16)
+        assert res.max_time > 0
+
+    def test_lu_compresses_to_constant_size(self):
+        small = run_scalatrace(LU(problem_class="A", iterations=3), 4)
+        large = run_scalatrace(LU(problem_class="A", iterations=9), 4)
+        # PRSD loop compression: 3x the timesteps, same trace skeleton
+        assert large.leaf_count() == small.leaf_count()
+
+    def test_strong_scaling_reduces_per_rank_work(self):
+        t4 = run_app(BT(problem_class="A", iterations=2), 4).max_time
+        t16 = run_app(BT(problem_class="A", iterations=2), 16).max_time
+        assert t16 < t4
+
+    def test_weak_scaling_holds_per_rank_work(self):
+        t4 = run_app(LUWeak(per_rank_grid=8, iterations=2), 4).max_time
+        t16 = run_app(LUWeak(per_rank_grid=8, iterations=2), 16).max_time
+        # weak scaling: roughly constant (communication grows slightly)
+        assert t16 < 2.5 * t4
+
+    def test_sweep3d_wavefront_imbalance_in_histograms(self):
+        trace = run_scalatrace(Sweep3D(nx=8, ny=8, nz=8, iterations=2), 4)
+        hists = [l.record.dhist for l in trace.leaves() if l.record.dhist.total]
+        assert any(h.max > h.min for h in hists)
+
+    def test_pop_irregular_convergence(self):
+        iters = {convergence_iters(s) for s in range(20)}
+        assert len(iters) > 3  # actually irregular
+
+    def test_emf_rounds_match_paper(self):
+        assert rounds_for(126) == 288
+        assert rounds_for(251) == 144
+        assert rounds_for(501) == 72
+        assert rounds_for(1001) == 36
+
+    def test_emf_needs_two_ranks(self):
+        with pytest.raises(Exception):
+            run_app(EMF(total_tasks=8), 1)
+
+    def test_emf_compresses_to_few_prsd_events(self):
+        """Paper: 'intra-compression reduces all MPI events to just 6 PRSD
+        events' — the strided master fan-out and hub worker events."""
+        trace = run_scalatrace(EMF(total_tasks=64), 9)
+        assert trace.leaf_count() <= 8
+        assert trace.expanded_count() > 50
+
+    def test_emf_master_send_pattern(self):
+        trace = run_scalatrace(EMF(total_tasks=64), 9)
+        sends = [
+            l.record
+            for l in trace.leaves()
+            if l.record.op is Op.SEND and 0 in l.record.participants.ranks()
+        ]
+        assert sends
+        master_send = sends[0]
+        p = master_send.dest.pattern
+        assert p is not None and p.stride == 1 and p.length == 8
+
+
+class TestChameleonOnWorkloads:
+    def test_bt_reaches_lead_phase(self):
+        results = run_chameleon(BT(problem_class="A", iterations=10), 16, k=3)
+        cs = results[0]["cstats"]
+        assert cs.state_counts["clustering"] == 1
+        assert cs.state_counts["lead"] >= 6
+
+    def test_lu_modified_forces_reclustering(self):
+        wl = LUModified(problem_class="A", iterations=12, phase_period=4)
+        results = run_chameleon(wl, 4, k=9)
+        cs = results[0]["cstats"]
+        base = run_chameleon(LU(problem_class="A", iterations=12), 4, k=9)[0][
+            "cstats"
+        ]
+        assert cs.reclusterings > base.reclusterings
+
+    def test_pop_clusters_with_dedup_filter(self):
+        wl = POP(grid_points=64, block=8, iterations=8)
+        with_filter = run_chameleon(wl, 4, k=3, signature_filter="dedup")[0][
+            "cstats"
+        ]
+        without = run_chameleon(
+            POP(grid_points=64, block=8, iterations=8), 4, k=3
+        )[0]["cstats"]
+        # irregular convergence: raw sequence signatures never stabilize,
+        # the dedup filter (paper's automatic parameter filter) does
+        assert without.state_counts["clustering"] == 0
+        assert with_filter.state_counts["clustering"] >= 1
+        assert with_filter.num_callpaths <= 3 or with_filter.k_used >= 1
+
+    def test_emf_two_clusters(self):
+        results = run_chameleon(EMF(total_tasks=72), 9, k=2)
+        cs = results[0]["cstats"]
+        assert cs.num_callpaths == 2  # master vs workers (Table I: K=2)
+
+    def test_uniform_single_cluster(self):
+        results = run_chameleon(UniformCollective(iterations=8), 8, k=4)
+        cs = results[0]["cstats"]
+        assert cs.num_callpaths == 1
