@@ -4,6 +4,12 @@ Each bench regenerates one of the paper's tables/figures, prints it, writes
 it under ``benchmarks/results/`` and asserts the paper's *shape* claims
 (who wins, rough factors, crossovers).  ``REPRO_FULL_SCALE=1`` lifts runs
 to paper scale (P up to 1024, full iteration counts).
+
+All benches route through the shared
+:class:`~repro.harness.engine.ExperimentEngine`: previously-computed cells
+are served from the content-addressed run cache, and ``REPRO_JOBS=N`` fans
+cache misses out over worker processes.  A summary of hits/misses is
+printed at the end of the session.
 """
 
 from __future__ import annotations
@@ -12,7 +18,21 @@ import pathlib
 
 import pytest
 
+from repro.harness.engine import configure_engine
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def experiment_engine():
+    """One engine (cache + worker pool) for the whole bench session.
+
+    Configured from the environment: ``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+    ``REPRO_NO_CACHE``.
+    """
+    engine = configure_engine()
+    yield engine
+    print("\n" + engine.metrics.summary())
 
 
 @pytest.fixture(scope="session")

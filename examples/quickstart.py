@@ -79,6 +79,16 @@ def main() -> None:
     trace.save(out)
     print(f"\ntrace written to {out}")
 
+    # The same workflow on a paper benchmark through the stable facade —
+    # one import, cached and parallelizable via the experiment engine:
+    import repro
+
+    result = repro.run("bt", nprocs=4, mode="chameleon",
+                       workload_params={"problem_class": "A", "iterations": 4})
+    roundtrip = repro.replay(repro.load_trace(out))
+    print(f"\nrepro.run('bt'): {result.trace.leaf_count()} PRSD events, "
+          f"repro.replay(load_trace(...)): {roundtrip.time * 1e3:.3f} ms")
+
 
 if __name__ == "__main__":
     main()

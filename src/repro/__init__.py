@@ -12,10 +12,43 @@ Subpackages:
   cluster-wide replay used for the accuracy experiments
 * :mod:`repro.workloads`  — communication skeletons of NPB BT/SP/LU/CG,
   Sweep3D, POP and EMF
-* :mod:`repro.harness`    — experiment runner regenerating every table and
-  figure of the paper's evaluation
+* :mod:`repro.harness`    — experiment engine regenerating every table and
+  figure of the paper's evaluation (parallel workers + on-disk run cache)
+
+The stable entry points live in :mod:`repro.api` and are re-exported here:
+``run``, ``run_experiment``, ``load_trace``, ``replay``, ``compare``.
+Deep imports keep working but :mod:`repro.api` is the committed surface.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from . import api
+from .api import (
+    EXPERIMENTS,
+    Mode,
+    RunResult,
+    Trace,
+    compare,
+    configure_engine,
+    get_engine,
+    load_trace,
+    replay,
+    run,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Mode",
+    "RunResult",
+    "Trace",
+    "__version__",
+    "api",
+    "compare",
+    "configure_engine",
+    "get_engine",
+    "load_trace",
+    "replay",
+    "run",
+    "run_experiment",
+]

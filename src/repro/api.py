@@ -1,0 +1,161 @@
+"""repro.api — the stable, scripting-friendly facade.
+
+One import gives the whole workflow::
+
+    import repro
+
+    result = repro.run("bt", nprocs=16, mode="chameleon")
+    rows, text = repro.run_experiment("table2")
+    trace = repro.load_trace("bt.st")
+    replayed = repro.replay(trace)
+    diff = repro.compare("a.st", "b.st")
+
+Everything here is re-exported from the top-level :mod:`repro` package.
+The deep import paths (``repro.harness.runner``, ``repro.scalatrace.trace``,
+…) keep working, but new code should prefer this module: it is the surface
+the project commits to keeping stable.
+
+All execution routes through the process-wide
+:class:`~repro.harness.engine.ExperimentEngine`, so api calls share the
+same worker pool and content-addressed run cache as the CLI and the
+benchmark suite; tune it with :func:`configure_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .harness import figures, tables
+from .harness.engine import (
+    ExperimentEngine,
+    configure_engine,
+    get_engine,
+    make_cell,
+)
+from .harness.runner import Mode, RunResult, overhead
+from .replay.replayer import ReplayResult, replay_trace
+from .scalatrace.difftool import TraceDiff, diff_traces
+from .scalatrace.trace import Trace
+from .simmpi.timing import NetworkModel, QDR_CLUSTER
+
+#: Every paper artifact regenerable via :func:`run_experiment` / the CLI.
+EXPERIMENTS: dict[str, Callable[[], tuple]] = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig4": figures.figure4,
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentEngine",
+    "Mode",
+    "RunResult",
+    "Trace",
+    "compare",
+    "configure_engine",
+    "get_engine",
+    "load_trace",
+    "overhead",
+    "replay",
+    "run",
+    "run_experiment",
+]
+
+
+def run(
+    workload: str,
+    nprocs: int = 16,
+    mode: Mode | str = Mode.CHAMELEON,
+    *,
+    workload_params: dict[str, Any] | None = None,
+    call_frequency: int = 1,
+    config_overrides: dict[str, Any] | None = None,
+    network: NetworkModel = QDR_CLUSTER,
+    engine: ExperimentEngine | None = None,
+) -> RunResult:
+    """Run one ``(workload, nprocs, mode)`` cell and return its result.
+
+    The workload is named as in ``repro.workloads.make_workload``; the
+    paper's per-workload configuration (Table I's K, POP's signature
+    filter) is derived automatically and adjusted via
+    ``config_overrides``.  Results are cached and may be computed by the
+    engine's worker pool.
+    """
+    engine = engine or get_engine()
+    cell = make_cell(
+        workload,
+        nprocs,
+        Mode(mode) if not isinstance(mode, Mode) else mode,
+        workload_params=workload_params,
+        call_frequency=call_frequency,
+        config_overrides=config_overrides,
+        network=network,
+    )
+    (result,) = engine.run_cells([cell])
+    return result
+
+
+def run_experiment(
+    name: str, *, engine: ExperimentEngine | None = None
+) -> tuple[Any, str]:
+    """Regenerate one paper artifact: ``(rows, rendered_text)``.
+
+    ``name`` is one of :data:`EXPERIMENTS` (``table1``-``table4``,
+    ``fig4``-``fig11``).  Passing ``engine`` temporarily installs it as
+    the process default for the duration of the call.
+    """
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    if engine is None:
+        return fn()
+    import repro.harness.engine as _engine_mod
+
+    previous = _engine_mod._DEFAULT_ENGINE
+    _engine_mod._DEFAULT_ENGINE = engine
+    try:
+        return fn()
+    finally:
+        _engine_mod._DEFAULT_ENGINE = previous
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace file written by ``Trace.save`` / ``repro run -o``."""
+    return Trace.load(path)
+
+
+def _as_trace(trace: Trace | str) -> Trace:
+    return trace if isinstance(trace, Trace) else Trace.load(trace)
+
+
+def replay(
+    trace: Trace | str,
+    nprocs: int | None = None,
+    *,
+    network: NetworkModel = QDR_CLUSTER,
+    timing: str = "mean",
+    seed: int = 0x5CA1AB1E,
+) -> ReplayResult:
+    """Replay a trace (object or file path) on the simulated runtime."""
+    return replay_trace(
+        _as_trace(trace), nprocs=nprocs, network=network, timing=timing,
+        seed=seed,
+    )
+
+
+def compare(a: Trace | str, b: Trace | str) -> TraceDiff:
+    """Semantically diff two traces (objects or file paths)."""
+    return diff_traces(_as_trace(a), _as_trace(b))

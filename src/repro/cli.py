@@ -7,39 +7,70 @@ Usage (installed as a module)::
     python -m repro info bt.st
     python -m repro replay bt.st
     python -m repro experiment table2
-    python -m repro experiment fig4
+    python -m repro experiment fig4 --jobs 4
 
 ``experiment`` regenerates one of the paper's tables/figures and prints the
-same rows the paper reports (see EXPERIMENTS.md for the mapping).
+same rows the paper reports (see EXPERIMENTS.md for the mapping).  ``run``
+and ``experiment`` share the process-wide experiment engine: ``--jobs N``
+fans cells out over worker processes, and a content-addressed run cache
+(``--cache-dir``, disable with ``--no-cache``) makes re-invocations serve
+previously-computed cells from disk.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Sequence
 
+from .api import EXPERIMENTS as _EXPERIMENTS
 from .harness import Mode, overhead, run_suite
-from .harness import figures, tables
+from .harness.engine import CellEvent, ExperimentEngine, configure_engine
 from .replay import accuracy, replay_trace
 from .scalatrace.analysis import communication_matrix, hotspots, summarize
 from .scalatrace.trace import Trace
-from .workloads.registry import make_workload, workload_names
+from .workloads.registry import workload_names
 
-_EXPERIMENTS: dict[str, Callable[[], tuple]] = {
-    "table1": tables.table1,
-    "table2": tables.table2,
-    "table3": tables.table3,
-    "table4": tables.table4,
-    "fig4": figures.figure4,
-    "fig5": figures.figure5,
-    "fig6": figures.figure6,
-    "fig7": figures.figure7,
-    "fig8": figures.figure8,
-    "fig9": figures.figure9,
-    "fig10": figures.figure10,
-    "fig11": figures.figure11,
-}
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for experiment cells "
+        "(default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk run cache for this invocation",
+    )
+    parser.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="run cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-cell progress (hit/start/done) to stderr",
+    )
+
+
+def _progress_printer(event: CellEvent) -> None:
+    if event.kind == "scheduled":
+        return
+    wall = f" [{event.wall:.2f}s]" if event.kind == "done" else ""
+    print(f"[engine] {event.kind:>5s} {event.label}{wall}", file=sys.stderr)
+
+
+def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
+    if args.cache_dir and Path(args.cache_dir).is_file():
+        raise SystemExit(
+            f"error: --cache-dir {args.cache_dir!r} is a file, not a directory"
+        )
+    return configure_engine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+        no_cache=True if args.no_cache else None,
+        progress=_progress_printer if args.progress else None,
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -53,7 +84,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _engine_from(args)
     mode = Mode(args.mode)
+    if args.output and mode is Mode.APP:
+        print(
+            "warning: --output ignored — APP mode runs uninstrumented "
+            "and produces no trace; pick a tracing mode "
+            "(chameleon/scalatrace/acurdion) to save one",
+            file=sys.stderr,
+        )
     params = {}
     if args.problem_class:
         params["problem_class"] = args.problem_class
@@ -80,6 +119,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.output:
                 result.trace.save(args.output)
                 print(f"written to {args.output}")
+        elif args.output:
+            print(
+                f"warning: --output ignored — the {mode.value} run "
+                "produced no trace",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -148,8 +193,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    engine = _engine_from(args)
     rows, text = fn()
     print(text)
+    print(engine.metrics.summary())
     if args.export:
         from .harness.export import save_rows
 
@@ -184,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iterations", type=int, default=0)
     p_run.add_argument("--call-frequency", type=int, default=1)
     p_run.add_argument("-o", "--output", default="", help="save trace here")
+    _add_engine_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_info = sub.add_parser("info", help="summarize a trace file")
@@ -222,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", default="",
         help="also write the rows to this .json or .csv file",
     )
+    _add_engine_flags(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
     return parser

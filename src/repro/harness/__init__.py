@@ -1,10 +1,23 @@
 """repro.harness — experiment harness regenerating the paper's evaluation.
 
-``runner`` executes (workload, P, mode) combinations; ``tables`` and
-``figures`` regenerate Tables I-IV and Figures 4-11; ``reporting`` renders
-the ASCII tables the bench targets print.
+``engine`` schedules deterministic experiment cells over worker processes
+with a content-addressed on-disk cache (``cache``); ``runner`` executes one
+(workload, P, mode) combination; ``tables`` and ``figures`` regenerate
+Tables I-IV and Figures 4-11 through the engine; ``reporting`` renders the
+ASCII tables the bench targets print.
 """
 
+from .cache import CACHE_SCHEMA_VERSION, CacheStats, RunCache, code_fingerprint
+from .engine import (
+    Cell,
+    CellEvent,
+    EngineMetrics,
+    ExperimentEngine,
+    configure_engine,
+    get_engine,
+    make_cell,
+    make_suite_cells,
+)
 from .export import rows_to_csv, rows_to_json, save_rows
 from .metrics import OverheadBreakdown, breakdown, overhead_fraction, state_space_summary
 from .reporting import ascii_bars, fmt, percent, render_table
@@ -21,16 +34,28 @@ from .runner import (
 from . import figures, tables
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "Cell",
+    "CellEvent",
+    "EngineMetrics",
+    "ExperimentEngine",
     "Mode",
     "OverheadBreakdown",
+    "RunCache",
     "RunResult",
     "ascii_bars",
     "breakdown",
     "chameleon_config_for",
+    "code_fingerprint",
+    "configure_engine",
     "default_p_list",
     "figures",
     "fmt",
     "full_scale",
+    "get_engine",
+    "make_cell",
+    "make_suite_cells",
     "overhead",
     "overhead_fraction",
     "percent",

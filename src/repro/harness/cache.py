@@ -1,0 +1,223 @@
+"""Content-addressed on-disk cache for experiment runs.
+
+Every experiment cell — one ``(workload, params, warmup, nprocs, mode,
+config, network)`` combination — is deterministic, so its
+:class:`~repro.harness.runner.RunResult` can be stored once and replayed
+from disk forever.  The cache key is a SHA-256 digest over
+
+* a canonical rendering of the cell (workload name + params, warmup
+  profile, process count, mode, every ``ChameleonConfig`` field including
+  the cost model, every ``NetworkModel`` field), and
+* the cache **schema version** plus a **code fingerprint** (a digest of
+  every ``repro`` source file), so editing the simulator or bumping
+  :data:`CACHE_SCHEMA_VERSION` cold-starts the cache instead of serving
+  stale results.
+
+Layout on disk (everything under one root, default ``.repro-cache`` or
+``$REPRO_CACHE_DIR``)::
+
+    <root>/v<schema>-<fingerprint12>/<digest[:2]>/<digest>.pkl
+
+Entries are pickles of ``{"schema", "digest", "result"}``; a corrupt,
+truncated, or mismatching entry is deleted on read and counted as an
+invalidation, never returned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Bump whenever the semantics of a run change in a way the digest inputs
+#: cannot see (e.g. a new RunResult field with behavioural meaning).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache root directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache entirely when set to "1".
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+# ---------------------------------------------------------------------------
+# canonical rendering + digests
+# ---------------------------------------------------------------------------
+
+
+def canonical(obj: Any) -> str:
+    """A stable, order-independent textual form of ``obj`` for hashing.
+
+    Dataclasses render as ``Name(field=..., ...)`` in field order, dicts
+    and sets sort their members, enums render by name — so two logically
+    equal cells always hash identically regardless of construction order.
+    """
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = ",".join(
+            f"{f.name}={canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({body})"
+    if isinstance(obj, dict):
+        body = ",".join(
+            f"{canonical(k)}:{canonical(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "{" + body + "}"
+    if isinstance(obj, (list, tuple)):
+        return "(" + ",".join(canonical(v) for v in obj) + ")"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical(v) for v in obj)) + "}"
+    if isinstance(obj, float):
+        return repr(obj)
+    return repr(obj)
+
+
+def digest_of(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``obj``."""
+    return hashlib.sha256(canonical(obj).encode("utf-8")).hexdigest()
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Folding the package sources into the cache namespace means a code
+    change — new cost constants, a fixed clustering bug — silently starts
+    a fresh cache generation rather than replaying stale results.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(path.read_bytes())
+        _CODE_FINGERPRINT = h.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the working dir."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or ".repro-cache")
+
+
+def cache_disabled_by_env() -> bool:
+    return os.environ.get(ENV_NO_CACHE, "0") == "1"
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Counters one :class:`RunCache` accumulates over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0  # corrupt / schema-mismatched entries deleted
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class RunCache:
+    """Content-addressed pickle store for :class:`RunResult` objects."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        schema: int = CACHE_SCHEMA_VERSION,
+        fingerprint: str | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.schema = schema
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = CacheStats()
+
+    @property
+    def generation(self) -> str:
+        """Directory name of the current (schema, code) generation."""
+        return f"v{self.schema}-{self.fingerprint[:12]}"
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / self.generation / digest[:2] / f"{digest}.pkl"
+
+    # -- read/write --------------------------------------------------------
+
+    def get(self, digest: str) -> Any | None:
+        """The cached result for ``digest``, or None on miss/invalid."""
+        path = self.path_for(digest)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != self.schema
+                or payload.get("digest") != digest
+            ):
+                raise ValueError("cache entry does not match its key")
+            self.stats.hits += 1
+            return payload["result"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # corrupt / truncated / stale-schema entry: remove and miss
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, digest: str, result: Any) -> Path:
+        """Atomically store ``result`` under ``digest``."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": self.schema, "digest": digest, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Every entry of the current generation."""
+        gen = self.root / self.generation
+        return sorted(gen.rglob("*.pkl")) if gen.is_dir() else []
+
+    def clear(self) -> int:
+        """Delete the current generation's entries; returns the count."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,494 @@
+"""ExperimentEngine: one scheduler and one cache for every experiment cell.
+
+The paper's artifacts (Tables I-IV, Figures 4-11) decompose into *cells*,
+each one deterministic ``(workload, params, warmup, nprocs, mode, config,
+network)`` combination.  Historically every table/figure generator re-ran
+its own serial loop, repeating identical simulations dozens of times —
+exactly the redundancy Chameleon itself collapses across ranks.  The
+engine fixes that at the harness level:
+
+* **Declarative cells** (:class:`Cell`) carry everything needed to rebuild
+  and execute a run, so they pickle cleanly across process boundaries and
+  hash stably for the cache.
+* **Fan-out**: cache misses execute on a ``ProcessPoolExecutor`` when
+  ``jobs > 1``.  Runs share no state and are deterministic, so parallel
+  results are identical to serial ones (asserted by the test-suite via
+  ``RunResult.fingerprint``).
+* **Content-addressed caching** (:mod:`repro.harness.cache`): a second
+  invocation of the same experiment serves its cells from disk.
+* **Structured progress/metrics**: every scheduled/hit/executed cell is
+  reported through an optional callback and aggregated in
+  :class:`EngineMetrics` for the CLI and benchmarks.
+
+Suites built through :func:`make_suite_cells` construct the workload and
+``ChameleonConfig`` exactly once, so a ``config_overrides``-derived config
+can never drift between the modes of one suite (all cells of a suite share
+a ``suite_key``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.config import ChameleonConfig
+from ..simmpi.timing import NetworkModel, QDR_CLUSTER
+from ..workloads.base import Workload
+from ..workloads.registry import make_workload
+from .cache import (
+    RunCache,
+    cache_disabled_by_env,
+    default_cache_dir,
+    digest_of,
+)
+from .runner import Mode, RunResult, chameleon_config_for, run_mode
+
+#: Environment variable for the default worker count (0 = all cores).
+ENV_JOBS = "REPRO_JOBS"
+
+
+# ---------------------------------------------------------------------------
+# cells
+# ---------------------------------------------------------------------------
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable, picklable form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One deterministic experiment unit, fully described by value.
+
+    ``params`` is the frozen ``make_workload`` keyword dict; the workload
+    itself is rebuilt from it inside whichever process executes the cell,
+    so cells travel across worker boundaries without pickling stateful
+    workload objects.
+    """
+
+    workload: str
+    params: tuple[tuple[str, Any], ...]
+    warmup: tuple[int, ...]
+    nprocs: int
+    mode: Mode
+    config: ChameleonConfig
+    network: NetworkModel
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/P={self.nprocs}/{self.mode.value}"
+
+    def digest(self) -> str:
+        """Content address of this cell (see :mod:`repro.harness.cache`).
+
+        APP runs ignore the tracer configuration entirely, so their digest
+        normalizes ``config`` away — every suite over the same workload
+        shares one cached baseline regardless of marker frequency.
+        """
+        config = None if self.mode is Mode.APP else self.config
+        return digest_of(
+            (
+                "cell",
+                self.workload,
+                self.params,
+                self.warmup,
+                self.nprocs,
+                self.mode,
+                config,
+                self.network,
+            )
+        )
+
+    def suite_key(self) -> str:
+        """Digest of everything but the mode — equal across one suite."""
+        return digest_of(
+            (
+                "suite",
+                self.workload,
+                self.params,
+                self.warmup,
+                self.nprocs,
+                self.config,
+                self.network,
+            )
+        )
+
+    def build_workload(self) -> Workload:
+        workload = make_workload(self.workload, **dict(self.params))
+        if self.warmup:
+            workload.warmup_profile = tuple(self.warmup)
+        return workload
+
+
+def make_cell(
+    workload_name: str,
+    nprocs: int,
+    mode: Mode,
+    *,
+    workload_params: dict[str, Any] | None = None,
+    call_frequency: int = 1,
+    config_overrides: dict[str, Any] | None = None,
+    config: ChameleonConfig | None = None,
+    network: NetworkModel = QDR_CLUSTER,
+    warmup: Sequence[int] | None = None,
+) -> Cell:
+    """Build one cell, deriving the paper's config from the workload."""
+    params = dict(workload_params or {})
+    if config is None:
+        workload = make_workload(workload_name, **params)
+        config = chameleon_config_for(
+            workload, call_frequency=call_frequency, **(config_overrides or {})
+        )
+    return Cell(
+        workload=workload_name,
+        params=_freeze(params),
+        warmup=tuple(warmup or ()),
+        nprocs=nprocs,
+        mode=mode,
+        config=config,
+        network=network,
+    )
+
+
+def make_suite_cells(
+    workload_name: str,
+    nprocs: int,
+    modes: Sequence[Mode] = (Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+    *,
+    workload_params: dict[str, Any] | None = None,
+    call_frequency: int = 1,
+    config_overrides: dict[str, Any] | None = None,
+    network: NetworkModel = QDR_CLUSTER,
+    warmup: Sequence[int] | None = None,
+) -> list[Cell]:
+    """Cells for one suite: workload and config constructed exactly once.
+
+    All modes share one ``ChameleonConfig`` instance derived before the
+    mode loop, which is asserted via the shared ``suite_key`` — the drift
+    the old per-mode reconstruction allowed is structurally impossible.
+    """
+    params = dict(workload_params or {})
+    workload = make_workload(workload_name, **params)
+    config = chameleon_config_for(
+        workload, call_frequency=call_frequency, **(config_overrides or {})
+    )
+    cells = [
+        Cell(
+            workload=workload_name,
+            params=_freeze(params),
+            warmup=tuple(warmup or ()),
+            nprocs=nprocs,
+            mode=mode,
+            config=config,
+            network=network,
+        )
+        for mode in modes
+    ]
+    keys = {cell.suite_key() for cell in cells}
+    assert len(keys) == 1, f"suite cells drifted apart: {sorted(keys)}"
+    return cells
+
+
+def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
+    """Worker entry point: rebuild the workload and run the cell."""
+    start = time.perf_counter()
+    result = run_mode(
+        cell.build_workload(),
+        cell.nprocs,
+        cell.mode,
+        config=cell.config,
+        network=cell.network,
+    )
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# progress + metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One structured progress notification from the engine.
+
+    ``kind`` is one of ``scheduled`` / ``hit`` / ``start`` / ``done``;
+    ``index``/``total`` position the cell within its batch, ``wall`` is
+    the execution wall-time (``done`` events only).
+    """
+
+    kind: str
+    label: str
+    digest: str
+    index: int
+    total: int
+    wall: float = 0.0
+
+
+ProgressFn = Callable[[CellEvent], None]
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative counters across every batch an engine has run."""
+
+    scheduled: int = 0  # cells requested (incl. within-batch duplicates)
+    deduped: int = 0  # duplicates collapsed inside a batch
+    hits: int = 0  # unique cells served from the cache
+    executed: int = 0  # unique cells actually simulated
+    batches: int = 0
+    total_wall: float = 0.0  # wall-clock across batches
+    cell_walls: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def misses(self) -> int:
+        return self.executed
+
+    def hit_rate(self) -> float:
+        """Fraction of unique cells served from cache (0 when idle)."""
+        looked_up = self.hits + self.executed
+        return self.hits / looked_up if looked_up else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scheduled": self.scheduled,
+            "deduped": self.deduped,
+            "hits": self.hits,
+            "executed": self.executed,
+            "batches": self.batches,
+            "total_wall": self.total_wall,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"engine: {self.scheduled} cells scheduled"
+            f" ({self.deduped} deduplicated) | "
+            f"{self.hits} cache hits | {self.executed} executed | "
+            f"hit rate {100 * self.hit_rate():.0f}% | "
+            f"wall {self.total_wall:.2f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Schedules experiment cells over workers with an on-disk cache.
+
+    Args:
+        jobs: worker processes for cache misses; ``1`` runs inline,
+            ``0`` means "all cores".
+        cache: a :class:`RunCache`, or None to disable caching.
+        progress: optional callback receiving :class:`CellEvent`\\ s.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+        self.metrics = EngineMetrics()
+
+    # -- scheduling --------------------------------------------------------
+
+    def _emit(self, event: CellEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+        """Execute a batch, resolving duplicates and cache hits first.
+
+        Returns results positionally aligned with ``cells``.  Identical
+        cells (same digest) within the batch are simulated once and the
+        result shared; order of the returned list is deterministic and
+        independent of worker completion order.
+        """
+        started = time.perf_counter()
+        total = len(cells)
+        self.metrics.batches += 1
+        self.metrics.scheduled += total
+
+        by_digest: dict[str, list[int]] = {}
+        for i, cell in enumerate(cells):
+            by_digest.setdefault(cell.digest(), []).append(i)
+            self._emit(CellEvent("scheduled", cells[i].label,
+                                 cells[i].digest(), i, total))
+        self.metrics.deduped += total - len(by_digest)
+
+        results: list[RunResult | None] = [None] * total
+        pending: list[tuple[str, Cell]] = []
+        for digest, indices in by_digest.items():
+            cell = cells[indices[0]]
+            hit = self.cache.get(digest) if self.cache is not None else None
+            if hit is not None:
+                self.metrics.hits += 1
+                self._emit(CellEvent("hit", cell.label, digest,
+                                     indices[0], total))
+                for i in indices:
+                    results[i] = hit
+            else:
+                pending.append((digest, cell))
+
+        if pending:
+            self._execute_pending(pending, by_digest, results, total)
+
+        self.metrics.total_wall += time.perf_counter() - started
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _execute_pending(
+        self,
+        pending: list[tuple[str, Cell]],
+        by_digest: dict[str, list[int]],
+        results: list[RunResult | None],
+        total: int,
+    ) -> None:
+        def complete(digest: str, result: RunResult, wall: float) -> None:
+            cell_indices = by_digest[digest]
+            cell = pending_map[digest]
+            if self.cache is not None:
+                self.cache.put(digest, result)
+            self.metrics.executed += 1
+            self.metrics.cell_walls.append((cell.label, wall))
+            self._emit(CellEvent("done", cell.label, digest,
+                                 cell_indices[0], total, wall))
+            for i in cell_indices:
+                results[i] = result
+
+        pending_map = {digest: cell for digest, cell in pending}
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for digest, cell in pending:
+                    self._emit(CellEvent("start", cell.label, digest,
+                                         by_digest[digest][0], total))
+                    futures[pool.submit(_execute_cell, cell)] = digest
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        result, wall = fut.result()  # re-raises worker errors
+                        complete(futures[fut], result, wall)
+        else:
+            for digest, cell in pending:
+                self._emit(CellEvent("start", cell.label, digest,
+                                     by_digest[digest][0], total))
+                result, wall = _execute_cell(cell)
+                complete(digest, result, wall)
+
+    # -- convenience entry points -----------------------------------------
+
+    def run_suite(
+        self,
+        workload_name: str,
+        nprocs: int,
+        modes: Sequence[Mode] = (Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+        workload_params: dict[str, Any] | None = None,
+        call_frequency: int = 1,
+        config_overrides: dict[str, Any] | None = None,
+        network: NetworkModel = QDR_CLUSTER,
+    ) -> dict[Mode, RunResult]:
+        """Run one workload under several modes (one config for all)."""
+        cells = make_suite_cells(
+            workload_name,
+            nprocs,
+            modes,
+            workload_params=workload_params,
+            call_frequency=call_frequency,
+            config_overrides=config_overrides,
+            network=network,
+        )
+        results = self.run_cells(cells)
+        return {cell.mode: result for cell, result in zip(cells, results)}
+
+    def run_suite_groups(
+        self, groups: Sequence[Sequence[Cell]]
+    ) -> list[dict[Mode, RunResult]]:
+        """Run many suites as one flat batch (maximal fan-out), then
+        regroup the results per suite in input order."""
+        flat = [cell for group in groups for cell in group]
+        results = self.run_cells(flat)
+        out: list[dict[Mode, RunResult]] = []
+        cursor = 0
+        for group in groups:
+            out.append(
+                {
+                    cell.mode: results[cursor + offset]
+                    for offset, cell in enumerate(group)
+                }
+            )
+            cursor += len(group)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default engine (what the CLI and generators share)
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: ExperimentEngine | None = None
+
+
+def _env_jobs() -> int:
+    try:
+        return int(os.environ.get(ENV_JOBS, "1"))
+    except ValueError:
+        return 1
+
+
+def get_engine() -> ExperimentEngine:
+    """The process-wide engine every generator routes through.
+
+    Created on first use from the environment (``REPRO_JOBS``,
+    ``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE``); reconfigure it with
+    :func:`configure_engine`.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine(
+            jobs=_env_jobs(),
+            cache=None if cache_disabled_by_env() else RunCache(),
+        )
+    return _DEFAULT_ENGINE
+
+
+def configure_engine(
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool | None = None,
+    progress: ProgressFn | None = None,
+) -> ExperimentEngine:
+    """Install (and return) a new default engine.
+
+    Unspecified arguments fall back to the environment: ``REPRO_JOBS``,
+    ``REPRO_CACHE_DIR`` and ``REPRO_NO_CACHE``.
+    """
+    global _DEFAULT_ENGINE
+    if no_cache is None:
+        no_cache = cache_disabled_by_env()
+    cache = None if no_cache else RunCache(cache_dir or default_cache_dir())
+    _DEFAULT_ENGINE = ExperimentEngine(
+        jobs=_env_jobs() if jobs is None else jobs,
+        cache=cache,
+        progress=progress,
+    )
+    return _DEFAULT_ENGINE

@@ -13,18 +13,10 @@ from typing import Any
 from ..replay.accuracy import AccuracyReport
 from ..replay.replayer import replay_trace
 from ..simmpi.timing import QDR_CLUSTER
-from ..workloads.registry import make_workload
+from .engine import get_engine, make_cell, make_suite_cells
 from .metrics import breakdown
 from .reporting import percent, render_table
-from .runner import (
-    Mode,
-    chameleon_config_for,
-    default_p_list,
-    full_scale,
-    overhead,
-    run_mode,
-    run_suite,
-)
+from .runner import Mode, default_p_list, full_scale, overhead
 
 #: strong-scaling benchmarks of Figure 4/5 with quick-mode parameters
 STRONG_BENCHMARKS: dict[str, dict[str, Any]] = {
@@ -65,33 +57,47 @@ def _freq_for(name: str) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _strong_suites(
+    benchmarks: list[str], p_list: list[int]
+) -> list[tuple[str, int, dict]]:
+    """All (benchmark, P) suites of Figures 4/5 as one engine batch."""
+    combos = [
+        (name, p)
+        for name in benchmarks
+        for p in p_list
+        if not (name == "emf" and p < 2)
+    ]
+    groups = [
+        make_suite_cells(
+            name,
+            p,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=_params_for(name),
+            call_frequency=_freq_for(name),
+        )
+        for name, p in combos
+    ]
+    suites = get_engine().run_suite_groups(groups)
+    return [(name, p, suite) for (name, p), suite in zip(combos, suites)]
+
+
 def figure4(
     benchmarks: list[str] | None = None, p_list: list[int] | None = None
 ) -> tuple[list[dict], str]:
     benchmarks = benchmarks or list(STRONG_BENCHMARKS)
     p_list = p_list or default_p_list()
     rows = []
-    for name in benchmarks:
-        for p in p_list:
-            if name == "emf" and p < 2:
-                continue
-            suite = run_suite(
-                name,
-                p,
-                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
-                workload_params=_params_for(name),
-                call_frequency=_freq_for(name),
-            )
-            app = suite[Mode.APP]
-            rows.append(
-                {
-                    "benchmark": name,
-                    "P": p,
-                    "app_time": app.total_time,
-                    "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
-                    "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
-                }
-            )
+    for name, p, suite in _strong_suites(benchmarks, p_list):
+        app = suite[Mode.APP]
+        rows.append(
+            {
+                "benchmark": name,
+                "P": p,
+                "app_time": app.total_time,
+                "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
+                "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
+            }
+        )
     text = render_table(
         ["bench", "P", "APP total [s]", "Chameleon ovh [s]",
          "ScalaTrace ovh [s]", "ST/CH"],
@@ -118,39 +124,29 @@ def figure5(
     benchmarks = benchmarks or list(STRONG_BENCHMARKS)
     p_list = p_list or default_p_list()
     rows = []
-    for name in benchmarks:
-        for p in p_list:
-            if name == "emf" and p < 2:
-                continue
-            suite = run_suite(
-                name,
-                p,
-                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
-                workload_params=_params_for(name),
-                call_frequency=_freq_for(name),
-            )
-            st_trace = suite[Mode.SCALATRACE].trace
-            ch_trace = suite[Mode.CHAMELEON].trace
-            assert st_trace is not None and ch_trace is not None
-            st_replay = replay_trace(st_trace, nprocs=p, network=QDR_CLUSTER)
-            ch_replay = replay_trace(ch_trace, nprocs=p, network=QDR_CLUSTER)
-            report = AccuracyReport(
-                app_time=suite[Mode.APP].max_time,
-                scalatrace_replay_time=st_replay.time,
-                chameleon_replay_time=ch_replay.time,
-            )
-            rows.append(
-                {
-                    "benchmark": name,
-                    "P": p,
-                    "app": report.app_time,
-                    "replay_scalatrace": report.scalatrace_replay_time,
-                    "replay_chameleon": report.chameleon_replay_time,
-                    "acc_vs_app": report.chameleon_vs_app,
-                    "acc_vs_scalatrace": report.chameleon_vs_scalatrace,
-                    "dropped_p2p": ch_replay.stats.p2p_dropped,
-                }
-            )
+    for name, p, suite in _strong_suites(benchmarks, p_list):
+        st_trace = suite[Mode.SCALATRACE].trace
+        ch_trace = suite[Mode.CHAMELEON].trace
+        assert st_trace is not None and ch_trace is not None
+        st_replay = replay_trace(st_trace, nprocs=p, network=QDR_CLUSTER)
+        ch_replay = replay_trace(ch_trace, nprocs=p, network=QDR_CLUSTER)
+        report = AccuracyReport(
+            app_time=suite[Mode.APP].max_time,
+            scalatrace_replay_time=st_replay.time,
+            chameleon_replay_time=ch_replay.time,
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "P": p,
+                "app": report.app_time,
+                "replay_scalatrace": report.scalatrace_replay_time,
+                "replay_chameleon": report.chameleon_replay_time,
+                "acc_vs_app": report.chameleon_vs_app,
+                "acc_vs_scalatrace": report.chameleon_vs_scalatrace,
+                "dropped_p2p": ch_replay.stats.p2p_dropped,
+            }
+        )
     text = render_table(
         ["bench", "P", "APP [s]", "ST replay [s]", "CH replay [s]",
          "ACC vs APP", "ACC vs ST"],
@@ -184,29 +180,42 @@ def _weak_workloads() -> dict[str, dict[str, Any]]:
     }
 
 
+def _weak_suites(p_list: list[int]) -> list[tuple[str, int, dict]]:
+    """All weak-scaling suites of Figures 6/7 as one engine batch."""
+    combos = [
+        (name, params, p)
+        for name, params in _weak_workloads().items()
+        for p in p_list
+    ]
+    groups = [
+        make_suite_cells(
+            name,
+            p,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=params,
+            call_frequency=3 if name == "luw" else 1,
+        )
+        for name, params, p in combos
+    ]
+    suites = get_engine().run_suite_groups(groups)
+    return [(name, p, suite)
+            for (name, _params, p), suite in zip(combos, suites)]
+
+
 def figure6(p_list: list[int] | None = None) -> tuple[list[dict], str]:
     p_list = p_list or default_p_list()
     rows = []
-    for name, params in _weak_workloads().items():
-        freq = 3 if name == "luw" else 1
-        for p in p_list:
-            suite = run_suite(
-                name,
-                p,
-                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
-                workload_params=params,
-                call_frequency=freq,
-            )
-            app = suite[Mode.APP]
-            rows.append(
-                {
-                    "benchmark": name,
-                    "P": p,
-                    "app_time": app.total_time,
-                    "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
-                    "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
-                }
-            )
+    for name, p, suite in _weak_suites(p_list):
+        app = suite[Mode.APP]
+        rows.append(
+            {
+                "benchmark": name,
+                "P": p,
+                "app_time": app.total_time,
+                "chameleon_overhead": overhead(suite[Mode.CHAMELEON], app),
+                "scalatrace_overhead": overhead(suite[Mode.SCALATRACE], app),
+            }
+        )
     text = render_table(
         ["bench", "P", "APP total [s]", "Chameleon ovh [s]",
          "ScalaTrace ovh [s]", "ST/CH"],
@@ -225,33 +234,24 @@ def figure6(p_list: list[int] | None = None) -> tuple[list[dict], str]:
 def figure7(p_list: list[int] | None = None) -> tuple[list[dict], str]:
     p_list = p_list or default_p_list()
     rows = []
-    for name, params in _weak_workloads().items():
-        freq = 3 if name == "luw" else 1
-        for p in p_list:
-            suite = run_suite(
-                name,
-                p,
-                modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
-                workload_params=params,
-                call_frequency=freq,
-            )
-            st_replay = replay_trace(suite[Mode.SCALATRACE].trace, nprocs=p)
-            ch_replay = replay_trace(suite[Mode.CHAMELEON].trace, nprocs=p)
-            report = AccuracyReport(
-                app_time=suite[Mode.APP].max_time,
-                scalatrace_replay_time=st_replay.time,
-                chameleon_replay_time=ch_replay.time,
-            )
-            rows.append(
-                {
-                    "benchmark": name,
-                    "P": p,
-                    "app": report.app_time,
-                    "replay_scalatrace": report.scalatrace_replay_time,
-                    "replay_chameleon": report.chameleon_replay_time,
-                    "acc_vs_app": report.chameleon_vs_app,
-                }
-            )
+    for name, p, suite in _weak_suites(p_list):
+        st_replay = replay_trace(suite[Mode.SCALATRACE].trace, nprocs=p)
+        ch_replay = replay_trace(suite[Mode.CHAMELEON].trace, nprocs=p)
+        report = AccuracyReport(
+            app_time=suite[Mode.APP].max_time,
+            scalatrace_replay_time=st_replay.time,
+            chameleon_replay_time=ch_replay.time,
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "P": p,
+                "app": report.app_time,
+                "replay_scalatrace": report.scalatrace_replay_time,
+                "replay_chameleon": report.chameleon_replay_time,
+                "acc_vs_app": report.chameleon_vs_app,
+            }
+        )
     text = render_table(
         ["bench", "P", "APP [s]", "ST replay [s]", "CH replay [s]",
          "ACC vs APP"],
@@ -275,15 +275,18 @@ def figure8(
 ) -> tuple[list[dict], str]:
     benchmarks = benchmarks or ["bt", "lu", "sp", "pop", "emf"]
     nprocs = nprocs or (1024 if full_scale() else 16)
-    rows = []
-    for name in benchmarks:
-        suite = run_suite(
+    groups = [
+        make_suite_cells(
             name,
             nprocs,
             modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
             workload_params=_params_for(name),
             call_frequency=1,  # max marker calls: one per timestep
         )
+        for name in benchmarks
+    ]
+    rows = []
+    for name, suite in zip(benchmarks, get_engine().run_suite_groups(groups)):
         ch = breakdown(suite[Mode.CHAMELEON])
         st = breakdown(suite[Mode.SCALATRACE])
         rows.append(
@@ -322,15 +325,20 @@ def figure9(
     call_counts = call_counts or sorted(
         {1, max(iters // 8, 1), max(iters // 4, 1), max(iters // 2, 1), iters}
     )
-    app = run_mode(
-        make_workload("lu", **params), nprocs, Mode.APP
-    )
+    freqs = [max(iters // calls, 1) for calls in call_counts]
+    cells = [make_cell("lu", nprocs, Mode.APP, workload_params=params)] + [
+        make_cell(
+            "lu",
+            nprocs,
+            Mode.CHAMELEON,
+            workload_params=params,
+            call_frequency=freq,
+        )
+        for freq in freqs
+    ]
+    app, *traced = get_engine().run_cells(cells)
     rows = []
-    for calls in call_counts:
-        freq = max(iters // calls, 1)
-        workload = make_workload("lu", **params)
-        cfg = chameleon_config_for(workload, call_frequency=freq)
-        result = run_mode(workload, nprocs, Mode.CHAMELEON, config=cfg)
+    for freq, result in zip(freqs, traced):
         rows.append(
             {
                 "marker_calls": result.cstats0.effective_calls,
@@ -361,18 +369,23 @@ def figure10(
     # the lead state, so the number of *achievable* re-clusterings is
     # bounded by iterations / 4
     recluster_counts = recluster_counts or [1, 2, max(iters // 4, 1)]
-    app = run_mode(make_workload("lu", **params), nprocs, Mode.APP)
-    st = run_mode(
-        make_workload("lu", **params), nprocs, Mode.SCALATRACE
-    )
-    rows = []
-    for n in recluster_counts:
-        period = max(iters // n, 4)
-        workload = make_workload(
-            "lu_modified", phase_period=period, **params
+    periods = [max(iters // n, 4) for n in recluster_counts]
+    cells = [
+        make_cell("lu", nprocs, Mode.APP, workload_params=params),
+        make_cell("lu", nprocs, Mode.SCALATRACE, workload_params=params),
+    ] + [
+        make_cell(
+            "lu_modified",
+            nprocs,
+            Mode.CHAMELEON,
+            workload_params={"phase_period": period, **params},
+            call_frequency=1,
         )
-        cfg = chameleon_config_for(workload, call_frequency=1)
-        result = run_mode(workload, nprocs, Mode.CHAMELEON, config=cfg)
+        for period in periods
+    ]
+    app, st, *traced = get_engine().run_cells(cells)
+    rows = []
+    for n, period, result in zip(recluster_counts, periods, traced):
         rows.append(
             {
                 "requested_reclusterings": n,
@@ -407,7 +420,7 @@ def figure11(
 ) -> tuple[list[dict], str]:
     nprocs = nprocs or (256 if full_scale() else 16)
     classes = classes or ["A", "B", "C", "D"]
-    rows = []
+    class_params: list[dict[str, Any]] = []
     for cls in classes:
         iterations = (
             None if full_scale() else {"A": 8, "B": 10, "C": 12, "D": 15}[cls]
@@ -415,13 +428,22 @@ def figure11(
         params: dict[str, Any] = {"problem_class": cls}
         if iterations is not None:
             params["iterations"] = iterations
-        suite = run_suite(
+        class_params.append(params)
+    groups = [
+        make_suite_cells(
             "lu",
             nprocs,
             modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
             workload_params=params,
             call_frequency=1,
         )
+        for params in class_params
+    ]
+    rows = []
+    for cls, params, suite in zip(
+        classes, class_params, get_engine().run_suite_groups(groups)
+    ):
+        iterations = params.get("iterations")
         app = suite[Mode.APP]
         ch = breakdown(suite[Mode.CHAMELEON])
         rows.append(

@@ -16,6 +16,7 @@ against the APP run of the same configuration, aggregated over all ranks
 from __future__ import annotations
 
 import enum
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Any
@@ -29,7 +30,7 @@ from ..scalatrace.tracer import ScalaTraceTracer, TracerStats
 from ..simmpi.launcher import run_spmd
 from ..simmpi.timing import NetworkModel, QDR_CLUSTER
 from ..workloads.base import NullTracer, Workload
-from ..workloads.registry import PAPER_K, make_workload
+from ..workloads.registry import PAPER_K
 
 
 class Mode(enum.Enum):
@@ -79,6 +80,34 @@ class RunResult:
         if not self.chameleon_stats:
             raise ValueError("not a Chameleon run")
         return self.chameleon_stats[0]
+
+    def fingerprint(self) -> str:
+        """Canonical content digest of this result.
+
+        Two runs of the same cell — serial, parallel, or round-tripped
+        through the cache — produce equal fingerprints; the trace is
+        compared via its text serialization because trace nodes hold
+        identity-compared helper objects.
+        """
+        h = hashlib.sha256()
+        parts = [
+            self.mode.value,
+            str(self.nprocs),
+            self.workload,
+            repr(self.max_time),
+            repr(self.total_time),
+            repr(self.clocks),
+            repr(self.busy_times),
+            repr(sorted(self.lead_ranks)),
+            self.trace.serialize() if self.trace is not None else "",
+            repr(self.tracer_stats),
+            repr(self.chameleon_stats),
+            repr(sorted(self.extra.items(), key=lambda kv: kv[0])),
+        ]
+        for part in parts:
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
 
 def chameleon_config_for(
@@ -165,15 +194,29 @@ def run_suite(
     config_overrides: dict[str, Any] | None = None,
     network: NetworkModel = QDR_CLUSTER,
 ) -> dict[Mode, RunResult]:
-    """Run a workload under several modes with identical parameters."""
-    out: dict[Mode, RunResult] = {}
-    for mode in modes:
-        workload = make_workload(workload_name, **(workload_params or {}))
-        cfg = chameleon_config_for(
-            workload, call_frequency=call_frequency, **(config_overrides or {})
-        )
-        out[mode] = run_mode(workload, nprocs, mode, config=cfg, network=network)
-    return out
+    """Run a workload under several modes with identical parameters.
+
+    The workload and config are constructed once for the whole suite (a
+    ``config_overrides``-derived config can therefore never drift between
+    modes), and execution routes through the process-wide
+    :class:`~repro.harness.engine.ExperimentEngine`, picking up its cache
+    and worker pool.
+
+    .. deprecated:: prefer :func:`repro.api.run` or an explicit
+       :class:`~repro.harness.engine.ExperimentEngine` for new code; this
+       entry point stays for compatibility with existing callers.
+    """
+    from .engine import get_engine  # local import: engine imports runner
+
+    return get_engine().run_suite(
+        workload_name,
+        nprocs,
+        modes=modes,
+        workload_params=workload_params,
+        call_frequency=call_frequency,
+        config_overrides=config_overrides,
+        network=network,
+    )
 
 
 def overhead(traced: RunResult, app: RunResult) -> float:

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from ..workloads.registry import PAPER_K, make_workload
+from ..workloads.registry import PAPER_K
+from .engine import Cell, get_engine, make_cell, make_suite_cells
 from .metrics import state_space_summary
 from .reporting import render_table
-from .runner import Mode, full_scale, overhead, run_mode, run_suite, chameleon_config_for
+from .runner import Mode, RunResult, full_scale, overhead
 
 # ---------------------------------------------------------------------------
 # Table II experiment configurations
@@ -88,14 +89,23 @@ def table2_configs() -> list[Table2Config]:
     return rows
 
 
-def _run_chameleon_for(cfg: Table2Config):
+def _chameleon_cell(cfg: Table2Config) -> Cell:
     params = dict(cfg.params)
     if cfg.workload != "emf":
         params.setdefault("iterations", cfg.iters)
-    workload = make_workload(cfg.workload, **params)
-    workload.warmup_profile = cfg.warmup
-    config = chameleon_config_for(workload, call_frequency=cfg.freq)
-    return run_mode(workload, cfg.nprocs, Mode.CHAMELEON, config=config)
+    return make_cell(
+        cfg.workload,
+        cfg.nprocs,
+        Mode.CHAMELEON,
+        workload_params=params,
+        call_frequency=cfg.freq,
+        warmup=cfg.warmup,
+    )
+
+
+def _run_chameleon_rows(configs: list[Table2Config]) -> list[RunResult]:
+    """All Chameleon runs for Tables I/II as one engine batch."""
+    return get_engine().run_cells([_chameleon_cell(c) for c in configs])
 
 
 # ---------------------------------------------------------------------------
@@ -107,8 +117,8 @@ def table1() -> tuple[list[dict], str]:
     """Paper Table I: configured K per benchmark (determined a priori),
     plus this reproduction's measured Call-Path cluster count."""
     rows = []
-    for cfg in table2_configs():
-        result = _run_chameleon_for(cfg)
+    configs = table2_configs()
+    for cfg, result in zip(configs, _run_chameleon_rows(configs)):
         cs = result.cstats0
         rows.append(
             {
@@ -138,8 +148,8 @@ def table1() -> tuple[list[dict], str]:
 
 def table2() -> tuple[list[dict], str]:
     rows = []
-    for cfg in table2_configs():
-        result = _run_chameleon_for(cfg)
+    configs = table2_configs()
+    for cfg, result in zip(configs, _run_chameleon_rows(configs)):
         cs = result.cstats0
         rows.append(
             {
@@ -176,15 +186,18 @@ def table3(p_list: list[int] | None = None) -> tuple[list[dict], str]:
     if p_list is None:
         p_list = [16, 64, 256, 1024] if full_scale() else [4, 9, 16]
     iters = 25 if not full_scale() else 250
-    rows = []
-    for p in p_list:
-        suite = run_suite(
+    groups = [
+        make_suite_cells(
             "bt",
             p,
             modes=(Mode.APP, Mode.CHAMELEON, Mode.ACURDION),
             workload_params={"problem_class": "A", "iterations": iters},
             call_frequency=1,  # maximum number of calls (paper's constraint)
         )
+        for p in p_list
+    ]
+    rows = []
+    for p, suite in zip(p_list, get_engine().run_suite_groups(groups)):
         app = suite[Mode.APP]
         rows.append(
             {
@@ -213,9 +226,14 @@ def table3(p_list: list[int] | None = None) -> tuple[list[dict], str]:
 def table4(nprocs: int | None = None) -> tuple[dict, str]:
     nprocs = nprocs or (256 if full_scale() else 16)
     iters = 30
-    workload = make_workload("bt", problem_class="A", iterations=iters)
-    config = chameleon_config_for(workload, call_frequency=3)
-    result = run_mode(workload, nprocs, Mode.CHAMELEON, config=config)
+    cell = make_cell(
+        "bt",
+        nprocs,
+        Mode.CHAMELEON,
+        workload_params={"problem_class": "A", "iterations": iters},
+        call_frequency=3,
+    )
+    (result,) = get_engine().run_cells([cell])
     summary = state_space_summary(result)
     # lead ranks: still allocating trace space during the lead phase
     leads = sorted(

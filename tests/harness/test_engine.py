@@ -1,0 +1,247 @@
+"""ExperimentEngine: cells, cache round-trips, parallel/serial identity."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.harness.cache import RunCache, canonical, code_fingerprint
+from repro.harness.engine import (
+    Cell,
+    ExperimentEngine,
+    make_cell,
+    make_suite_cells,
+)
+from repro.harness.runner import Mode
+from repro.simmpi.timing import SLOW_CLUSTER
+
+BT_PARAMS = {"problem_class": "A", "iterations": 4}
+
+
+def _cell(mode=Mode.CHAMELEON, **kw):
+    return make_cell("bt", 4, mode, workload_params=BT_PARAMS, **kw)
+
+
+class TestCells:
+    def test_digest_is_stable_and_order_independent(self):
+        a = make_cell("bt", 4, Mode.CHAMELEON,
+                      workload_params={"problem_class": "A", "iterations": 4})
+        b = make_cell("bt", 4, Mode.CHAMELEON,
+                      workload_params={"iterations": 4, "problem_class": "A"})
+        assert a.digest() == b.digest()
+
+    def test_digest_separates_inputs(self):
+        base = _cell()
+        assert base.digest() != _cell(mode=Mode.SCALATRACE).digest()
+        assert base.digest() != _cell(network=SLOW_CLUSTER).digest()
+        assert base.digest() != _cell(call_frequency=2).digest()
+        other_params = make_cell(
+            "bt", 4, Mode.CHAMELEON,
+            workload_params={"problem_class": "A", "iterations": 5},
+        )
+        assert base.digest() != other_params.digest()
+
+    def test_app_digest_ignores_tracer_config(self):
+        # every suite over the same workload shares one APP baseline
+        a = _cell(mode=Mode.APP, call_frequency=1)
+        b = _cell(mode=Mode.APP, call_frequency=7)
+        assert a.digest() == b.digest()
+
+    def test_suite_cells_share_config_and_key(self):
+        cells = make_suite_cells(
+            "bt", 4,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=BT_PARAMS,
+            config_overrides={"algorithm": "kmedoids"},
+        )
+        assert len({id(c.config) for c in cells}) == 1
+        assert len({c.suite_key() for c in cells}) == 1
+        assert all(c.config.algorithm == "kmedoids" for c in cells)
+
+    def test_cells_pickle(self):
+        cell = _cell()
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+    def test_canonical_handles_containers(self):
+        assert canonical({"b": 2, "a": 1}) == canonical({"a": 1, "b": 2})
+        assert canonical({1, 2}) == canonical({2, 1})
+        assert canonical((1.5, "x")) == "(1.5,'x')"
+
+
+class TestCache:
+    def test_round_trip_hit_after_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        engine = ExperimentEngine(jobs=1, cache=cache)
+        cell = _cell()
+        (first,) = engine.run_cells([cell])
+        assert engine.metrics.executed == 1 and engine.metrics.hits == 0
+        (second,) = engine.run_cells([cell])
+        assert engine.metrics.hits == 1
+        assert second.fingerprint() == first.fingerprint()
+        assert cache.stats.stores == 1
+
+    def test_cache_survives_new_engine(self, tmp_path):
+        cell = _cell()
+        (first,) = ExperimentEngine(cache=RunCache(tmp_path)).run_cells([cell])
+        fresh = ExperimentEngine(cache=RunCache(tmp_path))
+        (second,) = fresh.run_cells([cell])
+        assert fresh.metrics.hits == 1 and fresh.metrics.executed == 0
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cell = _cell()
+        old = RunCache(tmp_path, schema=1)
+        ExperimentEngine(cache=old).run_cells([cell])
+        assert len(old.entries()) == 1
+        bumped = RunCache(tmp_path, schema=2)
+        assert bumped.get(cell.digest()) is None  # different generation
+        engine = ExperimentEngine(cache=bumped)
+        engine.run_cells([cell])
+        assert engine.metrics.executed == 1
+        # both generations now coexist; the old one is untouched
+        assert len(old.entries()) == 1 and len(bumped.entries()) == 1
+
+    def test_code_fingerprint_partitions_generations(self, tmp_path):
+        cell = _cell()
+        real = RunCache(tmp_path)
+        ExperimentEngine(cache=real).run_cells([cell])
+        edited = RunCache(tmp_path, fingerprint="f" * 64)
+        assert edited.generation != real.generation
+        assert edited.get(cell.digest()) is None
+
+    def test_corrupt_entry_is_deleted_and_missed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cell = _cell()
+        ExperimentEngine(cache=cache).run_cells([cell])
+        path = cache.path_for(cell.digest())
+        path.write_bytes(b"not a pickle")
+        assert cache.get(cell.digest()) is None
+        assert cache.stats.invalidated == 1
+        assert not path.exists()
+
+    def test_wrong_digest_payload_rejected(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cell = _cell()
+        ExperimentEngine(cache=cache).run_cells([cell])
+        other = _cell(mode=Mode.SCALATRACE).digest()
+        # graft the entry onto a different key: content addressing rejects it
+        payload = cache.path_for(cell.digest()).read_bytes()
+        target = cache.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(payload)
+        assert cache.get(other) is None
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        ExperimentEngine(cache=cache).run_cells([_cell()])
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+    def test_fingerprint_is_cached_per_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestScheduling:
+    def test_within_batch_dedup(self):
+        engine = ExperimentEngine(jobs=1)
+        cell = _cell()
+        results = engine.run_cells([cell, cell, cell])
+        assert engine.metrics.executed == 1
+        assert engine.metrics.deduped == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_progress_events(self, tmp_path):
+        events = []
+        engine = ExperimentEngine(
+            jobs=1, cache=RunCache(tmp_path), progress=events.append
+        )
+        cell = _cell()
+        engine.run_cells([cell])
+        kinds = [e.kind for e in events]
+        assert kinds == ["scheduled", "start", "done"]
+        assert events[-1].wall > 0
+        events.clear()
+        engine.run_cells([cell])
+        assert [e.kind for e in events] == ["scheduled", "hit"]
+
+    def test_metrics_summary_mentions_counts(self):
+        engine = ExperimentEngine(jobs=1)
+        engine.run_cells([_cell()])
+        text = engine.metrics.summary()
+        assert "1 executed" in text and "cells scheduled" in text
+        assert engine.metrics.as_dict()["executed"] == 1
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "workload,params",
+        [
+            ("bt", {"problem_class": "A", "iterations": 4}),
+            ("sweep3d", {"nx": 8, "ny": 8, "nz": 16, "iterations": 3}),
+        ],
+    )
+    def test_parallel_matches_serial(self, workload, params):
+        cells = make_suite_cells(
+            workload, 16,
+            modes=(Mode.APP, Mode.CHAMELEON, Mode.SCALATRACE),
+            workload_params=params,
+        )
+        serial = ExperimentEngine(jobs=1).run_cells(cells)
+        parallel = ExperimentEngine(jobs=4).run_cells(cells)
+        for s, p in zip(serial, parallel):
+            assert s.fingerprint() == p.fingerprint()
+
+    def test_run_suite_shape(self):
+        engine = ExperimentEngine(jobs=1)
+        suite = engine.run_suite(
+            "uniform", 4, modes=(Mode.APP, Mode.CHAMELEON),
+            workload_params={"iterations": 3},
+        )
+        assert set(suite) == {Mode.APP, Mode.CHAMELEON}
+        assert suite[Mode.APP].trace is None
+        assert suite[Mode.CHAMELEON].trace is not None
+
+    def test_run_suite_groups_regroups_in_order(self):
+        engine = ExperimentEngine(jobs=1)
+        groups = [
+            make_suite_cells("uniform", p, modes=(Mode.APP, Mode.CHAMELEON),
+                             workload_params={"iterations": 3})
+            for p in (2, 4)
+        ]
+        suites = engine.run_suite_groups(groups)
+        assert [s[Mode.APP].nprocs for s in suites] == [2, 4]
+
+
+class TestApiFacade:
+    def test_run_smoke(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=RunCache(tmp_path))
+        result = repro.run(
+            "uniform", 4, "chameleon",
+            workload_params={"iterations": 3}, engine=engine,
+        )
+        assert result.mode is Mode.CHAMELEON
+        assert result.trace is not None
+        # trace tools round-trip through the facade
+        path = tmp_path / "t.st"
+        result.trace.save(str(path))
+        trace = repro.load_trace(str(path))
+        replayed = repro.replay(trace)
+        assert replayed.time > 0
+        diff = repro.compare(str(path), trace)
+        assert diff.similarity() == pytest.approx(1.0)
+
+    def test_top_level_reexports(self):
+        for name in ("run", "run_experiment", "load_trace", "replay",
+                     "compare", "api", "EXPERIMENTS"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_run_experiment_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            repro.run_experiment("fig99")
+
+    def test_run_experiment_uses_given_engine(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=RunCache(tmp_path))
+        rows, text = repro.run_experiment("table4", engine=engine)
+        assert "Table IV" in text
+        assert engine.metrics.scheduled >= 1

@@ -100,3 +100,52 @@ def test_timeline_and_diff(tmp_path, capsys):
 
     # different iteration counts: similarity drops below the threshold
     assert main(["diff", a, b, "--threshold", "0.99"]) == 1
+
+
+def test_run_app_mode_warns_on_ignored_output(tmp_path, capsys):
+    out_file = tmp_path / "app.st"
+    rc = main(
+        ["run", "--workload", "uniform", "--nprocs", "4", "--mode", "app",
+         "--iterations", "3", "-o", str(out_file)]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "--output ignored" in captured.err
+    assert "APP mode" in captured.err
+    assert not out_file.exists()
+
+
+def test_run_traced_mode_does_not_warn(tmp_path, capsys):
+    out_file = tmp_path / "t.st"
+    rc = main(
+        ["run", "--workload", "uniform", "--nprocs", "4",
+         "--mode", "chameleon", "--iterations", "3", "-o", str(out_file)]
+    )
+    assert rc == 0
+    assert "--output ignored" not in capsys.readouterr().err
+    assert out_file.exists()
+
+
+def test_engine_flags_and_cache_summary(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["experiment", "table4", "--cache-dir", cache_dir, "--jobs", "1"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "engine:" in first and "0 cache hits" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "hit rate 100%" in second
+
+    assert main(args + ["--no-cache"]) == 0
+    third = capsys.readouterr().out
+    assert "0 cache hits" in third
+
+
+def test_run_with_progress_flag(tmp_path, capsys):
+    rc = main(
+        ["run", "--workload", "uniform", "--nprocs", "4", "--mode", "app",
+         "--iterations", "3", "--no-cache", "--progress"]
+    )
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "[engine]" in err and "done" in err
