@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Validate exporter output against the checked-in JSON schemas.
+
+Used by CI after the smoke run::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json
+    PYTHONPATH=src python scripts/validate_trace.py --metrics metrics.jsonl
+
+Exits non-zero (printing every violation) if the document does not match
+``schemas/chrome_trace.schema.json`` / ``schemas/metrics_row.schema.json``.
+No third-party validator is needed — the subset interpreter in
+:mod:`repro.obs.schema` covers everything the schemas use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.schema import validate  # noqa: E402
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate_trace(path: str) -> list[str]:
+    schema = _load(REPO / "schemas" / "chrome_trace.schema.json")
+    doc = _load(path)
+    errors = validate(doc, schema)
+    # Structural invariants beyond what JSON Schema expresses: timed events
+    # sorted by timestamp, and every event on a rank lane (pid == tid).
+    timed = [e for e in doc.get("traceEvents", []) if e.get("ph") != "M"]
+    stamps = [e["ts"] for e in timed]
+    if stamps != sorted(stamps):
+        errors.append("$.traceEvents: timed events are not sorted by ts")
+    for i, e in enumerate(timed):
+        if e.get("pid") != e.get("tid"):
+            errors.append(f"$.traceEvents[{i}]: pid != tid (not a rank lane)")
+    return errors
+
+
+def validate_metrics(path: str) -> list[str]:
+    schema = _load(REPO / "schemas" / "metrics_row.schema.json")
+    errors: list[str] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            errors.extend(
+                f"line {lineno}: {e}" for e in validate(row, schema)
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="Chrome trace JSON to check")
+    parser.add_argument("--metrics", help="metrics JSONL to check")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass a trace and/or --metrics")
+
+    failures = 0
+    if args.trace:
+        errors = validate_trace(args.trace)
+        if errors:
+            failures += 1
+            print(f"{args.trace}: INVALID")
+            for e in errors[:25]:
+                print(f"  {e}")
+        else:
+            print(f"{args.trace}: OK (chrome_trace.schema.json)")
+    if args.metrics:
+        errors = validate_metrics(args.metrics)
+        if errors:
+            failures += 1
+            print(f"{args.metrics}: INVALID")
+            for e in errors[:25]:
+                print(f"  {e}")
+        else:
+            print(f"{args.metrics}: OK (metrics_row.schema.json)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,23 +14,32 @@ Subpackages:
   Sweep3D, POP and EMF
 * :mod:`repro.harness`    — experiment engine regenerating every table and
   figure of the paper's evaluation (parallel workers + on-disk run cache)
+* :mod:`repro.obs`        — observability: virtual-time event tracing,
+  metrics registry, Chrome-trace/Perfetto and JSONL exporters
 
 The stable entry points live in :mod:`repro.api` and are re-exported here:
-``run``, ``run_experiment``, ``load_trace``, ``replay``, ``compare``.
+``run``, ``run_experiment``, ``load_trace``, ``replay``, ``compare``,
+``inspect``, ``Recorder``, ``export_chrome_trace``.
 Deep imports keep working but :mod:`repro.api` is the committed surface.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import api
 from .api import (
     EXPERIMENTS,
+    Instrument,
+    MetricsRegistry,
     Mode,
+    Recorder,
     RunResult,
     Trace,
     compare,
     configure_engine,
+    export_chrome_trace,
+    export_metrics_jsonl,
     get_engine,
+    inspect,
     load_trace,
     replay,
     run,
@@ -39,14 +48,20 @@ from .api import (
 
 __all__ = [
     "EXPERIMENTS",
+    "Instrument",
+    "MetricsRegistry",
     "Mode",
+    "Recorder",
     "RunResult",
     "Trace",
     "__version__",
     "api",
     "compare",
     "configure_engine",
+    "export_chrome_trace",
+    "export_metrics_jsonl",
     "get_engine",
+    "inspect",
     "load_trace",
     "replay",
     "run",

@@ -33,6 +33,15 @@ from .harness.engine import (
     make_cell,
 )
 from .harness.runner import Mode, RunResult, overhead
+from .obs import (
+    Inspection,
+    Instrument,
+    MetricsRegistry,
+    ObsData,
+    Recorder,
+    export_chrome_trace,
+    export_metrics_jsonl,
+)
 from .replay.replayer import ReplayResult, replay_trace
 from .scalatrace.difftool import TraceDiff, diff_traces
 from .scalatrace.trace import Trace
@@ -57,12 +66,20 @@ EXPERIMENTS: dict[str, Callable[[], tuple]] = {
 __all__ = [
     "EXPERIMENTS",
     "ExperimentEngine",
+    "Inspection",
+    "Instrument",
+    "MetricsRegistry",
     "Mode",
+    "ObsData",
+    "Recorder",
     "RunResult",
     "Trace",
     "compare",
     "configure_engine",
+    "export_chrome_trace",
+    "export_metrics_jsonl",
     "get_engine",
+    "inspect",
     "load_trace",
     "overhead",
     "replay",
@@ -81,6 +98,7 @@ def run(
     config_overrides: dict[str, Any] | None = None,
     network: NetworkModel = QDR_CLUSTER,
     engine: ExperimentEngine | None = None,
+    instrument: Instrument | None = None,
 ) -> RunResult:
     """Run one ``(workload, nprocs, mode)`` cell and return its result.
 
@@ -89,6 +107,11 @@ def run(
     filter) is derived automatically and adjusted via
     ``config_overrides``.  Results are cached and may be computed by the
     engine's worker pool.
+
+    Pass ``instrument=Recorder()`` to capture the run's virtual-time event
+    timeline on ``result.obs`` (see :func:`inspect`); instrumented runs
+    always execute inline and bypass the cache, and their virtual clocks
+    are bit-identical to the uninstrumented run.
     """
     engine = engine or get_engine()
     cell = make_cell(
@@ -100,8 +123,35 @@ def run(
         config_overrides=config_overrides,
         network=network,
     )
+    if instrument is not None:
+        return engine.run_cell_instrumented(cell, instrument)
     (result,) = engine.run_cells([cell])
     return result
+
+
+def inspect(result: RunResult) -> Inspection:
+    """Queryable observability view of a :class:`RunResult`.
+
+    Always provides the metrics registry (tracer/Chameleon/ACURDION
+    statistics under ``tracer/…``, ``chameleon/…``, ``acurdion/…`` names);
+    when the run executed with a :class:`Recorder` the event timeline
+    (spans, instants, live ``p2p/…``/``coll/…``/``marker/…`` metrics) is
+    included too::
+
+        result = repro.run("bt", 16, "chameleon", instrument=repro.Recorder())
+        view = repro.inspect(result)
+        view.metric("chameleon/vote_time")        # summed over ranks
+        view.spans(cat="coll", rank=0)            # collective spans, rank 0
+        print(view.summary())
+    """
+    meta = {
+        "workload": result.workload,
+        "nprocs": result.nprocs,
+        "mode": result.mode.value,
+    }
+    if result.obs is not None:
+        meta = {**result.obs.meta, **meta}
+    return Inspection(registry=result.registry(), obs=result.obs, meta=meta)
 
 
 def run_experiment(

@@ -4,6 +4,10 @@ Usage (installed as a module)::
 
     python -m repro list
     python -m repro run --workload bt --nprocs 16 --mode chameleon -o bt.st
+    python -m repro run --workload synthetic --mode chameleon \
+        --trace-out t.json --obs-out run.obs.json
+    python -m repro trace run.obs.json -o t.json
+    python -m repro stats run.obs.json
     python -m repro info bt.st
     python -m repro replay bt.st
     python -m repro experiment table2
@@ -15,6 +19,13 @@ and ``experiment`` share the process-wide experiment engine: ``--jobs N``
 fans cells out over worker processes, and a content-addressed run cache
 (``--cache-dir``, disable with ``--no-cache``) makes re-invocations serve
 previously-computed cells from disk.
+
+Observability: ``run --trace-out`` writes a Chrome ``trace_event`` JSON of
+the run's virtual-time timeline (open it in ui.perfetto.dev),
+``--metrics-out`` a flat metrics JSONL, and ``--obs-out`` the raw
+observability bundle that ``repro trace`` and ``repro stats`` consume
+offline.  Instrumented runs bypass the cache; their virtual clocks are
+bit-identical to uninstrumented ones.
 """
 
 from __future__ import annotations
@@ -84,7 +95,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    _engine_from(args)
+    engine = _engine_from(args)
     mode = Mode(args.mode)
     if args.output and mode is Mode.APP:
         print(
@@ -99,13 +110,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.iterations:
         params["iterations"] = args.iterations
     modes = (Mode.APP, mode) if mode is not Mode.APP else (Mode.APP,)
-    suite = run_suite(
-        args.workload,
-        args.nprocs,
-        modes=modes,
-        workload_params=params,
-        call_frequency=args.call_frequency,
-    )
+    obs_wanted = bool(args.trace_out or args.metrics_out or args.obs_out)
+    if obs_wanted:
+        # The selected mode runs inline with a live Recorder (bypassing
+        # the cache); any baseline cells still go through the engine.
+        from .harness.engine import make_suite_cells
+        from .obs import Recorder
+
+        cells = make_suite_cells(
+            args.workload,
+            args.nprocs,
+            modes=modes,
+            workload_params=params,
+            call_frequency=args.call_frequency,
+        )
+        suite = {}
+        for cell in cells:
+            if cell.mode is mode:
+                suite[cell.mode] = engine.run_cell_instrumented(
+                    cell, Recorder()
+                )
+            else:
+                (suite[cell.mode],) = engine.run_cells([cell])
+    else:
+        suite = run_suite(
+            args.workload,
+            args.nprocs,
+            modes=modes,
+            workload_params=params,
+            call_frequency=args.call_frequency,
+        )
     app = suite[Mode.APP]
     print(f"application time (aggregated): {app.total_time:.6f} s")
     if mode is not Mode.APP:
@@ -125,6 +159,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "produced no trace",
                 file=sys.stderr,
             )
+    if obs_wanted:
+        _write_obs_outputs(suite[mode], args)
+    return 0
+
+
+def _write_obs_outputs(result, args: argparse.Namespace) -> None:
+    import json
+
+    from .obs import export_chrome_trace, export_metrics_jsonl
+
+    obs = result.obs
+    assert obs is not None  # guaranteed by the instrumented path
+    if args.trace_out:
+        doc = export_chrome_trace(obs, args.trace_out)
+        print(
+            f"chrome trace: {args.trace_out} "
+            f"({len(doc['traceEvents'])} events, {len(obs.ranks())} lanes)"
+            " — open in ui.perfetto.dev"
+        )
+    if args.metrics_out:
+        rows = export_metrics_jsonl(result.registry(), args.metrics_out)
+        print(f"metrics: {args.metrics_out} ({rows} rows)")
+    if args.obs_out:
+        with open(args.obs_out, "w", encoding="utf-8") as fh:
+            json.dump(obs.to_dict(), fh)
+        print(
+            f"obs bundle: {args.obs_out} "
+            "(inspect with `repro trace` / `repro stats`)"
+        )
+
+
+def _load_obs_bundle(path: str):
+    import json
+
+    from .obs import ObsData
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read obs bundle {path!r}: {exc}")
+    if "traceEvents" in data:
+        raise SystemExit(
+            f"error: {path!r} is an exported Chrome trace; `repro trace` "
+            "and `repro stats` take the raw bundle written by "
+            "`repro run --obs-out`"
+        )
+    return ObsData.from_dict(data)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import export_chrome_trace
+
+    obs = _load_obs_bundle(args.run)
+    out = args.output or str(Path(args.run).with_suffix("")) + ".trace.json"
+    doc = export_chrome_trace(obs, out)
+    print(
+        f"chrome trace: {out} ({len(doc['traceEvents'])} events, "
+        f"{len(obs.ranks())} lanes) — open in ui.perfetto.dev"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import export_metrics_jsonl, format_summary
+
+    obs = _load_obs_bundle(args.run)
+    print(format_summary(obs))
+    if args.jsonl:
+        rows = export_metrics_jsonl(obs, args.jsonl)
+        print(f"metrics: {args.jsonl} ({rows} rows)")
     return 0
 
 
@@ -231,6 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iterations", type=int, default=0)
     p_run.add_argument("--call-frequency", type=int, default=1)
     p_run.add_argument("-o", "--output", default="", help="save trace here")
+    p_run.add_argument(
+        "--trace-out", default="", metavar="FILE",
+        help="write a Chrome trace_event JSON of the run's virtual-time "
+        "timeline (open in ui.perfetto.dev); implies instrumentation",
+    )
+    p_run.add_argument(
+        "--metrics-out", default="", metavar="FILE",
+        help="write the run's metrics as JSONL (one sample per line)",
+    )
+    p_run.add_argument(
+        "--obs-out", default="", metavar="FILE",
+        help="write the raw observability bundle for `repro trace`/`stats`",
+    )
     _add_engine_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
@@ -263,6 +381,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if similarity falls below this",
     )
     p_diff.set_defaults(fn=_cmd_diff)
+
+    p_trace = sub.add_parser(
+        "trace", help="export an obs bundle as a Chrome/Perfetto trace"
+    )
+    p_trace.add_argument("run", help="bundle written by `repro run --obs-out`")
+    p_trace.add_argument(
+        "-o", "--output", default="",
+        help="output path (default: <run>.trace.json)",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize an obs bundle's metrics in the terminal"
+    )
+    p_stats.add_argument("run", help="bundle written by `repro run --obs-out`")
+    p_stats.add_argument(
+        "--jsonl", default="", metavar="FILE",
+        help="also export the metric samples as JSONL",
+    )
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name")

@@ -85,6 +85,10 @@ class ChameleonTracer(ScalaTraceTracer):
             Trace(nprocs=self.nprocs) if self.rank == 0 else None
         )
         self.cstats = ChameleonStats()
+        # Last marker state seen by the observability bus, for emitting
+        # state-*transition* instants (cat "state") rather than one instant
+        # per marker.
+        self._obs_state: str | None = None
 
     # -- recording override --------------------------------------------------
 
@@ -122,6 +126,8 @@ class ChameleonTracer(ScalaTraceTracer):
             return None
         self.cstats.effective_calls += 1
 
+        obs = self.obs
+
         # (1) interval signatures — O(n) over PRSD events
         t0 = self.ctx.clock
         sigs = self.sigacc.snapshot()
@@ -129,12 +135,41 @@ class ChameleonTracer(ScalaTraceTracer):
             self.costs.per_signature_event * max(self.sigacc.prsd_events, 1)
         )
         self.cstats.signature_time += self.ctx.clock - t0
+        if obs.enabled:
+            obs.span(self.rank, "signature", "chameleon", t0, self.ctx.clock,
+                     {"prsd_events": self.sigacc.prsd_events})
+            obs.metrics.count("marker/signature_time",
+                              self.ctx.clock - t0, rank=self.rank,
+                              t=self.ctx.clock)
 
         # (2) Algorithm 1: collective vote + transition graph
         t0 = self.ctx.clock
         decision = await self.phase.decide(self.comm, sigs.callpath)
         self.cstats.vote_time += self.ctx.clock - t0
         self.cstats.state_counts[decision.state.value] += 1
+        if obs.enabled:
+            state = decision.state.value
+            obs.span(self.rank, "vote", "chameleon", t0, self.ctx.clock,
+                     {"round": self.phase.votes, "state": state,
+                      "phase_changed": decision.phase_changed})
+            obs.instant(
+                self.rank, "marker", "chameleon", self.ctx.clock,
+                {"state": state, "call": self.cstats.effective_calls,
+                 "cluster": decision.do_cluster, "merge": decision.do_merge},
+            )
+            obs.metrics.count("marker/effective_calls", 1, rank=self.rank,
+                              phase=state, t=self.ctx.clock)
+            obs.metrics.count("marker/vote_time", self.ctx.clock - t0,
+                              rank=self.rank, phase=state, t=self.ctx.clock)
+            if state != self._obs_state:
+                obs.instant(
+                    self.rank, "state_transition", "state", self.ctx.clock,
+                    {"from": self._obs_state or "start", "to": state},
+                )
+                obs.metrics.count("marker/state_transitions", 1,
+                                  rank=self.rank, phase=state,
+                                  t=self.ctx.clock)
+                self._obs_state = state
 
         # Memory accounting snapshot (Table IV): the space this marker's
         # state required is what was allocated when the marker fired —
@@ -154,6 +189,15 @@ class ChameleonTracer(ScalaTraceTracer):
             mine = self.topk.find_cluster_of(self.rank)
             if mine is not None:
                 self.my_cluster_members = mine.members
+            if obs.enabled:
+                obs.span(
+                    self.rank, "clustering", "chameleon", t0, self.ctx.clock,
+                    {"k": len(self.topk),
+                     "callpaths": self.topk.num_callpaths},
+                )
+                obs.metrics.count("marker/clustering_time",
+                                  self.ctx.clock - t0, rank=self.rank,
+                                  t=self.ctx.clock)
 
         # (4) inter-compression of lead traces into the online trace
         if decision.do_merge and self.topk is not None:
@@ -168,11 +212,28 @@ class ChameleonTracer(ScalaTraceTracer):
             # event end is kept so delta times stay stitched.
             self.compressor.take_nodes()
             self.mergeacc.reset()
+            if obs.enabled:
+                obs.span(
+                    self.rank, "intercompression", "chameleon", t0,
+                    self.ctx.clock, {"k": len(self.topk)},
+                )
+                obs.metrics.count("marker/intercompression_time",
+                                  self.ctx.clock - t0, rank=self.rank,
+                                  t=self.ctx.clock)
 
         # (5) tracing control for the lead phase
         if decision.state is MarkerState.C:
             leads = set(self.topk.leads()) if self.topk else {self.rank}
             self.tracing = self.rank in leads
+            if obs.enabled:
+                obs.instant(
+                    self.rank, "lead_election", "chameleon", self.ctx.clock,
+                    {"leads": sorted(leads), "is_lead": self.tracing},
+                )
+                obs.metrics.count("marker/lead_elections", 1, rank=self.rank,
+                                  t=self.ctx.clock)
+                obs.metrics.gauge("marker/is_lead", float(self.tracing),
+                                  rank=self.rank)
         elif decision.do_merge or decision.phase_changed:
             # flush or pattern break: everyone traces again
             self.tracing = True
@@ -189,6 +250,12 @@ class ChameleonTracer(ScalaTraceTracer):
         self.stats.bytes_by_state[state] = (
             self.stats.bytes_by_state.get(state, 0) + allocated
         )
+        ins = self.obs
+        if ins.enabled:
+            ins.metrics.gauge("space/bytes", float(allocated),
+                              rank=self.rank, phase=state)
+            ins.metrics.observe("space/bytes_per_marker", float(allocated),
+                                rank=self.rank, phase=state)
 
     # -- finalize -----------------------------------------------------------
 
@@ -204,7 +271,15 @@ class ChameleonTracer(ScalaTraceTracer):
         when every rank is still tracing, and otherwise flush with the
         existing Top-K — "the inter-compression part remains the same".
         """
+        obs = self.obs
         decision = self.phase.force_final()
+        if obs.enabled and decision.state.value != self._obs_state:
+            obs.instant(
+                self.rank, "state_transition", "state", self.ctx.clock,
+                {"from": self._obs_state or "start",
+                 "to": decision.state.value},
+            )
+            self._obs_state = decision.state.value
         intra_bytes_pre = self.compressor.size_bytes() if self.tracing else 0
         all_tracing = bool(
             await self.comm.allreduce(1 if self.tracing else 0, size=8)
@@ -223,12 +298,26 @@ class ChameleonTracer(ScalaTraceTracer):
             mine = self.topk.find_cluster_of(self.rank)
             if mine is not None:
                 self.my_cluster_members = mine.members
+            if obs.enabled:
+                obs.span(
+                    self.rank, "clustering", "chameleon", t0, self.ctx.clock,
+                    {"k": len(self.topk), "final": True},
+                )
+                obs.metrics.count("marker/clustering_time",
+                                  self.ctx.clock - t0, rank=self.rank,
+                                  t=self.ctx.clock)
         t0 = self.ctx.clock
         merged = await merge_lead_traces(
             self, self.topk, self.online, self.config.window
         )
         self.cstats.intercompression_time += self.ctx.clock - t0
         self.compressor.take_nodes()
+        if obs.enabled:
+            obs.span(self.rank, "intercompression", "chameleon", t0,
+                     self.ctx.clock, {"k": len(self.topk), "final": True})
+            obs.metrics.count("marker/intercompression_time",
+                              self.ctx.clock - t0, rank=self.rank,
+                              t=self.ctx.clock)
         self._sample_space(decision.state.value, intra_bytes_pre)
         if self.rank == 0:
             self.online = merged

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..core.config import ChameleonConfig
+from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from ..simmpi.timing import NetworkModel, QDR_CLUSTER
 from ..workloads.base import Workload
 from ..workloads.registry import make_workload
@@ -292,6 +293,10 @@ class ExperimentEngine:
             ``0`` means "all cores".
         cache: a :class:`RunCache`, or None to disable caching.
         progress: optional callback receiving :class:`CellEvent`\\ s.
+        instrument: an :class:`~repro.obs.instrument.Instrument`; scheduling
+            activity (scheduled/hit/executed cells) is counted into its
+            metrics, and :meth:`run_cell_instrumented` threads it into the
+            simulation itself.
     """
 
     def __init__(
@@ -299,17 +304,23 @@ class ExperimentEngine:
         jobs: int = 1,
         cache: RunCache | None = None,
         progress: ProgressFn | None = None,
+        instrument: Instrument = NULL_INSTRUMENT,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
         self.jobs = jobs or (os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
+        self.instrument = instrument
         self.metrics = EngineMetrics()
 
     # -- scheduling --------------------------------------------------------
 
     def _emit(self, event: CellEvent) -> None:
+        if self.instrument.enabled:
+            self.instrument.metrics.count(
+                f"engine/cells_{event.kind}", 1, op=event.label
+            )
         if self.progress is not None:
             self.progress(event)
 
@@ -395,6 +406,36 @@ class ExperimentEngine:
                                      by_digest[digest][0], total))
                 result, wall = _execute_cell(cell)
                 complete(digest, result, wall)
+
+    def run_cell_instrumented(
+        self, cell: Cell, instrument: Instrument | None = None
+    ) -> RunResult:
+        """Execute one cell with the simulation itself instrumented.
+
+        Instrumented runs always execute inline and bypass the cache in
+        both directions: an obs-laden result must never be served to a
+        later uninstrumented request, and a cached plain result has no
+        timeline to offer.  Virtual-time results are still identical to
+        the cached path — the instrument only observes.
+        """
+        ins = instrument if instrument is not None else self.instrument
+        start = time.perf_counter()
+        result = run_mode(
+            cell.build_workload(),
+            cell.nprocs,
+            cell.mode,
+            config=cell.config,
+            network=cell.network,
+            instrument=ins,
+        )
+        wall = time.perf_counter() - start
+        self.metrics.batches += 1
+        self.metrics.scheduled += 1
+        self.metrics.executed += 1
+        self.metrics.total_wall += wall
+        self.metrics.cell_walls.append((cell.label, wall))
+        self._emit(CellEvent("done", cell.label, cell.digest(), 0, 1, wall))
+        return result
 
     # -- convenience entry points -----------------------------------------
 

@@ -29,31 +29,40 @@ class OverheadBreakdown:
 
 
 def breakdown(result: RunResult) -> OverheadBreakdown:
-    record = result.sum_stat("record_time") if result.tracer_stats else 0.0
+    # Registry-backed: record time no longer depends on the truthiness of
+    # the tracer_stats list, so Chameleon results whose per-rank tracer
+    # stats were dropped (e.g. rebuilt from serialized form) still report
+    # their recording cost; a live ``record/time`` metric fills in when the
+    # tracer counter is absent entirely.
+    record = result.stat("record_time", source="tracer")
+    if record == 0.0:
+        record = result.stat("record/time")
     if result.chameleon_stats:
         return OverheadBreakdown(
             record=record,
-            signature=result.sum_cstat("signature_time"),
-            vote=result.sum_cstat("vote_time"),
-            clustering=result.sum_cstat("clustering_time"),
-            intercompression=result.sum_cstat("intercompression_time"),
+            signature=result.stat("signature_time", source="chameleon"),
+            vote=result.stat("vote_time", source="chameleon"),
+            clustering=result.stat("clustering_time", source="chameleon"),
+            intercompression=result.stat(
+                "intercompression_time", source="chameleon"
+            ),
         )
     if result.mode is Mode.ACURDION and "acurdion" in result.extra:
-        entries = result.extra["acurdion"]
         return OverheadBreakdown(
             record=record,
             signature=0.0,
             vote=0.0,
-            clustering=sum(e["clustering_time"] for e in entries),
-            intercompression=sum(e["intercompression_time"] for e in entries),
+            clustering=result.stat("clustering_time", source="acurdion"),
+            intercompression=result.stat(
+                "intercompression_time", source="acurdion"
+            ),
         )
-    merge = result.sum_stat("merge_time") if result.tracer_stats else 0.0
     return OverheadBreakdown(
         record=record,
         signature=0.0,
         vote=0.0,
         clustering=0.0,
-        intercompression=merge,
+        intercompression=result.stat("merge_time", source="tracer"),
     )
 
 

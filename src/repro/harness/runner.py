@@ -15,15 +15,19 @@ against the APP run of the same configuration, aggregated over all ranks
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import hashlib
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.acurdion import AcurdionTracer
 from ..core.chameleon import ChameleonStats, ChameleonTracer
 from ..core.config import ChameleonConfig
+from ..obs.instrument import NULL_INSTRUMENT, Instrument, ObsData, Recorder
+from ..obs.metrics import MetricsRegistry
 from ..scalatrace.costmodel import DEFAULT_COSTS
 from ..scalatrace.trace import Trace
 from ..scalatrace.tracer import ScalaTraceTracer, TracerStats
@@ -66,14 +70,97 @@ class RunResult:
     tracer_stats: list[TracerStats] = field(default_factory=list)
     chameleon_stats: list[ChameleonStats] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)
+    #: event timeline + live metrics, present only when the run executed
+    #: with a Recorder (never populated from the cache)
+    obs: ObsData | None = None
+
+    # -- metrics ------------------------------------------------------------
+
+    def registry(self) -> MetricsRegistry:
+        """This run's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Built fresh on every call from the per-rank tracer/Chameleon/
+        ACURDION statistics (names ``tracer/<field>``, ``chameleon/<field>``,
+        ``acurdion/<field>``, labelled by rank and — for per-state counts —
+        phase), merged with the live metrics of ``obs`` when the run was
+        instrumented.  This is the single typed collection path behind
+        :meth:`stat` and the exporters.
+        """
+        reg = MetricsRegistry()
+        for rank, st in enumerate(self.tracer_stats):
+            for f in dataclasses.fields(st):
+                value = getattr(st, f.name)
+                if isinstance(value, (int, float)):
+                    reg.count(f"tracer/{f.name}", float(value), rank=rank)
+            for state, nbytes in st.bytes_by_state.items():
+                reg.count("tracer/bytes_by_state", float(nbytes),
+                          rank=rank, phase=state)
+        for rank, cs in enumerate(self.chameleon_stats):
+            for f in dataclasses.fields(cs):
+                value = getattr(cs, f.name)
+                if isinstance(value, (int, float)):
+                    reg.count(f"chameleon/{f.name}", float(value), rank=rank)
+            for state, n in cs.state_counts.items():
+                reg.count("chameleon/state_markers", float(n),
+                          rank=rank, phase=state)
+        for rank, entry in enumerate(self.extra.get("acurdion", ())):
+            for name, value in entry.items():
+                reg.count(f"acurdion/{name}", float(value), rank=rank)
+        if self.obs is not None:
+            reg.merge(self.obs.metrics)
+        return reg
+
+    def stat(self, name: str, *, source: str = "auto",
+             rank: int | None = None, phase: str | None = None) -> float:
+        """Aggregated metric lookup backed by :meth:`registry`.
+
+        ``name`` may be fully qualified (``"chameleon/vote_time"``) or bare
+        (``"vote_time"``); a bare name is resolved through ``source`` —
+        ``"tracer"``, ``"chameleon"``, ``"acurdion"``, or ``"auto"`` to try
+        each prefix (then the bare name itself) in that order.  Missing
+        metrics are 0.0, so callers never branch on which stats dicts a
+        mode happened to populate.
+        """
+        reg = self.registry()
+        if "/" in name:
+            candidates = [name]
+        elif source == "auto":
+            candidates = [f"tracer/{name}", f"chameleon/{name}",
+                          f"acurdion/{name}", name]
+        else:
+            candidates = [f"{source}/{name}"]
+        for candidate in candidates:
+            if reg.has(candidate):
+                return reg.value(candidate, rank=rank, phase=phase)
+        return 0.0
 
     # -- aggregates ---------------------------------------------------------
 
     def sum_stat(self, name: str) -> float:
-        return sum(getattr(s, name) for s in self.tracer_stats)
+        """Sum a :class:`TracerStats` field over ranks.
+
+        .. deprecated:: use ``stat(name, source="tracer")``.
+        """
+        warnings.warn(
+            "RunResult.sum_stat is deprecated; use "
+            "RunResult.stat(name, source='tracer')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stat(name, source="tracer")
 
     def sum_cstat(self, name: str) -> float:
-        return sum(getattr(s, name) for s in self.chameleon_stats)
+        """Sum a :class:`ChameleonStats` field over ranks.
+
+        .. deprecated:: use ``stat(name, source="chameleon")``.
+        """
+        warnings.warn(
+            "RunResult.sum_cstat is deprecated; use "
+            "RunResult.stat(name, source='chameleon')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stat(name, source="chameleon")
 
     @property
     def cstats0(self) -> ChameleonStats:
@@ -132,9 +219,17 @@ def run_mode(
     mode: Mode,
     config: ChameleonConfig | None = None,
     network: NetworkModel = QDR_CLUSTER,
+    instrument: Instrument | None = None,
 ) -> RunResult:
-    """Execute one (workload, P, mode) combination."""
+    """Execute one (workload, P, mode) combination.
+
+    Pass a :class:`~repro.obs.instrument.Recorder` as ``instrument`` to
+    capture the run's event timeline; its snapshot is attached to
+    ``RunResult.obs``.  The default no-op instrument leaves virtual time
+    bit-identical to an uninstrumented run.
+    """
     cfg = config or chameleon_config_for(workload)
+    ins = instrument if instrument is not None else NULL_INSTRUMENT
 
     async def main(ctx):
         if mode is Mode.APP:
@@ -163,7 +258,7 @@ def run_mode(
             }
         return out
 
-    res = run_spmd(main, nprocs, network=network)
+    res = run_spmd(main, nprocs, network=network, instrument=ins)
     per_rank = res.results
     result = RunResult(
         mode=mode,
@@ -182,6 +277,14 @@ def run_mode(
     )
     if "acurdion" in per_rank[0]:
         result.extra["acurdion"] = [r["acurdion"] for r in per_rank]
+    if isinstance(ins, Recorder):
+        result.obs = ins.snapshot(
+            meta={
+                "workload": workload.name,
+                "nprocs": nprocs,
+                "mode": mode.value,
+            }
+        )
     return result
 
 

@@ -63,6 +63,9 @@ class ScalaTraceTracer:
         self.comm = ctx.comm
         self.costs = costs
         self.tree_arity = tree_arity
+        #: the run's observability event bus (no-op unless a Recorder was
+        #: passed to run_spmd); never advances virtual time
+        self.obs = ctx.comm.engine.instrument
         self.meter = WorkMeter()
         self.compressor = IntraCompressor(window=window, meter=self.meter)
         self.walker = StackWalker()
@@ -129,6 +132,12 @@ class ScalaTraceTracer:
         self.ctx.compute(charge)
         self.stats.record_time += self.ctx.clock - t0
         self.stats.peak_bytes = max(self.stats.peak_bytes, self.current_bytes())
+        ins = self.obs
+        if ins.enabled:
+            ins.metrics.count("record/events", 1, rank=self.rank,
+                              op=op.name.lower(), t=self.ctx.clock)
+            ins.metrics.count("record/time", self.ctx.clock - t0,
+                              rank=self.rank, t=self.ctx.clock)
         return rec
 
     def _post(self) -> None:
@@ -320,6 +329,14 @@ class ScalaTraceTracer:
             self.stats.merge_comm_time += self.ctx.clock - tc0
             result = None
         self.stats.merge_time += self.ctx.clock - t0
+        ins = self.obs
+        if ins.enabled:
+            ins.span(
+                self.rank, "merge_over_tree", "tracer", t0, self.ctx.clock,
+                {"members": tree.size, "root": result is not None},
+            )
+            ins.metrics.count("merge/time", self.ctx.clock - t0,
+                              rank=self.rank, t=self.ctx.clock)
         return result
 
     async def finalize(self) -> Trace | None:

@@ -22,6 +22,7 @@ collective calls).
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Sequence
 
 from .comm import Comm, CommContext, MAX_USER_TAG
@@ -70,6 +71,36 @@ def BOR(a: Any, b: Any) -> Any:
 _TAG_STRIDE = 4096
 
 
+def _observed(name: str, algorithm: str):
+    """Wrap a collective so its whole execution becomes one span on the
+    caller's lane (cat ``coll``), tagged with the algorithm the simulated
+    MPI library would have used.  With the no-op instrument the wrapper is
+    a single attribute check — virtual time is untouched either way."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        async def wrapper(self: "Communicator", *args: Any, **kwargs: Any):
+            ins = self.engine.instrument
+            if not ins.enabled:
+                return await fn(self, *args, **kwargs)
+            t0 = self.task.clock
+            result = await fn(self, *args, **kwargs)
+            t1 = self.task.clock
+            world = self.world_rank(self.rank)
+            ins.span(
+                world, name, "coll", t0, t1,
+                {"algorithm": algorithm, "comm": self.context.id,
+                 "size": self.size},
+            )
+            ins.metrics.count("coll/calls", 1, rank=world, op=name, t=t1)
+            ins.metrics.count("coll/time", t1 - t0, rank=world, op=name, t=t1)
+            return result
+
+        return wrapper
+
+    return deco
+
+
 class Communicator(Comm):
     """A :class:`Comm` with collective operations attached."""
 
@@ -88,6 +119,7 @@ class Communicator(Comm):
 
     # -- collectives ---------------------------------------------------------
 
+    @_observed("barrier", "dissemination")
     async def barrier(self) -> None:
         """Dissemination barrier: ceil(log2 P) rounds of paired messages."""
         size = self.size
@@ -105,6 +137,7 @@ class Communicator(Comm):
             dist <<= 1
             round_no += 1
 
+    @_observed("bcast", "binomial-tree")
     async def bcast(self, value: Any, root: int = 0, size: int | None = None) -> Any:
         """Binomial-tree broadcast; returns the value on every rank."""
         self._check_peer(root, "root")
@@ -120,6 +153,7 @@ class Communicator(Comm):
             await self.send(child, value, tag=base, size=size)
         return value
 
+    @_observed("reduce", "binomial-tree")
     async def reduce(
         self,
         value: Any,
@@ -147,6 +181,7 @@ class Communicator(Comm):
             return None
         return acc
 
+    @_observed("allreduce", "reduce+bcast")
     async def allreduce(
         self,
         value: Any,
@@ -157,6 +192,7 @@ class Communicator(Comm):
         reduced = await self.reduce(value, op=op, root=0, size=size)
         return await self.bcast(reduced, root=0, size=size)
 
+    @_observed("gather", "binomial-tree")
     async def gather(
         self, value: Any, root: int = 0, size: int | None = None
     ) -> list[Any] | None:
@@ -182,6 +218,7 @@ class Communicator(Comm):
             )
         return [segment[r] for r in range(self.size)]
 
+    @_observed("scatter", "binomial-tree")
     async def scatter(
         self, values: Sequence[Any] | None, root: int = 0, size: int | None = None
     ) -> Any:
@@ -213,6 +250,7 @@ class Communicator(Comm):
             await self.send(child, child_seg, tag=base, size=seg_size)
         return segment[self.rank]
 
+    @_observed("allgather", "ring")
     async def allgather(self, value: Any, size: int | None = None) -> list[Any]:
         """Ring allgather: P-1 steps, each forwarding the next segment."""
         base = self._claim_tags()
@@ -230,6 +268,7 @@ class Communicator(Comm):
             out[carry_rank] = carry
         return out
 
+    @_observed("alltoall", "pairwise-exchange")
     async def alltoall(
         self, values: Sequence[Any], size: int | None = None
     ) -> list[Any]:
@@ -249,6 +288,7 @@ class Communicator(Comm):
             await sreq.wait()
         return out
 
+    @_observed("scan", "linear-chain")
     async def scan(
         self, value: Any, op: Callable[[Any, Any], Any] = SUM, size: int | None = None
     ) -> Any:
@@ -264,6 +304,7 @@ class Communicator(Comm):
 
     # -- communicator construction ----------------------------------------
 
+    @_observed("split", "gather+bcast")
     async def split(self, color: int, key: int | None = None) -> "Communicator | None":
         """Collective split; returns the new communicator (None if color<0)."""
         key = self.rank if key is None else key
@@ -287,6 +328,7 @@ class Communicator(Comm):
         local_rank = ctx.ranks.index(my_world)
         return Communicator(ctx, local_rank, self.task)
 
+    @_observed("dup", "gather+bcast")
     async def dup(self) -> "Communicator":
         """Collective duplicate: a congruent communicator with fresh state."""
         new = await self.split(color=0, key=self.rank)

@@ -255,6 +255,17 @@ class Comm:
         self.engine.total_messages += 1
         self.engine.total_bytes += nbytes
 
+        ins = self.engine.instrument
+        if ins.enabled:
+            ins.metrics.count(
+                "p2p/bytes_sent", nbytes, rank=self.world_rank(self.rank),
+                op="send", t=task.clock,
+            )
+            ins.metrics.count(
+                "p2p/messages", 1, rank=self.world_rank(self.rank),
+                op="send", t=task.clock,
+            )
+
         fut = SimFuture(label=f"isend {self.rank}->{dest} tag={tag} comm={self.context.id}")
         if net.eager(nbytes):
             task.charge(net.o_send + net.transfer_time(nbytes))
@@ -350,4 +361,31 @@ class Comm:
         pending.task.msgs_received += 1
         pending.task.bytes_received += msg.nbytes
         pending.task.busy += net.o_recv
+        ins = self.engine.instrument
+        if ins.enabled:
+            # One span per delivered message on the *receiver's* lane, from
+            # the receive post to completion: the wait/latency view the
+            # paper's rendezvous-cost argument is about.
+            wsrc = self.context.ranks[msg.src]
+            wdest = self.context.ranks[msg.dest]
+            cat = "p2p" if msg.tag <= MAX_USER_TAG else "p2p.tool"
+            ins.span(
+                wdest,
+                f"recv<-{wsrc}",
+                cat,
+                pending.post_time,
+                done_recv,
+                {
+                    "src": wsrc,
+                    "tag": msg.tag,
+                    "nbytes": msg.nbytes,
+                    "rendezvous": msg.rendezvous,
+                    "comm": self.context.id,
+                },
+            )
+            ins.metrics.count("p2p/bytes_received", msg.nbytes, rank=wdest,
+                              op="recv", t=done_recv)
+            ins.metrics.observe("p2p/recv_latency",
+                                max(done_recv - pending.post_time, 0.0),
+                                rank=wdest)
         pending.future.resolve(msg, time=done_recv)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Any, Callable, Coroutine
+from typing import Any, Coroutine
 
+from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from .errors import DeadlockError, TaskFailedError
 from .futures import SimFuture
 from .timing import NetworkModel, QDR_CLUSTER
@@ -95,6 +96,7 @@ class Engine:
         self,
         network: NetworkModel = QDR_CLUSTER,
         max_steps: int | None = None,
+        instrument: Instrument = NULL_INSTRUMENT,
     ) -> None:
         self.network = network
         self.tasks: list[Task] = []
@@ -106,7 +108,10 @@ class Engine:
         self.total_messages = 0
         self.total_bytes = 0
         self._next_comm_id = 0
-        self._trace_hooks: list[Callable[[str, Task], None]] = []
+        #: observability event bus; the default is the zero-cost no-op, and
+        #: no emission ever advances a virtual clock, so instrumented and
+        #: uninstrumented runs are bit-identical in virtual time
+        self.instrument = instrument
 
     # -- task management ---------------------------------------------------
 
@@ -137,6 +142,10 @@ class Engine:
         task.state = TaskState.READY
         task.blocked_on = None
         self._ready.append(task)
+        ins = self.instrument
+        if ins.enabled:
+            ins.instant(task.rank, "wake", "sched", task.clock,
+                        {"on": fut.label})
 
     def _park(self, task: Task, fut: SimFuture) -> None:
         task.state = TaskState.BLOCKED
@@ -150,12 +159,14 @@ class Engine:
         :class:`DeadlockError` if unfinished tasks remain with an empty ready
         queue (classic message-matching deadlock).
         """
+        ins = self.instrument
         while self._ready:
             task = self._ready.popleft()
             if task.state != TaskState.READY:  # pragma: no cover - invariant
                 continue
             task.state = TaskState.RUNNING
             self._current = task
+            stretch_start = task.clock
             try:
                 while True:
                     self._steps += 1
@@ -174,10 +185,18 @@ class Engine:
                         # the coroutine pick the value up immediately.
                         continue
                     self._park(task, fut)
+                    if ins.enabled:
+                        ins.span(task.rank, "run", "sched", stretch_start,
+                                 task.clock, {"until": "park"})
+                        ins.instant(task.rank, "park", "sched", task.clock,
+                                    {"on": fut.label})
                     break
             except StopIteration as stop:
                 task.state = TaskState.DONE
                 task.result = stop.value
+                if ins.enabled:
+                    ins.span(task.rank, "run", "sched", stretch_start,
+                             task.clock, {"until": "done"})
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 task.state = TaskState.FAILED
                 task.error = exc

@@ -12,6 +12,7 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
+from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from .collectives import Communicator
 from .comm import CommContext
 from .engine import Engine, Task
@@ -100,17 +101,21 @@ def run_spmd(
     *args: Any,
     network: NetworkModel = QDR_CLUSTER,
     max_steps: int | None = None,
+    instrument: Instrument = NULL_INSTRUMENT,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``main(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     ``main`` must be an ``async def``; it is instantiated once per rank.
+    ``instrument`` receives the run's observability events (scheduler,
+    p2p, collectives, tracers); the default is the zero-cost no-op.
     Raises :class:`~repro.simmpi.errors.TaskFailedError` if any rank raises
     and :class:`~repro.simmpi.errors.DeadlockError` on a matching deadlock.
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
-    engine = Engine(network=network, max_steps=max_steps)
+    engine = Engine(network=network, max_steps=max_steps,
+                    instrument=instrument)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn

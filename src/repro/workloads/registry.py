@@ -28,6 +28,9 @@ _REGISTRY: dict[str, Callable[..., Workload]] = {
     "uniform": UniformCollective,
     "alternating": AlternatingPhases,
     "groups": BehaviourGroups,
+    # Convenience alias: a small phase-alternating synthetic program, the
+    # default target for quick observability/smoke runs.
+    "synthetic": AlternatingPhases,
 }
 
 #: The paper's Table I: number of clusters per benchmark.

@@ -1,0 +1,92 @@
+"""The dependency-free JSON-schema subset validator."""
+
+import pytest
+
+from repro.obs.schema import SchemaError, check, validate
+
+
+class TestTypes:
+    def test_basic_types(self):
+        assert validate(1, {"type": "integer"}) == []
+        assert validate(1.5, {"type": "number"}) == []
+        assert validate("x", {"type": "string"}) == []
+        assert validate(True, {"type": "boolean"}) == []
+        assert validate(None, {"type": "null"}) == []
+        assert validate({}, {"type": "object"}) == []
+        assert validate([], {"type": "array"}) == []
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(True, {"type": "number"})
+
+    def test_integral_float_is_integer(self):
+        assert validate(2.0, {"type": "integer"}) == []
+        assert validate(2.5, {"type": "integer"})
+
+    def test_type_union(self):
+        schema = {"type": ["number", "null"]}
+        assert validate(None, schema) == []
+        assert validate(3, schema) == []
+        assert validate("x", schema)
+
+
+class TestKeywords:
+    def test_enum(self):
+        assert validate("X", {"enum": ["X", "i"]}) == []
+        assert validate("Z", {"enum": ["X", "i"]})
+
+    def test_minimum_maximum(self):
+        assert validate(5, {"minimum": 0, "maximum": 10}) == []
+        assert validate(-1, {"minimum": 0})
+        assert validate(11, {"maximum": 10})
+
+    def test_required_and_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}},
+        }
+        assert validate({"a": 1}, schema) == []
+        assert validate({}, schema)
+        assert validate({"a": "x"}, schema)
+
+    def test_additional_properties_false(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {}},
+            "additionalProperties": False,
+        }
+        assert validate({"a": 1}, schema) == []
+        assert validate({"a": 1, "b": 2}, schema)
+
+    def test_items_and_min_items(self):
+        schema = {
+            "type": "array",
+            "minItems": 1,
+            "items": {"type": "integer"},
+        }
+        assert validate([1, 2], schema) == []
+        assert validate([], schema)
+        assert validate([1, "x"], schema)
+
+    def test_unknown_keywords_ignored(self):
+        assert validate(1, {"type": "integer", "format": "int64"}) == []
+
+
+class TestErrors:
+    def test_paths_name_the_violation(self):
+        schema = {
+            "type": "object",
+            "properties": {
+                "events": {"type": "array", "items": {"type": "object"}}
+            },
+        }
+        errors = validate({"events": [{}, 3]}, schema)
+        assert errors == [
+            "$.events[1]: expected type object, got int"
+        ]
+
+    def test_check_raises(self):
+        with pytest.raises(SchemaError) as exc:
+            check("x", {"type": "integer"})
+        assert exc.value.errors
