@@ -16,6 +16,9 @@ Subpackages:
   figure of the paper's evaluation (parallel workers + on-disk run cache)
 * :mod:`repro.obs`        — observability: virtual-time event tracing,
   metrics registry, Chrome-trace/Perfetto and JSONL exporters
+* :mod:`repro.faults`     — deterministic, seeded fault injection (rank
+  crashes, message loss, degraded links, compute noise) with graceful
+  degradation through every layer
 
 The stable entry points live in :mod:`repro.api` and are re-exported here:
 ``run``, ``run_experiment``, ``load_trace``, ``replay``, ``compare``,
@@ -23,11 +26,13 @@ The stable entry points live in :mod:`repro.api` and are re-exported here:
 Deep imports keep working but :mod:`repro.api` is the committed surface.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import api
 from .api import (
     EXPERIMENTS,
+    FaultPlan,
+    FaultPlanError,
     Instrument,
     MetricsRegistry,
     Mode,
@@ -48,6 +53,8 @@ from .api import (
 
 __all__ = [
     "EXPERIMENTS",
+    "FaultPlan",
+    "FaultPlanError",
     "Instrument",
     "MetricsRegistry",
     "Mode",

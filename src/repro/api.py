@@ -32,6 +32,14 @@ from .harness.engine import (
     get_engine,
     make_cell,
 )
+from .faults.plan import (
+    ComputeFault,
+    CrashFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    MessageFaults,
+)
 from .harness.runner import Mode, RunResult, overhead
 from .obs import (
     Inspection,
@@ -65,9 +73,15 @@ EXPERIMENTS: dict[str, Callable[[], tuple]] = {
 
 __all__ = [
     "EXPERIMENTS",
+    "ComputeFault",
+    "CrashFault",
     "ExperimentEngine",
+    "FaultPlan",
+    "FaultPlanError",
     "Inspection",
     "Instrument",
+    "LinkFault",
+    "MessageFaults",
     "MetricsRegistry",
     "Mode",
     "ObsData",
@@ -99,6 +113,7 @@ def run(
     network: NetworkModel = QDR_CLUSTER,
     engine: ExperimentEngine | None = None,
     instrument: Instrument | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run one ``(workload, nprocs, mode)`` cell and return its result.
 
@@ -112,6 +127,13 @@ def run(
     timeline on ``result.obs`` (see :func:`inspect`); instrumented runs
     always execute inline and bypass the cache, and their virtual clocks
     are bit-identical to the uninstrumented run.
+
+    Pass ``faults=FaultPlan(...)`` to inject deterministic failures (rank
+    crashes, message drops/delays, slow links, compute noise); the run
+    degrades gracefully instead of erroring, reporting crashed ranks on
+    ``result.failed_ranks`` and the injector's event counters under
+    ``result.extra["fault_summary"]``.  The same plan and seed always
+    reproduce the same result; an empty plan changes nothing.
     """
     engine = engine or get_engine()
     cell = make_cell(
@@ -122,6 +144,7 @@ def run(
         call_frequency=call_frequency,
         config_overrides=config_overrides,
         network=network,
+        faults=faults,
     )
     if instrument is not None:
         return engine.run_cell_instrumented(cell, instrument)

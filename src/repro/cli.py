@@ -12,6 +12,8 @@ Usage (installed as a module)::
     python -m repro replay bt.st
     python -m repro experiment table2
     python -m repro experiment fig4 --jobs 4
+    python -m repro run --workload bt --faults plan.json --fault-seed 7
+    python -m repro chaos --workload bt --nprocs 16 --report chaos.json
 
 ``experiment`` regenerates one of the paper's tables/figures and prints the
 same rows the paper reports (see EXPERIMENTS.md for the mapping).  ``run``
@@ -26,6 +28,17 @@ the run's virtual-time timeline (open it in ui.perfetto.dev),
 observability bundle that ``repro trace`` and ``repro stats`` consume
 offline.  Instrumented runs bypass the cache; their virtual clocks are
 bit-identical to uninstrumented ones.
+
+Fault injection: ``run --faults PLAN.json`` installs a deterministic
+:class:`~repro.faults.FaultPlan` (see docs/FAULTS.md for the schema), and
+``repro chaos`` sweeps a small built-in fault matrix — crash-a-lead,
+drop-messages, noisy-rank — running every scenario twice with the same
+seed to check bit-identical reproduction, and reports survival plus the
+trace-fidelity delta against the fault-free baseline.
+
+Failures map to distinct exit codes with one-line diagnostics: invalid
+fault plan = 2, deadlock = 3, rank failure = 4, engine limit = 5.  Pass
+``repro --traceback …`` to get the full Python stack instead.
 """
 
 from __future__ import annotations
@@ -36,11 +49,13 @@ from pathlib import Path
 from typing import Sequence
 
 from .api import EXPERIMENTS as _EXPERIMENTS
+from .faults.plan import FaultPlan, FaultPlanError
 from .harness import Mode, overhead, run_suite
 from .harness.engine import CellEvent, ExperimentEngine, configure_engine
 from .replay import accuracy, replay_trace
 from .scalatrace.analysis import communication_matrix, hotspots, summarize
 from .scalatrace.trace import Trace
+from .simmpi.errors import DeadlockError, EngineLimitError, TaskFailedError
 from .workloads.registry import workload_names
 
 
@@ -84,6 +99,21 @@ def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
+def _faults_from(args: argparse.Namespace) -> FaultPlan | None:
+    """Load + validate the --faults plan, applying --fault-seed."""
+    if not args.faults:
+        if args.fault_seed is not None:
+            raise SystemExit("error: --fault-seed requires --faults PLAN.json")
+        return None
+    import dataclasses
+
+    plan = FaultPlan.load(args.faults)
+    if args.fault_seed is not None:
+        plan = dataclasses.replace(plan, seed=args.fault_seed)
+    plan.validate(args.nprocs)
+    return plan
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for name in workload_names():
@@ -109,6 +139,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params["problem_class"] = args.problem_class
     if args.iterations:
         params["iterations"] = args.iterations
+    faults = _faults_from(args)
+    if faults is not None:
+        return _run_with_faults(args, engine, mode, params, faults)
     modes = (Mode.APP, mode) if mode is not Mode.APP else (Mode.APP,)
     obs_wanted = bool(args.trace_out or args.metrics_out or args.obs_out)
     if obs_wanted:
@@ -161,6 +194,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     if obs_wanted:
         _write_obs_outputs(suite[mode], args)
+    return 0
+
+
+def _run_with_faults(
+    args: argparse.Namespace,
+    engine: ExperimentEngine,
+    mode: Mode,
+    params: dict,
+    faults: FaultPlan,
+) -> int:
+    """`run --faults`: one faulted cell, no fault-free APP baseline."""
+    from .api import run as api_run
+    from .obs import Recorder
+
+    obs_wanted = bool(args.trace_out or args.metrics_out or args.obs_out)
+    result = api_run(
+        args.workload,
+        args.nprocs,
+        mode,
+        workload_params=params or None,
+        call_frequency=args.call_frequency,
+        engine=engine,
+        instrument=Recorder() if obs_wanted else None,
+        faults=faults,
+    )
+    print(f"{mode.value} run under fault plan {args.faults}")
+    print(f"virtual makespan: {result.max_time:.6f} s")
+    if result.failed_ranks:
+        print(f"crashed ranks: {', '.join(map(str, result.failed_ranks))}")
+    summary = result.extra.get("fault_summary", {})
+    if summary:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+        print(f"fault events: {items}")
+    if result.trace is not None:
+        print(
+            f"trace: {result.trace.leaf_count()} PRSD events / "
+            f"{result.trace.expanded_count()} MPI calls"
+        )
+        if args.output:
+            result.trace.save(args.output)
+            print(f"written to {args.output}")
+    elif args.output:
+        print(
+            f"warning: --output ignored — the {mode.value} run "
+            "produced no trace",
+            file=sys.stderr,
+        )
+    if obs_wanted:
+        _write_obs_outputs(result, args)
     return 0
 
 
@@ -288,6 +370,140 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.similarity() >= args.threshold else 1
 
 
+#: The built-in fault matrix swept by `repro chaos`.
+CHAOS_SCENARIOS = ("crash-a-lead", "drop-messages", "noisy-rank")
+
+
+def _chaos_plan(name: str, baseline, nprocs: int, seed: int) -> FaultPlan:
+    from .faults.plan import ComputeFault, CrashFault, MessageFaults
+
+    if name == "crash-a-lead":
+        # Prefer a non-zero lead, and crash past the clustering warm-up,
+        # so the run exercises lead re-election rather than the rank-0 /
+        # startup degraded fallback.
+        leads = sorted(r for r in baseline.lead_ranks if r != 0)
+        victim = leads[0] if leads else max(1, nprocs - 1)
+        return FaultPlan(
+            seed=seed,
+            crashes=(CrashFault(rank=victim, time=baseline.max_time * 0.7),),
+        )
+    if name == "drop-messages":
+        return FaultPlan(seed=seed, messages=MessageFaults(drop_prob=0.05))
+    if name == "noisy-rank":
+        return FaultPlan(
+            seed=seed,
+            compute=(
+                ComputeFault(rank=max(1, nprocs // 2), slowdown=1.5,
+                             jitter=0.1),
+            ),
+        )
+    raise ValueError(f"unknown chaos scenario {name!r}")
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import run as api_run
+    from .simmpi.errors import SimMPIError
+
+    # The determinism check needs both runs computed, not one computed and
+    # one served from disk, so chaos always bypasses the run cache.
+    engine = configure_engine(jobs=args.jobs, no_cache=True)
+    mode = Mode(args.mode)
+    seed = args.fault_seed if args.fault_seed is not None else FaultPlan.seed
+    scenarios = args.scenario or list(CHAOS_SCENARIOS)
+    params = {}
+    if args.problem_class:
+        params["problem_class"] = args.problem_class
+    if args.iterations:
+        params["iterations"] = args.iterations
+    print(
+        f"chaos: {args.workload} x {args.nprocs} ranks, mode={mode.value}, "
+        f"seed={seed:#x}"
+    )
+
+    baseline = api_run(args.workload, args.nprocs, mode,
+                       workload_params=params or None, engine=engine)
+    base_leaves = (
+        baseline.trace.leaf_count() if baseline.trace is not None else 0
+    )
+    print(
+        f"baseline: makespan {baseline.max_time:.6f} s, "
+        f"{base_leaves} trace events"
+    )
+
+    report = {
+        "workload": args.workload,
+        "nprocs": args.nprocs,
+        "mode": mode.value,
+        "fault_seed": seed,
+        "baseline": {
+            "fingerprint": baseline.fingerprint(),
+            "max_time": baseline.max_time,
+            "trace_leaves": base_leaves,
+        },
+        "scenarios": [],
+    }
+    ok = True
+    for name in scenarios:
+        plan = _chaos_plan(name, baseline, args.nprocs, seed)
+        entry = {"name": name, "plan": plan.to_dict()}
+        kwargs = dict(workload_params=params or None, engine=engine,
+                      faults=plan)
+        try:
+            first = api_run(args.workload, args.nprocs, mode, **kwargs)
+            second = api_run(args.workload, args.nprocs, mode, **kwargs)
+        except SimMPIError as exc:
+            entry.update(
+                survived=False,
+                deterministic=False,
+                error=str(exc).splitlines()[0],
+            )
+            ok = False
+        else:
+            deterministic = first.fingerprint() == second.fingerprint()
+            leaves = (
+                first.trace.leaf_count() if first.trace is not None else 0
+            )
+            delta = (
+                abs(leaves - base_leaves) / base_leaves * 100.0
+                if base_leaves
+                else 0.0
+            )
+            entry.update(
+                survived=True,
+                deterministic=deterministic,
+                failed_ranks=list(first.failed_ranks),
+                max_time=first.max_time,
+                trace_leaves=leaves,
+                fidelity_delta_pct=round(delta, 3),
+                fault_summary=dict(
+                    sorted(first.extra.get("fault_summary", {}).items())
+                ),
+            )
+            ok = ok and deterministic
+        report["scenarios"].append(entry)
+        if entry.get("survived"):
+            status = "ok" if entry["deterministic"] else "NON-DETERMINISTIC"
+            print(
+                f"  {name:<16s} {status:<17s} "
+                f"failed_ranks={entry['failed_ranks']} "
+                f"fidelity_delta={entry['fidelity_delta_pct']}%"
+            )
+        else:
+            print(f"  {name:<16s} FAILED            {entry['error']}")
+    report["ok"] = ok
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"chaos report: {args.report}")
+    if ok:
+        print("chaos: all scenarios survived, reruns bit-identical")
+    else:
+        print("chaos: FAILURES above", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         fn = _EXPERIMENTS[args.name]
@@ -317,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Chameleon reproduction: run workloads, inspect traces, "
         "regenerate the paper's experiments.",
+    )
+    parser.add_argument(
+        "--traceback", action="store_true",
+        help="print full Python tracebacks instead of one-line diagnostics",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -348,6 +568,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--obs-out", default="", metavar="FILE",
         help="write the raw observability bundle for `repro trace`/`stats`",
+    )
+    p_run.add_argument(
+        "--faults", default="", metavar="PLAN.json",
+        help="inject deterministic faults from this plan "
+        "(schema in docs/FAULTS.md); the run degrades gracefully and "
+        "reports crashed ranks + fault-event counters",
+    )
+    p_run.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="override the fault plan's seed (requires --faults)",
     )
     _add_engine_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
@@ -402,6 +632,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.set_defaults(fn=_cmd_stats)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep a fault matrix; report survival, trace fidelity, "
+        "and run-to-run determinism",
+    )
+    p_chaos.add_argument(
+        "--workload", default="bt", choices=workload_names()
+    )
+    p_chaos.add_argument("--nprocs", type=int, default=16)
+    p_chaos.add_argument("--problem-class", default="")
+    p_chaos.add_argument("--iterations", type=int, default=0)
+    p_chaos.add_argument(
+        "--mode", default="chameleon",
+        choices=[m.value for m in Mode if m is not Mode.APP],
+        help="tracing mode to stress (APP produces no trace to compare)",
+    )
+    p_chaos.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed for every scenario's plan (default: the plan default)",
+    )
+    p_chaos.add_argument(
+        "--scenario", action="append", choices=CHAOS_SCENARIOS,
+        metavar="NAME",
+        help=f"run only this scenario (repeatable; default: all of "
+        f"{', '.join(CHAOS_SCENARIOS)})",
+    )
+    p_chaos.add_argument(
+        "--report", default="", metavar="FILE",
+        help="write the machine-readable chaos report as JSON",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name")
     p_exp.add_argument(
@@ -414,12 +680,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exception-to-exit-code map: distinct nonzero codes per failure class,
+#: checked in order (FaultPlanError subclasses ValueError, the rest
+#: SimMPIError; EngineLimitError must precede TaskFailedError — deliberately
+#: unrelated classes, but the ordering documents the intent).
+_DIAGNOSTIC_EXITS: tuple[tuple[type, int, str], ...] = (
+    (FaultPlanError, 2, "invalid fault plan"),
+    (DeadlockError, 3, "deadlock"),
+    (EngineLimitError, 5, "engine limit"),
+    (TaskFailedError, 4, "rank failure"),
+)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
+    except (FaultPlanError, DeadlockError, EngineLimitError,
+            TaskFailedError) as exc:
+        if args.traceback:
+            raise
+        for etype, code, label in _DIAGNOSTIC_EXITS:
+            if isinstance(exc, etype):
+                first_line = str(exc).splitlines()[0] if str(exc) else repr(exc)
+                print(
+                    f"repro: {label}: {first_line} "
+                    "(re-run with --traceback for the full stack)",
+                    file=sys.stderr,
+                )
+                return code
+        raise  # unreachable: the tuple above covers every caught type
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

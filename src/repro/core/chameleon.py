@@ -25,7 +25,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..faults.injector import LOST
 from ..scalatrace.events import EventRecord, Op
+from ..scalatrace.intra import fold_tail
 from ..scalatrace.ranklist import RankSet
 from ..scalatrace.trace import Trace
 from ..scalatrace.tracer import ScalaTraceTracer
@@ -85,6 +87,9 @@ class ChameleonTracer(ScalaTraceTracer):
             Trace(nprocs=self.nprocs) if self.rank == 0 else None
         )
         self.cstats = ChameleonStats()
+        #: fault-degraded mode: clustering collapsed (or rank 0 died), so
+        #: every survivor falls back to full ScalaTrace-style tracing
+        self.degraded = False
         # Last marker state seen by the observability bus, for emitting
         # state-*transition* instants (cat "state") rather than one instant
         # per marker.
@@ -115,6 +120,88 @@ class ChameleonTracer(ScalaTraceTracer):
         self.ctx.compute(self.costs.per_signature_event)
         return None
 
+    # -- fault tolerance -----------------------------------------------------
+
+    def _fault_epoch(self, key: Any) -> frozenset[int]:
+        """Epoch-consistent failure snapshot for one marker round.
+
+        Ranks reach marker #n at different scheduler moments, so reading
+        the engine's failed set directly would let two ranks see different
+        failure sets for the *same* round and silently diverge (different
+        alive trees, different branches).  Instead the first rank to enter
+        the round freezes the set onto the shared communicator context and
+        every later rank reads that frozen copy — the simulation's stand-in
+        for a ULFM-style agreement protocol.  Ranks dying *after* the
+        snapshot surface as missing votes / LOST holes and are absorbed by
+        the vote quorum.
+        """
+        epochs = self.comm.context.__dict__.setdefault("fault_epochs", {})
+        snap = epochs.get(key)
+        if snap is None:
+            snap = frozenset(self.comm.engine.failed_ranks)
+            epochs[key] = snap
+        return snap
+
+    def _ft_check(self, failed: frozenset[int]) -> None:
+        """React to the round's failure snapshot: repair the cluster map
+        (lead re-election) and decide whether to drop into degraded mode.
+
+        Re-election is sound because cluster members are
+        signature-equivalent — any surviving member's trace stands in for
+        the group.  Degraded mode (everyone back to full tracing until
+        finalize) is entered when the online protocol can no longer
+        represent every rank: rank 0 — the online-trace holder — died, or a
+        whole cluster died with no survivor to re-elect.
+        """
+        if self.degraded or not failed:
+            return
+        obs = self.obs
+        collapsed: list = []
+        if self.topk is not None:
+            # reelect() is idempotent and deterministic, and the broadcast
+            # ClusterSet may be object-shared across ranks in-simulation —
+            # so every decision below reads the *repaired map*, never this
+            # call's replacements (another rank may have repaired it first).
+            replacements, collapsed = self.topk.reelect(failed)
+            mine = self.topk.find_cluster_of(self.rank)
+            if mine is not None:
+                self.my_cluster_members = mine.members
+                if mine.lead == self.rank and not self.tracing:
+                    # Elected as replacement lead: this rank's trace now
+                    # stands in for the cluster, so start recording.
+                    self.tracing = True
+                    if obs.enabled:
+                        obs.instant(
+                            self.rank, "lead_reelection", "fault",
+                            self.ctx.clock,
+                            {"is_new_lead": True,
+                             "cluster": list(mine.members.ranks()),
+                             "failed": sorted(failed)},
+                        )
+                        obs.metrics.count("fault/lead_reelections", 1,
+                                          rank=self.rank, t=self.ctx.clock)
+            if replacements and obs.enabled:
+                obs.instant(
+                    self.rank, "lead_reelection", "fault", self.ctx.clock,
+                    {"replacements": {str(k): v
+                                      for k, v in replacements.items()},
+                     "is_new_lead": False,
+                     "failed": sorted(failed)},
+                )
+        if 0 in failed or collapsed:
+            self.degraded = True
+            self.tracing = True
+            if obs.enabled:
+                obs.instant(
+                    self.rank, "degraded_mode", "fault", self.ctx.clock,
+                    {"reason": ("rank0_failed" if 0 in failed
+                                else "cluster_collapsed"),
+                     "collapsed": [list(sig) for sig in collapsed],
+                     "failed": sorted(failed)},
+                )
+                obs.metrics.count("fault/degraded_entries", 1,
+                                  rank=self.rank, t=self.ctx.clock)
+
     # -- the marker (Algorithm 3) ----------------------------------------------
 
     async def marker(self) -> MarkerDecision | None:
@@ -127,6 +214,25 @@ class ChameleonTracer(ScalaTraceTracer):
         self.cstats.effective_calls += 1
 
         obs = self.obs
+
+        # (0) fault tolerance: take this round's failure snapshot, repair
+        # the cluster map, and short-circuit when already degraded.
+        failed: frozenset[int] = frozenset()
+        if self.comm.engine.faults.active:
+            failed = self._fault_epoch(self.cstats.effective_calls)
+            self._ft_check(failed)
+            if self.degraded:
+                # Degraded mode: no vote, no clustering, no merging — every
+                # survivor keeps full-tracing (counted as AT) and finalize
+                # merges the complete traces over the alive ranks.
+                decision = MarkerDecision(MarkerState.AT)
+                self.cstats.state_counts[decision.state.value] += 1
+                self._sample_space(
+                    decision.state.value,
+                    self.compressor.size_bytes() if self.tracing else 0,
+                )
+                self.sigacc.reset()
+                return decision
 
         # (1) interval signatures — O(n) over PRSD events
         t0 = self.ctx.clock
@@ -144,7 +250,7 @@ class ChameleonTracer(ScalaTraceTracer):
 
         # (2) Algorithm 1: collective vote + transition graph
         t0 = self.ctx.clock
-        decision = await self.phase.decide(self.comm, sigs.callpath)
+        decision = await self.phase.decide(self.comm, sigs.callpath, failed)
         self.cstats.vote_time += self.ctx.clock - t0
         self.cstats.state_counts[decision.state.value] += 1
         if obs.enabled:
@@ -179,7 +285,8 @@ class ChameleonTracer(ScalaTraceTracer):
         # (3) clustering (state C)
         if decision.do_cluster:
             t0 = self.ctx.clock
-            self.topk = await cluster_over_tree(self, sigs, self.config)
+            self.topk = await cluster_over_tree(self, sigs, self.config,
+                                                failed)
             self.cstats.clustering_time += self.ctx.clock - t0
             self.cstats.reclusterings += 1
             self.cstats.k_used = max(self.cstats.k_used, len(self.topk))
@@ -272,6 +379,12 @@ class ChameleonTracer(ScalaTraceTracer):
         existing Top-K — "the inter-compression part remains the same".
         """
         obs = self.obs
+        failed: frozenset[int] = frozenset()
+        if self.comm.engine.faults.active:
+            failed = self._fault_epoch("final")
+            self._ft_check(failed)
+            if self.degraded:
+                return await self._finalize_degraded(failed)
         decision = self.phase.force_final()
         if obs.enabled and decision.state.value != self._obs_state:
             obs.instant(
@@ -281,14 +394,17 @@ class ChameleonTracer(ScalaTraceTracer):
             )
             self._obs_state = decision.state.value
         intra_bytes_pre = self.compressor.size_bytes() if self.tracing else 0
-        all_tracing = bool(
-            await self.comm.allreduce(1 if self.tracing else 0, size=8)
-            == self.nprocs
+        vote = await self.comm.allreduce(1 if self.tracing else 0, size=8)
+        # Under faults the vote can be a LOST hole or missing dead ranks'
+        # contributions; either way not everyone is provably tracing.
+        all_tracing = vote is not LOST and bool(
+            vote == self.nprocs - len(failed)
         )
         if self.topk is None or all_tracing:
             sigs = self.mergeacc.snapshot()
             t0 = self.ctx.clock
-            self.topk = await cluster_over_tree(self, sigs, self.config)
+            self.topk = await cluster_over_tree(self, sigs, self.config,
+                                                failed)
             self.cstats.clustering_time += self.ctx.clock - t0
             self.cstats.reclusterings += 1
             self.cstats.k_used = max(self.cstats.k_used, len(self.topk))
@@ -325,3 +441,52 @@ class ChameleonTracer(ScalaTraceTracer):
             self.online.nprocs = self.nprocs
             return self.online
         return None
+
+    async def _finalize_degraded(self, failed: frozenset[int]) -> Trace | None:
+        """Fault fall-back finalize: a full ScalaTrace-style merge over the
+        surviving ranks.
+
+        Every survivor has been full-tracing since the degraded transition,
+        so the complete (not lead-sampled) traces are merged over a radix
+        tree of the alive ranks.  When rank 0 survived (degradation came
+        from a cluster collapse) the merged trace is folded into the online
+        trace so pre-degradation intervals are kept; when rank 0 died, the
+        lowest surviving rank returns the merged full trace — the best
+        available output.
+        """
+        obs = self.obs
+        decision = self.phase.force_final()
+        alive = [r for r in range(self.nprocs) if r not in failed]
+        if obs.enabled:
+            obs.instant(self.rank, "degraded_finalize", "fault",
+                        self.ctx.clock,
+                        {"alive": len(alive), "failed": sorted(failed)})
+        intra_bytes_pre = self.compressor.size_bytes() if self.tracing else 0
+        local = Trace(
+            nodes=self.compressor.take_nodes(),
+            origin=RankSet.single(self.rank),
+            nprocs=self.nprocs,
+        )
+        t0 = self.ctx.clock
+        merged = await self.merge_over_tree(local, members=alive)
+        self.cstats.intercompression_time += self.ctx.clock - t0
+        if obs.enabled:
+            obs.span(self.rank, "intercompression", "chameleon", t0,
+                     self.ctx.clock, {"degraded": True, "final": True})
+        self._sample_space(decision.state.value, intra_bytes_pre)
+        if self.rank != alive[0]:
+            return None
+        assert merged is not None
+        if self.online is not None and self.online.nodes:
+            work0 = self.meter.total
+            self.online.nodes.extend(merged.nodes)
+            fold_tail(self.online.nodes, self.config.window, self.meter,
+                      match_participants=True)
+            self.online.origin = self.online.origin.union(merged.origin)
+            self.ctx.compute(
+                (self.meter.total - work0) * self.costs.per_merge_cell
+            )
+            self.online.nprocs = self.nprocs
+            return self.online
+        merged.nprocs = self.nprocs
+        return merged

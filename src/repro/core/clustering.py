@@ -312,3 +312,38 @@ class ClusterSet:
             if rank in c.members:
                 return c
         return None
+
+    def reelect(self, failed: "set[int] | frozenset[int]") -> tuple[
+        dict[int, int], list[SigTriple]
+    ]:
+        """Repair the cluster map after rank failures.
+
+        Failed ranks are dropped from every member list; a cluster whose
+        lead died elects the lowest surviving member — justified because
+        cluster members are signature-equivalent, so any member's trace
+        stands in for the group.  Returns ``(replacements, collapsed)``:
+        the ``old_lead -> new_lead`` map and the signatures of clusters
+        with no survivors (removed; their behaviour is unrecoverable and
+        the tracer should fall back to full tracing).
+
+        Deterministic: iteration is in signature order and elections take
+        the minimum rank, so every rank computing this from the same
+        failed set repairs its copy identically.
+        """
+        replacements: dict[int, int] = {}
+        collapsed: list[SigTriple] = []
+        for sig in sorted(self.clusters):
+            info = self.clusters[sig]
+            survivors = [r for r in info.members.ranks() if r not in failed]
+            if not survivors:
+                collapsed.append(sig)
+                continue
+            if len(survivors) != info.members.count:
+                info.members = RankSet(survivors)
+            if info.lead in failed:
+                new_lead = min(survivors)
+                replacements[info.lead] = new_lead
+                info.lead = new_lead
+        for sig in collapsed:
+            del self.clusters[sig]
+        return replacements, collapsed

@@ -19,6 +19,7 @@ meter and cost model.
 
 from __future__ import annotations
 
+from ..faults.injector import LOST
 from ..scalatrace.intra import fold_tail
 from ..scalatrace.inter import merge_traces
 from ..scalatrace.ranklist import RankSet
@@ -42,19 +43,32 @@ async def cluster_over_tree(
     tracer: ScalaTraceTracer,
     sigs: IntervalSignatures,
     config: ChameleonConfig,
+    failed: frozenset[int] = frozenset(),
 ) -> ClusterSet:
     """Algorithm 3 lines 7–24: cluster signatures over the radix tree.
 
     Returns the broadcast Top-K :class:`ClusterSet` (identical on all ranks).
+
+    ``failed`` (the tracer's per-marker failure snapshot) restricts the
+    reduction tree to surviving ranks so a dead interior node cannot bury
+    its whole subtree's contributions; contributions lost in transit
+    (drops, mid-collective crashes) still arrive as LOST holes and are
+    skipped.
     """
     comm = tracer.comm
     rank, size = comm.rank, comm.size
     meter = tracer.meter
-    tree = RadixTree(size, arity=config.tree_arity)
+    if failed:
+        alive = [r for r in range(size) if r not in failed]
+        tree = RadixTree(alive, arity=config.tree_arity)
+    else:
+        tree = RadixTree(size, arity=config.tree_arity)
 
     local = ClusterSet.local(sigs.as_tuple(), rank)
     for child in reversed(tree.children(rank)):
         child_set: ClusterSet = await comm.recv(child, tag=CLUSTER_TAG)
+        if child_set is LOST:
+            continue  # fault hole: that subtree's clusters are gone
         work0 = meter.total
         local.merge(child_set, meter)
         # prune only when over the per-node budget (paper: <= 2K + 1 items)
@@ -73,7 +87,11 @@ async def cluster_over_tree(
         tracer.ctx.compute((meter.total - work0) * tracer.costs.per_cluster_op)
         topk = local
     topk = await comm.bcast(topk, root=0)
-    assert topk is not None
+    if topk is None or topk is LOST:
+        # Cut off from the broadcast result (only reachable through fault
+        # holes): fall back to a self-cluster so this rank keeps tracing
+        # its own behaviour rather than trusting a lead it cannot see.
+        return ClusterSet.local(sigs.as_tuple(), rank)
     return topk
 
 
@@ -154,6 +172,8 @@ async def merge_lead_traces(
             partial = None
         elif rank == 0:
             partial = await comm.recv(topk_root, tag=ONLINE_TAG)
+            if partial is LOST:
+                partial = None  # fault hole: this interval's merge is gone
 
     if rank == 0:
         assert online is not None

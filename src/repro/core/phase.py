@@ -32,7 +32,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..faults.injector import LOST
 from ..simmpi.collectives import SUM, Communicator
+from ..simmpi.comm import MAX_USER_TAG
+from ..simmpi.topology import RadixTree
+
+#: reserved tags for the fault-tolerant vote (reduce up / result down);
+#: above MAX_USER_TAG so application wildcard receives never see them
+VOTE_TAG = MAX_USER_TAG + 4
+VOTE_RESULT_TAG = MAX_USER_TAG + 5
 
 
 class MarkerState(enum.Enum):
@@ -50,10 +58,15 @@ class MarkerDecision:
     do_cluster: bool = False  # run Algorithm 3's clustering section
     do_merge: bool = False  # run Algorithm 3's inter-compression section
     phase_changed: bool = False  # the vote saw at least one mismatch
+    votes_missing: int = 0  # votes that never arrived (faults only)
 
 
 class PhaseTracker:
     """Per-process state of Algorithm 1 (flags are vote-synchronized)."""
+
+    #: fraction of the world whose votes must arrive for the transition
+    #: graph to act; below this the tracker re-enters AT (fault tolerance)
+    vote_quorum = 0.5
 
     def __init__(self) -> None:
         self.old_callpath: int | None = None
@@ -61,14 +74,27 @@ class PhaseTracker:
         self.lead_flag = False
         self.votes = 0
 
-    async def decide(self, comm: Communicator, current_callpath: int) -> MarkerDecision:
-        """One execution of Algorithm 1 at an effective marker call."""
+    async def decide(
+        self,
+        comm: Communicator,
+        current_callpath: int,
+        failed: frozenset[int] = frozenset(),
+    ) -> MarkerDecision:
+        """One execution of Algorithm 1 at an effective marker call.
+
+        ``failed`` is the caller's per-marker failure snapshot (identical
+        on every rank; see ``ChameleonTracer._fault_epoch``); when fault
+        injection is active the vote runs over the surviving ranks only.
+        """
         if self.old_callpath is None:
             # First time hitting the marker: record the baseline.
             self.old_callpath = current_callpath
             return MarkerDecision(MarkerState.AT)
 
         mismatch = 1 if self.old_callpath != current_callpath else 0
+        if comm.engine.faults.active:
+            return await self._decide_ft(comm, current_callpath, mismatch,
+                                         failed)
         glob = await comm.reduce(mismatch, op=SUM, root=0, size=8)
         glob = await comm.bcast(glob, root=0, size=8)
         self.votes += 1
@@ -100,6 +126,89 @@ class PhaseTracker:
 
         self.re_clustering = True
         return MarkerDecision(MarkerState.AT, phase_changed=True)
+
+    # -- fault-tolerant vote ------------------------------------------------
+
+    async def _decide_ft(
+        self,
+        comm: Communicator,
+        current_callpath: int,
+        mismatch: int,
+        failed: frozenset[int],
+    ) -> MarkerDecision:
+        """The vote under fault injection: reduce ``(mismatch, votes)``
+        pairs over a radix tree spanning only the *alive* ranks.
+
+        ``failed`` is an epoch-consistent snapshot (the same frozenset on
+        every rank of this marker round — the simulation's stand-in for a
+        ULFM-style agreement), so all alive ranks build the same tree and
+        take the same branch.  Votes can still go missing (messages dropped
+        past the retry budget, a rank dying mid-vote): the pair's count
+        says how many arrived, and when fewer than ``vote_quorum`` of the
+        world — or fewer than the alive ranks we expected — voted, the
+        tracker conservatively drops back to AT and re-arms re-clustering.
+        """
+        alive = [r for r in range(comm.size) if r not in failed]
+        tree = RadixTree(alive, arity=2)
+        me = comm.rank
+
+        total, nvotes = mismatch, 1
+        for child in reversed(tree.children(me)):
+            got = await comm.recv(child, tag=VOTE_TAG)
+            if got is LOST:
+                continue
+            t, n = got
+            total += t
+            nvotes += n
+        parent = tree.parent(me)
+        if parent is not None:
+            await comm.send(parent, (total, nvotes), tag=VOTE_TAG, size=16)
+            result = await comm.recv(parent, tag=VOTE_RESULT_TAG)
+        else:
+            result = (total, nvotes)
+        for child in tree.children(me):
+            await comm.send(child, result, tag=VOTE_RESULT_TAG, size=16)
+
+        self.votes += 1
+        self.old_callpath = current_callpath
+
+        if result is LOST:
+            # Cut off from the vote result entirely: safest is to trace.
+            self.lead_flag = False
+            self.re_clustering = True
+            return MarkerDecision(
+                MarkerState.AT, phase_changed=True, votes_missing=comm.size
+            )
+        glob, nvotes = result
+        missing = comm.size - nvotes
+        if nvotes < len(alive) or nvotes < self.vote_quorum * comm.size:
+            # Too many votes missing to trust the transition graph.
+            self.lead_flag = False
+            self.re_clustering = True
+            return MarkerDecision(
+                MarkerState.AT, phase_changed=True, votes_missing=missing
+            )
+
+        if glob == 0:
+            if self.re_clustering:
+                self.re_clustering = False
+                return MarkerDecision(
+                    MarkerState.C, do_cluster=True, do_merge=True,
+                    votes_missing=missing,
+                )
+            self.lead_flag = True
+            return MarkerDecision(MarkerState.L, votes_missing=missing)
+        if self.lead_flag:
+            self.lead_flag = False
+            self.re_clustering = True
+            return MarkerDecision(
+                MarkerState.L, do_merge=True, phase_changed=True,
+                votes_missing=missing,
+            )
+        self.re_clustering = True
+        return MarkerDecision(
+            MarkerState.AT, phase_changed=True, votes_missing=missing
+        )
 
     def force_final(self) -> MarkerDecision:
         """``MPI_Finalize``: re-clustering is forced (at least the finalize

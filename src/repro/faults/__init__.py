@@ -1,0 +1,39 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+Declare what goes wrong in a :class:`FaultPlan`, install it into a run
+(``repro.run(..., faults=plan)``, ``run_spmd(..., faults=plan)`` or the CLI
+``--faults PLAN.json``), and the runtime degrades gracefully instead of
+fail-fasting: crashed ranks park as FAILED, lost payloads flow as
+:data:`LOST` holes, and the Chameleon tracer re-elects leads or falls back
+to full tracing.  See ``docs/FAULTS.md`` for the schema and semantics.
+"""
+
+from .injector import (
+    LOST,
+    NULL_INJECTOR,
+    FaultInjector,
+    injector_for,
+    is_lost,
+)
+from .plan import (
+    ComputeFault,
+    CrashFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    MessageFaults,
+)
+
+__all__ = [
+    "LOST",
+    "NULL_INJECTOR",
+    "ComputeFault",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkFault",
+    "MessageFaults",
+    "injector_for",
+    "is_lost",
+]

@@ -1,0 +1,205 @@
+"""Declarative fault plans for the simulated runtime.
+
+A :class:`FaultPlan` says *what goes wrong and when*, separately from the
+mechanics of making it happen (:mod:`repro.faults.injector`):
+
+* :class:`CrashFault` — a rank stops executing at virtual time ``t`` (the
+  engine parks it as FAILED at its next scheduling point; siblings keep
+  running).
+* :class:`MessageFaults` — per-message drop / duplicate / delay with seeded
+  probabilities.  Drops model a lossy transport with bounded retransmission:
+  each dropped attempt adds ``retry_delay`` to the arrival time, and a
+  message dropped more than ``max_retries`` times is lost for good (the
+  receiver is released with :data:`~repro.faults.injector.LOST` after the
+  plan's ``op_timeout``).
+* :class:`LinkFault` — a directed link's latency/bandwidth degraded by a
+  constant factor.
+* :class:`ComputeFault` — a rank's ``compute()`` calls scaled by a constant
+  ``slowdown`` plus seeded multiplicative ``jitter`` (the spontaneous-noise
+  model of Döhmen et al.).
+
+Plans are plain frozen dataclasses: picklable (they travel to worker
+processes inside harness cells), JSON round-trippable (the CLI's
+``--faults PLAN.json``), and hashable into the run-cache digest.  An empty
+plan is guaranteed to be a no-op: the injector stays inactive and every
+virtual timestamp is bit-identical to a run without fault support.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation (bad rank, probability, or schema)."""
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Rank ``rank`` crashes at the first scheduling point at or after
+    virtual time ``time`` (seconds)."""
+
+    rank: int
+    time: float
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Seeded per-message perturbations applied to eager messages."""
+
+    drop_prob: float = 0.0  # per-attempt probability of losing the payload
+    dup_prob: float = 0.0  # duplicate on the wire (deduplicated, counted)
+    delay_prob: float = 0.0  # probability of an extra in-flight delay
+    delay: float = 1e-4  # seconds added when a delay fires
+    max_retries: int = 3  # retransmissions before the message is lost
+    retry_delay: float = 1e-4  # seconds added per retransmission
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Directed link ``src -> dest`` degraded by constant factors."""
+
+    src: int
+    dest: int
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0  # >1 means slower transfers
+
+
+@dataclass(frozen=True)
+class ComputeFault:
+    """Rank ``rank``'s computation scaled by ``slowdown`` and jittered."""
+
+    rank: int
+    slowdown: float = 1.0  # constant multiplier on compute() durations
+    jitter: float = 0.0  # extra seeded multiplicative noise in [0, jitter]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that is allowed to go wrong in one run.
+
+    ``seed`` drives every probabilistic draw; the same (seed, plan) pair
+    produces byte-identical runs.  ``op_timeout`` is the virtual-time bound
+    after which an operation orphaned by a fault (receive from a crashed
+    rank, permanently lost message) is released with ``LOST`` instead of
+    hanging the run.
+    """
+
+    seed: int = 0xFA017
+    crashes: tuple[CrashFault, ...] = ()
+    messages: MessageFaults = field(default_factory=MessageFaults)
+    links: tuple[LinkFault, ...] = ()
+    compute: tuple[ComputeFault, ...] = ()
+    op_timeout: float = 0.05
+
+    # -- introspection -----------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when installing this plan cannot perturb anything."""
+        m = self.messages
+        return (
+            not self.crashes
+            and not self.links
+            and not self.compute
+            and m.drop_prob == 0.0
+            and m.dup_prob == 0.0
+            and m.delay_prob == 0.0
+        )
+
+    def validate(self, nprocs: int | None = None) -> None:
+        """Raise :class:`FaultPlanError` on an unusable plan."""
+        m = self.messages
+        for name in ("drop_prob", "dup_prob", "delay_prob"):
+            p = getattr(m, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(f"messages.{name}={p!r} not in [0, 1]")
+        if m.max_retries < 0:
+            raise FaultPlanError(f"messages.max_retries={m.max_retries} < 0")
+        if m.retry_delay < 0 or m.delay < 0:
+            raise FaultPlanError("message delays must be non-negative")
+        if self.op_timeout <= 0:
+            raise FaultPlanError(f"op_timeout={self.op_timeout!r} must be > 0")
+        for c in self.crashes:
+            if c.time < 0:
+                raise FaultPlanError(f"crash time {c.time!r} is negative")
+            self._check_rank(c.rank, nprocs, "crash")
+        for ln in self.links:
+            if ln.latency_factor < 0 or ln.bandwidth_factor < 0:
+                raise FaultPlanError("link factors must be non-negative")
+            self._check_rank(ln.src, nprocs, "link src")
+            self._check_rank(ln.dest, nprocs, "link dest")
+        for cf in self.compute:
+            if cf.slowdown < 0 or cf.jitter < 0:
+                raise FaultPlanError("compute slowdown/jitter must be >= 0")
+            self._check_rank(cf.rank, nprocs, "compute")
+        if nprocs is not None and len({c.rank for c in self.crashes}) == (
+            nprocs
+        ):
+            raise FaultPlanError("plan crashes every rank; nothing would run")
+
+    @staticmethod
+    def _check_rank(rank: int, nprocs: int | None, what: str) -> None:
+        if rank < 0:
+            raise FaultPlanError(f"{what} rank {rank} is negative")
+        if nprocs is not None and rank >= nprocs:
+            raise FaultPlanError(
+                f"{what} rank {rank} outside world of size {nprocs}"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan keys: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(
+                seed=int(data.get("seed", cls.seed)),
+                crashes=tuple(
+                    CrashFault(**c) for c in data.get("crashes", ())
+                ),
+                messages=MessageFaults(**data.get("messages", {})),
+                links=tuple(LinkFault(**ln) for ln in data.get("links", ())),
+                compute=tuple(
+                    ComputeFault(**cf) for cf in data.get("compute", ())
+                ),
+                op_timeout=float(data.get("op_timeout", cls.op_timeout)),
+            )
+        except FaultPlanError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc
+        plan = cls.from_json(text)
+        plan.validate()
+        return plan

@@ -18,9 +18,13 @@ Layout on disk (everything under one root, default ``.repro-cache`` or
 
     <root>/v<schema>-<fingerprint12>/<digest[:2]>/<digest>.pkl
 
-Entries are pickles of ``{"schema", "digest", "result"}``; a corrupt,
-truncated, or mismatching entry is deleted on read and counted as an
-invalidation, never returned.
+Entries are pickles of ``{"schema", "digest", "checksum", "blob"}`` where
+``blob`` is the pickled result and ``checksum`` its SHA-256 — so a bit
+flip anywhere in the payload (partial write, disk corruption) is caught
+on read, not just gross truncation.  A corrupt, truncated, or mismatching
+entry is deleted on read and counted as an invalidation, never returned;
+give the cache an :class:`~repro.obs.instrument.Instrument` to surface
+those invalidations as ``fault``-category events.
 """
 
 from __future__ import annotations
@@ -35,9 +39,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from ..obs.instrument import NULL_INSTRUMENT, Instrument
+
 #: Bump whenever the semantics of a run change in a way the digest inputs
 #: cannot see (e.g. a new RunResult field with behavioural meaning).
-CACHE_SCHEMA_VERSION = 1
+#: v2: checksummed entry payloads.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable naming the cache root directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -142,11 +149,13 @@ class RunCache:
         root: str | Path | None = None,
         schema: int = CACHE_SCHEMA_VERSION,
         fingerprint: str | None = None,
+        instrument: Instrument = NULL_INSTRUMENT,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.schema = schema
         self.fingerprint = fingerprint or code_fingerprint()
         self.stats = CacheStats()
+        self.instrument = instrument
 
     @property
     def generation(self) -> str:
@@ -159,7 +168,13 @@ class RunCache:
     # -- read/write --------------------------------------------------------
 
     def get(self, digest: str) -> Any | None:
-        """The cached result for ``digest``, or None on miss/invalid."""
+        """The cached result for ``digest``, or None on miss/invalid.
+
+        A hit requires the stored schema and digest to match the key *and*
+        the payload's SHA-256 checksum to verify — anything else (corrupt,
+        truncated, bit-flipped, stale-schema) deletes the entry, counts an
+        invalidation, and reads as a plain miss.
+        """
         path = self.path_for(digest)
         try:
             with path.open("rb") as fh:
@@ -170,15 +185,23 @@ class RunCache:
                 or payload.get("digest") != digest
             ):
                 raise ValueError("cache entry does not match its key")
+            blob = payload["blob"]
+            if hashlib.sha256(blob).hexdigest() != payload.get("checksum"):
+                raise ValueError("cache entry failed checksum verification")
             self.stats.hits += 1
-            return payload["result"]
+            return pickle.loads(blob)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             # corrupt / truncated / stale-schema entry: remove and miss
             self.stats.invalidated += 1
             self.stats.misses += 1
+            ins = self.instrument
+            if ins.enabled:
+                ins.instant(-1, "cache_corrupt", "fault", 0.0,
+                            {"digest": digest, "error": str(exc)})
+                ins.metrics.count("fault/cache_invalidated", 1)
             try:
                 path.unlink()
             except OSError:
@@ -189,7 +212,13 @@ class RunCache:
         """Atomically store ``result`` under ``digest``."""
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": self.schema, "digest": digest, "result": result}
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "schema": self.schema,
+            "digest": digest,
+            "checksum": hashlib.sha256(blob).hexdigest(),
+            "blob": blob,
+        }
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:

@@ -31,10 +31,12 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..core.config import ChameleonConfig
+from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from ..simmpi.timing import NetworkModel, QDR_CLUSTER
 from ..workloads.base import Workload
@@ -84,6 +86,9 @@ class Cell:
     mode: Mode
     config: ChameleonConfig
     network: NetworkModel
+    #: deterministic fault-injection plan, hashed into the cell digest so a
+    #: faulted run never shares a cache slot with its fault-free twin
+    faults: FaultPlan | None = None
 
     @property
     def label(self) -> str:
@@ -107,6 +112,7 @@ class Cell:
                 self.mode,
                 config,
                 self.network,
+                self.faults,
             )
         )
 
@@ -142,6 +148,7 @@ def make_cell(
     config: ChameleonConfig | None = None,
     network: NetworkModel = QDR_CLUSTER,
     warmup: Sequence[int] | None = None,
+    faults: FaultPlan | None = None,
 ) -> Cell:
     """Build one cell, deriving the paper's config from the workload."""
     params = dict(workload_params or {})
@@ -150,6 +157,8 @@ def make_cell(
         config = chameleon_config_for(
             workload, call_frequency=call_frequency, **(config_overrides or {})
         )
+    if faults is not None and faults.is_empty():
+        faults = None  # empty plan == no plan: share the fault-free cache slot
     return Cell(
         workload=workload_name,
         params=_freeze(params),
@@ -158,6 +167,7 @@ def make_cell(
         mode=mode,
         config=config,
         network=network,
+        faults=faults,
     )
 
 
@@ -209,6 +219,7 @@ def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
         cell.mode,
         config=cell.config,
         network=cell.network,
+        faults=cell.faults,
     )
     return result, time.perf_counter() - start
 
@@ -222,7 +233,8 @@ def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
 class CellEvent:
     """One structured progress notification from the engine.
 
-    ``kind`` is one of ``scheduled`` / ``hit`` / ``start`` / ``done``;
+    ``kind`` is one of ``scheduled`` / ``hit`` / ``start`` / ``done`` /
+    ``retry`` (worker-pool crash recovery);
     ``index``/``total`` position the cell within its batch, ``wall`` is
     the execution wall-time (``done`` events only).
     """
@@ -298,6 +310,12 @@ class ExperimentEngine:
             metrics, and :meth:`run_cell_instrumented` threads it into the
             simulation itself.
     """
+
+    #: worker-pool crash recovery (BrokenProcessPool): how many pool
+    #: rebuilds to attempt before giving up, and the base backoff seconds
+    #: (doubled per crash)
+    _max_pool_crashes = 3
+    _pool_backoff = 0.1
 
     def __init__(
         self,
@@ -387,19 +405,48 @@ class ExperimentEngine:
         pending_map = {digest: cell for digest, cell in pending}
         if self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for digest, cell in pending:
-                    self._emit(CellEvent("start", cell.label, digest,
-                                         by_digest[digest][0], total))
-                    futures[pool.submit(_execute_cell, cell)] = digest
-                outstanding = set(futures)
-                while outstanding:
-                    done, outstanding = wait(outstanding,
-                                             return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        result, wall = fut.result()  # re-raises worker errors
-                        complete(futures[fut], result, wall)
+            for digest, cell in pending:
+                self._emit(CellEvent("start", cell.label, digest,
+                                     by_digest[digest][0], total))
+            remaining = dict(pending_map)
+            crashes = 0
+            while remaining:
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(remaining))
+                    ) as pool:
+                        futures = {
+                            pool.submit(_execute_cell, cell): digest
+                            for digest, cell in remaining.items()
+                        }
+                        outstanding = set(futures)
+                        while outstanding:
+                            done, outstanding = wait(
+                                outstanding, return_when=FIRST_COMPLETED
+                            )
+                            for fut in done:
+                                # re-raises worker errors
+                                result, wall = fut.result()
+                                digest = futures[fut]
+                                complete(digest, result, wall)
+                                remaining.pop(digest, None)
+                except BrokenProcessPool:
+                    # A worker process died (OOM kill, signal, interpreter
+                    # crash) — not a cell error, which would re-raise above.
+                    # Rebuild the pool and resubmit the incomplete cells,
+                    # backing off a little in case the host is thrashing.
+                    crashes += 1
+                    if crashes > self._max_pool_crashes:
+                        raise
+                    if self.instrument.enabled:
+                        self.instrument.metrics.count(
+                            "fault/pool_retries", 1
+                        )
+                    self._emit(CellEvent(
+                        "retry", f"worker-pool (crash {crashes}, "
+                        f"{len(remaining)} cells left)", "", 0, total
+                    ))
+                    time.sleep(self._pool_backoff * 2 ** (crashes - 1))
         else:
             for digest, cell in pending:
                 self._emit(CellEvent("start", cell.label, digest,
@@ -427,6 +474,7 @@ class ExperimentEngine:
             config=cell.config,
             network=cell.network,
             instrument=ins,
+            faults=cell.faults,
         )
         wall = time.perf_counter() - start
         self.metrics.batches += 1

@@ -26,6 +26,7 @@ from typing import Any
 from ..core.acurdion import AcurdionTracer
 from ..core.chameleon import ChameleonStats, ChameleonTracer
 from ..core.config import ChameleonConfig
+from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument, ObsData, Recorder
 from ..obs.metrics import MetricsRegistry
 from ..scalatrace.costmodel import DEFAULT_COSTS
@@ -70,6 +71,8 @@ class RunResult:
     tracer_stats: list[TracerStats] = field(default_factory=list)
     chameleon_stats: list[ChameleonStats] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)
+    #: ranks that crashed under fault injection (empty on fault-free runs)
+    failed_ranks: tuple[int, ...] = ()
     #: event timeline + live metrics, present only when the run executed
     #: with a Recorder (never populated from the cache)
     obs: ObsData | None = None
@@ -186,6 +189,7 @@ class RunResult:
             repr(self.clocks),
             repr(self.busy_times),
             repr(sorted(self.lead_ranks)),
+            repr(self.failed_ranks),
             self.trace.serialize() if self.trace is not None else "",
             repr(self.tracer_stats),
             repr(self.chameleon_stats),
@@ -220,6 +224,7 @@ def run_mode(
     config: ChameleonConfig | None = None,
     network: NetworkModel = QDR_CLUSTER,
     instrument: Instrument | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Execute one (workload, P, mode) combination.
 
@@ -227,6 +232,12 @@ def run_mode(
     capture the run's event timeline; its snapshot is attached to
     ``RunResult.obs``.  The default no-op instrument leaves virtual time
     bit-identical to an uninstrumented run.
+
+    ``faults`` injects a deterministic :class:`~repro.faults.plan.FaultPlan`
+    into the simulation; crashed ranks contribute no per-rank results and
+    are reported in ``RunResult.failed_ranks`` (with the injector's event
+    counters under ``extra["fault_summary"]``).  ``faults=None`` (or an
+    empty plan) is guaranteed not to perturb virtual time.
     """
     cfg = config or chameleon_config_for(workload)
     ins = instrument if instrument is not None else NULL_INSTRUMENT
@@ -258,8 +269,12 @@ def run_mode(
             }
         return out
 
-    res = run_spmd(main, nprocs, network=network, instrument=ins)
-    per_rank = res.results
+    res = run_spmd(main, nprocs, network=network, instrument=ins,
+                   faults=faults)
+    # Crashed ranks park with result None: tolerate holes everywhere and
+    # take the trace from the first rank that holds one (rank 0 normally;
+    # the lowest survivor when the tracer degraded after rank 0 died).
+    per_rank = [r if isinstance(r, dict) else {} for r in res.results]
     result = RunResult(
         mode=mode,
         nprocs=nprocs,
@@ -271,12 +286,19 @@ def run_mode(
         lead_ranks={
             rank for rank, r in enumerate(per_rank) if r.get("is_lead")
         },
-        trace=per_rank[0].get("trace"),
+        trace=next(
+            (r["trace"] for r in per_rank if r.get("trace") is not None), None
+        ),
         tracer_stats=[r["stats"] for r in per_rank if "stats" in r],
         chameleon_stats=[r["cstats"] for r in per_rank if "cstats" in r],
+        failed_ranks=res.failed_ranks,
     )
-    if "acurdion" in per_rank[0]:
-        result.extra["acurdion"] = [r["acurdion"] for r in per_rank]
+    if any("acurdion" in r for r in per_rank):
+        result.extra["acurdion"] = [
+            r.get("acurdion", {}) for r in per_rank
+        ]
+    if res.fault_summary:
+        result.extra["fault_summary"] = dict(res.fault_summary)
     if isinstance(ins, Recorder):
         result.obs = ins.snapshot(
             meta={

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..faults.injector import LOST
 from ..simmpi.comm import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Request
 from ..simmpi.datatypes import payload_nbytes
 from ..simmpi.launcher import RankContext
@@ -313,6 +314,8 @@ class ScalaTraceTracer:
             tc0 = self.ctx.clock
             child_trace: Trace = await self.comm.recv(child, tag=TRACE_TAG)
             self.stats.merge_comm_time += self.ctx.clock - tc0
+            if child_trace is LOST:
+                continue  # fault hole: the child's partial trace is gone
             work0 = self.meter.total
             trace.nodes = merge_traces(trace.nodes, child_trace.nodes, self.meter)
             trace.origin = trace.origin.union(child_trace.origin)

@@ -26,7 +26,9 @@ from .errors import (
     CollectiveMismatchError,
     CommunicatorError,
     DeadlockError,
+    EngineLimitError,
     MatchingError,
+    RankCrashedError,
     SimMPIError,
     TaskFailedError,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "CommunicatorError",
     "DeadlockError",
     "Engine",
+    "EngineLimitError",
     "Grid2D",
     "Grid3D",
     "LAND",
@@ -66,6 +69,7 @@ __all__ = [
     "PROD",
     "QDR_CLUSTER",
     "RadixTree",
+    "RankCrashedError",
     "RankContext",
     "Request",
     "SLOW_CLUSTER",

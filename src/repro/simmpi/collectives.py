@@ -25,6 +25,7 @@ from __future__ import annotations
 import functools
 from typing import Any, Callable, Sequence
 
+from ..faults.injector import LOST
 from .comm import Comm, CommContext, MAX_USER_TAG
 from .errors import CollectiveMismatchError
 
@@ -170,11 +171,15 @@ class Communicator(Comm):
         from .topology import binomial_children, binomial_parent
 
         # Children in the bcast tree are exactly the senders in the reduce
-        # tree; fold deepest-first for determinism.
+        # tree; fold deepest-first for determinism.  LOST contributions
+        # (fault holes from a crashed subtree) are skipped: the reduction
+        # completes over the values that actually arrived.
         acc = value
         for child in reversed(binomial_children(self.rank, self.size, root)):
             child_val = await self.recv(child, tag=base)
-            acc = op(child_val, acc)
+            if child_val is LOST:
+                continue
+            acc = child_val if acc is LOST else op(child_val, acc)
         parent = binomial_parent(self.rank, self.size, root)
         if parent is not None:
             await self.send(parent, acc, tag=base, size=size)
@@ -206,14 +211,19 @@ class Communicator(Comm):
         segment: dict[int, Any] = {self.rank: value}
         for child in reversed(binomial_children(self.rank, self.size, root)):
             child_seg: dict[int, Any] = await self.recv(child, tag=base)
+            if child_seg is LOST:
+                continue  # fault hole: that subtree's values are gone
             segment.update(child_seg)
         parent = binomial_parent(self.rank, self.size, root)
         if parent is not None:
             seg_size = None if size is None else size * len(segment)
             await self.send(parent, segment, tag=base, size=seg_size)
             return None
-        if len(segment) != self.size:  # pragma: no cover - invariant
-            raise CollectiveMismatchError(
+        if len(segment) != self.size:
+            if self.engine.faults.active:
+                # complete-with-holes: missing contributions become LOST
+                return [segment.get(r, LOST) for r in range(self.size)]
+            raise CollectiveMismatchError(  # pragma: no cover - invariant
                 f"gather assembled {len(segment)} of {self.size} values"
             )
         return [segment[r] for r in range(self.size)]
@@ -240,6 +250,8 @@ class Communicator(Comm):
             segment = {r: values[r] for r in range(self.size)}
         else:
             segment = await self.recv(parent, tag=base)
+            if segment is LOST:
+                segment = {}  # fault hole: nothing reached this subtree
 
         # Each child owns the contiguous block of tree descendants; compute
         # membership by walking the binomial structure.
@@ -248,6 +260,8 @@ class Communicator(Comm):
             child_seg = {r: segment[r] for r in members if r in segment}
             seg_size = None if size is None else size * max(len(child_seg), 1)
             await self.send(child, child_seg, tag=base, size=seg_size)
+        if self.rank not in segment:
+            return LOST  # reachable only through a fault hole upstream
         return segment[self.rank]
 
     @_observed("allgather", "ring")
@@ -263,9 +277,16 @@ class Communicator(Comm):
         carry_rank, carry = self.rank, value
         for step in range(self.size - 1):
             sreq = self.isend(right, (carry_rank, carry), tag=base + step, size=size)
-            carry_rank, carry = await self.recv(left, tag=base + step)
+            got = await self.recv(left, tag=base + step)
             await sreq.wait()
-            out[carry_rank] = carry
+            if got is LOST:
+                # fault hole: forward the hole so every rank learns the
+                # same segment is missing, keep our own slots intact
+                carry_rank, carry = None, LOST
+                continue
+            carry_rank, carry = got
+            if carry_rank is not None:
+                out[carry_rank] = carry
         return out
 
     @_observed("alltoall", "pairwise-exchange")
@@ -297,7 +318,8 @@ class Communicator(Comm):
         acc = value
         if self.rank > 0:
             prev = await self.recv(self.rank - 1, tag=base)
-            acc = op(prev, value)
+            if prev is not LOST:
+                acc = op(prev, value)
         if self.rank < self.size - 1:
             await self.send(self.rank + 1, acc, tag=base, size=size)
         return acc
@@ -313,7 +335,10 @@ class Communicator(Comm):
         if self.rank == 0:
             assert triples is not None
             groups: dict[int, list[tuple[int, int]]] = {}
-            for c, k, r in triples:
+            for triple in triples:
+                if triple is LOST:
+                    continue  # fault hole: that rank cannot join any group
+                c, k, r = triple
                 if c >= 0:
                     groups.setdefault(c, []).append((k, r))
             contexts = {}

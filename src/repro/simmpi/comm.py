@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..faults.injector import LOST
 from .datatypes import payload_nbytes
 from .engine import Engine, Task
 from .errors import CommunicatorError, MatchingError
@@ -82,6 +83,9 @@ class CommContext:
         # collectives in the same order so these align across ranks and give
         # each collective instance a private tag window.
         self.coll_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
+        # Registered so a rank crash can purge its pending receives from
+        # every communicator it participates in.
+        engine._contexts.append(self)
 
     @property
     def size(self) -> int:
@@ -137,9 +141,13 @@ class Request:
     async def wait_with_status(self) -> tuple[Any, dict]:
         value = await self._future
         self._task.advance_to(self._future.time)
-        if not isinstance(value, Message):
-            raise MatchingError("wait_with_status is only valid on receives")
-        return value.payload, _status_of(value)
+        if isinstance(value, Message):
+            return value.payload, _status_of(value)
+        if self._kind == "irecv":
+            # Fault release: the receive was resolved with LOST (dead
+            # source or op_timeout) so no sender metadata survives.
+            return value, {"source": -1, "tag": -1, "nbytes": 0}
+        raise MatchingError("wait_with_status is only valid on receives")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Request {self._kind} done={self.done}>"
@@ -267,15 +275,58 @@ class Comm:
             )
 
         fut = SimFuture(label=f"isend {self.rank}->{dest} tag={tag} comm={self.context.id}")
+        inj = self.engine.faults
+        if inj.active and self.context.ranks[dest] in inj.failed:
+            # Dead destination: the send completes locally and the payload
+            # goes into the void — matching real MPI, where delivery to a
+            # failed process is undetectable without an FT protocol.  This
+            # also keeps rendezvous senders from stalling on a receive that
+            # will never be posted.
+            task.charge(net.o_send)
+            if ins.enabled:
+                wsrc = self.context.ranks[self.rank]
+                ins.instant(wsrc, "dead_dest", "fault", task.clock,
+                            {"dest": self.context.ranks[dest], "tag": tag,
+                             "nbytes": nbytes})
+                ins.metrics.count("fault/dead_dest_sends", 1, rank=wsrc,
+                                  t=task.clock)
+            fut.resolve(None, time=task.clock)
+            return Request(fut, task, "isend")
         if net.eager(nbytes):
             task.charge(net.o_send + net.transfer_time(nbytes))
+            latency = net.latency
+            inj = self.engine.faults
+            if inj.active:
+                wsrc = self.context.ranks[self.rank]
+                wdest = self.context.ranks[dest]
+                latency *= inj.link_factors(wsrc, wdest)[0]
+                extra = inj.message_delay(wsrc, wdest, task.msgs_sent)
+                if extra is None:
+                    # Permanently lost past the retransmission budget: the
+                    # eager send still completes locally (buffered), but
+                    # the payload never arrives — the receiver is released
+                    # with LOST by the engine's op_timeout.
+                    if ins.enabled:
+                        ins.instant(wsrc, "msg_lost", "fault", task.clock,
+                                    {"dest": wdest, "tag": tag,
+                                     "nbytes": nbytes})
+                        ins.metrics.count("fault/messages_lost", 1,
+                                          rank=wsrc, t=task.clock)
+                    fut.resolve(None, time=task.clock)
+                    return Request(fut, task, "isend")
+                latency += extra
+                if extra and ins.enabled:
+                    ins.instant(wsrc, "msg_delayed", "fault", task.clock,
+                                {"dest": wdest, "tag": tag, "extra": extra})
+                    ins.metrics.count("fault/messages_delayed", 1,
+                                      rank=wsrc, t=task.clock)
             msg = Message(
                 src=self.rank,
                 dest=dest,
                 tag=tag,
                 payload=payload,
                 nbytes=nbytes,
-                arrival=task.clock + net.latency,
+                arrival=task.clock + latency,
             )
             self._deliver(mbox, msg)
             fut.resolve(None, time=task.clock)
@@ -311,8 +362,27 @@ class Comm:
             self._fire_match(
                 PendingRecv(source, tag, task.clock, fut, task), msg
             )
-        else:
-            mbox.pending.append(PendingRecv(source, tag, task.clock, fut, task))
+            return Request(fut, task, "irecv")
+        inj = self.engine.faults
+        if (
+            inj.active
+            and source != ANY_SOURCE
+            and self.context.ranks[source] in inj.failed
+        ):
+            # The named peer is dead and nothing from it is queued: the
+            # message can never arrive (all sends structurally deliver at
+            # post time, so the queue state is complete).  Release the
+            # receive immediately with a LOST hole.
+            ins = self.engine.instrument
+            if ins.enabled:
+                wdest = self.context.ranks[self.rank]
+                ins.instant(wdest, "dead_source", "fault", task.clock,
+                            {"src": self.context.ranks[source], "tag": tag})
+                ins.metrics.count("fault/dead_source_recvs", 1, rank=wdest,
+                                  t=task.clock)
+            fut.resolve(LOST, time=task.clock)
+            return Request(fut, task, "irecv")
+        mbox.pending.append(PendingRecv(source, tag, task.clock, fut, task))
         return Request(fut, task, "irecv")
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> dict | None:
@@ -335,6 +405,14 @@ class Comm:
 
     def _deliver(self, mbox: Mailbox, msg: Message) -> None:
         """Offer a message to the destination mailbox, matching if possible."""
+        if self.engine.faults.active and any(
+            p.future.done for p in mbox.pending
+        ):
+            # Prune receives already released by a fault timeout so they
+            # cannot steal messages from live receives.
+            mbox.pending = deque(
+                p for p in mbox.pending if not p.future.done
+            )
         for i, pending in enumerate(mbox.pending):
             if _src_matches(pending.src, msg.src) and _tag_matches(
                 pending.tag, msg.tag
@@ -347,15 +425,35 @@ class Comm:
     def _fire_match(self, pending: PendingRecv, msg: Message) -> None:
         """Compute completion times and resolve both sides' futures."""
         net = self.net
+        inj = self.engine.faults
+        if inj.active and pending.future.done:
+            # The receiver was already released by a fault timeout; consume
+            # the message and free a still-waiting rendezvous sender.
+            if (
+                msg.rendezvous
+                and msg.sender_future is not None
+                and not msg.sender_future.done
+            ):
+                msg.sender_future.resolve(LOST, time=msg.send_ready)
+            return
         if msg.rendezvous:
+            latency = net.latency
+            transfer = net.transfer_time(msg.nbytes)
+            if inj.active:
+                lat_f, bw_f = inj.link_factors(
+                    self.context.ranks[msg.src], self.context.ranks[msg.dest]
+                )
+                latency *= lat_f
+                transfer *= bw_f
             start = max(msg.send_ready, pending.post_time + net.o_recv)
-            done_send = start + net.transfer_time(msg.nbytes)
-            done_recv = start + net.latency + net.transfer_time(msg.nbytes)
+            done_send = start + transfer
+            done_recv = start + latency + transfer
             assert msg.sender_future is not None
             if msg.sender_task is not None:
                 # streaming the payload is active work for the sender
-                msg.sender_task.busy += net.transfer_time(msg.nbytes)
-            msg.sender_future.resolve(None, time=done_send)
+                msg.sender_task.busy += transfer
+            if not msg.sender_future.done:
+                msg.sender_future.resolve(None, time=done_send)
         else:
             done_recv = max(pending.post_time + net.o_recv, msg.arrival)
         pending.task.msgs_received += 1

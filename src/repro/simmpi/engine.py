@@ -18,8 +18,14 @@ import enum
 from collections import deque
 from typing import Any, Coroutine
 
+from ..faults.injector import LOST, NULL_INJECTOR, FaultInjector
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
-from .errors import DeadlockError, TaskFailedError
+from .errors import (
+    DeadlockError,
+    EngineLimitError,
+    RankCrashedError,
+    TaskFailedError,
+)
 from .futures import SimFuture
 from .timing import NetworkModel, QDR_CLUSTER
 
@@ -97,6 +103,7 @@ class Engine:
         network: NetworkModel = QDR_CLUSTER,
         max_steps: int | None = None,
         instrument: Instrument = NULL_INSTRUMENT,
+        faults: FaultInjector = NULL_INJECTOR,
     ) -> None:
         self.network = network
         self.tasks: list[Task] = []
@@ -112,6 +119,17 @@ class Engine:
         #: no emission ever advances a virtual clock, so instrumented and
         #: uninstrumented runs are bit-identical in virtual time
         self.instrument = instrument
+        #: fault-injection oracle; the default (and any empty plan) is
+        #: inactive, making every fault hook a single attribute check
+        self.faults = faults
+        #: communicator contexts, registered at construction so a crash can
+        #: purge the dead rank's pending receives from every mailbox
+        self._contexts: list[Any] = []
+
+    @property
+    def failed_ranks(self) -> set[int]:
+        """World ranks parked as FAILED (crashed or raised under faults)."""
+        return self.faults.failed
 
     # -- task management ---------------------------------------------------
 
@@ -138,7 +156,11 @@ class Engine:
     # -- scheduling --------------------------------------------------------
 
     def _wake(self, task: Task, fut: SimFuture) -> None:
-        assert task.state == TaskState.BLOCKED
+        if task.state is not TaskState.BLOCKED:
+            # A message can still match a rank that crashed (or was
+            # abandoned) while its receive was pending; there is nobody
+            # left to wake.
+            return
         task.state = TaskState.READY
         task.blocked_on = None
         self._ready.append(task)
@@ -155,66 +177,210 @@ class Engine:
     def run(self) -> None:
         """Drive all tasks to completion.
 
-        Raises :class:`TaskFailedError` if any rank raised, and
-        :class:`DeadlockError` if unfinished tasks remain with an empty ready
-        queue (classic message-matching deadlock).
+        Without fault injection this fail-fasts: :class:`TaskFailedError`
+        if any rank raised, :class:`DeadlockError` if unfinished tasks
+        remain with an empty ready queue (classic message-matching
+        deadlock), :class:`EngineLimitError` — attributed to no rank — when
+        the ``max_steps`` budget trips.
+
+        With an active :class:`~repro.faults.FaultInjector` the engine has
+        *partial-failure semantics*: a crashed (or raising) rank parks as
+        ``FAILED`` while its siblings keep running, and operations orphaned
+        by the failure are released with :data:`~repro.faults.LOST` after
+        the plan's virtual-time ``op_timeout`` instead of deadlocking.
         """
         ins = self.instrument
-        while self._ready:
-            task = self._ready.popleft()
-            if task.state != TaskState.READY:  # pragma: no cover - invariant
-                continue
-            task.state = TaskState.RUNNING
-            self._current = task
-            stretch_start = task.clock
-            try:
-                while True:
-                    self._steps += 1
-                    if self._max_steps is not None and self._steps > self._max_steps:
-                        raise RuntimeError(
-                            f"engine exceeded max_steps={self._max_steps}"
-                        )
-                    fut = task.coro.send(None)
-                    if not isinstance(fut, SimFuture):
-                        raise TypeError(
-                            f"rank {task.rank} yielded {type(fut).__name__}; "
-                            "only SimFuture awaitables are supported"
-                        )
-                    if fut.done:
-                        # Resolved while we were getting here; loop and let
-                        # the coroutine pick the value up immediately.
-                        continue
-                    self._park(task, fut)
+        inj = self.faults
+        while True:
+            while self._ready:
+                task = self._ready.popleft()
+                if task.state != TaskState.READY:  # pragma: no cover - invariant
+                    continue
+                if inj.active and inj.crash_due(task.rank, task.clock):
+                    self._crash(task)
+                    continue
+                task.state = TaskState.RUNNING
+                self._current = task
+                stretch_start = task.clock
+                try:
+                    while True:
+                        self._steps += 1
+                        if (
+                            self._max_steps is not None
+                            and self._steps > self._max_steps
+                        ):
+                            raise EngineLimitError(self._max_steps, self._steps)
+                        fut = task.coro.send(None)
+                        if not isinstance(fut, SimFuture):
+                            raise TypeError(
+                                f"rank {task.rank} yielded {type(fut).__name__}; "
+                                "only SimFuture awaitables are supported"
+                            )
+                        if fut.done:
+                            # Resolved while we were getting here; loop and let
+                            # the coroutine pick the value up immediately.
+                            continue
+                        self._park(task, fut)
+                        if ins.enabled:
+                            ins.span(task.rank, "run", "sched", stretch_start,
+                                     task.clock, {"until": "park"})
+                            ins.instant(task.rank, "park", "sched", task.clock,
+                                        {"on": fut.label})
+                        break
+                except StopIteration as stop:
+                    task.state = TaskState.DONE
+                    task.result = stop.value
                     if ins.enabled:
                         ins.span(task.rank, "run", "sched", stretch_start,
-                                 task.clock, {"until": "park"})
-                        ins.instant(task.rank, "park", "sched", task.clock,
-                                    {"on": fut.label})
-                    break
-            except StopIteration as stop:
-                task.state = TaskState.DONE
-                task.result = stop.value
-                if ins.enabled:
-                    ins.span(task.rank, "run", "sched", stretch_start,
-                             task.clock, {"until": "done"})
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                task.state = TaskState.FAILED
-                task.error = exc
-                self._current = None
-                self._close_unfinished()
-                raise TaskFailedError(task.rank, exc) from exc
-            finally:
-                if self._current is task:
+                                 task.clock, {"until": "done"})
+                except EngineLimitError:
+                    # The step budget is a property of the run, not of the
+                    # rank that happened to be scheduled when it tripped:
+                    # do not wrap, do not blame.
+                    task.state = TaskState.READY
                     self._current = None
+                    self._close_unfinished()
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    task.state = TaskState.FAILED
+                    task.error = exc
+                    self._current = None
+                    if inj.active:
+                        # Partial failure: record the casualty, keep the
+                        # survivors running; orphaned peers are released by
+                        # the op_timeout below.
+                        inj.failed.add(task.rank)
+                        self._purge_pending(task)
+                        if ins.enabled:
+                            ins.instant(task.rank, "rank_failed", "fault",
+                                        task.clock, {"error": repr(exc)})
+                            ins.metrics.count("fault/rank_failures", 1,
+                                              rank=task.rank, t=task.clock)
+                        continue
+                    self._close_unfinished()
+                    raise TaskFailedError(task.rank, exc) from exc
+                finally:
+                    if self._current is task:
+                        self._current = None
 
-        unfinished = [t for t in self.tasks if t.state not in (TaskState.DONE,)]
+            if not (inj.active and self._release_one_orphan()):
+                break
+
+        unfinished = [
+            t for t in self.tasks
+            if t.state not in (TaskState.DONE, TaskState.FAILED)
+        ]
         if unfinished:
-            detail = [
-                f"rank {t.rank}: blocked on "
-                f"{(t.blocked_on.label if t.blocked_on else '<not started>')!s}"
-                for t in unfinished
+            raise DeadlockError(self._deadlock_detail(unfinished))
+
+    # -- fault handling ----------------------------------------------------
+
+    def _crash(self, task: Task) -> None:
+        """Park ``task`` as FAILED per the fault plan; siblings keep going."""
+        inj = self.faults
+        task.state = TaskState.FAILED
+        task.error = RankCrashedError(task.rank, task.clock)
+        if task.coro is not None:
+            task.coro.close()
+        inj.mark_failed(task.rank)
+        self._purge_pending(task)
+        ins = self.instrument
+        if ins.enabled:
+            ins.instant(task.rank, "crash", "fault", task.clock,
+                        {"scheduled_at": inj.crash_time(task.rank)})
+            ins.metrics.count("fault/crashes", 1, rank=task.rank,
+                              t=task.clock)
+
+    def _purge_pending(self, task: Task) -> None:
+        """Sever the dead rank from every communicator it participates in:
+
+        * its own posted receives are dropped (later sends must not match a
+          receiver that no longer exists);
+        * live peers' pending receives *naming it as the source* are
+          released with ``LOST`` — nothing can arrive from a dead rank, and
+          all its pre-crash sends were structurally delivered at post time,
+          so the match state is final;
+        * rendezvous offers parked in its mailbox have their senders
+          released (the payload goes into the void, like the dead-dest
+          send path).
+
+        Operations posted *after* the crash are handled at post time by the
+        dead-source/dead-dest checks in :mod:`repro.simmpi.comm`; this
+        sweep covers everything that was already in flight.
+        """
+        for ctx in self._contexts:
+            if task.rank not in ctx.ranks:
+                continue
+            local = ctx.ranks.index(task.rank)
+            for mbox in ctx._mailboxes.values():
+                keep: deque = deque()
+                for p in mbox.pending:
+                    if p.task is task:
+                        continue
+                    if (
+                        p.src >= 0
+                        and ctx.ranks[p.src] == task.rank
+                        and not p.future.done
+                    ):
+                        p.future.resolve(LOST, time=p.task.clock)
+                        continue
+                    keep.append(p)
+                mbox.pending = keep
+            dead_mbox = ctx._mailboxes[local]
+            for msg in dead_mbox.queued:
+                if msg.sender_future is not None and not msg.sender_future.done:
+                    t = (
+                        msg.sender_task.clock
+                        if msg.sender_task is not None
+                        else None
+                    )
+                    msg.sender_future.resolve(None, time=t)
+            dead_mbox.queued.clear()
+
+    def _release_one_orphan(self) -> bool:
+        """Virtual-time timeout: when no task can run but blocked tasks
+        remain, release the lowest-ranked one's operation with ``LOST`` at
+        ``clock + op_timeout``.  Returns True when something was released.
+
+        This is the bounded-retry backstop that guarantees fault-injected
+        runs always complete: every release makes progress, so the run
+        terminates as long as the rank programs do.
+        """
+        blocked = [t for t in self.tasks if t.state is TaskState.BLOCKED]
+        if not blocked:
+            return False
+        victim = min(blocked, key=lambda t: t.rank)
+        fut = victim.blocked_on
+        assert fut is not None and not fut.done
+        release_t = victim.clock + self.faults.plan.op_timeout
+        self.faults.injected["timeout"] += 1
+        ins = self.instrument
+        if ins.enabled:
+            ins.instant(victim.rank, "op_timeout", "fault", release_t,
+                        {"orphaned": fut.label,
+                         "failed_ranks": sorted(self.faults.failed)})
+            ins.metrics.count("fault/timeouts", 1, rank=victim.rank,
+                              t=release_t)
+        fut.resolve(LOST, time=release_t)
+        return True
+
+    def _deadlock_detail(self, unfinished: list[Task]) -> list[str]:
+        """One line per stuck rank; ops orphaned by a crashed peer say so."""
+        failed = sorted(self.faults.failed) if self.faults.active else []
+        detail = []
+        for t in unfinished:
+            label = t.blocked_on.label if t.blocked_on else "<not started>"
+            orphans = [
+                r for r in failed
+                if f"src={r} " in label or f"->{r} " in label
             ]
-            raise DeadlockError(detail)
+            if orphans:
+                label += (
+                    " [orphaned by crash of rank "
+                    f"{', '.join(map(str, orphans))}]"
+                )
+            detail.append(f"rank {t.rank}: blocked on {label}")
+        return detail
 
     def _close_unfinished(self) -> None:
         """Abandon remaining tasks after a fatal error (suppresses the

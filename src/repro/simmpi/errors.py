@@ -44,3 +44,34 @@ class TaskFailedError(SimMPIError):
 
 class CollectiveMismatchError(SimMPIError):
     """Ranks disagreed on a collective's parameters (e.g. different roots)."""
+
+
+class EngineLimitError(SimMPIError):
+    """The engine exceeded a configured resource limit (``max_steps``).
+
+    Deliberately *not* a :class:`TaskFailedError`: hitting the step budget
+    is a property of the whole run (or of the budget), not the fault of
+    whichever rank happened to be scheduled when the counter tripped.
+    """
+
+    def __init__(self, limit: int, steps: int):
+        self.limit = limit
+        self.steps = steps
+        super().__init__(
+            f"engine exceeded max_steps={limit} (after {steps} scheduler "
+            "steps); no rank is at fault — raise the budget or check for a "
+            "livelock"
+        )
+
+
+class RankCrashedError(SimMPIError):
+    """A rank was killed by an injected :class:`~repro.faults.CrashFault`.
+
+    Recorded as the crashed task's ``error``; never raised into sibling
+    ranks — under fault injection the engine keeps scheduling survivors.
+    """
+
+    def __init__(self, rank: int, time: float):
+        self.rank = rank
+        self.time = time
+        super().__init__(f"rank {rank} crashed at t={time:.6g} (injected fault)")

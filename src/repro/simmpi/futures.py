@@ -44,6 +44,20 @@ class SimFuture:
         for cb in callbacks:
             cb(self)
 
+    def try_resolve(self, value: Any = None, time: float | None = None) -> bool:
+        """Resolve unless already done; returns whether this call won.
+
+        Fault injection creates benign races on a single future — a
+        virtual-time timeout can release an operation that a late message
+        later tries to complete for real — so racing resolvers use this
+        instead of :meth:`resolve` (which treats double resolution as a
+        programming error).
+        """
+        if self.done:
+            return False
+        self.resolve(value, time)
+        return True
+
     def add_done_callback(self, cb: Callable[[SimFuture], None]) -> None:
         if self.done:
             cb(self)

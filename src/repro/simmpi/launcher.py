@@ -12,6 +12,8 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
+from ..faults.injector import FaultInjector, injector_for
+from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from .collectives import Communicator
 from .comm import CommContext
@@ -30,6 +32,7 @@ class RankContext:
     def __init__(self, comm: Communicator, task: Task) -> None:
         self.comm = comm
         self.task = task
+        self._compute_seq = 0  # ordinal for seeded compute-noise draws
 
     @property
     def rank(self) -> int:
@@ -45,9 +48,18 @@ class RankContext:
         return self.task.clock
 
     def compute(self, seconds: float) -> None:
-        """Model local computation: advance this rank's clock only."""
+        """Model local computation: advance this rank's clock only.
+
+        Under an active fault plan the duration is scaled by the rank's
+        :class:`~repro.faults.ComputeFault` (constant slowdown + seeded
+        jitter); with the default null injector this is one attribute check.
+        """
         if seconds < 0:
             raise ValueError("compute() needs a non-negative duration")
+        inj = self.comm.engine.faults
+        if inj.active:
+            self._compute_seq += 1
+            seconds *= inj.compute_factor(self.rank, self._compute_seq)
         self.task.charge(seconds)
 
     @contextlib.contextmanager
@@ -75,6 +87,11 @@ class SpmdResult:
     total_messages: int
     total_bytes: int
     extras: dict[str, Any] = field(default_factory=dict)
+    #: ranks parked as FAILED by fault injection (empty without faults);
+    #: their ``results`` entries are None
+    failed_ranks: tuple[int, ...] = ()
+    #: counters of faults actually injected (see FaultInjector.summary)
+    fault_summary: dict[str, int] = field(default_factory=dict)
 
     @property
     def nprocs(self) -> int:
@@ -102,6 +119,7 @@ def run_spmd(
     network: NetworkModel = QDR_CLUSTER,
     max_steps: int | None = None,
     instrument: Instrument = NULL_INSTRUMENT,
+    faults: FaultPlan | FaultInjector | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``main(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -111,11 +129,20 @@ def run_spmd(
     p2p, collectives, tracers); the default is the zero-cost no-op.
     Raises :class:`~repro.simmpi.errors.TaskFailedError` if any rank raises
     and :class:`~repro.simmpi.errors.DeadlockError` on a matching deadlock.
+
+    ``faults`` installs a :class:`~repro.faults.FaultPlan` (or prepared
+    injector).  With an active plan the run has partial-failure semantics:
+    crashed ranks appear in ``SpmdResult.failed_ranks`` with ``None``
+    results, and no error is raised for them.  An empty plan is a strict
+    no-op — all virtual times stay bit-identical.
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
+    injector = injector_for(faults)
+    if injector.active:
+        injector.plan.validate(nprocs)
     engine = Engine(network=network, max_steps=max_steps,
-                    instrument=instrument)
+                    instrument=instrument, faults=injector)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn
@@ -132,4 +159,6 @@ def run_spmd(
         busy_times=engine.busy_times(),
         total_messages=engine.total_messages,
         total_bytes=engine.total_bytes,
+        failed_ranks=tuple(sorted(injector.failed)),
+        fault_summary=injector.summary() if injector.active else {},
     )

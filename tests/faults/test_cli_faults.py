@@ -1,0 +1,88 @@
+"""CLI fault surface: run --faults, exit-code mapping, repro chaos."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.plan import CrashFault, FaultPlan, MessageFaults
+
+
+@pytest.fixture
+def drop_plan(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(
+        FaultPlan(seed=3, messages=MessageFaults(drop_prob=0.2)).to_json()
+    )
+    return str(path)
+
+
+def test_run_with_faults(drop_plan, capsys):
+    rc = main(
+        ["run", "--workload", "uniform", "--nprocs", "4",
+         "--iterations", "4", "--mode", "chameleon",
+         "--faults", drop_plan, "--no-cache"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "under fault plan" in out
+    assert "fault events:" in out
+    assert "drop=" in out
+
+
+def test_fault_seed_requires_faults():
+    with pytest.raises(SystemExit, match="--fault-seed requires"):
+        main(["run", "--workload", "uniform", "--nprocs", "4",
+              "--fault-seed", "1"])
+
+
+def test_invalid_plan_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"bogus_key": 1}')
+    rc = main(["run", "--workload", "uniform", "--nprocs", "4",
+               "--faults", str(bad)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "invalid fault plan" in err
+    assert "bogus_key" in err
+
+
+def test_crash_rank_outside_world_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        FaultPlan(crashes=(CrashFault(rank=99, time=0.1),)).to_json()
+    )
+    rc = main(["run", "--workload", "uniform", "--nprocs", "4",
+               "--faults", str(bad)])
+    assert rc == 2
+    assert "outside world" in capsys.readouterr().err
+
+
+def test_traceback_flag_reraises(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"bogus_key": 1}')
+    from repro.faults.plan import FaultPlanError
+
+    with pytest.raises(FaultPlanError):
+        main(["--traceback", "run", "--workload", "uniform",
+              "--nprocs", "4", "--faults", str(bad)])
+
+
+def test_chaos_single_scenario_with_report(tmp_path, capsys):
+    report_path = tmp_path / "chaos.json"
+    rc = main(
+        ["chaos", "--workload", "uniform", "--nprocs", "4",
+         "--iterations", "4", "--scenario", "drop-messages",
+         "--report", str(report_path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "drop-messages" in out
+    assert "reruns bit-identical" in out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    (scenario,) = report["scenarios"]
+    assert scenario["name"] == "drop-messages"
+    assert scenario["survived"] and scenario["deterministic"]
+    assert scenario["plan"]["messages"]["drop_prob"] == 0.05
+    assert "fidelity_delta_pct" in scenario

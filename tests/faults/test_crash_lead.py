@@ -1,0 +1,100 @@
+"""Crash acceptance: killing a lead mid-run degrades gracefully.
+
+The paper's protocol has no fault story; ours must (a) keep every
+survivor running, (b) re-elect a replacement lead from the dead lead's
+own cluster (members are signature-equivalent, so any survivor's trace
+stands in for the group), and (c) keep the online trace within 5% of the
+fault-free event count.
+"""
+
+import pytest
+
+from repro.api import run as api_run
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.harness.engine import ExperimentEngine
+from repro.harness.runner import Mode
+from repro.obs import Recorder
+
+BT = {"problem_class": "A", "iterations": 24}
+NPROCS = 16
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExperimentEngine(jobs=1, cache=None)
+
+
+@pytest.fixture(scope="module")
+def baseline(engine):
+    return api_run("bt", NPROCS, Mode.CHAMELEON, workload_params=BT,
+                   engine=engine)
+
+
+@pytest.fixture(scope="module")
+def crashed(engine, baseline):
+    # Crash a non-zero lead well past the clustering warm-up, so the run
+    # exercises re-election rather than the rank-0 degraded fallback.
+    victim = min(r for r in baseline.lead_ranks if r != 0)
+    plan = FaultPlan(
+        seed=11,
+        crashes=(CrashFault(rank=victim, time=baseline.max_time * 0.7),),
+    )
+    result = api_run("bt", NPROCS, Mode.CHAMELEON, workload_params=BT,
+                     engine=engine, faults=plan, instrument=Recorder())
+    return victim, plan, result
+
+
+def test_run_completes_with_partial_failure(baseline, crashed):
+    victim, _, result = crashed
+    assert result.failed_ranks == (victim,)
+    assert result.trace is not None
+    assert result.extra["fault_summary"]["crash"] == 1
+
+
+def test_survivors_never_hit_the_timeout_safety_net(crashed):
+    # The crash sweep releases every in-flight op touching the dead rank;
+    # nothing should be left for the op_timeout fallback to clean up.
+    _, _, result = crashed
+    assert result.extra["fault_summary"]["timeout"] == 0
+
+
+def test_replacement_lead_comes_from_the_same_cluster(baseline, crashed):
+    victim, _, result = crashed
+    assert result.obs is not None
+    elections = [
+        i for i in result.obs.instants_for(cat="fault", name="lead_reelection")
+        if i.args and i.args.get("is_new_lead")
+    ]
+    assert elections, "killing a lead must trigger a re-election"
+    (event,) = elections
+    new_lead = event.rank
+    assert victim in event.args["failed"]
+    assert new_lead in event.args["cluster"]
+    assert new_lead not in baseline.lead_ranks
+    assert new_lead in result.lead_ranks
+    # exactly one replacement: the dead lead swapped for a member of its
+    # own cluster, every other lead unchanged
+    assert result.lead_ranks == (baseline.lead_ranks - {victim}) | {new_lead}
+
+
+def test_online_trace_stays_within_5_percent(baseline, crashed):
+    _, _, result = crashed
+    base = baseline.trace.leaf_count()
+    faulted = result.trace.leaf_count()
+    assert abs(faulted - base) / base <= 0.05
+
+
+def test_crash_run_is_deterministic(engine, baseline, crashed):
+    victim, plan, result = crashed
+    again = api_run("bt", NPROCS, Mode.CHAMELEON, workload_params=BT,
+                    engine=engine, faults=plan)
+    assert again.fingerprint() == result.fingerprint()
+    assert again.failed_ranks == (victim,)
+
+
+def test_crash_and_degraded_events_are_observable(crashed):
+    _, _, result = crashed
+    crash_events = result.obs.instants_for(cat="fault", name="crash")
+    assert len(crash_events) == 1
+    (crash,) = crash_events
+    assert crash.rank == crashed[0]

@@ -1,0 +1,95 @@
+"""FaultPlan: validation, serialization, and emptiness semantics."""
+
+import pytest
+
+from repro.faults.plan import (
+    ComputeFault,
+    CrashFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    MessageFaults,
+)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=42,
+        crashes=(CrashFault(rank=1, time=0.5),),
+        messages=MessageFaults(drop_prob=0.05, dup_prob=0.01,
+                               delay_prob=0.1, delay=2e-4),
+        links=(LinkFault(src=0, dest=3, latency_factor=4.0),),
+        compute=(ComputeFault(rank=2, slowdown=1.5, jitter=0.1),),
+        op_timeout=0.02,
+    )
+
+
+class TestValidation:
+    def test_empty_plan_is_empty_and_valid(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        plan.validate(nprocs=4)
+
+    def test_full_plan_is_not_empty(self):
+        plan = full_plan()
+        assert not plan.is_empty()
+        plan.validate(nprocs=8)
+
+    @pytest.mark.parametrize("prob", [-0.1, 1.5])
+    def test_probability_bounds(self, prob):
+        plan = FaultPlan(messages=MessageFaults(drop_prob=prob))
+        with pytest.raises(FaultPlanError, match="drop_prob"):
+            plan.validate()
+
+    def test_negative_crash_time(self):
+        plan = FaultPlan(crashes=(CrashFault(rank=0, time=-1.0),))
+        with pytest.raises(FaultPlanError, match="negative"):
+            plan.validate()
+
+    def test_rank_outside_world(self):
+        plan = FaultPlan(crashes=(CrashFault(rank=9, time=0.1),))
+        plan.validate()  # fine without a world size
+        with pytest.raises(FaultPlanError, match="outside world"):
+            plan.validate(nprocs=4)
+
+    def test_crashing_every_rank_rejected(self):
+        plan = FaultPlan(
+            crashes=tuple(CrashFault(rank=r, time=0.1) for r in range(4))
+        )
+        with pytest.raises(FaultPlanError, match="crashes every rank"):
+            plan.validate(nprocs=4)
+
+    def test_non_positive_op_timeout(self):
+        with pytest.raises(FaultPlanError, match="op_timeout"):
+            FaultPlan(op_timeout=0.0).validate()
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"bogus_key": 1})
+
+    def test_malformed_nested_entry_rejected(self):
+        with pytest.raises(FaultPlanError, match="malformed"):
+            FaultPlan.from_dict({"crashes": [{"rank": 0, "when": 1.0}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_load_validates(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            FaultPlan(messages=MessageFaults(drop_prob=2.0)).to_json()
+        )
+        with pytest.raises(FaultPlanError, match="drop_prob"):
+            FaultPlan.load(str(path))
+
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(full_plan().to_json())
+        assert FaultPlan.load(str(path)) == full_plan()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simmpi import (
+    EngineLimitError,
     DeadlockError,
     Engine,
     SimFuture,
@@ -102,9 +103,15 @@ def test_max_steps_guard():
                 await ctx.comm.recv(peer)
                 await ctx.comm.send(peer, i)
 
-    with pytest.raises(TaskFailedError) as ei:
+    # The budget tripping is a property of the run, not of whichever rank
+    # happened to be scheduled: it must NOT be wrapped in TaskFailedError
+    # (which would blame an innocent rank).
+    with pytest.raises(EngineLimitError) as ei:
         run_spmd(pingpong, 2, max_steps=50)
-    assert "max_steps" in str(ei.value.original)
+    assert "max_steps=50" in str(ei.value)
+    assert ei.value.limit == 50
+    assert not isinstance(ei.value, TaskFailedError)
+    assert not hasattr(ei.value, "rank")
 
 
 def test_results_and_clocks_sorted_by_rank():

@@ -1,0 +1,107 @@
+"""Error-path hygiene: diagnostics say what went wrong, and abnormal
+teardown leaves no half-dead coroutines behind."""
+
+import gc
+import warnings
+
+import pytest
+
+from repro.simmpi import (
+    DeadlockError,
+    TaskFailedError,
+    run_spmd,
+)
+
+
+class TestDeadlockDiagnostics:
+    def test_send_recv_tag_mismatch_reports_both_sides(self):
+        # A rendezvous send (payload above the eager threshold; the default
+        # network's, since ZERO_COST makes everything eager) blocks until
+        # matched; a receiver waiting on the wrong tag never matches it.
+        # The report must show each side's operation so the mismatch is
+        # readable straight from the message.
+        async def main(ctx):
+            if ctx.rank == 0:
+                await ctx.comm.send(1, b"x", size=1 << 20, tag=5)
+            else:
+                await ctx.comm.recv(source=0, tag=6)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(main, 2)
+        msg = str(ei.value)
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "send" in msg and "recv" in msg
+        assert "tag=5" in msg and "tag=6" in msg
+
+    def test_blocked_ranks_listed_on_exception(self):
+        async def main(ctx):
+            await ctx.comm.recv(source=(ctx.rank + 1) % ctx.size, tag=3)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(main, 3)
+        assert len(ei.value.blocked) == 3
+
+
+class TestTaskFailurePropagation:
+    def test_original_exception_preserved_through_launcher(self):
+        class CustomError(RuntimeError):
+            pass
+
+        async def main(ctx):
+            if ctx.rank == 1:
+                raise CustomError("specific detail")
+            await ctx.comm.barrier()
+
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(main, 4)
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.original, CustomError)
+        assert ei.value.__cause__ is ei.value.original
+        assert "specific detail" in str(ei.value)
+
+    def test_failure_mid_collective_still_attributed(self):
+        async def main(ctx):
+            await ctx.comm.barrier()
+            if ctx.rank == 2:
+                raise ValueError("after barrier")
+            await ctx.comm.barrier()
+
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(main, 4)
+        assert ei.value.rank == 2
+
+
+class TestCleanTeardown:
+    """Abnormal exits close every parked coroutine: collecting garbage
+    afterwards must not surface 'coroutine ... was never awaited'."""
+
+    @staticmethod
+    def _assert_no_unawaited_warnings(trigger, exc_type):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(exc_type):
+                trigger()
+            gc.collect()
+        unawaited = [
+            w for w in caught
+            if "never awaited" in str(w.message)
+        ]
+        assert not unawaited, [str(w.message) for w in unawaited]
+
+    def test_deadlock_closes_blocked_coroutines(self):
+        async def main(ctx):
+            await ctx.comm.recv(source=(ctx.rank + 1) % ctx.size)
+
+        self._assert_no_unawaited_warnings(
+            lambda: run_spmd(main, 3), DeadlockError
+        )
+
+    def test_task_failure_closes_sibling_coroutines(self):
+        async def main(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("boom")
+            await ctx.comm.recv(source=0)
+
+        self._assert_no_unawaited_warnings(
+            lambda: run_spmd(main, 4), TaskFailedError
+        )
