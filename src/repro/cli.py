@@ -14,6 +14,7 @@ Usage (installed as a module)::
     python -m repro experiment fig4 --jobs 4
     python -m repro run --workload bt --faults plan.json --fault-seed 7
     python -m repro chaos --workload bt --nprocs 16 --report chaos.json
+    python -m repro bench --baseline benchmarks/BENCH_scaling.json
 
 ``experiment`` regenerates one of the paper's tables/figures and prints the
 same rows the paper reports (see EXPERIMENTS.md for the mapping).  ``run``
@@ -504,6 +505,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.bench import (
+        DEFAULT_PS,
+        KERNELS,
+        compare,
+        format_bench,
+        load_bench,
+        run_scaling_bench,
+        save_bench,
+    )
+
+    ps = tuple(args.p) if args.p else DEFAULT_PS
+    kernels = tuple(args.kernel) if args.kernel else tuple(KERNELS)
+
+    def _progress(record: dict) -> None:
+        print(
+            f"[bench] {record['kernel']} P={record['nprocs']}: "
+            f"{record['wall_s']:.3f}s, "
+            f"{record['matched_per_s']} matches/s",
+            file=sys.stderr,
+        )
+
+    doc = run_scaling_bench(ps=ps, kernels=kernels, progress=_progress)
+    print(format_bench(doc))
+    if args.output:
+        save_bench(doc, args.output)
+        print(f"written to {args.output}")
+    if args.baseline:
+        try:
+            baseline = load_bench(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot read baseline: {exc}")
+        problems = compare(doc, baseline, tolerance=args.tolerance)
+        if problems:
+            print(
+                f"bench: {len(problems)} regression(s) vs {args.baseline}:",
+                file=sys.stderr,
+            )
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"bench: within {args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         fn = _EXPERIMENTS[args.name]
@@ -667,6 +713,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator scaling (wall time, RSS, match throughput) "
+        "and optionally gate against a committed BENCH_scaling.json",
+    )
+    p_bench.add_argument(
+        "--p", type=int, action="append", metavar="N",
+        help="process count to benchmark (repeatable; default 256 1024 4096)",
+    )
+    p_bench.add_argument(
+        "--kernel", action="append", metavar="NAME",
+        choices=["allreduce_barrier", "halo_exchange"],
+        help="kernel to run (repeatable; default: all)",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_scaling.json", metavar="FILE",
+        help="write the benchmark document here (empty string to skip)",
+    )
+    p_bench.add_argument(
+        "--baseline", default="", metavar="FILE",
+        help="compare against this committed benchmark document; "
+        "exit 1 on wall-time regression beyond --tolerance",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="allowed wall-time growth vs baseline (default 0.2 = +20%%)",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name")

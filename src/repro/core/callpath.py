@@ -57,7 +57,11 @@ class SignatureAccumulator:
     _endpoints: EndpointSignatures = field(default_factory=EndpointSignatures)
     events: int = 0
     distinct_sigs: set = field(default_factory=set)
-    _ordered_distinct: list = field(default_factory=list)
+    # Dedup-mode Call-Path, folded incrementally as each *new* distinct
+    # call site arrives (its multiplier is fixed by arrival order, so the
+    # fold never needs to be recomputed).  Snapshotting used to replay the
+    # whole distinct-site list per marker — O(sites) work at every marker.
+    _dedup_cp: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in ("sequence", "dedup"):
@@ -73,17 +77,15 @@ class SignatureAccumulator:
         self._seq += 1
         self.events += 1
         if stack_sig not in self.distinct_sigs:
+            seq = len(self.distinct_sigs)
             self.distinct_sigs.add(stack_sig)
-            self._ordered_distinct.append(stack_sig)
+            self._dedup_cp ^= ((seq % 10) + 1) * (stack_sig & _MASK64) & _MASK64
         self._endpoints.observe(src_offset, dest_offset)
 
     def snapshot(self) -> IntervalSignatures:
         src, dest = self._endpoints.values()
         if self.mode == "dedup":
-            cp = 0
-            for seq, ss in enumerate(self._ordered_distinct):
-                cp ^= ((seq % 10) + 1) * (ss & _MASK64) & _MASK64
-            return IntervalSignatures(callpath=cp, src=src, dest=dest)
+            return IntervalSignatures(callpath=self._dedup_cp, src=src, dest=dest)
         return IntervalSignatures(callpath=self._callpath, src=src, dest=dest)
 
     @property
@@ -96,5 +98,5 @@ class SignatureAccumulator:
         self._seq = 0
         self.events = 0
         self.distinct_sigs.clear()
-        self._ordered_distinct.clear()
+        self._dedup_cp = 0
         self._endpoints.reset()

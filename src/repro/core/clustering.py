@@ -159,11 +159,38 @@ def hierarchical(
     The predecessor papers [1-3] also used multi-level hierarchical
     clustering: greedily merge the two closest groups until ``k`` remain;
     the representative of each surviving group is its largest member.
-    Quadratic per merge but bounded by the 2K+1 items a tree node sees.
+
+    A signature-bucketing pre-pass collapses zero-distance coordinate
+    classes up front (provably the prefix of the greedy trajectory when at
+    least ``k`` classes exist), and each group carries one representative
+    per absorbed class, so the per-round distance work is quadratic in the
+    number of *distinct* (SRC, DEST) classes rather than in the item count.
     """
     if k >= len(clusters):
         return list(clusters)
-    groups: list[list[ClusterInfo]] = [[c] for c in sorted(clusters, key=_sort_key)]
+    ordered = sorted(clusters, key=_sort_key)
+
+    # Signature-bucketing pre-pass: items sharing (SRC, DEST) coordinates
+    # are at distance zero, and greedy single linkage always exhausts the
+    # zero-distance merges before any positive-distance one, collapsing
+    # each coordinate class into its first occurrence.  When at least k
+    # classes exist that collapse is exactly the prefix of the quadratic
+    # trajectory, so we skip straight past it and merge whole buckets —
+    # the surviving partition (and hence the output) is identical while
+    # distance work drops from O(n^2) per merge round to O(buckets^2).
+    buckets: dict[tuple[int, int], list[ClusterInfo]] = {}
+    for c in ordered:
+        buckets.setdefault((c.signature[1], c.signature[2]), []).append(c)
+    if len(buckets) >= k:
+        groups: list[list[ClusterInfo]] = list(buckets.values())
+    else:
+        # Fewer classes than k: the old trajectory stops before finishing
+        # the zero-distance merges, so collapsing buckets would over-merge.
+        groups = [[c] for c in ordered]
+    # One representative per absorbed coordinate class: single linkage only
+    # depends on the distinct coordinates present in each group, so the
+    # distance work per pair is O(classes), not O(members).
+    reps: list[list[ClusterInfo]] = [[g[0]] for g in groups]
 
     def group_distance(a: list[ClusterInfo], b: list[ClusterInfo]) -> float:
         # single linkage over the signature-space distance
@@ -174,12 +201,13 @@ def hierarchical(
         best_d = float("inf")
         for i in range(len(groups)):
             for j in range(i + 1, len(groups)):
-                d = group_distance(groups[i], groups[j])
+                d = group_distance(reps[i], reps[j])
                 if d < best_d:
                     best_d = d
                     best = (i, j)
         i, j = best
         groups[i].extend(groups.pop(j))
+        reps[i].extend(reps.pop(j))
     out = []
     for group in groups:
         head = min(group, key=_sort_key)

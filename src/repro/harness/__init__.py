@@ -7,6 +7,13 @@ Tables I-IV and Figures 4-11 through the engine; ``reporting`` renders the
 ASCII tables the bench targets print.
 """
 
+from .bench import (
+    compare as compare_bench,
+    format_bench,
+    load_bench,
+    run_scaling_bench,
+    save_bench,
+)
 from .cache import CACHE_SCHEMA_VERSION, CacheStats, RunCache, code_fingerprint
 from .engine import (
     Cell,
@@ -48,12 +55,15 @@ __all__ = [
     "breakdown",
     "chameleon_config_for",
     "code_fingerprint",
+    "compare_bench",
     "configure_engine",
     "default_p_list",
     "figures",
     "fmt",
+    "format_bench",
     "full_scale",
     "get_engine",
+    "load_bench",
     "make_cell",
     "make_suite_cells",
     "overhead",
@@ -63,7 +73,9 @@ __all__ = [
     "rows_to_csv",
     "rows_to_json",
     "run_mode",
+    "run_scaling_bench",
     "run_suite",
+    "save_bench",
     "save_rows",
     "state_space_summary",
     "tables",

@@ -1,0 +1,199 @@
+"""Scaling benchmark: wall-clock cost of the simulated runtime at large P.
+
+The paper's claim is a finalize cost that stays flat as P grows; this
+module measures whether the *simulator itself* keeps up — it drives two
+microkernels through ``run_spmd`` at P ∈ {256, 1024, 4096} and records, per
+point, the wall time, peak RSS, scheduler steps and the point-to-point
+match throughput.  ``repro bench`` emits the result as ``BENCH_scaling.json``
+and CI gates every change against the committed baseline with a ±20%
+wall-time tolerance (see :func:`compare`), so a quadratic regression in the
+mailbox or scheduler shows up as a red build rather than a slow paper run.
+
+Kernels:
+
+* ``allreduce_barrier`` — collective-dominated: one allreduce plus one
+  barrier over the world communicator; stresses the tree collectives and
+  exact-tag matching.
+* ``halo_exchange`` — point-to-point dominated: a periodic 1-D halo swap
+  (both neighbours, several rounds, per-round tags) with a wildcard
+  drain round; stresses mailbox lane churn and wildcard matching.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+from ..simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+
+SCHEMA_ID = "repro/bench-scaling/v1"
+
+#: Default process counts — the ISSUE's scaling ladder.
+DEFAULT_PS = (256, 1024, 4096)
+
+#: Wall times below this (seconds) are noise-dominated; the regression gate
+#: measures against at least this much baseline budget.
+WALL_FLOOR_S = 0.05
+
+
+async def _allreduce_barrier(ctx) -> int:
+    total = await ctx.comm.allreduce(ctx.rank)
+    await ctx.comm.barrier()
+    return total
+
+
+async def _halo_exchange(ctx, rounds: int = 4) -> int:
+    comm, rank, size = ctx.comm, ctx.rank, ctx.size
+    left, right = (rank - 1) % size, (rank + 1) % size
+    acc = 0
+    for r in range(rounds):
+        sends = [
+            comm.isend(left, rank, tag=r),
+            comm.isend(right, rank, tag=r),
+        ]
+        acc += await comm.recv(source=right, tag=r)
+        acc += await comm.recv(source=left, tag=r)
+        for s in sends:
+            await s.wait()
+    # Wildcard drain round: one message each way, matched by ANY/ANY.
+    await comm.send(right, rank, tag=rounds)
+    acc += await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+    await comm.barrier()
+    return acc
+
+
+KERNELS: dict[str, Callable[..., Any]] = {
+    "allreduce_barrier": _allreduce_barrier,
+    "halo_exchange": _halo_exchange,
+}
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB.
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalize to KiB.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def bench_point(kernel: str, nprocs: int) -> dict[str, Any]:
+    """Run one (kernel, P) cell and return its measurement record."""
+    fn = KERNELS[kernel]
+    t0 = time.perf_counter()
+    result = run_spmd(fn, nprocs)
+    wall = time.perf_counter() - t0
+    return {
+        "kernel": kernel,
+        "nprocs": nprocs,
+        "wall_s": round(wall, 4),
+        "peak_rss_kb": _peak_rss_kb(),
+        "engine_steps": result.engine_steps,
+        "messages_matched": result.messages_matched,
+        "matched_per_s": (
+            round(result.messages_matched / wall) if wall > 0 else 0
+        ),
+        "virtual_makespan_s": result.max_time,
+    }
+
+
+def run_scaling_bench(
+    ps: Sequence[int] = DEFAULT_PS,
+    kernels: Sequence[str] = tuple(KERNELS),
+    progress: Callable[[dict[str, Any]], None] | None = None,
+) -> dict[str, Any]:
+    """Run the benchmark matrix and return the ``BENCH_scaling`` document.
+
+    Note that ``peak_rss_kb`` is a high-water mark for the whole process:
+    it only ever grows across cells, so per-cell values are upper bounds
+    and the large-P cells carry the meaningful numbers.
+    """
+    for k in kernels:
+        if k not in KERNELS:
+            raise ValueError(
+                f"unknown bench kernel {k!r}; choose from {sorted(KERNELS)}"
+            )
+    results = []
+    for kernel in kernels:
+        for p in ps:
+            record = bench_point(kernel, p)
+            results.append(record)
+            if progress is not None:
+                progress(record)
+    return {
+        "schema": SCHEMA_ID,
+        "ps": list(ps),
+        "kernels": list(kernels),
+        "results": results,
+    }
+
+
+def save_bench(doc: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA_ID!r}, got {doc.get('schema')!r}"
+        )
+    return doc
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Wall-time regression gate: current vs baseline, ±``tolerance``.
+
+    Returns one message per violation (empty list = pass).  Every
+    ``(kernel, nprocs)`` cell of the *baseline* must exist in ``current``
+    and run within ``(1 + tolerance) *`` the baseline wall time; baselines
+    under :data:`WALL_FLOOR_S` are measured against the floor instead, so
+    micro-cells whose runtime is timer noise cannot flake the gate.
+    Speed-ups and extra cells in ``current`` never fail.
+    """
+    by_cell = {
+        (r["kernel"], r["nprocs"]): r for r in current.get("results", [])
+    }
+    problems = []
+    for base in baseline.get("results", []):
+        key = (base["kernel"], base["nprocs"])
+        cur = by_cell.get(key)
+        if cur is None:
+            problems.append(
+                f"{key[0]} @ P={key[1]}: missing from current results"
+            )
+            continue
+        budget = max(base["wall_s"], WALL_FLOOR_S) * (1.0 + tolerance)
+        if cur["wall_s"] > budget:
+            problems.append(
+                f"{key[0]} @ P={key[1]}: wall {cur['wall_s']:.3f}s exceeds "
+                f"{budget:.3f}s (baseline {base['wall_s']:.3f}s "
+                f"+{tolerance:.0%})"
+            )
+    return problems
+
+
+def format_bench(doc: dict[str, Any]) -> str:
+    lines = [
+        f"{'kernel':<18s} {'P':>5s} {'wall[s]':>8s} {'RSS[MB]':>8s} "
+        f"{'steps':>9s} {'matched':>9s} {'match/s':>10s}"
+    ]
+    for r in doc["results"]:
+        lines.append(
+            f"{r['kernel']:<18s} {r['nprocs']:>5d} {r['wall_s']:>8.3f} "
+            f"{r['peak_rss_kb'] / 1024:>8.1f} {r['engine_steps']:>9d} "
+            f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d}"
+        )
+    return "\n".join(lines)

@@ -68,9 +68,40 @@ def combine_frames(frame_sigs: Sequence[int]) -> int:
     return sig
 
 
+#: Bound on the signature memo tables.  Real programs have a small, fixed
+#: set of call sites, so the caches stay tiny; the cap only guards against
+#: pathological generated code, and clearing (rather than evicting) keeps
+#: the overflow path trivial.
+_SIG_CACHE_MAX = 1 << 16
+
+_frame_sig_cache: dict[tuple[str, str, int], int] = {}
+_logical_sig_cache: dict[str, int] = {}
+
+
 def frame_signature(filename: str, function: str, lineno: int) -> int:
-    """Signature of one stack frame ('return address' equivalent)."""
-    return fnv1a64(f"{filename}:{function}:{lineno}".encode())
+    """Signature of one stack frame ('return address' equivalent).
+
+    Memoized: tracing hashes the same few call sites millions of times, and
+    the FNV fold over the formatted string dominated capture cost.
+    """
+    key = (filename, function, lineno)
+    sig = _frame_sig_cache.get(key)
+    if sig is None:
+        if len(_frame_sig_cache) >= _SIG_CACHE_MAX:
+            _frame_sig_cache.clear()
+        sig = fnv1a64(f"{filename}:{function}:{lineno}".encode())
+        _frame_sig_cache[key] = sig
+    return sig
+
+
+def _logical_signature(name: str) -> int:
+    sig = _logical_sig_cache.get(name)
+    if sig is None:
+        if len(_logical_sig_cache) >= _SIG_CACHE_MAX:
+            _logical_sig_cache.clear()
+        sig = fnv1a64(("logical:" + name).encode())
+        _logical_sig_cache[name] = sig
+    return sig
 
 
 class StackWalker:
@@ -90,6 +121,13 @@ class StackWalker:
 
     def __init__(self, extra_skip: tuple[str, ...] = ()) -> None:
         self._skip = self._SKIP_FRAGMENTS + extra_skip
+        # Memo over complete captures: an SPMD loop hits the same (stack,
+        # logical frames) shape on every iteration, so the combine/label
+        # work collapses to one dict probe after the first event.
+        self._capture_cache: dict[
+            tuple[tuple[tuple[str, str, int], ...], tuple[str, ...]],
+            tuple[int, tuple[str, ...]],
+        ] = {}
 
     def capture(self, logical_stack: Sequence[str] = ()) -> tuple[int, tuple[str, ...]]:
         """Return ``(stack_signature, human-readable frame list)``."""
@@ -102,13 +140,21 @@ class StackWalker:
             if not any(frag in filename for frag in self._skip):
                 frames.append((filename, f.f_code.co_name, f.f_lineno))
             f = f.f_back
+        key = (tuple(frames), tuple(logical_stack))
+        hit = self._capture_cache.get(key)
+        if hit is not None:
+            return hit
         sigs = [frame_signature(*fr) for fr in frames]
-        sigs.extend(fnv1a64(("logical:" + name).encode()) for name in logical_stack)
+        sigs.extend(_logical_signature(name) for name in key[1])
         labels = tuple(
             [f"{fn.rsplit('/', 1)[-1]}:{func}:{line}" for fn, func, line in frames]
-            + [f"<{name}>" for name in logical_stack]
+            + [f"<{name}>" for name in key[1]]
         )
-        return combine_frames(sigs), labels
+        out = (combine_frames(sigs), labels)
+        if len(self._capture_cache) >= _SIG_CACHE_MAX:
+            self._capture_cache.clear()
+        self._capture_cache[key] = out
+        return out
 
 
 def callpath_signature(stack_sigs: Iterable[int]) -> int:

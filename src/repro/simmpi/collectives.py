@@ -350,7 +350,7 @@ class Communicator(Comm):
             return None
         ctx = contexts[color]
         my_world = self.world_rank(self.rank)
-        local_rank = ctx.ranks.index(my_world)
+        local_rank = ctx.local_of[my_world]
         return Communicator(ctx, local_rank, self.task)
 
     @_observed("dup", "gather+bcast")

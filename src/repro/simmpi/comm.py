@@ -4,7 +4,7 @@ Implements blocking/non-blocking send/recv over the virtual-time engine:
 
 * **Matching** follows MPI rules: a receive names ``(source, tag)`` where
   either may be a wildcard; messages between a sender/receiver pair on the
-  same communicator are non-overtaking (FIFO scan of the arrival queue).
+  same communicator are non-overtaking.
 * **Eager protocol** (payload <= ``eager_threshold``): the send completes
   locally after the buffer copy; the message arrives ``latency`` later.
 * **Rendezvous protocol** (large payloads): the sender blocks until the
@@ -12,6 +12,17 @@ Implements blocking/non-blocking send/recv over the virtual-time engine:
   two parties being ready.  This models the synchronizing behaviour that
   makes shipping large trace payloads up a reduction tree expensive —
   exactly the cost Chameleon's clustering is designed to avoid.
+
+Matching state lives in per-destination mailboxes.  The default
+:class:`Mailbox` indexes queued messages and posted receives by exact
+``(src, tag)`` — one deque per class, so the collective-dominated traffic
+that scales with P matches in O(1) — plus a *wildcard overflow lane*
+holding user-tag messages in arrival order for ``ANY_SOURCE``/``ANY_TAG``
+receives.  Every message and receive carries a mailbox-local sequence
+number, and every lookup breaks ties by it, so the index produces exactly
+the match a linear FIFO scan of one arrival queue would (the pre-index
+implementation is preserved as :class:`LinearMailbox` and asserted
+equivalent by a randomized-traffic property test).
 
 Every rank holds its own :class:`Comm` view (rank, size, bound task) of a
 shared :class:`CommContext` (mailboxes, membership).
@@ -21,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..faults.injector import LOST
 from .datatypes import payload_nbytes
@@ -35,8 +46,12 @@ ANY_TAG = -1
 #: Tags above this are reserved for internal collective plumbing.
 MAX_USER_TAG = 1 << 20
 
+#: Compact a lazy-deletion lane when it holds this many dead entries and
+#: they outnumber the live ones.
+_COMPACT_THRESHOLD = 64
 
-@dataclass
+
+@dataclass(slots=True)
 class Message:
     """An in-flight message (eager: buffered; rendezvous: an offer)."""
 
@@ -50,49 +65,18 @@ class Message:
     send_ready: float = 0.0  # rendezvous: when the sender became ready
     sender_future: SimFuture | None = None  # rendezvous: wakes the sender
     sender_task: Task | None = None  # rendezvous: busy-time accounting
+    seq: int = -1  # mailbox-local arrival order (set on enqueue)
+    consumed: bool = False  # matched via another lane; skip on scan
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRecv:
     src: int
     tag: int
     post_time: float
     future: SimFuture
     task: Task
-
-
-@dataclass
-class Mailbox:
-    """Per-(context, destination) matching state."""
-
-    queued: deque[Message] = field(default_factory=deque)
-    pending: deque[PendingRecv] = field(default_factory=deque)
-
-
-class CommContext:
-    """State shared by all ranks of one communicator."""
-
-    def __init__(self, engine: Engine, ranks: Sequence[int]) -> None:
-        self.engine = engine
-        self.id = engine.alloc_comm_id()
-        self.ranks = list(ranks)
-        self._mailboxes: dict[int, Mailbox] = {
-            i: Mailbox() for i in range(len(self.ranks))
-        }
-        # Per-rank collective sequence numbers; SPMD programs call
-        # collectives in the same order so these align across ranks and give
-        # each collective instance a private tag window.
-        self.coll_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
-        # Registered so a rank crash can purge its pending receives from
-        # every communicator it participates in.
-        engine._contexts.append(self)
-
-    @property
-    def size(self) -> int:
-        return len(self.ranks)
-
-    def mailbox(self, local_rank: int) -> Mailbox:
-        return self._mailboxes[local_rank]
+    seq: int = -1  # mailbox-local post order (set on enqueue)
 
 
 def _tag_matches(want: int, have: int) -> bool:
@@ -106,6 +90,367 @@ def _tag_matches(want: int, have: int) -> bool:
 
 def _src_matches(want: int, have: int) -> bool:
     return want == ANY_SOURCE or want == have
+
+
+class Mailbox:
+    """Per-(context, destination) matching state, indexed by ``(src, tag)``.
+
+    Queued messages live in one deque per exact ``(src, tag)`` class; a
+    user-tag message is additionally referenced from the wildcard overflow
+    lane (``_wild``).  Exact receives match against the head of their class
+    lane in O(1); wildcard receives scan the overflow lane in arrival
+    order.  Because MPI matching classes are disjoint by ``(src, tag)``,
+    the head of a class lane is always the earliest live message of that
+    class, and sequence numbers arbitrate between lanes — the chosen match
+    is bit-identical to a linear FIFO scan.
+
+    Lazy deletion: a message matched through its class lane stays in the
+    overflow lane flagged ``consumed`` until a scan skips past it or the
+    lane compacts; a message matched through the overflow lane is provably
+    at the head of its class lane (earlier same-class messages would have
+    matched the same wildcard first) and is removed eagerly.
+
+    Posted receives mirror the same structure: exact receives in per-class
+    lanes, receives naming any wildcard in ``_pending_wild``.  Receives
+    released by fault timeouts (``future.done``) are dropped lazily.
+    """
+
+    __slots__ = (
+        "_seq",
+        "_lanes",
+        "_wild",
+        "_wild_dead",
+        "_pending_lanes",
+        "_pending_wild",
+        "_pending_count",
+    )
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._lanes: dict[tuple[int, int], deque[Message]] = {}
+        self._wild: deque[Message] = deque()
+        self._wild_dead = 0
+        self._pending_lanes: dict[tuple[int, int], deque[PendingRecv]] = {}
+        self._pending_wild: deque[PendingRecv] = deque()
+        self._pending_count = 0
+
+    # -- queued messages ---------------------------------------------------
+
+    def push_msg(self, msg: Message) -> None:
+        msg.seq = self._seq
+        self._seq += 1
+        key = (msg.src, msg.tag)
+        lane = self._lanes.get(key)
+        if lane is None:
+            self._lanes[key] = lane = deque()
+        lane.append(msg)
+        if msg.tag <= MAX_USER_TAG:
+            self._wild.append(msg)
+
+    def _pop_wild_heads(self) -> None:
+        wild = self._wild
+        while wild and wild[0].consumed:
+            wild.popleft()
+            self._wild_dead -= 1
+
+    def _compact_wild(self) -> None:
+        if (
+            self._wild_dead > _COMPACT_THRESHOLD
+            and self._wild_dead * 2 > len(self._wild)
+        ):
+            self._wild = deque(m for m in self._wild if not m.consumed)
+            self._wild_dead = 0
+
+    def _take_exact(self, key: tuple[int, int]) -> Message | None:
+        lane = self._lanes.get(key)
+        if not lane:
+            return None
+        msg = lane.popleft()
+        if not lane:
+            del self._lanes[key]
+        # The message stays in the overflow lane (if user-tagged) until a
+        # scan or compaction drops it.
+        if msg.tag <= MAX_USER_TAG:
+            msg.consumed = True
+            self._wild_dead += 1
+            self._compact_wild()
+        return msg
+
+    def _find_wild(self, source: int, tag: int, remove: bool) -> Message | None:
+        self._pop_wild_heads()
+        for i, msg in enumerate(self._wild):
+            if msg.consumed:
+                continue
+            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
+                if remove:
+                    del self._wild[i]
+                    # Provably at the head of its class lane: any earlier
+                    # same-class message would have matched this wildcard.
+                    key = (msg.src, msg.tag)
+                    lane = self._lanes[key]
+                    popped = lane.popleft()
+                    assert popped is msg
+                    if not lane:
+                        del self._lanes[key]
+                return msg
+        return None
+
+    def _find_high_tag_any_source(
+        self, tag: int, remove: bool
+    ) -> Message | None:
+        # ANY_SOURCE with an exact above-user tag: not in the overflow lane
+        # (plumbing tags are wildcard-invisible), so arbitrate between the
+        # heads of every class lane carrying that tag.  Cold path: no
+        # built-in caller ever posts it, but the semantics must hold.
+        best: Message | None = None
+        best_key: tuple[int, int] | None = None
+        for key, lane in self._lanes.items():
+            if key[1] != tag or not lane:
+                continue
+            head = lane[0]
+            if best is None or head.seq < best.seq:
+                best, best_key = head, key
+        if best is not None and remove:
+            assert best_key is not None
+            lane = self._lanes[best_key]
+            lane.popleft()
+            if not lane:
+                del self._lanes[best_key]
+        return best
+
+    def match_msg(self, source: int, tag: int) -> Message | None:
+        """Remove and return the earliest queued message matching the
+        receive's ``(source, tag)`` filters, or None."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            return self._take_exact((source, tag))
+        if source != ANY_SOURCE or tag <= MAX_USER_TAG:
+            return self._find_wild(source, tag, remove=True)
+        return self._find_high_tag_any_source(tag, remove=True)
+
+    def peek_msg(self, source: int, tag: int) -> Message | None:
+        """Like :meth:`match_msg` but non-destructive (``probe``)."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            lane = self._lanes.get((source, tag))
+            return lane[0] if lane else None
+        if source != ANY_SOURCE or tag <= MAX_USER_TAG:
+            return self._find_wild(source, tag, remove=False)
+        return self._find_high_tag_any_source(tag, remove=False)
+
+    def drain_messages(self) -> list[Message]:
+        """Remove and return every queued message in arrival order."""
+        out = [m for lane in self._lanes.values() for m in lane]
+        out.sort(key=lambda m: m.seq)
+        self._lanes.clear()
+        self._wild.clear()
+        self._wild_dead = 0
+        return out
+
+    # -- posted receives ---------------------------------------------------
+
+    def push_pending(self, p: PendingRecv) -> None:
+        p.seq = self._seq
+        self._seq += 1
+        self._pending_count += 1
+        if p.src != ANY_SOURCE and p.tag != ANY_TAG:
+            key = (p.src, p.tag)
+            lane = self._pending_lanes.get(key)
+            if lane is None:
+                self._pending_lanes[key] = lane = deque()
+            lane.append(p)
+        else:
+            self._pending_wild.append(p)
+
+    def match_pending(
+        self, msg: Message, faults_active: bool = False
+    ) -> PendingRecv | None:
+        """Remove and return the earliest live posted receive matching
+        ``msg``, or None.  Receives already released by a fault timeout
+        (``future.done``) are skipped and garbage-collected lazily."""
+        key = (msg.src, msg.tag)
+        exact: PendingRecv | None = None
+        lane = self._pending_lanes.get(key)
+        if lane:
+            while lane and lane[0].future.done:
+                lane.popleft()
+                self._pending_count -= 1
+            if lane:
+                exact = lane[0]
+            else:
+                del self._pending_lanes[key]
+                lane = None
+        wild_at = -1
+        wild: PendingRecv | None = None
+        pw = self._pending_wild
+        while pw and pw[0].future.done:
+            pw.popleft()
+            self._pending_count -= 1
+        for i, p in enumerate(pw):
+            if p.future.done:
+                continue
+            if _src_matches(p.src, msg.src) and _tag_matches(p.tag, msg.tag):
+                wild, wild_at = p, i
+                break
+        if exact is not None and (wild is None or exact.seq < wild.seq):
+            assert lane is not None
+            lane.popleft()
+            if not lane:
+                del self._pending_lanes[key]
+            self._pending_count -= 1
+            return exact
+        if wild is not None:
+            del pw[wild_at]
+            self._pending_count -= 1
+            return wild
+        return None
+
+    def has_pending(self) -> bool:
+        return self._pending_count > 0
+
+    def clear_pending(self) -> None:
+        """Drop every posted receive (the owning rank is gone)."""
+        self._pending_lanes.clear()
+        self._pending_wild.clear()
+        self._pending_count = 0
+
+    def release_pending_from(self, src: int) -> list[PendingRecv]:
+        """Remove and return live posted receives naming ``src`` exactly
+        (wildcard receives can still be fed by other senders), post order."""
+        out: list[PendingRecv] = []
+        dead_keys = [k for k in self._pending_lanes if k[0] == src]
+        for key in dead_keys:
+            for p in self._pending_lanes.pop(key):
+                self._pending_count -= 1
+                if not p.future.done:
+                    out.append(p)
+        if any(p.src == src for p in self._pending_wild):
+            keep: deque[PendingRecv] = deque()
+            for p in self._pending_wild:
+                if p.src == src:
+                    self._pending_count -= 1
+                    if not p.future.done:
+                        out.append(p)
+                else:
+                    keep.append(p)
+            self._pending_wild = keep
+        out.sort(key=lambda p: p.seq)
+        return out
+
+
+class LinearMailbox:
+    """The pre-index reference implementation: one FIFO arrival queue and
+    one FIFO pending queue, matched by linear scan.
+
+    Kept (a) as executable documentation of the matching semantics and
+    (b) as the oracle for the randomized equivalence test in
+    ``tests/simmpi/test_mailbox_matching.py``.  Select it with
+    ``run_spmd(..., matching="linear")``.
+    """
+
+    __slots__ = ("queued", "pending", "_seq")
+
+    def __init__(self) -> None:
+        self.queued: deque[Message] = deque()
+        self.pending: deque[PendingRecv] = deque()
+        self._seq = 0
+
+    # -- queued messages ---------------------------------------------------
+
+    def push_msg(self, msg: Message) -> None:
+        msg.seq = self._seq
+        self._seq += 1
+        self.queued.append(msg)
+
+    def match_msg(self, source: int, tag: int) -> Message | None:
+        for i, msg in enumerate(self.queued):
+            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
+                del self.queued[i]
+                return msg
+        return None
+
+    def peek_msg(self, source: int, tag: int) -> Message | None:
+        for msg in self.queued:
+            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
+                return msg
+        return None
+
+    def drain_messages(self) -> list[Message]:
+        out = list(self.queued)
+        self.queued.clear()
+        return out
+
+    # -- posted receives ---------------------------------------------------
+
+    def push_pending(self, p: PendingRecv) -> None:
+        p.seq = self._seq
+        self._seq += 1
+        self.pending.append(p)
+
+    def match_pending(
+        self, msg: Message, faults_active: bool = False
+    ) -> PendingRecv | None:
+        if faults_active and any(p.future.done for p in self.pending):
+            # Prune receives already released by a fault timeout so they
+            # cannot steal messages from live receives.
+            self.pending = deque(p for p in self.pending if not p.future.done)
+        for i, p in enumerate(self.pending):
+            if _src_matches(p.src, msg.src) and _tag_matches(p.tag, msg.tag):
+                del self.pending[i]
+                return p
+        return None
+
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def clear_pending(self) -> None:
+        self.pending.clear()
+
+    def release_pending_from(self, src: int) -> list[PendingRecv]:
+        out: list[PendingRecv] = []
+        keep: deque[PendingRecv] = deque()
+        for p in self.pending:
+            if p.src == src and not p.future.done:
+                out.append(p)
+            elif p.src == src:
+                continue
+            else:
+                keep.append(p)
+        self.pending = keep
+        return out
+
+
+MAILBOX_KINDS = {"indexed": Mailbox, "linear": LinearMailbox}
+
+
+class CommContext:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, engine: Engine, ranks: Sequence[int]) -> None:
+        self.engine = engine
+        self.id = engine.alloc_comm_id()
+        self.ranks = list(ranks)
+        #: world rank -> local rank, precomputed so membership tests and
+        #: crash sweeps never pay an O(P) ``list.index`` scan
+        self.local_of: dict[int, int] = {
+            world: i for i, world in enumerate(self.ranks)
+        }
+        mailbox_cls = MAILBOX_KINDS[engine.matching]
+        self._mailboxes: dict[int, Any] = {
+            i: mailbox_cls() for i in range(len(self.ranks))
+        }
+        # Per-rank collective sequence numbers; SPMD programs call
+        # collectives in the same order so these align across ranks and give
+        # each collective instance a private tag window.
+        self.coll_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
+        # Registered so a rank crash can purge its pending receives from
+        # every communicator it participates in.
+        engine._contexts.append(self)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def mailbox(self, local_rank: int):
+        return self._mailboxes[local_rank]
 
 
 def _status_of(msg: Message) -> dict:
@@ -257,6 +602,7 @@ class Comm:
         nbytes = payload_nbytes(payload) if size is None else int(size)
         net = self.net
         task = self.task
+        ranks = self.context.ranks
         mbox = self.context.mailbox(dest)
         task.msgs_sent += 1
         task.bytes_sent += nbytes
@@ -266,17 +612,18 @@ class Comm:
         ins = self.engine.instrument
         if ins.enabled:
             ins.metrics.count(
-                "p2p/bytes_sent", nbytes, rank=self.world_rank(self.rank),
+                "p2p/bytes_sent", nbytes, rank=ranks[self.rank],
                 op="send", t=task.clock,
             )
             ins.metrics.count(
-                "p2p/messages", 1, rank=self.world_rank(self.rank),
+                "p2p/messages", 1, rank=ranks[self.rank],
                 op="send", t=task.clock,
             )
 
-        fut = SimFuture(label=f"isend {self.rank}->{dest} tag={tag} comm={self.context.id}")
+        fut = SimFuture(kind="isend", src=ranks[self.rank], dest=ranks[dest],
+                        tag=tag, comm=self.context.id, post_time=task.clock)
         inj = self.engine.faults
-        if inj.active and self.context.ranks[dest] in inj.failed:
+        if inj.active and ranks[dest] in inj.failed:
             # Dead destination: the send completes locally and the payload
             # goes into the void — matching real MPI, where delivery to a
             # failed process is undetectable without an FT protocol.  This
@@ -284,9 +631,9 @@ class Comm:
             # will never be posted.
             task.charge(net.o_send)
             if ins.enabled:
-                wsrc = self.context.ranks[self.rank]
+                wsrc = ranks[self.rank]
                 ins.instant(wsrc, "dead_dest", "fault", task.clock,
-                            {"dest": self.context.ranks[dest], "tag": tag,
+                            {"dest": ranks[dest], "tag": tag,
                              "nbytes": nbytes})
                 ins.metrics.count("fault/dead_dest_sends", 1, rank=wsrc,
                                   t=task.clock)
@@ -297,8 +644,8 @@ class Comm:
             latency = net.latency
             inj = self.engine.faults
             if inj.active:
-                wsrc = self.context.ranks[self.rank]
-                wdest = self.context.ranks[dest]
+                wsrc = ranks[self.rank]
+                wdest = ranks[dest]
                 latency *= inj.link_factors(wsrc, wdest)[0]
                 extra = inj.message_delay(wsrc, wdest, task.msgs_sent)
                 if extra is None:
@@ -354,10 +701,18 @@ class Comm:
             self._check_peer(source, "source")
         self._check_tag(tag, recv=True)
         task = self.task
+        ranks = self.context.ranks
         mbox = self.context.mailbox(self.rank)
-        fut = SimFuture(label=f"irecv src={source} rank={self.rank} tag={tag} comm={self.context.id}")
+        fut = SimFuture(
+            kind="irecv",
+            src=None if source == ANY_SOURCE else ranks[source],
+            dest=ranks[self.rank],
+            tag=tag,
+            comm=self.context.id,
+            post_time=task.clock,
+        )
 
-        msg = self._match_queued(mbox, source, tag)
+        msg = mbox.match_msg(source, tag)
         if msg is not None:
             self._fire_match(
                 PendingRecv(source, tag, task.clock, fut, task), msg
@@ -367,7 +722,7 @@ class Comm:
         if (
             inj.active
             and source != ANY_SOURCE
-            and self.context.ranks[source] in inj.failed
+            and ranks[source] in inj.failed
         ):
             # The named peer is dead and nothing from it is queued: the
             # message can never arrive (all sends structurally deliver at
@@ -375,52 +730,31 @@ class Comm:
             # receive immediately with a LOST hole.
             ins = self.engine.instrument
             if ins.enabled:
-                wdest = self.context.ranks[self.rank]
+                wdest = ranks[self.rank]
                 ins.instant(wdest, "dead_source", "fault", task.clock,
-                            {"src": self.context.ranks[source], "tag": tag})
+                            {"src": ranks[source], "tag": tag})
                 ins.metrics.count("fault/dead_source_recvs", 1, rank=wdest,
                                   t=task.clock)
             fut.resolve(LOST, time=task.clock)
             return Request(fut, task, "irecv")
-        mbox.pending.append(PendingRecv(source, tag, task.clock, fut, task))
+        mbox.push_pending(PendingRecv(source, tag, task.clock, fut, task))
         return Request(fut, task, "irecv")
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> dict | None:
         """Non-blocking probe: status of the first matching queued message."""
         mbox = self.context.mailbox(self.rank)
-        for msg in mbox.queued:
-            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
-                return _status_of(msg)
-        return None
+        msg = mbox.peek_msg(source, tag)
+        return None if msg is None else _status_of(msg)
 
     # -- matching internals --------------------------------------------
 
-    @staticmethod
-    def _match_queued(mbox: Mailbox, source: int, tag: int) -> Message | None:
-        for i, msg in enumerate(mbox.queued):
-            if _src_matches(source, msg.src) and _tag_matches(tag, msg.tag):
-                del mbox.queued[i]
-                return msg
-        return None
-
-    def _deliver(self, mbox: Mailbox, msg: Message) -> None:
+    def _deliver(self, mbox, msg: Message) -> None:
         """Offer a message to the destination mailbox, matching if possible."""
-        if self.engine.faults.active and any(
-            p.future.done for p in mbox.pending
-        ):
-            # Prune receives already released by a fault timeout so they
-            # cannot steal messages from live receives.
-            mbox.pending = deque(
-                p for p in mbox.pending if not p.future.done
-            )
-        for i, pending in enumerate(mbox.pending):
-            if _src_matches(pending.src, msg.src) and _tag_matches(
-                pending.tag, msg.tag
-            ):
-                del mbox.pending[i]
-                self._fire_match(pending, msg)
-                return
-        mbox.queued.append(msg)
+        pending = mbox.match_pending(msg, self.engine.faults.active)
+        if pending is not None:
+            self._fire_match(pending, msg)
+            return
+        mbox.push_msg(msg)
 
     def _fire_match(self, pending: PendingRecv, msg: Message) -> None:
         """Compute completion times and resolve both sides' futures."""
@@ -436,6 +770,7 @@ class Comm:
             ):
                 msg.sender_future.resolve(LOST, time=msg.send_ready)
             return
+        self.engine.total_matches += 1
         if msg.rendezvous:
             latency = net.latency
             transfer = net.transfer_time(msg.nbytes)

@@ -104,9 +104,19 @@ class Engine:
         max_steps: int | None = None,
         instrument: Instrument = NULL_INSTRUMENT,
         faults: FaultInjector = NULL_INJECTOR,
+        matching: str = "indexed",
     ) -> None:
+        if matching not in ("indexed", "linear"):
+            raise ValueError(
+                f"matching must be 'indexed' or 'linear', got {matching!r}"
+            )
         self.network = network
+        #: mailbox implementation for every CommContext built on this engine:
+        #: "indexed" (per-(src, tag) lanes, the default) or "linear" (the
+        #: reference FIFO-scan oracle used by equivalence tests)
+        self.matching = matching
         self.tasks: list[Task] = []
+        self._sorted_tasks: list[Task] | None = None
         self._ready: deque[Task] = deque()
         self._current: Task | None = None
         self._steps = 0
@@ -114,6 +124,8 @@ class Engine:
         # Global communication counters (all comms, all ranks).
         self.total_messages = 0
         self.total_bytes = 0
+        #: point-to-point matches actually fired (send paired with receive)
+        self.total_matches = 0
         self._next_comm_id = 0
         #: observability event bus; the default is the zero-cost no-op, and
         #: no emission ever advances a virtual clock, so instrumented and
@@ -141,7 +153,13 @@ class Engine:
     def adopt(self, task: Task) -> None:
         """Register an externally constructed task and make it runnable."""
         self.tasks.append(task)
+        self._sorted_tasks = None
         self._ready.append(task)
+
+    @property
+    def steps(self) -> int:
+        """Scheduler steps executed so far (coroutine resume count)."""
+        return self._steps
 
     def alloc_comm_id(self) -> int:
         self._next_comm_id += 1
@@ -306,41 +324,43 @@ class Engine:
 
         Operations posted *after* the crash are handled at post time by the
         dead-source/dead-dest checks in :mod:`repro.simmpi.comm`; this
-        sweep covers everything that was already in flight.
+        sweep covers everything that was already in flight.  Membership and
+        receive lookup go through the precomputed ``local_of`` map and the
+        indexed pending lanes, so the sweep costs O(in-flight operations
+        naming the dead rank), not O(P · mailboxes).
         """
         for ctx in self._contexts:
-            if task.rank not in ctx.ranks:
+            local = ctx.local_of.get(task.rank)
+            if local is None:
                 continue
-            local = ctx.ranks.index(task.rank)
-            for mbox in ctx._mailboxes.values():
-                keep: deque = deque()
-                for p in mbox.pending:
-                    if p.task is task:
-                        continue
-                    if (
-                        p.src >= 0
-                        and ctx.ranks[p.src] == task.rank
-                        and not p.future.done
-                    ):
-                        p.future.resolve(LOST, time=p.task.clock)
-                        continue
-                    keep.append(p)
-                mbox.pending = keep
             dead_mbox = ctx._mailboxes[local]
-            for msg in dead_mbox.queued:
+            for mbox in ctx._mailboxes.values():
+                if mbox is dead_mbox:
+                    continue
+                for p in mbox.release_pending_from(local):
+                    p.future.resolve(LOST, time=p.task.clock)
+            # The dead rank's own posted receives vanish with it: later
+            # sends must not match a receiver that no longer exists.
+            dead_mbox.clear_pending()
+            for msg in dead_mbox.drain_messages():
                 if msg.sender_future is not None and not msg.sender_future.done:
                     t = (
                         msg.sender_task.clock
                         if msg.sender_task is not None
                         else None
                     )
-                    msg.sender_future.resolve(None, time=t)
-            dead_mbox.queued.clear()
+                    # Only rendezvous offers still have a live sender future
+                    # (eager sends complete at post time).  The payload is
+                    # gone with the receiver, so the sender observes LOST —
+                    # the same hole sentinel every other fault release uses —
+                    # rather than a None indistinguishable from delivery.
+                    msg.sender_future.resolve(LOST, time=t)
 
     def _release_one_orphan(self) -> bool:
         """Virtual-time timeout: when no task can run but blocked tasks
-        remain, release the lowest-ranked one's operation with ``LOST`` at
-        ``clock + op_timeout``.  Returns True when something was released.
+        remain, release the one blocked on the earliest-posted operation
+        (ties broken by rank) with ``LOST`` at ``clock + op_timeout``.
+        Returns True when something was released.
 
         This is the bounded-retry backstop that guarantees fault-injected
         runs always complete: every release makes progress, so the run
@@ -349,7 +369,17 @@ class Engine:
         blocked = [t for t in self.tasks if t.state is TaskState.BLOCKED]
         if not blocked:
             return False
-        victim = min(blocked, key=lambda t: t.rank)
+
+        def _oldest(t: Task) -> tuple[float, int]:
+            # Earliest *posted* operation first — timeout order follows
+            # virtual-time causality, with rank only as the deterministic
+            # tie-break.  Futures without post metadata (synthetic waits)
+            # fall back to the task clock.
+            fut = t.blocked_on
+            post = fut.post_time if fut is not None and fut.post_time is not None else t.clock
+            return (post, t.rank)
+
+        victim = min(blocked, key=_oldest)
         fut = victim.blocked_on
         assert fut is not None and not fut.done
         release_t = victim.clock + self.faults.plan.op_timeout
@@ -365,20 +395,27 @@ class Engine:
         return True
 
     def _deadlock_detail(self, unfinished: list[Task]) -> list[str]:
-        """One line per stuck rank; ops orphaned by a crashed peer say so."""
-        failed = sorted(self.faults.failed) if self.faults.active else []
+        """One line per stuck rank; ops orphaned by a crashed peer say so.
+
+        Attribution reads the structured ``SimFuture`` metadata (kind and
+        world-rank peer), never the label text: substring-matching rank
+        digits against a formatted label misfires once ranks reach double
+        digits (``src=1`` is a prefix of ``src=12``) and breaks silently
+        whenever the label format drifts.
+        """
+        failed = self.faults.failed if self.faults.active else set()
         detail = []
         for t in unfinished:
-            label = t.blocked_on.label if t.blocked_on else "<not started>"
-            orphans = [
-                r for r in failed
-                if f"src={r} " in label or f"->{r} " in label
-            ]
-            if orphans:
-                label += (
-                    " [orphaned by crash of rank "
-                    f"{', '.join(map(str, orphans))}]"
-                )
+            fut = t.blocked_on
+            label = fut.label if fut is not None else "<not started>"
+            peer: int | None = None
+            if fut is not None and failed:
+                if fut.kind == "irecv":
+                    peer = fut.src  # None for ANY_SOURCE: unattributable
+                elif fut.kind == "isend":
+                    peer = fut.dest
+            if peer is not None and peer in failed:
+                label += f" [orphaned by crash of rank {peer}]"
             detail.append(f"rank {t.rank}: blocked on {label}")
         return detail
 
@@ -392,17 +429,24 @@ class Engine:
 
     # -- results -----------------------------------------------------------
 
+    def _by_rank(self) -> list[Task]:
+        # Sorted once and cached (invalidated by adopt): the per-call sort
+        # made every results()/clocks()/busy_times() lookup O(P log P).
+        if self._sorted_tasks is None:
+            self._sorted_tasks = sorted(self.tasks, key=lambda t: t.rank)
+        return self._sorted_tasks
+
     def results(self) -> list[Any]:
         """Per-rank return values (tasks sorted by rank)."""
-        return [t.result for t in sorted(self.tasks, key=lambda t: t.rank)]
+        return [t.result for t in self._by_rank()]
 
     def clocks(self) -> list[float]:
         """Final virtual clocks per rank."""
-        return [t.clock for t in sorted(self.tasks, key=lambda t: t.rank)]
+        return [t.clock for t in self._by_rank()]
 
     def busy_times(self) -> list[float]:
         """Per-rank active (non-waiting) virtual time."""
-        return [t.busy for t in sorted(self.tasks, key=lambda t: t.rank)]
+        return [t.busy for t in self._by_rank()]
 
     def max_clock(self) -> float:
         return max((t.clock for t in self.tasks), default=0.0)

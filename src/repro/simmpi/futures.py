@@ -6,6 +6,13 @@ engine resumes the waiting task it advances the task's clock to
 ``max(task.clock, future.time)``, which is how causality (e.g. a receive
 finishing no earlier than the matching send's arrival) propagates through
 the simulation.
+
+Point-to-point futures additionally carry *structured metadata* —
+``kind`` (``"isend"``/``"irecv"``), world-rank ``src``/``dest``, ``tag``,
+communicator id and virtual ``post_time``.  Diagnostics (deadlock reports,
+orphan attribution, op-timeout victim selection) read these fields directly
+instead of parsing a label string, and the human-readable label is built
+lazily from them so the hot path never formats a string.
 """
 
 from __future__ import annotations
@@ -21,17 +28,73 @@ class SimFuture:
         value: payload delivered to the awaiter.
         time: virtual time at which the awaited operation completed.  ``None``
             means "no time constraint" (the awaiter keeps its own clock).
-        label: human-readable description used in deadlock reports.
+        kind: ``"isend"`` / ``"irecv"`` for point-to-point futures, else None.
+        src: world rank of the sender (``None`` for an ANY_SOURCE receive).
+        dest: world rank of the destination / receiver.
+        tag: message tag (``-1`` for an ANY_TAG receive).
+        comm: communicator context id.
+        post_time: virtual time at which the operation was posted.
+        label: human-readable description used in deadlock reports; derived
+            from the structured metadata unless set explicitly.
     """
 
-    __slots__ = ("done", "value", "time", "label", "_callbacks")
+    __slots__ = (
+        "done",
+        "value",
+        "time",
+        "kind",
+        "src",
+        "dest",
+        "tag",
+        "comm",
+        "post_time",
+        "_label",
+        "_callbacks",
+    )
 
-    def __init__(self, label: str = "") -> None:
+    def __init__(
+        self,
+        label: str = "",
+        *,
+        kind: str | None = None,
+        src: int | None = None,
+        dest: int | None = None,
+        tag: int | None = None,
+        comm: int | None = None,
+        post_time: float | None = None,
+    ) -> None:
         self.done = False
         self.value: Any = None
         self.time: float | None = None
-        self.label = label
+        self.kind = kind
+        self.src = src
+        self.dest = dest
+        self.tag = tag
+        self.comm = comm
+        self.post_time = post_time
+        self._label = label
         self._callbacks: list[Callable[[SimFuture], None]] = []
+
+    @property
+    def label(self) -> str:
+        if self._label:
+            return self._label
+        if self.kind == "isend":
+            return (
+                f"isend {self.src}->{self.dest} tag={self.tag} "
+                f"comm={self.comm}"
+            )
+        if self.kind == "irecv":
+            src = -1 if self.src is None else self.src
+            return (
+                f"irecv src={src} rank={self.dest} tag={self.tag} "
+                f"comm={self.comm}"
+            )
+        return self._label
+
+    @label.setter
+    def label(self, value: str) -> None:
+        self._label = value
 
     def resolve(self, value: Any = None, time: float | None = None) -> None:
         """Mark the future complete, waking any awaiting task."""

@@ -87,6 +87,10 @@ class SpmdResult:
     total_messages: int
     total_bytes: int
     extras: dict[str, Any] = field(default_factory=dict)
+    #: scheduler steps the engine executed (coroutine resumes)
+    engine_steps: int = 0
+    #: point-to-point matches fired (send paired with its receive)
+    messages_matched: int = 0
     #: ranks parked as FAILED by fault injection (empty without faults);
     #: their ``results`` entries are None
     failed_ranks: tuple[int, ...] = ()
@@ -120,6 +124,7 @@ def run_spmd(
     max_steps: int | None = None,
     instrument: Instrument = NULL_INSTRUMENT,
     faults: FaultPlan | FaultInjector | None = None,
+    matching: str = "indexed",
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``main(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -135,6 +140,11 @@ def run_spmd(
     crashed ranks appear in ``SpmdResult.failed_ranks`` with ``None``
     results, and no error is raised for them.  An empty plan is a strict
     no-op — all virtual times stay bit-identical.
+
+    ``matching`` selects the mailbox implementation: ``"indexed"`` (default,
+    per-``(src, tag)`` lanes) or ``"linear"`` (the pre-index FIFO-scan
+    reference, kept for equivalence testing — both produce bit-identical
+    match order and virtual times).
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
@@ -142,7 +152,8 @@ def run_spmd(
     if injector.active:
         injector.plan.validate(nprocs)
     engine = Engine(network=network, max_steps=max_steps,
-                    instrument=instrument, faults=injector)
+                    instrument=instrument, faults=injector,
+                    matching=matching)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn
@@ -159,6 +170,8 @@ def run_spmd(
         busy_times=engine.busy_times(),
         total_messages=engine.total_messages,
         total_bytes=engine.total_bytes,
+        engine_steps=engine.steps,
+        messages_matched=engine.total_matches,
         failed_ranks=tuple(sorted(injector.failed)),
         fault_summary=injector.summary() if injector.active else {},
     )

@@ -1,0 +1,63 @@
+"""Op-timeout victim selection follows virtual-time causality.
+
+When the op-timeout backstop has to release orphaned operations, it must
+pick the *earliest-posted* blocked operation (ties broken by rank), not the
+lowest-ranked blocked task: a low rank that blocked late is causally behind
+a high rank that has been waiting since t=0, and releasing in rank order
+would replay timeouts in an order no real timeout mechanism could produce.
+"""
+
+from repro.faults import LOST
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.obs import Recorder
+from repro.simmpi import run_spmd
+
+#: Keeps the injector active for the whole run without ever firing:
+#: rank 3 finishes at a tiny virtual clock, far before t=1e9.
+NEVER_PLAN = FaultPlan(crashes=(CrashFault(rank=3, time=1e9),))
+
+
+async def _staggered_blockers(ctx):
+    if ctx.rank in (0, 3):
+        return "done"  # rank 3 never sends: ranks 1 and 2 are orphaned
+    if ctx.rank == 2:
+        # Blocks immediately: post_time 0.0.
+        return await ctx.comm.recv(source=3, tag=7)
+    # Rank 1 computes first, then blocks: post_time 1.0.  Under the old
+    # lowest-rank rule it would be released *before* rank 2 despite
+    # having waited strictly less virtual time.
+    ctx.compute(1.0)
+    return await ctx.comm.recv(source=3, tag=7)
+
+
+class TestReleaseOrder:
+    def test_earliest_posted_operation_released_first(self):
+        rec = Recorder()
+        result = run_spmd(_staggered_blockers, 4, instrument=rec,
+                          faults=NEVER_PLAN)
+        timeouts = [i for i in rec.instants if i.name == "op_timeout"]
+        assert [i.rank for i in timeouts] == [2, 1]
+        # Release times stay victim-relative: clock + op_timeout each.
+        op_timeout = NEVER_PLAN.op_timeout
+        assert timeouts[0].ts == op_timeout
+        assert timeouts[1].ts == 1.0 + op_timeout
+        assert result.results[1] is LOST and result.results[2] is LOST
+        assert result.fault_summary["timeout"] == 2
+        assert result.failed_ranks == ()
+
+    def test_rank_breaks_post_time_ties(self):
+        async def simultaneous(ctx):
+            if ctx.rank == 3:
+                return "done"
+            return await ctx.comm.recv(source=3, tag=7)
+
+        rec = Recorder()
+        run_spmd(simultaneous, 4, instrument=rec, faults=NEVER_PLAN)
+        timeouts = [i for i in rec.instants if i.name == "op_timeout"]
+        assert [i.rank for i in timeouts] == [0, 1, 2]
+
+    def test_release_order_is_deterministic(self):
+        first = run_spmd(_staggered_blockers, 4, faults=NEVER_PLAN)
+        second = run_spmd(_staggered_blockers, 4, faults=NEVER_PLAN)
+        assert first.clocks == second.clocks
+        assert first.fault_summary == second.fault_summary

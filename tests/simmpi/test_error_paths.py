@@ -6,9 +6,16 @@ import warnings
 
 import pytest
 
+from repro.faults import LOST
+from repro.faults.injector import injector_for
+from repro.faults.plan import CrashFault, FaultPlan
 from repro.simmpi import (
     DeadlockError,
+    Engine,
+    SimFuture,
+    Task,
     TaskFailedError,
+    TaskState,
     run_spmd,
 )
 
@@ -40,6 +47,108 @@ class TestDeadlockDiagnostics:
         with pytest.raises(DeadlockError) as ei:
             run_spmd(main, 3)
         assert len(ei.value.blocked) == 3
+
+
+class TestDeadlockAttribution:
+    """Orphan attribution reads structured SimFuture metadata, not labels.
+
+    A deadlock with an *active* injector is unreachable end-to-end (the
+    op-timeout backstop always makes progress), so the annotation path is
+    exercised directly on a hand-built engine — exactly the state
+    ``Engine.run`` would pass it.
+    """
+
+    @staticmethod
+    def _engine_with_failed(failed_ranks):
+        inj = injector_for(
+            FaultPlan(crashes=(CrashFault(rank=0, time=1e9),))
+        )
+        inj.failed.update(failed_ranks)
+        return Engine(faults=inj)
+
+    @staticmethod
+    def _blocked(rank, fut):
+        task = Task(rank, None)
+        task.state = TaskState.BLOCKED
+        task.blocked_on = fut
+        return task
+
+    def test_double_digit_ranks_do_not_collide(self):
+        # failed = {1}; a receive from rank 12 must NOT be blamed on rank 1
+        # (the old substring match over "src=1 " was one format drift away
+        # from exactly this misattribution), while a receive from rank 1
+        # and a send to rank 1 must be.
+        engine = self._engine_with_failed({1})
+        from_1 = self._blocked(
+            10, SimFuture(kind="irecv", src=1, dest=10, tag=0, comm=1)
+        )
+        from_12 = self._blocked(
+            11, SimFuture(kind="irecv", src=12, dest=11, tag=1, comm=1)
+        )
+        to_1 = self._blocked(
+            12, SimFuture(kind="isend", src=12, dest=1, tag=1, comm=1)
+        )
+        lines = engine._deadlock_detail([from_1, from_12, to_1])
+        assert "orphaned by crash of rank 1]" in lines[0]
+        assert "orphaned" not in lines[1]
+        assert "orphaned by crash of rank 1]" in lines[2]
+
+    def test_wildcard_receive_is_unattributable(self):
+        # ANY_SOURCE carries src=None: no peer to blame, even with crashes.
+        engine = self._engine_with_failed({3})
+        wild = self._blocked(
+            14, SimFuture(kind="irecv", src=None, dest=14, tag=-1, comm=1)
+        )
+        (line,) = engine._deadlock_detail([wild])
+        assert "orphaned" not in line
+        assert "rank 14" in line
+
+    def test_no_attribution_without_active_faults(self):
+        engine = Engine()
+        stuck = self._blocked(
+            10, SimFuture(kind="irecv", src=1, dest=10, tag=0, comm=1)
+        )
+        (line,) = engine._deadlock_detail([stuck])
+        assert "orphaned" not in line
+
+
+class TestPurgedSenderSeesLost:
+    """A rendezvous offer purged with its dead receiver resolves the
+    surviving sender with LOST — distinguishable from the None a
+    completed (fire-and-forget) send to an already-dead rank returns."""
+
+    def test_purged_rendezvous_lost_vs_dead_dest_none(self):
+        plan = FaultPlan(crashes=(CrashFault(rank=1, time=5e-3),))
+
+        async def main(ctx):
+            if ctx.rank == 0:
+                # Rendezvous offer parked in rank 1's mailbox before the
+                # crash: the purge sweep must resolve it with LOST.
+                first = await ctx.comm.isend(1, b"x", tag=0,
+                                             size=1 << 20).wait()
+                # Post-crash send to a known-dead rank: completes locally,
+                # payload into the void — None, i.e. "sent, undetectable".
+                second = await ctx.comm.isend(1, b"y", tag=0,
+                                              size=1 << 20).wait()
+                return (first, second)
+            if ctx.rank == 1:
+                # Advance past the crash time, then block so the scheduler
+                # sees clock >= 5e-3 at the next dispatch and crashes us
+                # with rank 0's offer still queued.
+                ctx.compute(6e-3)
+                await ctx.comm.recv(source=2, tag=9)
+                await ctx.comm.recv(source=0, tag=0)  # never reached
+                return "survived"
+            ctx.compute(1e-2)
+            await ctx.comm.send(1, b"wake", tag=9)
+            return "done"
+
+        result = run_spmd(main, 3, faults=plan)
+        assert result.failed_ranks == (1,)
+        first, second = result.results[0]
+        assert first is LOST
+        assert second is None
+        assert result.results[1] is None  # crashed rank has no result
 
 
 class TestTaskFailurePropagation:
