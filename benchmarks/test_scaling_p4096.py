@@ -1,10 +1,11 @@
-"""Paper-scale acceptance: the simulated runtime at P=4096.
+"""Paper-scale acceptance: the simulated runtime at P=4096 and P=16384.
 
-The indexed mailbox and the de-quadratic'd scheduler exist so the paper's
-P=4096 data points are *reachable* — these benches drive ``run_spmd`` at
-that scale, assert the wall-clock budget, and regenerate the
-``BENCH_scaling.json`` document that CI gates against the committed
-baseline (``benchmarks/BENCH_scaling.json``, refresh with ``repro bench -o
+The indexed mailbox and the de-quadratic'd scheduler made the paper's
+P=4096 data points *reachable*; the macro-collective fast path makes
+P=16384 routine — these benches drive ``run_spmd`` at both scales, assert
+the wall-clock budgets, and regenerate the ``BENCH_scaling.json`` document
+that CI gates against the committed baseline
+(``benchmarks/BENCH_scaling.json``, refresh with ``repro bench -o
 benchmarks/BENCH_scaling.json``).
 
 All tests here are ``slow``-marked: tier-1 stays fast, and CI's dedicated
@@ -42,21 +43,56 @@ async def _allreduce_barrier(ctx):
 
 
 def test_p4096_allreduce_barrier_under_budget():
-    """The ISSUE's acceptance bar: allreduce+barrier at P=4096 in < 60 s."""
+    """The original acceptance bar: allreduce+barrier at P=4096 in < 60 s."""
     t0 = time.perf_counter()
     result = run_spmd(_allreduce_barrier, 4096)
     wall = time.perf_counter() - t0
     assert wall < 60.0, f"P=4096 allreduce+barrier took {wall:.1f}s"
     assert result.results == [4096 * 4095 // 2] * 4096
-    assert result.messages_matched > 0
+    # Pure-collective kernel: every instance takes the macro fast path, so
+    # nothing goes through the mailbox.
+    assert result.collectives_fast == 3 * 4096
+    assert result.messages_matched == 0
+
+
+def test_p16384_allreduce_barrier_fast_path():
+    """The macro-collective tier: P=16384 completes in interactive time and
+    is bit-identical in virtual time to a (much slower) simulated run —
+    spot-checked here via makespan against a small-P extrapolation-free
+    direct comparison in tests/simmpi/test_collective_fastpath.py."""
+    t0 = time.perf_counter()
+    result = run_spmd(_allreduce_barrier, 16384)
+    wall = time.perf_counter() - t0
+    assert wall < 60.0, f"P=16384 allreduce+barrier took {wall:.1f}s"
+    assert result.results == [16384 * 16383 // 2] * 16384
+    assert result.collectives_fast == 3 * 16384
+    assert result.collectives_simulated == 0
+    assert result.engine_steps == 16384  # one resume per rank
+
+
+def test_p4096_fast_vs_simulated_bit_identical():
+    """At full scale the macro path must still reproduce the message-level
+    reference bit-for-bit (the exhaustive fuzz lives in
+    tests/simmpi/test_collective_fastpath.py at smaller P)."""
+    fast = run_spmd(_allreduce_barrier, 4096, collectives="fast")
+    sim = run_spmd(_allreduce_barrier, 4096, collectives="simulated")
+    assert fast.results == sim.results
+    assert fast.clocks == sim.clocks
+    assert fast.busy_times == sim.busy_times
+    assert fast.total_messages == sim.total_messages
+    assert fast.total_bytes == sim.total_bytes
 
 
 def test_p4096_linear_indexed_equivalence_spot_check():
     """At full scale the indexed mailbox must still reproduce the linear
     reference bit-for-bit (the exhaustive randomized check lives in
-    tests/simmpi/test_mailbox_matching.py at smaller P)."""
-    indexed = run_spmd(_allreduce_barrier, 1024, matching="indexed")
-    linear = run_spmd(_allreduce_barrier, 1024, matching="linear")
+    tests/simmpi/test_mailbox_matching.py at smaller P).  Run simulated:
+    linear matching is a fast-path fallback condition, so the fast knob
+    would make the comparison trivially skip the mailbox."""
+    indexed = run_spmd(_allreduce_barrier, 1024, matching="indexed",
+                       collectives="simulated")
+    linear = run_spmd(_allreduce_barrier, 1024, matching="linear",
+                      collectives="simulated")
     assert indexed.clocks == linear.clocks
     assert indexed.busy_times == linear.busy_times
     assert indexed.messages_matched == linear.messages_matched
@@ -73,7 +109,7 @@ def test_bench_document_schema_and_gate(results_dir):
     assert errors == [], errors
 
     cells = {(r["kernel"], r["nprocs"]) for r in doc["results"]}
-    for p in (256, 1024, 4096):
+    for p in (256, 1024, 4096, 16384):
         assert ("allreduce_barrier", p) in cells
         assert ("halo_exchange", p) in cells
 

@@ -527,7 +527,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    doc = run_scaling_bench(ps=ps, kernels=kernels, progress=_progress)
+    doc = run_scaling_bench(ps=ps, kernels=kernels, progress=_progress,
+                            collectives=args.collectives)
     print(format_bench(doc))
     if args.output:
         save_bench(doc, args.output)
@@ -721,7 +722,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--p", type=int, action="append", metavar="N",
-        help="process count to benchmark (repeatable; default 256 1024 4096)",
+        help="process count to benchmark (repeatable; "
+        "default 256 1024 4096 16384)",
     )
     p_bench.add_argument(
         "--kernel", action="append", metavar="NAME",
@@ -740,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--tolerance", type=float, default=0.2, metavar="FRAC",
         help="allowed wall-time growth vs baseline (default 0.2 = +20%%)",
+    )
+    p_bench.add_argument(
+        "--collectives", choices=["fast", "simulated"], default="fast",
+        help="collective execution mode: closed-form macro fast path "
+        "(default) or the message-level reference path",
     )
     p_bench.set_defaults(fn=_cmd_bench)
 

@@ -172,6 +172,39 @@ class FaultInjector:
     def has_link_faults(self) -> bool:
         return bool(self._links)
 
+    # -- collective eligibility --------------------------------------------
+
+    def collective_fallback_reason(self, world_ranks) -> str | None:
+        """Why a collective over ``world_ranks`` must take the simulated
+        (message-level) path, or ``None`` when the closed-form fast path is
+        safe.
+
+        The probe is *static with respect to the plan*: armed crashes,
+        message-fault probabilities and degraded links never change during
+        a run, so every participant — whenever it reaches the collective —
+        computes the same verdict and no rank can strand its peers by
+        branching differently.  Compute faults only scale ``compute()``
+        durations, which collectives never call, so they stay eligible.
+        The one dynamic input, already-``failed`` participants, can only
+        have grown before the *first* arrival evaluates it (the verdict is
+        cached on the gate for the rest).
+        """
+        if not self.active:
+            return None
+        m = self.plan.messages
+        if m.drop_prob > 0.0 or m.delay_prob > 0.0 or m.dup_prob > 0.0:
+            return "message-faults"
+        members = set(world_ranks)
+        if members & self._crash_times.keys():
+            return "crash-armed"
+        if members & self.failed:
+            return "failed-participant"
+        if self._links and any(
+            s in members and d in members for s, d in self._links
+        ):
+            return "link-fault"
+        return None
+
     # -- compute noise -----------------------------------------------------
 
     def compute_factor(self, rank: int, ordinal: int) -> float:

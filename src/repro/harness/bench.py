@@ -2,12 +2,18 @@
 
 The paper's claim is a finalize cost that stays flat as P grows; this
 module measures whether the *simulator itself* keeps up — it drives two
-microkernels through ``run_spmd`` at P ∈ {256, 1024, 4096} and records, per
-point, the wall time, peak RSS, scheduler steps and the point-to-point
-match throughput.  ``repro bench`` emits the result as ``BENCH_scaling.json``
+microkernels through ``run_spmd`` at P ∈ {256, 1024, 4096, 16384} and
+records, per point, the wall time, peak RSS, scheduler steps, the
+point-to-point match throughput and how many collective instances took the
+macro fast path.  ``repro bench`` emits the result as ``BENCH_scaling.json``
 and CI gates every change against the committed baseline with a ±20%
 wall-time tolerance (see :func:`compare`), so a quadratic regression in the
 mailbox or scheduler shows up as a red build rather than a slow paper run.
+
+Collectives run in ``"fast"`` mode by default (closed-form macro
+collectives, bit-identical virtual times); pass ``collectives="simulated"``
+(CLI: ``repro bench --collectives simulated``) to benchmark the
+message-level reference path instead.
 
 Kernels:
 
@@ -29,10 +35,11 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..simmpi import ANY_SOURCE, ANY_TAG, run_spmd
 
-SCHEMA_ID = "repro/bench-scaling/v1"
+SCHEMA_ID = "repro/bench-scaling/v2"
 
-#: Default process counts — the ISSUE's scaling ladder.
-DEFAULT_PS = (256, 1024, 4096)
+#: Default process counts — the scaling ladder.  The 16384 tier is only
+#: tractable because eligible collectives take the macro fast path.
+DEFAULT_PS = (256, 1024, 4096, 16384)
 
 #: Wall times below this (seconds) are noise-dominated; the regression gate
 #: measures against at least this much baseline budget.
@@ -82,11 +89,13 @@ def _peak_rss_kb() -> int:
     return int(peak)
 
 
-def bench_point(kernel: str, nprocs: int) -> dict[str, Any]:
+def bench_point(
+    kernel: str, nprocs: int, collectives: str = "fast"
+) -> dict[str, Any]:
     """Run one (kernel, P) cell and return its measurement record."""
     fn = KERNELS[kernel]
     t0 = time.perf_counter()
-    result = run_spmd(fn, nprocs)
+    result = run_spmd(fn, nprocs, collectives=collectives)
     wall = time.perf_counter() - t0
     return {
         "kernel": kernel,
@@ -98,6 +107,7 @@ def bench_point(kernel: str, nprocs: int) -> dict[str, Any]:
         "matched_per_s": (
             round(result.messages_matched / wall) if wall > 0 else 0
         ),
+        "collectives_fast": result.collectives_fast,
         "virtual_makespan_s": result.max_time,
     }
 
@@ -106,6 +116,7 @@ def run_scaling_bench(
     ps: Sequence[int] = DEFAULT_PS,
     kernels: Sequence[str] = tuple(KERNELS),
     progress: Callable[[dict[str, Any]], None] | None = None,
+    collectives: str = "fast",
 ) -> dict[str, Any]:
     """Run the benchmark matrix and return the ``BENCH_scaling`` document.
 
@@ -121,7 +132,7 @@ def run_scaling_bench(
     results = []
     for kernel in kernels:
         for p in ps:
-            record = bench_point(kernel, p)
+            record = bench_point(kernel, p, collectives=collectives)
             results.append(record)
             if progress is not None:
                 progress(record)
@@ -129,6 +140,7 @@ def run_scaling_bench(
         "schema": SCHEMA_ID,
         "ps": list(ps),
         "kernels": list(kernels),
+        "collectives": collectives,
         "results": results,
     }
 
@@ -187,13 +199,14 @@ def compare(
 
 def format_bench(doc: dict[str, Any]) -> str:
     lines = [
-        f"{'kernel':<18s} {'P':>5s} {'wall[s]':>8s} {'RSS[MB]':>8s} "
-        f"{'steps':>9s} {'matched':>9s} {'match/s':>10s}"
+        f"{'kernel':<18s} {'P':>6s} {'wall[s]':>8s} {'RSS[MB]':>8s} "
+        f"{'steps':>9s} {'matched':>9s} {'match/s':>10s} {'coll.fast':>9s}"
     ]
     for r in doc["results"]:
         lines.append(
-            f"{r['kernel']:<18s} {r['nprocs']:>5d} {r['wall_s']:>8.3f} "
+            f"{r['kernel']:<18s} {r['nprocs']:>6d} {r['wall_s']:>8.3f} "
             f"{r['peak_rss_kb'] / 1024:>8.1f} {r['engine_steps']:>9d} "
-            f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d}"
+            f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d} "
+            f"{r.get('collectives_fast', 0):>9d}"
         )
     return "\n".join(lines)

@@ -225,8 +225,14 @@ def run_mode(
     network: NetworkModel = QDR_CLUSTER,
     instrument: Instrument | None = None,
     faults: FaultPlan | None = None,
+    collectives: str = "fast",
 ) -> RunResult:
     """Execute one (workload, P, mode) combination.
+
+    ``collectives`` selects the simulator's collective execution mode
+    (``"fast"`` macro path by default, ``"simulated"`` for the message-level
+    reference); both produce bit-identical results and virtual times, so
+    the choice is deliberately excluded from :meth:`RunResult.digest`.
 
     Pass a :class:`~repro.obs.instrument.Recorder` as ``instrument`` to
     capture the run's event timeline; its snapshot is attached to
@@ -270,7 +276,7 @@ def run_mode(
         return out
 
     res = run_spmd(main, nprocs, network=network, instrument=ins,
-                   faults=faults)
+                   faults=faults, collectives=collectives)
     # Crashed ranks park with result None: tolerate holes everywhere and
     # take the trace from the first rank that holds one (rank 0 normally;
     # the lowest survivor when the tracer degraded after rank 0 died).

@@ -413,8 +413,16 @@ def replay_trace(
     # Deadlock repair: clustered traces can carry endpoint substitutions
     # that mis-target a few messages (the paper's <100% accuracy); if the
     # resulting schedule wedges, remove the blocked operations and retry.
-    # Each round removes >= 1 op, so this terminates.
-    from ..simmpi.errors import DeadlockError
+    # Lossy clustering can likewise leave ranks disagreeing on a
+    # collective's identity (e.g. different recorded roots); the gate
+    # surfaces that as CollectiveMismatchError, repaired the same way but
+    # touching only the disagreeing collective instances.  Each round
+    # removes >= 1 op, so this terminates.
+    from ..simmpi.errors import (
+        CollectiveMismatchError,
+        DeadlockError,
+        TaskFailedError,
+    )
 
     result = None
     for _round in range(stats.ops_scheduled + 1):
@@ -428,6 +436,16 @@ def replay_trace(
                 raise
             stats.deadlock_repairs += removed
             stats.p2p_dropped += removed
+        except TaskFailedError as exc:
+            if not isinstance(exc.original, CollectiveMismatchError):
+                raise
+            removed = _repair_deadlock(schedules, progress,
+                                       colls_only=True)
+            if removed == 0:
+                raise
+            # Collective instances are not p2p ops: count them as repairs
+            # only, so the p2p_dropped accounting keeps its meaning.
+            stats.deadlock_repairs += removed
     assert result is not None
     for issued, sends, recvs, colls in result.results:
         stats.ops_issued += issued
@@ -444,7 +462,8 @@ def replay_trace(
 
 
 def _repair_deadlock(
-    schedules: list[list[ReplayOp]], progress: list[int]
+    schedules: list[list[ReplayOp]], progress: list[int],
+    colls_only: bool = False,
 ) -> int:
     """Remove the operations the deadlocked ranks were blocked on.
 
@@ -452,6 +471,11 @@ def _repair_deadlock(
     dropped from *every* rank that has not executed it yet (identified by
     its key and per-rank instance index), keeping the collective sequence
     aligned.  Returns the number of removed operations.
+
+    With ``colls_only`` (the collective-mismatch abort, where ranks not
+    parked in the disputed gate were interrupted mid-flight, not blocked)
+    only collective instances are removed — a receive at a rank's progress
+    cursor may have been about to complete normally.
     """
     removed = 0
     colls_to_drop: list[tuple[tuple, int]] = []  # (key, instance index)
@@ -461,6 +485,8 @@ def _repair_deadlock(
             continue
         op = sched[i]
         if op.kind == "recv":
+            if colls_only:
+                continue
             del sched[i]
             removed += 1
         elif op.kind == "coll" and op.key is not None:

@@ -1,4 +1,4 @@
-"""Collective operations built from point-to-point messages.
+"""Collective operations: closed-form macro fast path + message-level path.
 
 Each collective is implemented with the classic algorithm an MPI library
 would use, so its virtual-time cost has the right shape automatically:
@@ -11,6 +11,7 @@ would use, so its virtual-time cost has the right shape automatically:
 * ``scatter``      — binomial tree with shrinking segments
 * ``allgather``    — ring, ``P - 1`` steps
 * ``alltoall``     — pairwise exchange, ``P - 1`` steps
+* ``scan``         — linear chain
 * ``split``/``dup``— communicator construction via gather + bcast
 
 Every collective instance claims a private tag window derived from the
@@ -18,18 +19,55 @@ caller's per-communicator collective sequence number; SPMD programs call
 collectives in the same order on every rank, which keeps the windows
 aligned (the same assumption a real MPI library makes about matching
 collective calls).
+
+**Two execution paths.**  The *simulated* path (``_*_sim`` methods) spawns
+one real message per schedule edge through the Mailbox — every send/recv is
+an engine-visible operation.  The *macro fast path* evaluates the very same
+schedule (:mod:`repro.simmpi.schedules`) in closed form: the first rank to
+reach a collective opens a :class:`_CollGate`, later ranks join it, and the
+last arrival replays all ranks' algorithm bodies through an in-step
+*mini-engine* (:class:`_MiniEngine`) that performs the LogGP arithmetic of
+:mod:`repro.simmpi.comm` with the identical floating-point operation order —
+then bulk-advances every participant's clock in one scheduler step.  Both
+paths produce bit-identical virtual clocks, busy times and results; the
+fast path just never touches the Mailbox and never parks a task per round.
+
+A collective is *eligible* for the fast path only when nothing outside the
+gate could observe the difference: no armed fault intersects the
+participants, no pending receive could match the collective's private tag
+window, matching is ``"indexed"`` and instrumentation (if any) asks for
+``"span"`` granularity.  Anything else falls back to the simulated path —
+per rank *and* per instance, with the verdict cached on the gate so all
+participants always agree.  See docs/PERF.md ("Macro-collectives").
 """
 
 from __future__ import annotations
 
 import functools
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from ..faults.injector import LOST
 from .comm import Comm, CommContext, MAX_USER_TAG
+from .datatypes import payload_nbytes
 from .errors import CollectiveMismatchError
+from .futures import SimFuture
+from .schedules import binomial_children, binomial_parent, binomial_subtree
 
 # -- reduction operators -----------------------------------------------------
+
+#: lazily imported numpy module (MAX/MIN only need it for array payloads;
+#: importing per fold step made every reduce pay the sys.modules lookup)
+_np = None
+
+
+def _numpy():
+    global _np
+    if _np is None:
+        import numpy
+
+        _np = numpy
+    return _np
 
 
 def SUM(a: Any, b: Any) -> Any:
@@ -41,18 +79,14 @@ def PROD(a: Any, b: Any) -> Any:
 
 
 def MAX(a: Any, b: Any) -> Any:
-    import numpy as np
-
     if hasattr(a, "shape") or hasattr(b, "shape"):
-        return np.maximum(a, b)
+        return _numpy().maximum(a, b)
     return a if a >= b else b
 
 
 def MIN(a: Any, b: Any) -> Any:
-    import numpy as np
-
     if hasattr(a, "shape") or hasattr(b, "shape"):
-        return np.minimum(a, b)
+        return _numpy().minimum(a, b)
     return a if a <= b else b
 
 
@@ -70,6 +104,19 @@ def BOR(a: Any, b: Any) -> Any:
 
 #: Tags per collective instance: room for log2(P) rounds plus ring steps.
 _TAG_STRIDE = 4096
+
+#: display algorithm per gated (leaf) collective, matching the labels the
+#: simulated path's ``_observed`` wrappers emit
+_ALGORITHMS = {
+    "barrier": "dissemination",
+    "bcast": "binomial-tree",
+    "reduce": "binomial-tree",
+    "gather": "binomial-tree",
+    "scatter": "binomial-tree",
+    "allgather": "ring",
+    "alltoall": "pairwise-exchange",
+    "scan": "linear-chain",
+}
 
 
 def _observed(name: str, algorithm: str):
@@ -102,8 +149,628 @@ def _observed(name: str, algorithm: str):
     return deco
 
 
+# -- macro fast path: schedule generators ------------------------------------
+#
+# One plain-Python generator per collective algorithm, mirroring the async
+# ``_*_sim`` body op for op.  They yield mini-engine operations:
+#
+#   ("isend", dest, tagoff, payload, size)  -> handle (non-blocking)
+#   ("send",  dest, tagoff, payload, size)  -> None   (isend + wait fused)
+#   ("recv",  src, tagoff)                  -> payload
+#   ("wait",  handle)                       -> None
+#
+# and return the rank's collective result.  The LOST branches of the
+# simulated bodies are omitted: eligibility guarantees no fault can reach
+# the mini-engine, so no hole can ever flow through it.
+
+
+def _g_barrier(rank: int, size: int):
+    round_no = 0
+    dist = 1
+    while dist < size:
+        to = (rank + dist) % size
+        frm = (rank - dist) % size
+        sreq = yield ("isend", to, round_no, None, 0)
+        yield ("recv", frm, round_no)
+        if sreq is not _EAGER_DONE:  # waiting on eager sends is a no-op
+            yield ("wait", sreq)
+        dist <<= 1
+        round_no += 1
+    return None
+
+
+def _g_bcast(rank: int, size: int, root: int, value: Any, nbytes: int | None):
+    if size == 1:
+        return value
+    parent = binomial_parent(rank, size, root)
+    if parent is not None:
+        value = yield ("recv", parent, 0)
+    for child in binomial_children(rank, size, root):
+        yield ("send", child, 0, value, nbytes)
+    return value
+
+
+def _g_reduce(rank, size, root, value, op, nbytes):
+    if size == 1:
+        return value
+    acc = value
+    for child in reversed(binomial_children(rank, size, root)):
+        child_val = yield ("recv", child, 0)
+        acc = op(child_val, acc)
+    parent = binomial_parent(rank, size, root)
+    if parent is not None:
+        yield ("send", parent, 0, acc, nbytes)
+        return None
+    return acc
+
+
+def _g_gather(rank, size, root, value, nbytes):
+    if size == 1:
+        return [value]
+    segment: dict[int, Any] = {rank: value}
+    for child in reversed(binomial_children(rank, size, root)):
+        child_seg = yield ("recv", child, 0)
+        segment.update(child_seg)
+    parent = binomial_parent(rank, size, root)
+    if parent is not None:
+        seg_size = None if nbytes is None else nbytes * len(segment)
+        yield ("send", parent, 0, segment, seg_size)
+        return None
+    return [segment[r] for r in range(size)]
+
+
+def _g_scatter(rank, size, root, values, nbytes):
+    if size == 1:
+        return values[0]
+    parent = binomial_parent(rank, size, root)
+    if parent is None:
+        segment = {r: values[r] for r in range(size)}
+    else:
+        segment = yield ("recv", parent, 0)
+    for child in binomial_children(rank, size, root):
+        members = binomial_subtree(child, size, root)
+        child_seg = {r: segment[r] for r in members if r in segment}
+        seg_size = None if nbytes is None else nbytes * max(len(child_seg), 1)
+        yield ("send", child, 0, child_seg, seg_size)
+    return segment[rank]
+
+
+def _g_allgather(rank, size, value, nbytes):
+    out: list[Any] = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_rank, carry = rank, value
+    for step in range(size - 1):
+        sreq = yield ("isend", right, step, (carry_rank, carry), nbytes)
+        got = yield ("recv", left, step)
+        if sreq is not _EAGER_DONE:
+            yield ("wait", sreq)
+        carry_rank, carry = got
+        out[carry_rank] = carry
+    return out
+
+
+def _g_alltoall(rank, size, values, nbytes):
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        to = (rank + step) % size
+        frm = (rank - step) % size
+        sreq = yield ("isend", to, step, values[to], nbytes)
+        out[frm] = yield ("recv", frm, step)
+        if sreq is not _EAGER_DONE:
+            yield ("wait", sreq)
+    return out
+
+
+def _g_scan(rank, size, value, op, nbytes):
+    acc = value
+    if rank > 0:
+        prev = yield ("recv", rank - 1, 0)
+        acc = op(prev, value)
+    if rank < size - 1:
+        yield ("send", rank + 1, 0, acc, nbytes)
+    return acc
+
+
+# -- macro fast path: mini-engine --------------------------------------------
+
+
+class _MiniFut:
+    """Completion handle inside the mini-engine (mirrors SimFuture)."""
+
+    __slots__ = ("done", "value", "time", "busy_charge", "waiter")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value: Any = None
+        self.time = 0.0
+        self.busy_charge = 0.0
+        self.waiter: "_RankState | None" = None
+
+
+#: Shared pre-resolved handle for eager sends: their completion time equals
+#: the sender's clock at post, so waiting on them never advances anything —
+#: one immutable singleton replaces a _MiniFut allocation per eager message.
+_EAGER_DONE = _MiniFut()
+_EAGER_DONE.done = True
+_EAGER_DONE.time = -1.0
+
+# Mini messages are plain tuples (payload, nbytes, time, sender_fut):
+# ``sender_fut`` is None for eager messages (``time`` is the arrival) and
+# the sender's handle for rendezvous (``time`` is send_ready).
+
+
+class _RankState:
+    """One participant's replica of its Task state during the replay."""
+
+    __slots__ = (
+        "rank", "gen", "clock", "busy", "msgs_sent", "bytes_sent",
+        "msgs_received", "bytes_received", "done", "result",
+    )
+
+    def __init__(self, entry: "_GateEntry") -> None:
+        self.rank = entry.rank
+        self.gen = entry.gen
+        # Absolute values snapshotted at join time, so the float
+        # accumulation chains continue exactly where the task left off.
+        self.clock = entry.clock0
+        self.busy = entry.busy0
+        self.msgs_sent = entry.sent0
+        self.bytes_sent = entry.bytes_sent0
+        self.msgs_received = entry.recvd0
+        self.bytes_received = entry.bytes_recvd0
+        self.done = False
+        self.result: Any = None
+
+
+class _MiniEngine:
+    """Replays one collective instance with the engine's exact semantics.
+
+    The schedule generators are driven from a FIFO seeded in *gate-arrival
+    order* — the order the ranks dispatched their first collective
+    instruction, which is the order the real scheduler would have started
+    the message-level bodies in.  Wakes append to the same FIFO, inline
+    continuations replay the engine's resolved-future short-circuit, and
+    every clock/busy/counters mutation copies the arithmetic (and operation
+    order — float addition is not associative) of ``Comm.isend`` /
+    ``Comm._fire_match``.  Under the eligibility rules every fault
+    adjustment in those code paths is the identity, so skipping them here
+    is bit-exact.
+    """
+
+    __slots__ = (
+        "net", "states", "_order", "_queued", "_pending", "_ready",
+        "total_messages", "total_bytes", "failed_state", "failure",
+        "_o_send", "_o_recv", "_latency", "_eager_max", "_min_bytes",
+        "_bandwidth",
+    )
+
+    def __init__(self, net, entries: list["_GateEntry"]) -> None:
+        self.net = net
+        # Hoisted NetworkModel constants: the replay arithmetic below uses
+        # them in exactly the expressions comm.py/timing.py evaluate, just
+        # without the attribute traffic.
+        self._o_send = net.o_send
+        self._o_recv = net.o_recv
+        self._latency = net.latency
+        self._eager_max = net.eager_threshold
+        self._min_bytes = net.min_message_bytes
+        self._bandwidth = net.bandwidth
+        self.states: dict[int, _RankState] = {}
+        self._order: list[_RankState] = []
+        for e in entries:
+            st = _RankState(e)
+            self.states[e.rank] = st
+            self._order.append(st)
+        # (src, dest, tagoff) -> message / pending recv.  Collective recvs
+        # are always exact (no wildcards) and every schedule uses each
+        # (edge, tagoff) pair at most once per instance, so a key holds at
+        # most one message and plain dict slots replace mailbox lanes.
+        self._queued: dict[tuple[int, int, int], tuple] = {}
+        self._pending: dict[tuple[int, int, int], tuple] = {}
+        self._ready: deque = deque()
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.failed_state: _RankState | None = None
+        self.failure: BaseException | None = None
+
+    def run(self) -> None:
+        ready = self._ready
+        for st in self._order:
+            ready.append((st, None, None))
+        while ready:
+            st, fut, value = ready.popleft()
+            if fut is not None:
+                # Request.wait's resume: advance to the completion time,
+                # then absorb any deferred busy charge, in that order.
+                if fut.time > st.clock:
+                    st.clock = fut.time
+                if fut.busy_charge:
+                    st.busy += fut.busy_charge
+                    fut.busy_charge = 0.0
+            self._step(st, value)
+            if self.failure is not None:
+                return
+
+    def _step(self, st: _RankState, value: Any) -> None:
+        gen = st.gen
+        send = gen.send
+        queued = self._queued
+        while True:
+            try:
+                op = send(value)
+            except StopIteration as stop:
+                st.result = stop.value
+                st.done = True
+                return
+            except BaseException as exc:  # noqa: BLE001 - re-raised on owner
+                self.failed_state = st
+                self.failure = exc
+                return
+            code = op[0]
+            if code == "recv":
+                key = (op[1], st.rank, op[2])
+                msg = queued.pop(key, None)
+                if msg is None:
+                    fut = _MiniFut()
+                    fut.waiter = st
+                    self._pending[key] = (st.clock, fut, st)
+                    return
+                # message already queued: fire and continue inline, like
+                # irecv's immediate match + Request.wait short-circuit
+                value = self._fire_recv(st, st.clock, msg)
+                continue
+            if code == "isend" or code == "send":
+                fut = self._isend(st, op[1], op[2], op[3], op[4])
+                if code == "isend":
+                    value = fut
+                    continue
+            else:  # "wait"
+                fut = op[1]
+            if fut.done:
+                # resolved-future short-circuit: continue inline, advancing
+                # to the completion time exactly like Request.wait()
+                if fut.time > st.clock:
+                    st.clock = fut.time
+                if fut.busy_charge:
+                    st.busy += fut.busy_charge
+                    fut.busy_charge = 0.0
+                value = fut.value
+            else:
+                fut.waiter = st
+                return
+
+    # -- comm.py arithmetic replicas -----------------------------------
+
+    def _isend(self, st: _RankState, dest: int, tagoff: int,
+               payload: Any, size: int | None) -> _MiniFut:
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        st.msgs_sent += 1
+        st.bytes_sent += nbytes
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        if nbytes <= self._eager_max:  # NetworkModel.eager
+            # charge(eager_send_cost) == o_send + transfer_time, one sum
+            mb = self._min_bytes
+            dt = self._o_send + (nbytes if nbytes > mb else mb) / self._bandwidth
+            st.clock += dt
+            st.busy += dt
+            self._deliver(st.rank, dest, tagoff,
+                          (payload, nbytes, st.clock + self._latency, None))
+            return _EAGER_DONE
+        fut = _MiniFut()
+        o_send = self._o_send
+        st.clock += o_send  # posting cost is paid now
+        st.busy += o_send
+        self._deliver(st.rank, dest, tagoff, (payload, nbytes, st.clock, fut))
+        return fut
+
+    def _deliver(self, src: int, dest: int, tagoff: int, msg: tuple) -> None:
+        key = (src, dest, tagoff)
+        p = self._pending.pop(key, None)
+        if p is not None:
+            post_time, fut, rst = p
+            self._fire(post_time, fut, rst, msg)
+        else:
+            self._queued[key] = msg
+
+    def _fire_recv(self, st: _RankState, post_time: float,
+                   msg: tuple) -> Any:
+        """Fire a match whose receiver is the currently-running state:
+        the _fire arithmetic fused with the receiver's inline resume
+        (advance to ``done_recv``), skipping the future allocation."""
+        payload, nbytes, msg_time, sfut = msg
+        if sfut is not None:  # rendezvous: msg_time is send_ready
+            mb = self._min_bytes
+            transfer = (nbytes if nbytes > mb else mb) / self._bandwidth
+            start = post_time + self._o_recv
+            if msg_time > start:
+                start = msg_time  # max(send_ready, post_time + o_recv)
+            done_recv = start + self._latency + transfer
+            sfut.done = True
+            sfut.time = start + transfer
+            sfut.busy_charge = transfer
+            if sfut.waiter is not None:
+                self._ready.append((sfut.waiter, sfut, None))
+                sfut.waiter = None
+        else:  # eager: msg_time is the arrival
+            done_recv = post_time + self._o_recv
+            if msg_time > done_recv:
+                done_recv = msg_time  # max(post + o_recv, arrival)
+        st.msgs_received += 1
+        st.bytes_received += nbytes
+        st.busy += self._o_recv
+        if done_recv > st.clock:
+            st.clock = done_recv
+        return payload
+
+    def _fire(self, post_time: float, fut: _MiniFut, rst: _RankState,
+              msg: tuple) -> None:
+        # Mirrors Comm._fire_match: sender resolution strictly before the
+        # receiver's counters and resolution, so wake order (and therefore
+        # every downstream float-accumulation order) matches the engine.
+        payload, nbytes, msg_time, sfut = msg
+        if sfut is not None:  # rendezvous: msg_time is send_ready
+            mb = self._min_bytes
+            transfer = (nbytes if nbytes > mb else mb) / self._bandwidth
+            start = post_time + self._o_recv
+            if msg_time > start:
+                start = msg_time  # max(send_ready, post_time + o_recv)
+            done_send = start + transfer
+            done_recv = start + self._latency + transfer
+            sfut.done = True
+            sfut.time = done_send
+            sfut.busy_charge = transfer
+            if sfut.waiter is not None:
+                self._ready.append((sfut.waiter, sfut, None))
+                sfut.waiter = None
+        else:  # eager: msg_time is the arrival
+            done_recv = post_time + self._o_recv
+            if msg_time > done_recv:
+                done_recv = msg_time  # max(post + o_recv, arrival)
+        rst.msgs_received += 1
+        rst.bytes_received += nbytes
+        rst.busy += self._o_recv
+        fut.done = True
+        fut.value = payload
+        fut.time = done_recv
+        if fut.waiter is not None:
+            self._ready.append((fut.waiter, fut, payload))
+            fut.waiter = None
+
+
+class _BarrierReplay:
+    """Generator-free replay of the dissemination barrier.
+
+    The barrier is the highest-message-count collective (every rank sends
+    every round) and carries no payloads, so its replay needs no futures,
+    no tuples and no generators: just the FIFO discipline of
+    :class:`_MiniEngine` over arrays.  Every float operation matches the
+    generic replay (and therefore the simulated path) exactly — the
+    per-message eager charge is a constant, precomputed with the same
+    expression ``eager_send_cost(0)`` evaluates.
+    """
+
+    __slots__ = ("net", "states", "_entries", "total_messages",
+                 "total_bytes", "failed_state", "failure")
+
+    def __init__(self, net, entries: list["_GateEntry"]) -> None:
+        self.net = net
+        self._entries = entries
+        self.states: dict[int, _RankState] = {
+            e.rank: _RankState(e) for e in entries
+        }
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.failed_state = None
+        self.failure = None
+
+    def run(self) -> None:
+        size = len(self._entries)
+        states = self.states
+        net = self.net
+        o_recv = net.o_recv
+        latency = net.latency
+        # constant per-message charge: eager_send_cost(0) bit-for-bit
+        dt = net.o_send + net.transfer_time(0)
+        nrounds = 0
+        d = 1
+        while d < size:
+            nrounds += 1
+            d <<= 1
+        self.total_messages = size * nrounds
+        # queued[dest][round] -> arrival time; parked[rank] -> post_time of
+        # the round it blocks on (round tracked in rnd[rank])
+        queued: dict[tuple[int, int], float] = {}
+        rnd = {}
+        parked_post: dict[int, float] = {}
+        ready: deque = deque()
+        for e in self._entries:
+            ready.append((states[e.rank], e.rank, 0, None))
+        while ready:
+            st, rank, round_no, resume_t = ready.popleft()
+            clock = st.clock
+            if resume_t is not None and resume_t > clock:
+                clock = resume_t
+            busy = st.busy
+            dist = 1 << round_no
+            while dist < size:
+                to = (rank + dist) % size
+                # isend(to, tag=round, size=0): charge, then deliver
+                clock += dt
+                busy += dt
+                st.msgs_sent += 1
+                arrival = clock + latency
+                tst = states[to]
+                if rnd.get(to) == round_no:
+                    # destination already parked on this round: fire
+                    del rnd[to]
+                    done_recv = parked_post.pop(to) + o_recv
+                    if arrival > done_recv:
+                        done_recv = arrival
+                    tst.msgs_received += 1
+                    tst.busy += o_recv
+                    ready.append((tst, to, round_no + 1, done_recv))
+                else:
+                    queued[(to, round_no)] = arrival
+                # recv((rank - dist) % size, tag=round)
+                got = queued.pop((rank, round_no), None)
+                if got is None:
+                    st.clock = clock
+                    st.busy = busy
+                    rnd[rank] = round_no
+                    parked_post[rank] = clock
+                    break
+                done_recv = clock + o_recv
+                if got > done_recv:
+                    done_recv = got
+                st.msgs_received += 1
+                busy += o_recv
+                if done_recv > clock:
+                    clock = done_recv
+                dist <<= 1
+                round_no += 1
+            else:
+                st.clock = clock
+                st.busy = busy
+                st.done = True
+
+
+class _Raised:
+    """Wrapper carrying a mini-engine exception back to its owning rank."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class _GateEntry:
+    """One rank's registration at a gate: its generator plus a snapshot of
+    the task state at join time (fault-timeout releases can move the task
+    on before the gate completes, so live reads would be stale)."""
+
+    __slots__ = (
+        "rank", "task", "fut", "gen", "clock0", "busy0", "sent0",
+        "bytes_sent0", "recvd0", "bytes_recvd0",
+    )
+
+    def __init__(self, rank, task, fut, gen):
+        self.rank = rank
+        self.task = task
+        self.fut = fut
+        self.gen = gen
+        self.clock0 = task.clock
+        self.busy0 = task.busy
+        self.sent0 = task.msgs_sent
+        self.bytes_sent0 = task.bytes_sent
+        self.recvd0 = task.msgs_received
+        self.bytes_recvd0 = task.bytes_received
+
+
+class _CollGate:
+    """Rendezvous point for one collective instance on one communicator.
+
+    The first arriving rank computes the fast-vs-simulated verdict
+    (``reason`` is ``None`` for fast, else the fallback tag); the verdict
+    is cached so every participant takes the same path.  Fast joiners
+    register a :class:`_GateEntry` and park on a ``coll`` future; the last
+    arrival replays the whole instance through the mini-engine and resolves
+    everyone in one bulk advance.
+    """
+
+    __slots__ = ("kind", "root", "reason", "expected", "consulted", "entries")
+
+    def __init__(self, kind: str, root: int | None, reason: str | None,
+                 expected: int) -> None:
+        self.kind = kind
+        self.root = root
+        self.reason = reason
+        self.expected = expected
+        self.consulted = 0
+        self.entries: list[_GateEntry] = []
+
+    def complete(self, comm: "Communicator") -> None:
+        ctx = comm.context
+        engine = comm.engine
+        if self.kind == "barrier":
+            # Highest message count, no payloads, no user callables: the
+            # dedicated array replay is ~4x cheaper than driving the
+            # schedule generators (bit-identical output either way).
+            sim: _MiniEngine | _BarrierReplay = _BarrierReplay(
+                engine.network, self.entries)
+        else:
+            sim = _MiniEngine(engine.network, self.entries)
+        sim.run()
+        engine.total_messages += sim.total_messages
+        engine.total_bytes += sim.total_bytes
+        if sim.failure is not None:
+            # A reduction op (or similar user callable) raised inside the
+            # replay: surface it on the rank that would have raised in the
+            # simulated path.  Peers stay parked — without faults the run
+            # aborts on that rank's TaskFailedError exactly like the
+            # simulated path; with faults the op-timeout backstop releases
+            # them, as it releases any rank orphaned mid-collective.
+            st = sim.failed_state
+            entry = next(e for e in self.entries if e.rank == st.rank)
+            task = entry.task
+            task.clock = st.clock
+            task.busy = st.busy
+            task.msgs_sent = st.msgs_sent
+            task.bytes_sent = st.bytes_sent
+            task.msgs_received = st.msgs_received
+            task.bytes_received = st.bytes_received
+            engine.wave_resolve(
+                [(entry.fut, _Raised(sim.failure), st.clock)]
+            )
+            return
+        ins = engine.instrument
+        emit = ins.enabled
+        alg = _ALGORITHMS[self.kind]
+        resolutions = []
+        for entry in sorted(self.entries, key=lambda e: e.rank):
+            if entry.fut.done:
+                # Released by a fault timeout while parked: the task
+                # already moved on with LOST at the release time; its
+                # replayed state must not overwrite the real one.
+                continue
+            st = sim.states[entry.rank]
+            task = entry.task
+            task.clock = st.clock
+            task.busy = st.busy
+            task.msgs_sent = st.msgs_sent
+            task.bytes_sent = st.bytes_sent
+            task.msgs_received = st.msgs_received
+            task.bytes_received = st.bytes_received
+            if emit:
+                world = ctx.ranks[entry.rank]
+                ins.span(
+                    world, self.kind, "coll", entry.clock0, st.clock,
+                    {"algorithm": alg, "comm": ctx.id, "size": ctx.size},
+                )
+                ins.metrics.count("coll/calls", 1, rank=world,
+                                  op=self.kind, t=st.clock)
+                ins.metrics.count("coll/time", st.clock - entry.clock0,
+                                  rank=world, op=self.kind, t=st.clock)
+                ins.metrics.count("coll/fast_hits", 1, rank=world,
+                                  op=self.kind, t=st.clock)
+            resolutions.append((entry.fut, st.result, st.clock))
+        engine.wave_resolve(resolutions)
+
+
 class Communicator(Comm):
-    """A :class:`Comm` with collective operations attached."""
+    """A :class:`Comm` with collective operations attached.
+
+    Public collective methods are thin dispatchers: they consult the
+    instance's :class:`_CollGate` and either join the macro fast path or
+    run the message-level ``_*_sim`` body.  ``allreduce``, ``split`` and
+    ``dup`` are compositions of the leaf collectives and need no dispatch
+    of their own.
+    """
 
     # -- internal helpers ----------------------------------------------------
 
@@ -118,11 +785,99 @@ class Communicator(Comm):
         self.task.collectives += 1
         return MAX_USER_TAG + 1024 + seq * _TAG_STRIDE
 
+    def _fallback_reason(self, seq: int) -> str | None:
+        """Why collective instance ``seq`` must take the simulated path
+        (``None`` = the fast path is safe).  Evaluated once per instance by
+        the first arriving rank; every input is either static for the whole
+        run or can only strand the verdict on the safe (fallback) side."""
+        engine = self.engine
+        if engine.collectives != "fast":
+            return "disabled"
+        if engine.matching != "indexed":
+            return "linear-matching"
+        ins = engine.instrument
+        if ins.enabled and ins.granularity != "span":
+            return "message-tracing"
+        ctx = self.context
+        reason = engine.faults.collective_fallback_reason(ctx.ranks)
+        if reason is not None:
+            return reason
+        base = MAX_USER_TAG + 1024 + seq * _TAG_STRIDE
+        hi = base + _TAG_STRIDE
+        for mbox in ctx._mailboxes.values():
+            if mbox.has_tag_window(base, hi):
+                return "tag-window"
+        return None
+
+    def _consult_gate(self, kind: str, root: int | None) -> _CollGate | None:
+        """Join the decision gate for this rank's next collective instance.
+
+        Returns the gate when the instance runs on the fast path, or
+        ``None`` when this rank must run the message-level body.  The
+        verdict is computed once (first arrival) and cached, so all ranks
+        of one instance always take the same path.
+        """
+        ctx = self.context
+        seq = ctx.coll_seq[self.rank]
+        gate = ctx._gates.get(seq)
+        if gate is None:
+            gate = _CollGate(kind, root, self._fallback_reason(seq), ctx.size)
+            ctx._gates[seq] = gate
+        elif gate.kind != kind or gate.root != root:
+            raise CollectiveMismatchError(
+                f"rank {self.rank} called {kind}(root={root}) as collective "
+                f"#{seq} but other ranks are in "
+                f"{gate.kind}(root={gate.root})"
+            )
+        gate.consulted += 1
+        if gate.consulted == ctx.size:
+            del ctx._gates[seq]
+        if gate.reason is None:
+            return gate
+        engine = self.engine
+        engine.collectives_simulated += 1
+        ins = engine.instrument
+        if ins.enabled:
+            ins.metrics.count(
+                "coll/fallbacks", 1, rank=self.world_rank(self.rank),
+                op=f"{kind}:{gate.reason}", t=self.task.clock,
+            )
+        return None
+
+    async def _join_fast(self, gate: _CollGate, gen) -> Any:
+        """Register this rank on ``gate`` and await the bulk advance."""
+        ctx = self.context
+        task = self.task
+        seq = ctx.coll_seq[self.rank]
+        # Mirror _claim_tags' bookkeeping so fast and simulated instances
+        # interleave freely on one communicator (windows stay aligned).
+        ctx.coll_seq[self.rank] = seq + 1
+        task.collectives += 1
+        self.engine.collectives_fast += 1
+        fut = SimFuture(
+            kind="coll", tag=seq, dest=ctx.ranks[self.rank], comm=ctx.id,
+            post_time=task.clock,
+        )
+        gate.entries.append(_GateEntry(self.rank, task, fut, gen))
+        if len(gate.entries) == gate.expected:
+            gate.complete(self)
+        result = await fut
+        task.advance_to(fut.time)
+        if type(result) is _Raised:
+            raise result.exc
+        return result
+
     # -- collectives ---------------------------------------------------------
 
-    @_observed("barrier", "dissemination")
     async def barrier(self) -> None:
         """Dissemination barrier: ceil(log2 P) rounds of paired messages."""
+        gate = self._consult_gate("barrier", None)
+        if gate is None:
+            return await self._barrier_sim()
+        return await self._join_fast(gate, _g_barrier(self.rank, self.size))
+
+    @_observed("barrier", "dissemination")
+    async def _barrier_sim(self) -> None:
         size = self.size
         base = self._claim_tags()
         if size == 1:
@@ -138,15 +893,21 @@ class Communicator(Comm):
             dist <<= 1
             round_no += 1
 
-    @_observed("bcast", "binomial-tree")
     async def bcast(self, value: Any, root: int = 0, size: int | None = None) -> Any:
         """Binomial-tree broadcast; returns the value on every rank."""
         self._check_peer(root, "root")
+        gate = self._consult_gate("bcast", root)
+        if gate is None:
+            return await self._bcast_sim(value, root, size)
+        return await self._join_fast(
+            gate, _g_bcast(self.rank, self.size, root, value, size)
+        )
+
+    @_observed("bcast", "binomial-tree")
+    async def _bcast_sim(self, value: Any, root: int, size: int | None) -> Any:
         base = self._claim_tags()
         if self.size == 1:
             return value
-        from .topology import binomial_children, binomial_parent
-
         parent = binomial_parent(self.rank, self.size, root)
         if parent is not None:
             value = await self.recv(parent, tag=base)
@@ -154,7 +915,6 @@ class Communicator(Comm):
             await self.send(child, value, tag=base, size=size)
         return value
 
-    @_observed("reduce", "binomial-tree")
     async def reduce(
         self,
         value: Any,
@@ -165,11 +925,21 @@ class Communicator(Comm):
         """Binomial-tree reduction; the result is returned on ``root`` only
         (other ranks get ``None``), matching ``MPI_Reduce``."""
         self._check_peer(root, "root")
+        gate = self._consult_gate("reduce", root)
+        if gate is None:
+            return await self._reduce_sim(value, op, root, size)
+        return await self._join_fast(
+            gate, _g_reduce(self.rank, self.size, root, value, op, size)
+        )
+
+    @_observed("reduce", "binomial-tree")
+    async def _reduce_sim(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int,
+        size: int | None,
+    ) -> Any:
         base = self._claim_tags()
         if self.size == 1:
             return value
-        from .topology import binomial_children, binomial_parent
-
         # Children in the bcast tree are exactly the senders in the reduce
         # tree; fold deepest-first for determinism.  LOST contributions
         # (fault holes from a crashed subtree) are skipped: the reduction
@@ -197,17 +967,25 @@ class Communicator(Comm):
         reduced = await self.reduce(value, op=op, root=0, size=size)
         return await self.bcast(reduced, root=0, size=size)
 
-    @_observed("gather", "binomial-tree")
     async def gather(
         self, value: Any, root: int = 0, size: int | None = None
     ) -> list[Any] | None:
         """Binomial-tree gather; ``root`` returns the rank-ordered list."""
         self._check_peer(root, "root")
+        gate = self._consult_gate("gather", root)
+        if gate is None:
+            return await self._gather_sim(value, root, size)
+        return await self._join_fast(
+            gate, _g_gather(self.rank, self.size, root, value, size)
+        )
+
+    @_observed("gather", "binomial-tree")
+    async def _gather_sim(
+        self, value: Any, root: int, size: int | None
+    ) -> list[Any] | None:
         base = self._claim_tags()
         if self.size == 1:
             return [value]
-        from .topology import binomial_children, binomial_parent
-
         segment: dict[int, Any] = {self.rank: value}
         for child in reversed(binomial_children(self.rank, self.size, root)):
             child_seg: dict[int, Any] = await self.recv(child, tag=base)
@@ -228,19 +1006,34 @@ class Communicator(Comm):
             )
         return [segment[r] for r in range(self.size)]
 
-    @_observed("scatter", "binomial-tree")
     async def scatter(
         self, values: Sequence[Any] | None, root: int = 0, size: int | None = None
     ) -> Any:
         """Binomial-tree scatter; each rank returns its element of ``values``."""
         self._check_peer(root, "root")
+        gate = self._consult_gate("scatter", root)
+        if gate is None:
+            return await self._scatter_sim(values, root, size)
+        if self.rank == root and (values is None or len(values) != self.size):
+            # Raised before joining so a bad root cannot strand its peers
+            # in the gate; same error the simulated body raises.
+            raise CollectiveMismatchError(
+                "scatter needs one value per rank" if self.size == 1
+                else "scatter root must supply exactly one value per rank"
+            )
+        return await self._join_fast(
+            gate, _g_scatter(self.rank, self.size, root, values, size)
+        )
+
+    @_observed("scatter", "binomial-tree")
+    async def _scatter_sim(
+        self, values: Sequence[Any] | None, root: int, size: int | None
+    ) -> Any:
         base = self._claim_tags()
         if self.size == 1:
             if values is None or len(values) != 1:
                 raise CollectiveMismatchError("scatter needs one value per rank")
             return values[0]
-        from .topology import binomial_children, binomial_parent
-
         parent = binomial_parent(self.rank, self.size, root)
         if parent is None:
             if values is None or len(values) != self.size:
@@ -256,7 +1049,7 @@ class Communicator(Comm):
         # Each child owns the contiguous block of tree descendants; compute
         # membership by walking the binomial structure.
         for child in binomial_children(self.rank, self.size, root):
-            members = _binomial_subtree(child, self.size, root)
+            members = binomial_subtree(child, self.size, root)
             child_seg = {r: segment[r] for r in members if r in segment}
             seg_size = None if size is None else size * max(len(child_seg), 1)
             await self.send(child, child_seg, tag=base, size=seg_size)
@@ -264,9 +1057,17 @@ class Communicator(Comm):
             return LOST  # reachable only through a fault hole upstream
         return segment[self.rank]
 
-    @_observed("allgather", "ring")
     async def allgather(self, value: Any, size: int | None = None) -> list[Any]:
         """Ring allgather: P-1 steps, each forwarding the next segment."""
+        gate = self._consult_gate("allgather", None)
+        if gate is None:
+            return await self._allgather_sim(value, size)
+        return await self._join_fast(
+            gate, _g_allgather(self.rank, self.size, value, size)
+        )
+
+    @_observed("allgather", "ring")
+    async def _allgather_sim(self, value: Any, size: int | None) -> list[Any]:
         base = self._claim_tags()
         out: list[Any] = [None] * self.size
         out[self.rank] = value
@@ -289,7 +1090,6 @@ class Communicator(Comm):
                 out[carry_rank] = carry
         return out
 
-    @_observed("alltoall", "pairwise-exchange")
     async def alltoall(
         self, values: Sequence[Any], size: int | None = None
     ) -> list[Any]:
@@ -298,6 +1098,17 @@ class Communicator(Comm):
             raise CollectiveMismatchError(
                 f"alltoall needs {self.size} values, got {len(values)}"
             )
+        gate = self._consult_gate("alltoall", None)
+        if gate is None:
+            return await self._alltoall_sim(values, size)
+        return await self._join_fast(
+            gate, _g_alltoall(self.rank, self.size, values, size)
+        )
+
+    @_observed("alltoall", "pairwise-exchange")
+    async def _alltoall_sim(
+        self, values: Sequence[Any], size: int | None
+    ) -> list[Any]:
         base = self._claim_tags()
         out: list[Any] = [None] * self.size
         out[self.rank] = values[self.rank]
@@ -309,11 +1120,21 @@ class Communicator(Comm):
             await sreq.wait()
         return out
 
-    @_observed("scan", "linear-chain")
     async def scan(
         self, value: Any, op: Callable[[Any, Any], Any] = SUM, size: int | None = None
     ) -> Any:
         """Inclusive prefix scan (linear chain, like small-P MPI_Scan)."""
+        gate = self._consult_gate("scan", None)
+        if gate is None:
+            return await self._scan_sim(value, op, size)
+        return await self._join_fast(
+            gate, _g_scan(self.rank, self.size, value, op, size)
+        )
+
+    @_observed("scan", "linear-chain")
+    async def _scan_sim(
+        self, value: Any, op: Callable[[Any, Any], Any], size: int | None
+    ) -> Any:
         base = self._claim_tags()
         acc = value
         if self.rank > 0:
@@ -359,17 +1180,3 @@ class Communicator(Comm):
         new = await self.split(color=0, key=self.rank)
         assert new is not None
         return new
-
-
-def _binomial_subtree(rank: int, size: int, root: int) -> list[int]:
-    """All ranks in the binomial subtree rooted at ``rank``."""
-    from .topology import binomial_children
-
-    out = [rank]
-    stack = [rank]
-    while stack:
-        node = stack.pop()
-        for child in binomial_children(node, size, root):
-            out.append(child)
-            stack.append(child)
-    return out

@@ -306,6 +306,24 @@ class Mailbox:
     def has_pending(self) -> bool:
         return self._pending_count > 0
 
+    def has_tag_window(self, lo: int, hi: int) -> bool:
+        """Any queued message or live posted receive with an exact tag in
+        ``[lo, hi)``?  The macro-collective eligibility probe: a collective
+        may only bypass the mailbox when nothing could observe its private
+        tag window.  ``ANY_TAG`` receives never can (wildcards are blind to
+        tags above ``MAX_USER_TAG``), so only exact tags are consulted."""
+        for _src, tag in self._lanes:
+            if lo <= tag < hi:
+                return True
+        for _src, tag in self._pending_lanes:
+            if lo <= tag < hi:
+                return True
+        for p in self._pending_wild:
+            # ANY_SOURCE receives with an exact high tag land here.
+            if not p.future.done and lo <= p.tag < hi:
+                return True
+        return False
+
     def clear_pending(self) -> None:
         """Drop every posted receive (the owning rank is gone)."""
         self._pending_lanes.clear()
@@ -401,6 +419,11 @@ class LinearMailbox:
     def has_pending(self) -> bool:
         return bool(self.pending)
 
+    def has_tag_window(self, lo: int, hi: int) -> bool:
+        return any(lo <= m.tag < hi for m in self.queued) or any(
+            not p.future.done and lo <= p.tag < hi for p in self.pending
+        )
+
     def clear_pending(self) -> None:
         self.pending.clear()
 
@@ -441,6 +464,11 @@ class CommContext:
         # collectives in the same order so these align across ranks and give
         # each collective instance a private tag window.
         self.coll_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
+        # Macro-collective gates keyed by collective sequence number: the
+        # first rank to reach sequence N decides fast-vs-simulated for that
+        # instance, later arrivals join (fast) or follow the verdict
+        # (simulated).  Entries are removed once every rank has consulted.
+        self._gates: dict[int, Any] = {}
         # Registered so a rank crash can purge its pending receives from
         # every communicator it participates in.
         engine._contexts.append(self)
@@ -479,6 +507,10 @@ class Request:
     async def wait(self) -> Any:
         value = await self._future
         self._task.advance_to(self._future.time)
+        charge = self._future.busy_charge
+        if charge:
+            self._future.busy_charge = 0.0
+            self._task.busy += charge
         if isinstance(value, Message):
             return value.payload
         return value
@@ -486,6 +518,10 @@ class Request:
     async def wait_with_status(self) -> tuple[Any, dict]:
         value = await self._future
         self._task.advance_to(self._future.time)
+        charge = self._future.busy_charge
+        if charge:
+            self._future.busy_charge = 0.0
+            self._task.busy += charge
         if isinstance(value, Message):
             return value.payload, _status_of(value)
         if self._kind == "irecv":
@@ -557,9 +593,14 @@ class Comm:
         await req.wait()
 
     async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        """Blocking receive; returns the payload."""
-        payload, _status = await self.recv_with_status(source, tag)
-        return payload
+        """Blocking receive; returns the payload.
+
+        Skips the status construction of :meth:`recv_with_status` — on the
+        collective-heavy benchmarks that dict was a measurable share of the
+        per-message allocation cost.
+        """
+        req = self.irecv(source, tag)
+        return await req.wait()
 
     async def recv_with_status(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -784,10 +825,13 @@ class Comm:
             done_send = start + transfer
             done_recv = start + latency + transfer
             assert msg.sender_future is not None
-            if msg.sender_task is not None:
-                # streaming the payload is active work for the sender
-                msg.sender_task.busy += transfer
             if not msg.sender_future.done:
+                # Streaming the payload is active work for the sender, but
+                # the charge lands when the sender *waits* on the request:
+                # busy then accumulates strictly in each rank's program
+                # order, independent of global scheduling (the collective
+                # fast path relies on this to replay busy times bitwise).
+                msg.sender_future.busy_charge = transfer
                 msg.sender_future.resolve(None, time=done_send)
         else:
             done_recv = max(pending.post_time + net.o_recv, msg.arrival)

@@ -25,6 +25,9 @@ def payload_nbytes(obj: Any) -> int:
     exact, because benchmarks pass explicit sizes for anything whose cost
     matters.
     """
+    t = type(obj)
+    if t is int or t is float:  # hottest payloads: skip the isinstance chain
+        return _SCALAR_BYTES
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):

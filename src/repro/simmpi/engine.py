@@ -56,6 +56,7 @@ class Task:
         "bytes_received",
         "collectives",
         "logical_stack",
+        "gate_wake",
     )
 
     def __init__(self, rank: int, coro: Coroutine[Any, Any, Any]) -> None:
@@ -77,6 +78,10 @@ class Task:
         # Logical call frames pushed by workloads (see RankContext.frame);
         # consumed by the tracer's stack-signature walker.
         self.logical_stack: list[str] = []
+        #: set when this task was woken by a macro-collective gate; its next
+        #: dispatch is bookkept as part of the collective's bulk advance
+        #: rather than as an individual scheduler step
+        self.gate_wake = False
 
     def advance_to(self, time: float | None) -> None:
         """Move the clock forward to ``time`` (never backward).
@@ -105,21 +110,38 @@ class Engine:
         instrument: Instrument = NULL_INSTRUMENT,
         faults: FaultInjector = NULL_INJECTOR,
         matching: str = "indexed",
+        collectives: str = "fast",
     ) -> None:
         if matching not in ("indexed", "linear"):
             raise ValueError(
                 f"matching must be 'indexed' or 'linear', got {matching!r}"
+            )
+        if collectives not in ("fast", "simulated"):
+            raise ValueError(
+                "collectives must be 'fast' or 'simulated', "
+                f"got {collectives!r}"
             )
         self.network = network
         #: mailbox implementation for every CommContext built on this engine:
         #: "indexed" (per-(src, tag) lanes, the default) or "linear" (the
         #: reference FIFO-scan oracle used by equivalence tests)
         self.matching = matching
+        #: collective execution policy: "fast" (closed-form macro
+        #: collectives where eligible, per-message fallback otherwise) or
+        #: "simulated" (always per-message).  Both are bit-identical in
+        #: virtual time and results; "fast" is the default.
+        self.collectives = collectives
+        #: per-rank collective calls served by the closed-form fast path /
+        #: routed to the message-level algorithms
+        self.collectives_fast = 0
+        self.collectives_simulated = 0
         self.tasks: list[Task] = []
         self._sorted_tasks: list[Task] | None = None
         self._ready: deque[Task] = deque()
         self._current: Task | None = None
         self._steps = 0
+        self._resumes = 0
+        self._in_wave = False
         self._max_steps = max_steps
         # Global communication counters (all comms, all ranks).
         self.total_messages = 0
@@ -158,8 +180,23 @@ class Engine:
 
     @property
     def steps(self) -> int:
-        """Scheduler steps executed so far (coroutine resume count)."""
+        """Scheduler work units executed so far.
+
+        Every coroutine resume counts as one step *except* the dispatch of
+        a task woken by a macro-collective bulk advance: the whole wave was
+        computed in closed form during the waking rank's step, so the
+        O(1) re-entries it queues are accounted to that step rather than
+        inflating the count with P-1 bookkeeping resumes.  The raw resume
+        count (which the ``max_steps`` budget is enforced against) stays
+        available as :attr:`resumes`.
+        """
         return self._steps
+
+    @property
+    def resumes(self) -> int:
+        """Raw coroutine resume count (every ``coro.send``, no exclusions);
+        the ``max_steps`` runaway guard is enforced against this."""
+        return self._resumes
 
     def alloc_comm_id(self) -> int:
         self._next_comm_id += 1
@@ -181,11 +218,30 @@ class Engine:
             return
         task.state = TaskState.READY
         task.blocked_on = None
+        if self._in_wave:
+            task.gate_wake = True
         self._ready.append(task)
         ins = self.instrument
         if ins.enabled:
             ins.instant(task.rank, "wake", "sched", task.clock,
                         {"on": fut.label})
+
+    def wave_resolve(self, resolutions) -> None:
+        """Resolve ``(future, value, time)`` triples as one *bulk advance*.
+
+        Used by the macro-collective fast path: every task woken here is
+        flagged so its re-entry dispatch is charged to the waking step (see
+        :attr:`steps`).  Wakes still go through the ordinary ready queue, so
+        crash checks, instrumentation and exception handling are untouched.
+        Futures already resolved externally (a fault-timeout release) are
+        skipped.
+        """
+        self._in_wave = True
+        try:
+            for fut, value, time in resolutions:
+                fut.try_resolve(value, time=time)
+        finally:
+            self._in_wave = False
 
     def _park(self, task: Task, fut: SimFuture) -> None:
         task.state = TaskState.BLOCKED
@@ -220,14 +276,22 @@ class Engine:
                 task.state = TaskState.RUNNING
                 self._current = task
                 stretch_start = task.clock
+                skip_count = task.gate_wake
+                task.gate_wake = False
                 try:
                     while True:
-                        self._steps += 1
+                        self._resumes += 1
+                        if skip_count:
+                            skip_count = False
+                        else:
+                            self._steps += 1
                         if (
                             self._max_steps is not None
-                            and self._steps > self._max_steps
+                            and self._resumes > self._max_steps
                         ):
-                            raise EngineLimitError(self._max_steps, self._steps)
+                            raise EngineLimitError(
+                                self._max_steps, self._resumes
+                            )
                         fut = task.coro.send(None)
                         if not isinstance(fut, SimFuture):
                             raise TypeError(

@@ -48,6 +48,7 @@ class SimFuture:
         "tag",
         "comm",
         "post_time",
+        "busy_charge",
         "_label",
         "_callbacks",
     )
@@ -72,8 +73,16 @@ class SimFuture:
         self.tag = tag
         self.comm = comm
         self.post_time = post_time
+        # Busy time the owning task must absorb when it waits on this
+        # future (a rendezvous sender's payload-streaming cost).  Charged
+        # at the wait so every rank accumulates busy in program order —
+        # which is what lets the collective fast path replay it bitwise.
+        self.busy_charge = 0.0
         self._label = label
-        self._callbacks: list[Callable[[SimFuture], None]] = []
+        # Lazily allocated: most futures get exactly one callback (the
+        # parked task's wake) or none, so the empty list per future was
+        # pure allocation overhead at large P.
+        self._callbacks: list[Callable[[SimFuture], None]] | None = None
 
     @property
     def label(self) -> str:
@@ -90,6 +99,10 @@ class SimFuture:
                 f"irecv src={src} rank={self.dest} tag={self.tag} "
                 f"comm={self.comm}"
             )
+        if self.kind == "coll":
+            # A macro-collective gate future; ``tag`` carries the
+            # communicator-local collective sequence number.
+            return f"coll rank={self.dest} seq={self.tag} comm={self.comm}"
         return self._label
 
     @label.setter
@@ -103,9 +116,10 @@ class SimFuture:
         self.done = True
         self.value = value
         self.time = time
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     def try_resolve(self, value: Any = None, time: float | None = None) -> bool:
         """Resolve unless already done; returns whether this call won.
@@ -124,6 +138,8 @@ class SimFuture:
     def add_done_callback(self, cb: Callable[[SimFuture], None]) -> None:
         if self.done:
             cb(self)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 

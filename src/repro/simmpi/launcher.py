@@ -96,6 +96,12 @@ class SpmdResult:
     failed_ranks: tuple[int, ...] = ()
     #: counters of faults actually injected (see FaultInjector.summary)
     fault_summary: dict[str, int] = field(default_factory=dict)
+    #: leaf collective instances (per rank) that took the closed-form
+    #: macro fast path
+    collectives_fast: int = 0
+    #: leaf collective instances (per rank) that ran message-level,
+    #: either by knob or by an eligibility fallback
+    collectives_simulated: int = 0
 
     @property
     def nprocs(self) -> int:
@@ -125,6 +131,7 @@ def run_spmd(
     instrument: Instrument = NULL_INSTRUMENT,
     faults: FaultPlan | FaultInjector | None = None,
     matching: str = "indexed",
+    collectives: str = "fast",
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``main(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -145,6 +152,13 @@ def run_spmd(
     per-``(src, tag)`` lanes) or ``"linear"`` (the pre-index FIFO-scan
     reference, kept for equivalence testing — both produce bit-identical
     match order and virtual times).
+
+    ``collectives`` selects the collective execution mode: ``"fast"``
+    (default) lets eligible collectives take the closed-form macro path —
+    bit-identical virtual times and results, orders of magnitude fewer
+    engine steps — while anything a fault or tracer could observe falls
+    back per instance to ``"simulated"``, the always-message-level
+    reference path.  See docs/PERF.md ("Macro-collectives").
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
@@ -153,7 +167,7 @@ def run_spmd(
         injector.plan.validate(nprocs)
     engine = Engine(network=network, max_steps=max_steps,
                     instrument=instrument, faults=injector,
-                    matching=matching)
+                    matching=matching, collectives=collectives)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn
@@ -174,4 +188,6 @@ def run_spmd(
         messages_matched=engine.total_matches,
         failed_ranks=tuple(sorted(injector.failed)),
         fault_summary=injector.summary() if injector.active else {},
+        collectives_fast=engine.collectives_fast,
+        collectives_simulated=engine.collectives_simulated,
     )

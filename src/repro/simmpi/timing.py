@@ -48,6 +48,34 @@ class NetworkModel:
         """Whether a message of this size uses the eager protocol."""
         return nbytes <= self.eager_threshold
 
+    # -- closed-form round costs ------------------------------------------
+    #
+    # The macro-collective fast path evaluates collective schedules without
+    # spawning messages; these helpers reproduce the *exact* floating-point
+    # arithmetic of the message-level protocol in repro/simmpi/comm.py, in
+    # the same operation order, so both paths land on bit-identical virtual
+    # timestamps.  Any change here must mirror isend()/_fire_match().
+
+    def eager_send_cost(self, nbytes: int) -> float:
+        """Sender-side charge of one eager send (overhead + wire copy);
+        the payload arrives ``latency`` after the charged clock."""
+        return self.o_send + self.transfer_time(nbytes)
+
+    def eager_recv_complete(self, post_time: float, arrival: float) -> float:
+        """Completion time of a receive matched with an eager message
+        posted at ``post_time`` whose payload lands at ``arrival``."""
+        return max(post_time + self.o_recv, arrival)
+
+    def rendezvous_times(
+        self, send_ready: float, post_time: float, nbytes: int
+    ) -> tuple[float, float]:
+        """``(done_send, done_recv)`` of one rendezvous transfer: the wire
+        starts at the later of the sender being ready and the receiver
+        having posted (plus its overhead)."""
+        transfer = self.transfer_time(nbytes)
+        start = max(send_ready, post_time + self.o_recv)
+        return start + transfer, start + self.latency + transfer
+
     def scaled(
         self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0
     ) -> "NetworkModel":

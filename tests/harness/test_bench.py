@@ -38,6 +38,7 @@ def _doc(*cells: tuple[str, int, float]) -> dict:
                 "engine_steps": 10,
                 "messages_matched": 100,
                 "matched_per_s": 1000,
+                "collectives_fast": 12,
                 "virtual_makespan_s": 1e-4,
             }
             for k, p, wall in cells
@@ -88,14 +89,30 @@ class TestBenchDocument:
         assert validate(doc, SCHEMA) == []
         assert len(doc["results"]) == 4  # 2 kernels x 2 Ps
         for r in doc["results"]:
-            assert r["messages_matched"] > 0
             assert r["engine_steps"] > 0
+            if r["kernel"] == "halo_exchange":
+                # P2P traffic still goes through the mailbox under the
+                # collective fast path.
+                assert r["messages_matched"] > 0
+            else:
+                # allreduce_barrier is pure collectives: the fast path
+                # replays them without mailbox matches.
+                assert r["messages_matched"] == 0
+                assert r["collectives_fast"] == 3 * r["nprocs"]
+
+    def test_simulated_mode_still_matches_messages(self):
+        doc = run_scaling_bench(ps=(4,), kernels=("allreduce_barrier",),
+                                collectives="simulated")
+        assert doc["collectives"] == "simulated"
+        (r,) = doc["results"]
+        assert r["messages_matched"] > 0
+        assert r["collectives_fast"] == 0
 
     def test_committed_baseline_is_valid_and_covers_the_ladder(self):
         doc = load_bench(str(REPO / "benchmarks" / "BENCH_scaling.json"))
         assert validate(doc, SCHEMA) == []
         cells = {(r["kernel"], r["nprocs"]) for r in doc["results"]}
-        for p in (256, 1024, 4096):
+        for p in (256, 1024, 4096, 16384):
             assert ("allreduce_barrier", p) in cells
             assert ("halo_exchange", p) in cells
 

@@ -1,0 +1,304 @@
+"""Seeded fuzz: the macro-collective fast path is bit-identical to the
+message-level reference.
+
+Every test here runs the same program twice — ``collectives="fast"`` and
+``collectives="simulated"`` — and asserts *exact* equality (``==`` on
+floats, no tolerances) of results, per-rank virtual clocks, per-rank busy
+times and traffic totals.  That is the fast path's contract: it is a pure
+wall-clock optimisation, invisible in virtual time.
+
+Coverage:
+
+* every leaf collective and both composites, every reduction op;
+* non-power-of-two and prime P, split/dup sub-communicators;
+* eager and rendezvous payload sizes;
+* fault-triggered fallback (a crash on a participant routes the instance
+  to the simulated path and matches today's degraded behaviour exactly);
+* span-granularity observability parity and message-granularity fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.obs.instrument import Recorder
+from repro.simmpi import run_spmd
+from repro.simmpi.collectives import BOR, LAND, LOR, MAX, MIN, PROD, SUM
+
+FUZZ_PS = (3, 5, 16, 31, 64)
+ALL_OPS = {
+    "sum": SUM, "prod": PROD, "max": MAX, "min": MIN,
+    "lor": LOR, "land": LAND, "bor": BOR,
+}
+
+
+def _pair(prog, nprocs, **kwargs):
+    """Run ``prog`` under both collective modes and return (fast, sim)."""
+    fast = run_spmd(prog, nprocs, collectives="fast", **kwargs)
+    sim = run_spmd(prog, nprocs, collectives="simulated", **kwargs)
+    return fast, sim
+
+
+def _assert_identical(fast, sim, *, results: bool = True):
+    if results:
+        assert fast.results == sim.results
+    assert fast.clocks == sim.clocks
+    assert fast.busy_times == sim.busy_times
+    assert fast.total_messages == sim.total_messages
+    assert fast.total_bytes == sim.total_bytes
+    assert fast.failed_ranks == sim.failed_ranks
+
+
+class TestEveryCollective:
+    @pytest.mark.parametrize("nprocs", FUZZ_PS)
+    def test_all_leaves_and_composites(self, nprocs):
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            out = []
+            await comm.barrier()
+            out.append(await comm.bcast(rank * 1.5 if rank == 0 else None,
+                                        root=0))
+            out.append(await comm.reduce(rank + 0.5, op=SUM,
+                                         root=nprocs - 1))
+            out.append(await comm.gather(rank * 2, root=nprocs // 2))
+            out.append(await comm.scatter(
+                [i * 3 for i in range(nprocs)]
+                if rank == nprocs // 2 else None,
+                root=nprocs // 2))
+            out.append(await comm.allgather(rank))
+            out.append(await comm.alltoall([rank * 100 + i
+                                            for i in range(nprocs)]))
+            out.append(await comm.scan(rank + 1, op=SUM))
+            out.append(await comm.allreduce(float(rank), op=MAX))
+            return out
+
+        fast, sim = _pair(prog, nprocs)
+        _assert_identical(fast, sim)
+        assert fast.collectives_fast > 0
+        assert fast.collectives_simulated == 0
+        assert sim.collectives_fast == 0
+        # The fast path must also collapse scheduler work:
+        assert fast.engine_steps < sim.engine_steps
+
+    @pytest.mark.parametrize("opname", sorted(ALL_OPS))
+    def test_every_reduction_op(self, opname):
+        op = ALL_OPS[opname]
+
+        async def prog(ctx):
+            base = (ctx.rank % 3) + 1  # small ints: safe for PROD/bitwise
+            a = await ctx.comm.allreduce(base, op=op)
+            b = await ctx.comm.reduce(base, op=op, root=2)
+            c = await ctx.comm.scan(base, op=op)
+            return (a, b, c)
+
+        fast, sim = _pair(prog, 13)
+        _assert_identical(fast, sim)
+
+    def test_rendezvous_payloads(self):
+        # Payloads past eager_threshold exercise the rendezvous arithmetic
+        # (deferred sender busy charge) inside the replay.
+        big = 80 * 1024
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            v = await comm.bcast(bytes(big) if rank == 0 else None, root=0)
+            g = await comm.gather(bytes(big), root=0)
+            a = await comm.allgather(bytes(big // 8))
+            return (len(v), len(g) if g else 0, len(a))
+
+        fast, sim = _pair(prog, 9)
+        _assert_identical(fast, sim)
+        assert fast.total_bytes == sim.total_bytes > 0
+
+    def test_seeded_random_program(self):
+        rng = random.Random(0xC0FFEE)
+        script = [rng.choice(["barrier", "allreduce", "bcast", "allgather",
+                              "scan", "gather", "scatter", "alltoall"])
+                  for _ in range(40)]
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            acc = 0.0
+            for i, kind in enumerate(script):
+                root = i % size
+                if kind == "barrier":
+                    await comm.barrier()
+                elif kind == "allreduce":
+                    acc += await comm.allreduce(rank + i * 0.25)
+                elif kind == "bcast":
+                    acc += await comm.bcast(i if rank == root else None,
+                                            root=root)
+                elif kind == "allgather":
+                    acc += sum(await comm.allgather(rank))
+                elif kind == "scan":
+                    acc += await comm.scan(1, op=SUM)
+                elif kind == "gather":
+                    got = await comm.gather(rank, root=root)
+                    acc += sum(got) if got else 0
+                elif kind == "scatter":
+                    vals = [j + i for j in range(size)] \
+                        if rank == root else None
+                    acc += await comm.scatter(vals, root=root)
+                elif kind == "alltoall":
+                    acc += sum(await comm.alltoall(list(range(size))))
+            return acc
+
+        for nprocs in (5, 16, 31):
+            fast, sim = _pair(prog, nprocs)
+            _assert_identical(fast, sim)
+
+
+class TestSubCommunicators:
+    @pytest.mark.parametrize("nprocs", (5, 16, 31))
+    def test_split_and_dup(self, nprocs):
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            sub = await comm.split(color=rank % 3, key=-rank)
+            a = await sub.allreduce(rank, op=SUM)
+            b = await sub.allgather(rank)
+            dup = await comm.dup()
+            c = await dup.allreduce(rank, op=MIN)
+            await comm.barrier()
+            return (sub.rank, sub.size, a, b, c)
+
+        fast, sim = _pair(prog, nprocs)
+        _assert_identical(fast, sim)
+        # split/dup are themselves built from leaf collectives, so the
+        # fast path must have fired on the sub-communicators too.
+        assert fast.collectives_fast > 0
+
+    def test_interleaved_subcomm_and_world(self):
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            sub = await comm.split(color=rank % 2, key=rank)
+            out = []
+            for i in range(4):
+                out.append(await sub.allreduce(rank + i))
+                out.append(await comm.allreduce(rank - i))
+            return out
+
+        fast, sim = _pair(prog, 11)
+        _assert_identical(fast, sim)
+
+
+class TestFallbacks:
+    def test_crash_on_participant_falls_back_identically(self):
+        # Rank 2 crashes mid-run: every collective the crash could touch
+        # must take the simulated path, and the whole degraded run (LOST
+        # releases, op-timeout waits, survivor results) must match the
+        # always-simulated reference exactly.
+        plan = FaultPlan(crashes=(CrashFault(rank=2, time=1e-5),))
+
+        async def prog(ctx):
+            acc = 0.0
+            for i in range(3):
+                acc += await ctx.comm.allreduce(ctx.rank + i)
+                await ctx.comm.barrier()
+            return acc
+
+        fast, sim = _pair(prog, 8, faults=plan)
+        _assert_identical(fast, sim)
+        assert 2 in fast.failed_ranks
+        # A crash armed on a participant is a standing fallback condition.
+        assert fast.collectives_fast == 0
+        assert fast.collectives_simulated > 0
+
+    def test_clean_faultplan_without_crashes_keeps_fast_path(self):
+        # An armed plan whose perturbations cannot touch collectives
+        # (empty message faults, no crashes, no links) stays eligible.
+        plan = FaultPlan(compute=())
+
+        async def prog(ctx):
+            return await ctx.comm.allreduce(ctx.rank)
+
+        fast, sim = _pair(prog, 6, faults=plan)
+        _assert_identical(fast, sim)
+        assert fast.collectives_fast > 0
+
+    def test_knob_forces_simulated(self):
+        async def prog(ctx):
+            await ctx.comm.barrier()
+            return await ctx.comm.allreduce(ctx.rank)
+
+        sim = run_spmd(prog, 7, collectives="simulated")
+        assert sim.collectives_fast == 0
+        assert sim.collectives_simulated == 3 * 7  # barrier+reduce+bcast
+
+    def test_invalid_knob_rejected(self):
+        async def prog(ctx):
+            return None
+
+        with pytest.raises(ValueError, match="collectives"):
+            run_spmd(prog, 2, collectives="warp")
+
+
+class TestObservabilityParity:
+    def _coll_spans(self, rec):
+        return sorted(
+            (s.rank, s.name, s.start, s.end, tuple(sorted(s.args.items())))
+            for s in rec.spans if s.cat == "coll"
+        )
+
+    def test_span_granularity_spans_and_metrics_identical(self):
+        async def prog(ctx):
+            await ctx.comm.barrier()
+            v = await ctx.comm.allreduce(ctx.rank)
+            g = await ctx.comm.gather(ctx.rank, root=0)
+            return (v, len(g) if g else 0)
+
+        rec_fast = Recorder(granularity="span")
+        rec_sim = Recorder(granularity="span")
+        fast = run_spmd(prog, 9, collectives="fast", instrument=rec_fast)
+        sim = run_spmd(prog, 9, collectives="simulated", instrument=rec_sim)
+        _assert_identical(fast, sim)
+        assert fast.collectives_fast == 4 * 9
+        # The synthesized coll spans must be indistinguishable from the
+        # simulated path's observed ones.
+        assert self._coll_spans(rec_fast) == self._coll_spans(rec_sim)
+        # Per-label exact equality (the wildcard aggregate would sum the
+        # same floats in a different dict order — a spurious 1-ulp diff).
+        for name in ("coll/calls", "coll/time"):
+            labels = rec_sim.metrics.labels(name)
+            assert rec_fast.metrics.labels(name) == labels
+            for _, rank, phase, op in labels:
+                assert rec_fast.metrics.value(
+                    name, rank=rank, phase=phase, op=op
+                ) == rec_sim.metrics.value(name, rank=rank, phase=phase,
+                                           op=op)
+        # Coverage counters: every instance was a fast hit in one run and
+        # absent in the other.
+        assert rec_fast.metrics.value("coll/fast_hits") == 4 * 9
+        assert rec_sim.metrics.value("coll/fast_hits") == 0
+
+    def test_message_granularity_recorder_forces_fallback(self):
+        async def prog(ctx):
+            return await ctx.comm.allreduce(ctx.rank)
+
+        rec = Recorder()  # granularity="message"
+        res = run_spmd(prog, 6, instrument=rec)
+        assert res.collectives_fast == 0
+        assert res.collectives_simulated > 0
+        rec2 = Recorder(granularity="span")
+        res2 = run_spmd(prog, 6, instrument=rec2)
+        assert res2.collectives_fast > 0
+        # Either way the coll spans agree.
+        assert self._coll_spans(rec) == self._coll_spans(rec2)
+        # And the fallback reason is surfaced as a labelled metric.
+        assert rec.metrics.value("coll/fallbacks") > 0
+
+
+class TestStepCollapse:
+    def test_one_step_per_rank_for_pure_collectives(self):
+        async def prog(ctx):
+            for _ in range(5):
+                await ctx.comm.barrier()
+            return await ctx.comm.allreduce(ctx.rank)
+
+        res = run_spmd(prog, 64)
+        # Each rank is dispatched once; every collective completes via
+        # bulk gate resolution, never re-entering the scheduler loop.
+        assert res.engine_steps == 64
+        assert res.collectives_fast == 7 * 64
