@@ -21,7 +21,7 @@ from repro.scalatrace import (
     hash_u64,
     merge_traces,
 )
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def _event(site: int, rank: int = 0) -> EventRecord:
@@ -128,6 +128,6 @@ def test_simulator_event_rate(benchmark):
         return None
 
     def run():
-        return run_spmd(main, 16, network=ZERO_COST).nprocs
+        return run_spmd(main, 16, config=SimConfig(network=ZERO_COST)).nprocs
 
     assert benchmark(run) == 16

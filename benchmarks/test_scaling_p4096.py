@@ -21,13 +21,14 @@ import time
 import pytest
 
 from repro.harness.bench import (
+    SHARD_TIERS,
     compare,
     load_bench,
     run_scaling_bench,
     save_bench,
 )
 from repro.obs.schema import validate
-from repro.simmpi import run_spmd
+from repro.simmpi import SimConfig, run_spmd
 
 pytestmark = pytest.mark.slow
 
@@ -74,8 +75,10 @@ def test_p4096_fast_vs_simulated_bit_identical():
     """At full scale the macro path must still reproduce the message-level
     reference bit-for-bit (the exhaustive fuzz lives in
     tests/simmpi/test_collective_fastpath.py at smaller P)."""
-    fast = run_spmd(_allreduce_barrier, 4096, collectives="fast")
-    sim = run_spmd(_allreduce_barrier, 4096, collectives="simulated")
+    fast = run_spmd(_allreduce_barrier, 4096,
+                    config=SimConfig(collectives="fast"))
+    sim = run_spmd(_allreduce_barrier, 4096,
+                   config=SimConfig(collectives="simulated"))
     assert fast.results == sim.results
     assert fast.clocks == sim.clocks
     assert fast.busy_times == sim.busy_times
@@ -89,13 +92,45 @@ def test_p4096_linear_indexed_equivalence_spot_check():
     tests/simmpi/test_mailbox_matching.py at smaller P).  Run simulated:
     linear matching is a fast-path fallback condition, so the fast knob
     would make the comparison trivially skip the mailbox."""
-    indexed = run_spmd(_allreduce_barrier, 1024, matching="indexed",
-                       collectives="simulated")
-    linear = run_spmd(_allreduce_barrier, 1024, matching="linear",
-                      collectives="simulated")
+    indexed = run_spmd(_allreduce_barrier, 1024,
+                       config=SimConfig(matching="indexed",
+                                        collectives="simulated"))
+    linear = run_spmd(_allreduce_barrier, 1024,
+                      config=SimConfig(matching="linear",
+                                       collectives="simulated"))
     assert indexed.clocks == linear.clocks
     assert indexed.busy_times == linear.busy_times
     assert indexed.messages_matched == linear.messages_matched
+
+
+def test_p16384_sharded_bit_identical_and_under_budget():
+    """The sharded-engine tier: shards=4 at P=16384 must stay bit-identical
+    to the single-process engine (no fallback) and inside interactive
+    time; the wall-time race against the committed single-process number
+    runs in CI's bench job via the BENCH_scaling gate."""
+    single = run_spmd(_allreduce_barrier, 16384)
+    t0 = time.perf_counter()
+    sharded = run_spmd(_allreduce_barrier, 16384, config=SimConfig(shards=4))
+    wall = time.perf_counter() - t0
+    assert wall < 60.0, f"P=16384 shards=4 took {wall:.1f}s"
+    assert sharded.extras.get("shards") == 4
+    assert "shard_fallback" not in sharded.extras
+    assert sharded.results == single.results
+    assert sharded.clocks == single.clocks
+    assert sharded.busy_times == single.busy_times
+    assert sharded.total_messages == single.total_messages
+    assert sharded.total_bytes == single.total_bytes
+
+
+def test_p65536_sharded_tier_completes():
+    """The new top rung: allreduce+barrier at P=65536 under shards=4."""
+    t0 = time.perf_counter()
+    result = run_spmd(_allreduce_barrier, 65536, config=SimConfig(shards=4))
+    wall = time.perf_counter() - t0
+    assert wall < 120.0, f"P=65536 shards=4 took {wall:.1f}s"
+    assert result.results == [65536 * 65535 // 2] * 65536
+    assert result.collectives_fast == 3 * 65536
+    assert "shard_fallback" not in result.extras
 
 
 def test_bench_document_schema_and_gate(results_dir):
@@ -108,10 +143,12 @@ def test_bench_document_schema_and_gate(results_dir):
     errors = validate(doc, schema)
     assert errors == [], errors
 
-    cells = {(r["kernel"], r["nprocs"]) for r in doc["results"]}
+    cells = {(r["kernel"], r["nprocs"], r["shards"]) for r in doc["results"]}
     for p in (256, 1024, 4096, 16384):
-        assert ("allreduce_barrier", p) in cells
-        assert ("halo_exchange", p) in cells
+        assert ("allreduce_barrier", p, 1) in cells
+        assert ("halo_exchange", p, 1) in cells
+    for kernel, p, shards in SHARD_TIERS:
+        assert (kernel, p, shards) in cells
 
     # Loose local gate (2x): catches order-of-magnitude regressions on any
     # hardware; the strict ±20% comparison runs in CI's bench job where the

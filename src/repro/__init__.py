@@ -36,8 +36,10 @@ from .api import (
     Instrument,
     MetricsRegistry,
     Mode,
+    NetworkModel,
     Recorder,
     RunResult,
+    SimConfig,
     Trace,
     compare,
     configure_engine,
@@ -58,8 +60,10 @@ __all__ = [
     "Instrument",
     "MetricsRegistry",
     "Mode",
+    "NetworkModel",
     "Recorder",
     "RunResult",
+    "SimConfig",
     "Trace",
     "__version__",
     "api",

@@ -53,6 +53,7 @@ from .obs import (
 from .replay.replayer import ReplayResult, replay_trace
 from .scalatrace.difftool import TraceDiff, diff_traces
 from .scalatrace.trace import Trace
+from .simmpi.simconfig import DEFAULT_CONFIG, SimConfig
 from .simmpi.timing import NetworkModel, QDR_CLUSTER
 
 #: Every paper artifact regenerable via :func:`run_experiment` / the CLI.
@@ -75,6 +76,7 @@ __all__ = [
     "EXPERIMENTS",
     "ComputeFault",
     "CrashFault",
+    "DEFAULT_CONFIG",
     "ExperimentEngine",
     "FaultPlan",
     "FaultPlanError",
@@ -84,9 +86,11 @@ __all__ = [
     "MessageFaults",
     "MetricsRegistry",
     "Mode",
+    "NetworkModel",
     "ObsData",
     "Recorder",
     "RunResult",
+    "SimConfig",
     "Trace",
     "compare",
     "configure_engine",
@@ -110,7 +114,8 @@ def run(
     workload_params: dict[str, Any] | None = None,
     call_frequency: int = 1,
     config_overrides: dict[str, Any] | None = None,
-    network: NetworkModel = QDR_CLUSTER,
+    sim: SimConfig | None = None,
+    network: NetworkModel | None = None,
     engine: ExperimentEngine | None = None,
     instrument: Instrument | None = None,
     faults: FaultPlan | None = None,
@@ -122,6 +127,12 @@ def run(
     filter) is derived automatically and adjusted via
     ``config_overrides``.  Results are cached and may be computed by the
     engine's worker pool.
+
+    ``sim`` is a :class:`SimConfig` carrying every simulator engine option
+    (network model, matching, collectives mode, shard count, step budget).
+    The bare ``network=`` keyword is a deprecated shim kept for one
+    release; it emits a :class:`DeprecationWarning` and is ignored when
+    ``sim`` is also given.
 
     Pass ``instrument=Recorder()`` to capture the run's virtual-time event
     timeline on ``result.obs`` (see :func:`inspect`); instrumented runs
@@ -135,6 +146,17 @@ def run(
     ``result.extra["fault_summary"]``.  The same plan and seed always
     reproduce the same result; an empty plan changes nothing.
     """
+    if network is not None:
+        import warnings
+
+        warnings.warn(
+            "the network= keyword is deprecated; pass "
+            "sim=SimConfig(network=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if sim is None:
+            sim = SimConfig(network=network)
     engine = engine or get_engine()
     cell = make_cell(
         workload,
@@ -143,7 +165,7 @@ def run(
         workload_params=workload_params,
         call_frequency=call_frequency,
         config_overrides=config_overrides,
-        network=network,
+        sim=sim,
         faults=faults,
     )
     if instrument is not None:

@@ -410,6 +410,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # The determinism check needs both runs computed, not one computed and
     # one served from disk, so chaos always bypasses the run cache.
     engine = configure_engine(jobs=args.jobs, no_cache=True)
+    sim = _sim_from(args)
     mode = Mode(args.mode)
     seed = args.fault_seed if args.fault_seed is not None else FaultPlan.seed
     scenarios = args.scenario or list(CHAOS_SCENARIOS)
@@ -424,7 +425,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     baseline = api_run(args.workload, args.nprocs, mode,
-                       workload_params=params or None, engine=engine)
+                       workload_params=params or None, sim=sim,
+                       engine=engine)
     base_leaves = (
         baseline.trace.leaf_count() if baseline.trace is not None else 0
     )
@@ -449,8 +451,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for name in scenarios:
         plan = _chaos_plan(name, baseline, args.nprocs, seed)
         entry = {"name": name, "plan": plan.to_dict()}
-        kwargs = dict(workload_params=params or None, engine=engine,
-                      faults=plan)
+        kwargs = dict(workload_params=params or None, sim=sim,
+                      engine=engine, faults=plan)
         try:
             first = api_run(args.workload, args.nprocs, mode, **kwargs)
             second = api_run(args.workload, args.nprocs, mode, **kwargs)
@@ -505,9 +507,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _sim_from(args: argparse.Namespace):
+    """Parse repeated ``--config KEY=VAL`` flags into a SimConfig."""
+    from .simmpi.simconfig import parse_config
+
+    try:
+        return parse_config(args.config or ())
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness.bench import (
-        DEFAULT_PS,
         KERNELS,
         compare,
         format_bench,
@@ -516,19 +527,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_bench,
     )
 
-    ps = tuple(args.p) if args.p else DEFAULT_PS
+    sim = _sim_from(args)
+    ps = tuple(args.p) if args.p else None
     kernels = tuple(args.kernel) if args.kernel else tuple(KERNELS)
 
     def _progress(record: dict) -> None:
+        shards = f" shards={record['shards']}" if record["shards"] != 1 else ""
         print(
-            f"[bench] {record['kernel']} P={record['nprocs']}: "
+            f"[bench] {record['kernel']} P={record['nprocs']}{shards}: "
             f"{record['wall_s']:.3f}s, "
             f"{record['matched_per_s']} matches/s",
             file=sys.stderr,
         )
 
     doc = run_scaling_bench(ps=ps, kernels=kernels, progress=_progress,
-                            collectives=args.collectives)
+                            sim=sim)
     print(format_bench(doc))
     if args.output:
         save_bench(doc, args.output)
@@ -706,6 +719,11 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(CHAOS_SCENARIOS)})",
     )
     p_chaos.add_argument(
+        "--config", action="append", metavar="KEY=VAL",
+        help="engine option as a SimConfig field (repeatable), "
+        "as in `repro bench --config`",
+    )
+    p_chaos.add_argument(
         "--report", default="", metavar="FILE",
         help="write the machine-readable chaos report as JSON",
     )
@@ -744,9 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed wall-time growth vs baseline (default 0.2 = +20%%)",
     )
     p_bench.add_argument(
-        "--collectives", choices=["fast", "simulated"], default="fast",
-        help="collective execution mode: closed-form macro fast path "
-        "(default) or the message-level reference path",
+        "--config", action="append", metavar="KEY=VAL",
+        help="engine option as a SimConfig field (repeatable): "
+        "network=qdr|slow|zero, matching=indexed|linear, "
+        "collectives=fast|simulated, shards=N, max_steps=N|none",
     )
     p_bench.set_defaults(fn=_cmd_bench)
 

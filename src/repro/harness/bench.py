@@ -10,10 +10,13 @@ and CI gates every change against the committed baseline with a ±20%
 wall-time tolerance (see :func:`compare`), so a quadratic regression in the
 mailbox or scheduler shows up as a red build rather than a slow paper run.
 
-Collectives run in ``"fast"`` mode by default (closed-form macro
-collectives, bit-identical virtual times); pass ``collectives="simulated"``
-(CLI: ``repro bench --collectives simulated``) to benchmark the
-message-level reference path instead.
+Engine options come in as a :class:`~repro.simmpi.SimConfig` (CLI:
+``repro bench --config KEY=VAL``, e.g. ``--config collectives=simulated``
+or ``--config shards=4``); the default ladder additionally appends the
+sharded-engine tiers in :data:`SHARD_TIERS` — ``allreduce_barrier`` at
+P=16384 and P=65536 under ``shards=4`` — so CI tracks the conservative-PDES
+path next to the single-process engine it must beat at scale.  The legacy
+``collectives=`` keyword still works for one release and warns.
 
 Kernels:
 
@@ -34,12 +37,22 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from ..simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+from ..simmpi.simconfig import SimConfig, resolve_config
 
-SCHEMA_ID = "repro/bench-scaling/v2"
+SCHEMA_ID = "repro/bench-scaling/v3"
 
 #: Default process counts — the scaling ladder.  The 16384 tier is only
 #: tractable because eligible collectives take the macro fast path.
 DEFAULT_PS = (256, 1024, 4096, 16384)
+
+#: Extra ``(kernel, nprocs, shards)`` points appended when the *default*
+#: ladder runs: the sharded-engine leg.  Only the collective kernel — the
+#: halo kernel's wildcard drain makes it shard-ineligible (it would just
+#: measure the fallback rerun).
+SHARD_TIERS = (
+    ("allreduce_barrier", 16384, 4),
+    ("allreduce_barrier", 65536, 4),
+)
 
 #: Wall times below this (seconds) are noise-dominated; the regression gate
 #: measures against at least this much baseline budget.
@@ -90,16 +103,27 @@ def _peak_rss_kb() -> int:
 
 
 def bench_point(
-    kernel: str, nprocs: int, collectives: str = "fast"
+    kernel: str,
+    nprocs: int,
+    sim: SimConfig | None = None,
+    *,
+    collectives: str | None = None,
 ) -> dict[str, Any]:
-    """Run one (kernel, P) cell and return its measurement record."""
+    """Run one (kernel, P) cell under ``sim`` and return its record.
+
+    The ``shards`` field records the *requested* shard count; when the run
+    was not shard-eligible the record additionally carries the
+    ``shard_fallback`` reason (and measured the single-process rerun).
+    """
+    sim = resolve_config(sim, collectives=collectives)
     fn = KERNELS[kernel]
     t0 = time.perf_counter()
-    result = run_spmd(fn, nprocs, collectives=collectives)
+    result = run_spmd(fn, nprocs, config=sim)
     wall = time.perf_counter() - t0
-    return {
+    record = {
         "kernel": kernel,
         "nprocs": nprocs,
+        "shards": sim.shards,
         "wall_s": round(wall, 4),
         "peak_rss_kb": _peak_rss_kb(),
         "engine_steps": result.engine_steps,
@@ -110,37 +134,63 @@ def bench_point(
         "collectives_fast": result.collectives_fast,
         "virtual_makespan_s": result.max_time,
     }
+    if "shard_fallback" in result.extras:
+        record["shard_fallback"] = result.extras["shard_fallback"]
+    return record
 
 
 def run_scaling_bench(
-    ps: Sequence[int] = DEFAULT_PS,
+    ps: Sequence[int] | None = None,
     kernels: Sequence[str] = tuple(KERNELS),
     progress: Callable[[dict[str, Any]], None] | None = None,
-    collectives: str = "fast",
+    sim: SimConfig | None = None,
+    *,
+    collectives: str | None = None,
 ) -> dict[str, Any]:
     """Run the benchmark matrix and return the ``BENCH_scaling`` document.
+
+    ``ps=None`` selects the default ladder — :data:`DEFAULT_PS` for every
+    kernel, plus the :data:`SHARD_TIERS` sharded-engine points (skipped
+    when ``sim`` itself already shards, so an explicit ``--config
+    shards=N`` sweep is not double-run).  An explicit ``ps`` runs exactly
+    that matrix.
 
     Note that ``peak_rss_kb`` is a high-water mark for the whole process:
     it only ever grows across cells, so per-cell values are upper bounds
     and the large-P cells carry the meaningful numbers.
     """
+    sim = resolve_config(sim, collectives=collectives)
     for k in kernels:
         if k not in KERNELS:
             raise ValueError(
                 f"unknown bench kernel {k!r}; choose from {sorted(KERNELS)}"
             )
+    base_ps = DEFAULT_PS if ps is None else tuple(ps)
+    points: list[tuple[str, int, SimConfig]] = [
+        (kernel, p, sim) for kernel in kernels for p in base_ps
+    ]
+    if ps is None and sim.shards == 1:
+        points.extend(
+            (kernel, p, sim.replace(shards=s))
+            for kernel, p, s in SHARD_TIERS
+            if kernel in kernels
+        )
     results = []
-    for kernel in kernels:
-        for p in ps:
-            record = bench_point(kernel, p, collectives=collectives)
-            results.append(record)
-            if progress is not None:
-                progress(record)
+    for kernel, p, cell_sim in points:
+        record = bench_point(kernel, p, cell_sim)
+        results.append(record)
+        if progress is not None:
+            progress(record)
     return {
         "schema": SCHEMA_ID,
-        "ps": list(ps),
+        "ps": sorted({p for _, p, _ in points}),
         "kernels": list(kernels),
-        "collectives": collectives,
+        "config": {
+            "matching": sim.matching,
+            "collectives": sim.collectives,
+            "shards": sim.shards,
+            "max_steps": sim.max_steps,
+        },
         "results": results,
     }
 
@@ -169,28 +219,30 @@ def compare(
     """Wall-time regression gate: current vs baseline, ±``tolerance``.
 
     Returns one message per violation (empty list = pass).  Every
-    ``(kernel, nprocs)`` cell of the *baseline* must exist in ``current``
-    and run within ``(1 + tolerance) *`` the baseline wall time; baselines
-    under :data:`WALL_FLOOR_S` are measured against the floor instead, so
-    micro-cells whose runtime is timer noise cannot flake the gate.
-    Speed-ups and extra cells in ``current`` never fail.
+    ``(kernel, nprocs, shards)`` cell of the *baseline* must exist in
+    ``current`` and run within ``(1 + tolerance) *`` the baseline wall
+    time; baselines under :data:`WALL_FLOOR_S` are measured against the
+    floor instead, so micro-cells whose runtime is timer noise cannot
+    flake the gate.  Speed-ups and extra cells in ``current`` never fail.
     """
     by_cell = {
-        (r["kernel"], r["nprocs"]): r for r in current.get("results", [])
+        (r["kernel"], r["nprocs"], r.get("shards", 1)): r
+        for r in current.get("results", [])
     }
     problems = []
     for base in baseline.get("results", []):
-        key = (base["kernel"], base["nprocs"])
+        key = (base["kernel"], base["nprocs"], base.get("shards", 1))
         cur = by_cell.get(key)
+        label = f"{key[0]} @ P={key[1]}" + (
+            f" shards={key[2]}" if key[2] != 1 else ""
+        )
         if cur is None:
-            problems.append(
-                f"{key[0]} @ P={key[1]}: missing from current results"
-            )
+            problems.append(f"{label}: missing from current results")
             continue
         budget = max(base["wall_s"], WALL_FLOOR_S) * (1.0 + tolerance)
         if cur["wall_s"] > budget:
             problems.append(
-                f"{key[0]} @ P={key[1]}: wall {cur['wall_s']:.3f}s exceeds "
+                f"{label}: wall {cur['wall_s']:.3f}s exceeds "
                 f"{budget:.3f}s (baseline {base['wall_s']:.3f}s "
                 f"+{tolerance:.0%})"
             )
@@ -199,12 +251,14 @@ def compare(
 
 def format_bench(doc: dict[str, Any]) -> str:
     lines = [
-        f"{'kernel':<18s} {'P':>6s} {'wall[s]':>8s} {'RSS[MB]':>8s} "
-        f"{'steps':>9s} {'matched':>9s} {'match/s':>10s} {'coll.fast':>9s}"
+        f"{'kernel':<18s} {'P':>6s} {'sh':>3s} {'wall[s]':>8s} "
+        f"{'RSS[MB]':>8s} {'steps':>9s} {'matched':>9s} {'match/s':>10s} "
+        f"{'coll.fast':>9s}"
     ]
     for r in doc["results"]:
         lines.append(
-            f"{r['kernel']:<18s} {r['nprocs']:>6d} {r['wall_s']:>8.3f} "
+            f"{r['kernel']:<18s} {r['nprocs']:>6d} "
+            f"{r.get('shards', 1):>3d} {r['wall_s']:>8.3f} "
             f"{r['peak_rss_kb'] / 1024:>8.1f} {r['engine_steps']:>9d} "
             f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d} "
             f"{r.get('collectives_fast', 0):>9d}"

@@ -38,7 +38,8 @@ from typing import Any, Callable, Sequence
 from ..core.config import ChameleonConfig
 from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
-from ..simmpi.timing import NetworkModel, QDR_CLUSTER
+from ..simmpi.simconfig import DEFAULT_CONFIG, SimConfig
+from ..simmpi.timing import NetworkModel
 from ..workloads.base import Workload
 from ..workloads.registry import make_workload
 from .cache import (
@@ -85,10 +86,15 @@ class Cell:
     nprocs: int
     mode: Mode
     config: ChameleonConfig
-    network: NetworkModel
+    sim: SimConfig = DEFAULT_CONFIG
     #: deterministic fault-injection plan, hashed into the cell digest so a
     #: faulted run never shares a cache slot with its fault-free twin
     faults: FaultPlan | None = None
+
+    @property
+    def network(self) -> NetworkModel:
+        """The simulated network model (shorthand for ``sim.network``)."""
+        return self.sim.network
 
     @property
     def label(self) -> str:
@@ -99,7 +105,10 @@ class Cell:
 
         APP runs ignore the tracer configuration entirely, so their digest
         normalizes ``config`` away — every suite over the same workload
-        shares one cached baseline regardless of marker frequency.
+        shares one cached baseline regardless of marker frequency.  The
+        engine options enter through :meth:`SimConfig.cache_key`, which
+        excludes the bit-identity-invariant knobs (matching, collectives,
+        shards): equivalent spellings share one cache slot.
         """
         config = None if self.mode is Mode.APP else self.config
         return digest_of(
@@ -111,7 +120,7 @@ class Cell:
                 self.nprocs,
                 self.mode,
                 config,
-                self.network,
+                self.sim.cache_key(),
                 self.faults,
             )
         )
@@ -126,7 +135,7 @@ class Cell:
                 self.warmup,
                 self.nprocs,
                 self.config,
-                self.network,
+                self.sim.cache_key(),
             )
         )
 
@@ -135,6 +144,22 @@ class Cell:
         if self.warmup:
             workload.warmup_profile = tuple(self.warmup)
         return workload
+
+
+def _resolve_sim(
+    sim: SimConfig | None, network: NetworkModel | None
+) -> SimConfig:
+    """Fold the legacy ``network=`` keyword into a :class:`SimConfig`.
+
+    ``sim`` wins when both are given; the bare keyword maps quietly (the
+    deprecation story lives on the :func:`repro.api.run`/``run_spmd``
+    surface, not on every internal helper).
+    """
+    if sim is not None:
+        return sim
+    if network is not None:
+        return SimConfig(network=network)
+    return DEFAULT_CONFIG
 
 
 def make_cell(
@@ -146,7 +171,8 @@ def make_cell(
     call_frequency: int = 1,
     config_overrides: dict[str, Any] | None = None,
     config: ChameleonConfig | None = None,
-    network: NetworkModel = QDR_CLUSTER,
+    network: NetworkModel | None = None,
+    sim: SimConfig | None = None,
     warmup: Sequence[int] | None = None,
     faults: FaultPlan | None = None,
 ) -> Cell:
@@ -166,7 +192,7 @@ def make_cell(
         nprocs=nprocs,
         mode=mode,
         config=config,
-        network=network,
+        sim=_resolve_sim(sim, network),
         faults=faults,
     )
 
@@ -179,7 +205,8 @@ def make_suite_cells(
     workload_params: dict[str, Any] | None = None,
     call_frequency: int = 1,
     config_overrides: dict[str, Any] | None = None,
-    network: NetworkModel = QDR_CLUSTER,
+    network: NetworkModel | None = None,
+    sim: SimConfig | None = None,
     warmup: Sequence[int] | None = None,
 ) -> list[Cell]:
     """Cells for one suite: workload and config constructed exactly once.
@@ -201,7 +228,7 @@ def make_suite_cells(
             nprocs=nprocs,
             mode=mode,
             config=config,
-            network=network,
+            sim=_resolve_sim(sim, network),
         )
         for mode in modes
     ]
@@ -218,7 +245,7 @@ def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
         cell.nprocs,
         cell.mode,
         config=cell.config,
-        network=cell.network,
+        sim=cell.sim,
         faults=cell.faults,
     )
     return result, time.perf_counter() - start
@@ -472,7 +499,7 @@ class ExperimentEngine:
             cell.nprocs,
             cell.mode,
             config=cell.config,
-            network=cell.network,
+            sim=cell.sim,
             instrument=ins,
             faults=cell.faults,
         )
@@ -495,7 +522,8 @@ class ExperimentEngine:
         workload_params: dict[str, Any] | None = None,
         call_frequency: int = 1,
         config_overrides: dict[str, Any] | None = None,
-        network: NetworkModel = QDR_CLUSTER,
+        network: NetworkModel | None = None,
+        sim: SimConfig | None = None,
     ) -> dict[Mode, RunResult]:
         """Run one workload under several modes (one config for all)."""
         cells = make_suite_cells(
@@ -506,6 +534,7 @@ class ExperimentEngine:
             call_frequency=call_frequency,
             config_overrides=config_overrides,
             network=network,
+            sim=sim,
         )
         results = self.run_cells(cells)
         return {cell.mode: result for cell, result in zip(cells, results)}

@@ -33,7 +33,8 @@ from ..scalatrace.costmodel import DEFAULT_COSTS
 from ..scalatrace.trace import Trace
 from ..scalatrace.tracer import ScalaTraceTracer, TracerStats
 from ..simmpi.launcher import run_spmd
-from ..simmpi.timing import NetworkModel, QDR_CLUSTER
+from ..simmpi.simconfig import SimConfig
+from ..simmpi.timing import NetworkModel
 from ..workloads.base import NullTracer, Workload
 from ..workloads.registry import PAPER_K
 
@@ -222,17 +223,21 @@ def run_mode(
     nprocs: int,
     mode: Mode,
     config: ChameleonConfig | None = None,
-    network: NetworkModel = QDR_CLUSTER,
+    network: NetworkModel | None = None,
     instrument: Instrument | None = None,
     faults: FaultPlan | None = None,
-    collectives: str = "fast",
+    collectives: str | None = None,
+    sim: SimConfig | None = None,
 ) -> RunResult:
     """Execute one (workload, P, mode) combination.
 
-    ``collectives`` selects the simulator's collective execution mode
-    (``"fast"`` macro path by default, ``"simulated"`` for the message-level
-    reference); both produce bit-identical results and virtual times, so
-    the choice is deliberately excluded from :meth:`RunResult.digest`.
+    ``sim`` carries every simulator engine option as one
+    :class:`~repro.simmpi.SimConfig` (network model, matching, collectives
+    mode, shard count, step budget).  The ``network=``/``collectives=``
+    keywords are retained for compatibility and quietly folded into the
+    effective config; they are ignored when ``sim`` is given.  Matching,
+    collectives and shards all produce bit-identical results and virtual
+    times, so they are deliberately excluded from :meth:`Cell.digest`.
 
     Pass a :class:`~repro.obs.instrument.Recorder` as ``instrument`` to
     capture the run's event timeline; its snapshot is attached to
@@ -247,6 +252,12 @@ def run_mode(
     """
     cfg = config or chameleon_config_for(workload)
     ins = instrument if instrument is not None else NULL_INSTRUMENT
+    if sim is None:
+        sim = SimConfig(
+            **{k: v for k, v in (
+                ("network", network), ("collectives", collectives)
+            ) if v is not None}
+        )
 
     async def main(ctx):
         if mode is Mode.APP:
@@ -275,8 +286,7 @@ def run_mode(
             }
         return out
 
-    res = run_spmd(main, nprocs, network=network, instrument=ins,
-                   faults=faults, collectives=collectives)
+    res = run_spmd(main, nprocs, config=sim, instrument=ins, faults=faults)
     # Crashed ranks park with result None: tolerate holes everywhere and
     # take the trace from the first rank that holds one (rank 0 normally;
     # the lowest survivor when the tracer degraded after rank 0 died).
@@ -323,7 +333,8 @@ def run_suite(
     workload_params: dict[str, Any] | None = None,
     call_frequency: int = 1,
     config_overrides: dict[str, Any] | None = None,
-    network: NetworkModel = QDR_CLUSTER,
+    network: NetworkModel | None = None,
+    sim: SimConfig | None = None,
 ) -> dict[Mode, RunResult]:
     """Run a workload under several modes with identical parameters.
 
@@ -347,6 +358,7 @@ def run_suite(
         call_frequency=call_frequency,
         config_overrides=config_overrides,
         network=network,
+        sim=sim,
     )
 
 

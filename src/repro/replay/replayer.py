@@ -32,6 +32,7 @@ from ..scalatrace.trace import Trace
 from ..simmpi.collectives import Communicator
 from ..simmpi.comm import ANY_SOURCE
 from ..simmpi.launcher import RankContext, run_spmd
+from ..simmpi.simconfig import SimConfig
 from ..simmpi.timing import NetworkModel, QDR_CLUSTER
 
 #: tag used for all replayed point-to-point traffic
@@ -408,7 +409,7 @@ def replay_trace(
                 my_stats.collectives,
             )
 
-        return run_spmd(main, nprocs, network=network)
+        return run_spmd(main, nprocs, config=SimConfig(network=network))
 
     # Deadlock repair: clustered traces can carry endpoint substitutions
     # that mis-target a few messages (the paper's <100% accuracy); if the

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..scalatrace.trace import Trace
 from ..simmpi.comm import ANY_SOURCE
 from ..simmpi.launcher import run_spmd
+from ..simmpi.simconfig import SimConfig
 from ..simmpi.timing import NetworkModel, QDR_CLUSTER
 from .replayer import REPLAY_TAG, _issue_collective, build_schedule, \
     coalesce_collectives, reconcile
@@ -128,5 +129,5 @@ def reconstruct_timeline(
             await req.wait()
         return None
 
-    result = run_spmd(main, nprocs, network=network)
+    result = run_spmd(main, nprocs, config=SimConfig(network=network))
     return Timeline(intervals=recorded, makespan=result.max_time)

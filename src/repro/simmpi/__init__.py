@@ -34,6 +34,7 @@ from .errors import (
 )
 from .futures import SimFuture
 from .launcher import RankContext, SpmdResult, run_spmd
+from .simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
 from .timing import QDR_CLUSTER, SLOW_CLUSTER, ZERO_COST, NetworkModel
 from .topology import (
     Grid2D,
@@ -55,6 +56,7 @@ __all__ = [
     "CollectiveMismatchError",
     "Communicator",
     "CommunicatorError",
+    "DEFAULT_CONFIG",
     "DeadlockError",
     "Engine",
     "EngineLimitError",
@@ -74,6 +76,7 @@ __all__ = [
     "Request",
     "SLOW_CLUSTER",
     "SUM",
+    "SimConfig",
     "SimFuture",
     "SimMPIError",
     "SpmdResult",
@@ -88,6 +91,7 @@ __all__ = [
     "hypercube_neighbors",
     "ints",
     "payload_nbytes",
+    "resolve_config",
     "run_spmd",
     "square_grid",
     "wait_all",

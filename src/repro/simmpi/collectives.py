@@ -276,6 +276,23 @@ def _g_scan(rank, size, value, op, nbytes):
     return acc
 
 
+#: kind -> schedule-generator factory, called as ``factory(rank, size,
+#: *genargs)``.  Dispatchers hand :meth:`Communicator._join_fast` the plain
+#: ``genargs`` tuple instead of a live generator so a gate entry stays
+#: picklable — the sharded engine ships entries to the coordinator process
+#: and reconstructs the generators there from this same map.
+_GEN_FACTORIES: dict[str, Callable[..., Any]] = {
+    "barrier": _g_barrier,
+    "bcast": _g_bcast,
+    "reduce": _g_reduce,
+    "gather": _g_gather,
+    "scatter": _g_scatter,
+    "allgather": _g_allgather,
+    "alltoall": _g_alltoall,
+    "scan": _g_scan,
+}
+
+
 # -- macro fast path: mini-engine --------------------------------------------
 
 
@@ -844,7 +861,7 @@ class Communicator(Comm):
             )
         return None
 
-    async def _join_fast(self, gate: _CollGate, gen) -> Any:
+    async def _join_fast(self, gate: _CollGate, genargs: tuple) -> Any:
         """Register this rank on ``gate`` and await the bulk advance."""
         ctx = self.context
         task = self.task
@@ -858,6 +875,7 @@ class Communicator(Comm):
             kind="coll", tag=seq, dest=ctx.ranks[self.rank], comm=ctx.id,
             post_time=task.clock,
         )
+        gen = _GEN_FACTORIES[gate.kind](self.rank, self.size, *genargs)
         gate.entries.append(_GateEntry(self.rank, task, fut, gen))
         if len(gate.entries) == gate.expected:
             gate.complete(self)
@@ -874,7 +892,7 @@ class Communicator(Comm):
         gate = self._consult_gate("barrier", None)
         if gate is None:
             return await self._barrier_sim()
-        return await self._join_fast(gate, _g_barrier(self.rank, self.size))
+        return await self._join_fast(gate, ())
 
     @_observed("barrier", "dissemination")
     async def _barrier_sim(self) -> None:
@@ -899,9 +917,7 @@ class Communicator(Comm):
         gate = self._consult_gate("bcast", root)
         if gate is None:
             return await self._bcast_sim(value, root, size)
-        return await self._join_fast(
-            gate, _g_bcast(self.rank, self.size, root, value, size)
-        )
+        return await self._join_fast(gate, (root, value, size))
 
     @_observed("bcast", "binomial-tree")
     async def _bcast_sim(self, value: Any, root: int, size: int | None) -> Any:
@@ -928,9 +944,7 @@ class Communicator(Comm):
         gate = self._consult_gate("reduce", root)
         if gate is None:
             return await self._reduce_sim(value, op, root, size)
-        return await self._join_fast(
-            gate, _g_reduce(self.rank, self.size, root, value, op, size)
-        )
+        return await self._join_fast(gate, (root, value, op, size))
 
     @_observed("reduce", "binomial-tree")
     async def _reduce_sim(
@@ -975,9 +989,7 @@ class Communicator(Comm):
         gate = self._consult_gate("gather", root)
         if gate is None:
             return await self._gather_sim(value, root, size)
-        return await self._join_fast(
-            gate, _g_gather(self.rank, self.size, root, value, size)
-        )
+        return await self._join_fast(gate, (root, value, size))
 
     @_observed("gather", "binomial-tree")
     async def _gather_sim(
@@ -1021,9 +1033,7 @@ class Communicator(Comm):
                 "scatter needs one value per rank" if self.size == 1
                 else "scatter root must supply exactly one value per rank"
             )
-        return await self._join_fast(
-            gate, _g_scatter(self.rank, self.size, root, values, size)
-        )
+        return await self._join_fast(gate, (root, values, size))
 
     @_observed("scatter", "binomial-tree")
     async def _scatter_sim(
@@ -1062,9 +1072,7 @@ class Communicator(Comm):
         gate = self._consult_gate("allgather", None)
         if gate is None:
             return await self._allgather_sim(value, size)
-        return await self._join_fast(
-            gate, _g_allgather(self.rank, self.size, value, size)
-        )
+        return await self._join_fast(gate, (value, size))
 
     @_observed("allgather", "ring")
     async def _allgather_sim(self, value: Any, size: int | None) -> list[Any]:
@@ -1101,9 +1109,7 @@ class Communicator(Comm):
         gate = self._consult_gate("alltoall", None)
         if gate is None:
             return await self._alltoall_sim(values, size)
-        return await self._join_fast(
-            gate, _g_alltoall(self.rank, self.size, values, size)
-        )
+        return await self._join_fast(gate, (values, size))
 
     @_observed("alltoall", "pairwise-exchange")
     async def _alltoall_sim(
@@ -1127,9 +1133,7 @@ class Communicator(Comm):
         gate = self._consult_gate("scan", None)
         if gate is None:
             return await self._scan_sim(value, op, size)
-        return await self._join_fast(
-            gate, _g_scan(self.rank, self.size, value, op, size)
-        )
+        return await self._join_fast(gate, (value, op, size))
 
     @_observed("scan", "linear-chain")
     async def _scan_sim(

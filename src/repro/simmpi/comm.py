@@ -444,6 +444,29 @@ class LinearMailbox:
 MAILBOX_KINDS = {"indexed": Mailbox, "linear": LinearMailbox}
 
 
+class _LazyMailboxes(dict):
+    """Mailboxes materialized on first touch.
+
+    A pure-collective run at P=65536 never routes a point-to-point
+    message, so eagerly building P mailboxes per communicator is wasted
+    allocation; unmaterialized entries behave as (and are) empty
+    mailboxes.  Iteration (``values()`` in the crash sweep and the
+    tag-window scan) only visits materialized entries, which is correct
+    because an untouched mailbox holds neither messages nor pendings.
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory) -> None:
+        super().__init__()
+        self._factory = factory
+
+    def __missing__(self, key):
+        mbox = self._factory()
+        self[key] = mbox
+        return mbox
+
+
 class CommContext:
     """State shared by all ranks of one communicator."""
 
@@ -456,10 +479,9 @@ class CommContext:
         self.local_of: dict[int, int] = {
             world: i for i, world in enumerate(self.ranks)
         }
-        mailbox_cls = MAILBOX_KINDS[engine.matching]
-        self._mailboxes: dict[int, Any] = {
-            i: mailbox_cls() for i in range(len(self.ranks))
-        }
+        self._mailboxes: dict[int, Any] = _LazyMailboxes(
+            MAILBOX_KINDS[engine.matching]
+        )
         # Per-rank collective sequence numbers; SPMD programs call
         # collectives in the same order so these align across ranks and give
         # each collective instance a private tag window.
@@ -479,6 +501,96 @@ class CommContext:
 
     def mailbox(self, local_rank: int):
         return self._mailboxes[local_rank]
+
+    # -- matching internals --------------------------------------------
+    #
+    # Delivery and match firing live on the context (not the sending
+    # Comm): the sharded engine applies remotely-originated messages to a
+    # mailbox with no sender-side Comm object in this process.
+
+    def deliver(self, mbox, msg: "Message") -> None:
+        """Offer a message to the destination mailbox, matching if possible."""
+        pending = mbox.match_pending(msg, self.engine.faults.active)
+        if pending is not None:
+            self.fire_match(pending, msg)
+            return
+        mbox.push_msg(msg)
+
+    def fire_match(self, pending: "PendingRecv", msg: "Message") -> None:
+        """Compute completion times and resolve both sides' futures."""
+        net = self.engine.network
+        inj = self.engine.faults
+        if inj.active and pending.future.done:
+            # The receiver was already released by a fault timeout; consume
+            # the message and free a still-waiting rendezvous sender.
+            if (
+                msg.rendezvous
+                and msg.sender_future is not None
+                and not msg.sender_future.done
+            ):
+                msg.sender_future.resolve(LOST, time=msg.send_ready)
+            return
+        self.engine.total_matches += 1
+        if msg.rendezvous:
+            latency = net.latency
+            transfer = net.transfer_time(msg.nbytes)
+            if inj.active:
+                lat_f, bw_f = inj.link_factors(
+                    self.ranks[msg.src], self.ranks[msg.dest]
+                )
+                latency *= lat_f
+                transfer *= bw_f
+            start = max(msg.send_ready, pending.post_time + net.o_recv)
+            done_send = start + transfer
+            done_recv = start + latency + transfer
+            assert msg.sender_future is not None
+            if not msg.sender_future.done:
+                # Streaming the payload is active work for the sender, but
+                # the charge lands when the sender *waits* on the request:
+                # busy then accumulates strictly in each rank's program
+                # order, independent of global scheduling (the collective
+                # fast path relies on this to replay busy times bitwise).
+                msg.sender_future.busy_charge = transfer
+                msg.sender_future.resolve(None, time=done_send)
+        else:
+            done_recv = max(pending.post_time + net.o_recv, msg.arrival)
+        pending.task.msgs_received += 1
+        pending.task.bytes_received += msg.nbytes
+        # Like the rendezvous sender's transfer above, the receiver's
+        # o_recv overhead is deferred to Request.wait so busy accumulates
+        # in program order regardless of when the match fires — without
+        # this, a non-blocking receive completed mid-compute would charge
+        # o_recv at a schedule-dependent point, breaking shard-vs-single
+        # bitwise busy equality.
+        pending.future.busy_charge = net.o_recv
+        ins = self.engine.instrument
+        if ins.enabled:
+            # One span per delivered message on the *receiver's* lane, from
+            # the receive post to completion: the wait/latency view the
+            # paper's rendezvous-cost argument is about.
+            wsrc = self.ranks[msg.src]
+            wdest = self.ranks[msg.dest]
+            cat = "p2p" if msg.tag <= MAX_USER_TAG else "p2p.tool"
+            ins.span(
+                wdest,
+                f"recv<-{wsrc}",
+                cat,
+                pending.post_time,
+                done_recv,
+                {
+                    "src": wsrc,
+                    "tag": msg.tag,
+                    "nbytes": msg.nbytes,
+                    "rendezvous": msg.rendezvous,
+                    "comm": self.id,
+                },
+            )
+            ins.metrics.count("p2p/bytes_received", msg.nbytes, rank=wdest,
+                              op="recv", t=done_recv)
+            ins.metrics.observe("p2p/recv_latency",
+                                max(done_recv - pending.post_time, 0.0),
+                                rank=wdest)
+        pending.future.resolve(msg, time=done_recv)
 
 
 def _status_of(msg: Message) -> dict:
@@ -790,79 +902,7 @@ class Comm:
     # -- matching internals --------------------------------------------
 
     def _deliver(self, mbox, msg: Message) -> None:
-        """Offer a message to the destination mailbox, matching if possible."""
-        pending = mbox.match_pending(msg, self.engine.faults.active)
-        if pending is not None:
-            self._fire_match(pending, msg)
-            return
-        mbox.push_msg(msg)
+        self.context.deliver(mbox, msg)
 
     def _fire_match(self, pending: PendingRecv, msg: Message) -> None:
-        """Compute completion times and resolve both sides' futures."""
-        net = self.net
-        inj = self.engine.faults
-        if inj.active and pending.future.done:
-            # The receiver was already released by a fault timeout; consume
-            # the message and free a still-waiting rendezvous sender.
-            if (
-                msg.rendezvous
-                and msg.sender_future is not None
-                and not msg.sender_future.done
-            ):
-                msg.sender_future.resolve(LOST, time=msg.send_ready)
-            return
-        self.engine.total_matches += 1
-        if msg.rendezvous:
-            latency = net.latency
-            transfer = net.transfer_time(msg.nbytes)
-            if inj.active:
-                lat_f, bw_f = inj.link_factors(
-                    self.context.ranks[msg.src], self.context.ranks[msg.dest]
-                )
-                latency *= lat_f
-                transfer *= bw_f
-            start = max(msg.send_ready, pending.post_time + net.o_recv)
-            done_send = start + transfer
-            done_recv = start + latency + transfer
-            assert msg.sender_future is not None
-            if not msg.sender_future.done:
-                # Streaming the payload is active work for the sender, but
-                # the charge lands when the sender *waits* on the request:
-                # busy then accumulates strictly in each rank's program
-                # order, independent of global scheduling (the collective
-                # fast path relies on this to replay busy times bitwise).
-                msg.sender_future.busy_charge = transfer
-                msg.sender_future.resolve(None, time=done_send)
-        else:
-            done_recv = max(pending.post_time + net.o_recv, msg.arrival)
-        pending.task.msgs_received += 1
-        pending.task.bytes_received += msg.nbytes
-        pending.task.busy += net.o_recv
-        ins = self.engine.instrument
-        if ins.enabled:
-            # One span per delivered message on the *receiver's* lane, from
-            # the receive post to completion: the wait/latency view the
-            # paper's rendezvous-cost argument is about.
-            wsrc = self.context.ranks[msg.src]
-            wdest = self.context.ranks[msg.dest]
-            cat = "p2p" if msg.tag <= MAX_USER_TAG else "p2p.tool"
-            ins.span(
-                wdest,
-                f"recv<-{wsrc}",
-                cat,
-                pending.post_time,
-                done_recv,
-                {
-                    "src": wsrc,
-                    "tag": msg.tag,
-                    "nbytes": msg.nbytes,
-                    "rendezvous": msg.rendezvous,
-                    "comm": self.context.id,
-                },
-            )
-            ins.metrics.count("p2p/bytes_received", msg.nbytes, rank=wdest,
-                              op="recv", t=done_recv)
-            ins.metrics.observe("p2p/recv_latency",
-                                max(done_recv - pending.post_time, 0.0),
-                                rank=wdest)
-        pending.future.resolve(msg, time=done_recv)
+        self.context.fire_match(pending, msg)

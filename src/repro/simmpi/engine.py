@@ -263,88 +263,9 @@ class Engine:
         by the failure are released with :data:`~repro.faults.LOST` after
         the plan's virtual-time ``op_timeout`` instead of deadlocking.
         """
-        ins = self.instrument
         inj = self.faults
         while True:
-            while self._ready:
-                task = self._ready.popleft()
-                if task.state != TaskState.READY:  # pragma: no cover - invariant
-                    continue
-                if inj.active and inj.crash_due(task.rank, task.clock):
-                    self._crash(task)
-                    continue
-                task.state = TaskState.RUNNING
-                self._current = task
-                stretch_start = task.clock
-                skip_count = task.gate_wake
-                task.gate_wake = False
-                try:
-                    while True:
-                        self._resumes += 1
-                        if skip_count:
-                            skip_count = False
-                        else:
-                            self._steps += 1
-                        if (
-                            self._max_steps is not None
-                            and self._resumes > self._max_steps
-                        ):
-                            raise EngineLimitError(
-                                self._max_steps, self._resumes
-                            )
-                        fut = task.coro.send(None)
-                        if not isinstance(fut, SimFuture):
-                            raise TypeError(
-                                f"rank {task.rank} yielded {type(fut).__name__}; "
-                                "only SimFuture awaitables are supported"
-                            )
-                        if fut.done:
-                            # Resolved while we were getting here; loop and let
-                            # the coroutine pick the value up immediately.
-                            continue
-                        self._park(task, fut)
-                        if ins.enabled:
-                            ins.span(task.rank, "run", "sched", stretch_start,
-                                     task.clock, {"until": "park"})
-                            ins.instant(task.rank, "park", "sched", task.clock,
-                                        {"on": fut.label})
-                        break
-                except StopIteration as stop:
-                    task.state = TaskState.DONE
-                    task.result = stop.value
-                    if ins.enabled:
-                        ins.span(task.rank, "run", "sched", stretch_start,
-                                 task.clock, {"until": "done"})
-                except EngineLimitError:
-                    # The step budget is a property of the run, not of the
-                    # rank that happened to be scheduled when it tripped:
-                    # do not wrap, do not blame.
-                    task.state = TaskState.READY
-                    self._current = None
-                    self._close_unfinished()
-                    raise
-                except BaseException as exc:  # noqa: BLE001 - reported to caller
-                    task.state = TaskState.FAILED
-                    task.error = exc
-                    self._current = None
-                    if inj.active:
-                        # Partial failure: record the casualty, keep the
-                        # survivors running; orphaned peers are released by
-                        # the op_timeout below.
-                        inj.failed.add(task.rank)
-                        self._purge_pending(task)
-                        if ins.enabled:
-                            ins.instant(task.rank, "rank_failed", "fault",
-                                        task.clock, {"error": repr(exc)})
-                            ins.metrics.count("fault/rank_failures", 1,
-                                              rank=task.rank, t=task.clock)
-                        continue
-                    self._close_unfinished()
-                    raise TaskFailedError(task.rank, exc) from exc
-                finally:
-                    if self._current is task:
-                        self._current = None
-
+            self.run_ready()
             if not (inj.active and self._release_one_orphan()):
                 break
 
@@ -354,6 +275,98 @@ class Engine:
         ]
         if unfinished:
             raise DeadlockError(self._deadlock_detail(unfinished))
+
+    def run_ready(self) -> None:
+        """Drive the ready queue until it drains (one conservative wave).
+
+        This is :meth:`run` without the orphan-release loop and the
+        deadlock check: the sharded engine (see
+        :mod:`repro.simmpi.sharded`) calls it once per wave barrier and
+        resolves cross-shard futures between calls, while :meth:`run`
+        wraps it for the single-process case.  Error semantics are
+        identical to :meth:`run`.
+        """
+        ins = self.instrument
+        inj = self.faults
+        while self._ready:
+            task = self._ready.popleft()
+            if task.state != TaskState.READY:  # pragma: no cover - invariant
+                continue
+            if inj.active and inj.crash_due(task.rank, task.clock):
+                self._crash(task)
+                continue
+            task.state = TaskState.RUNNING
+            self._current = task
+            stretch_start = task.clock
+            skip_count = task.gate_wake
+            task.gate_wake = False
+            try:
+                while True:
+                    self._resumes += 1
+                    if skip_count:
+                        skip_count = False
+                    else:
+                        self._steps += 1
+                    if (
+                        self._max_steps is not None
+                        and self._resumes > self._max_steps
+                    ):
+                        raise EngineLimitError(
+                            self._max_steps, self._resumes
+                        )
+                    fut = task.coro.send(None)
+                    if not isinstance(fut, SimFuture):
+                        raise TypeError(
+                            f"rank {task.rank} yielded {type(fut).__name__}; "
+                            "only SimFuture awaitables are supported"
+                        )
+                    if fut.done:
+                        # Resolved while we were getting here; loop and let
+                        # the coroutine pick the value up immediately.
+                        continue
+                    self._park(task, fut)
+                    if ins.enabled:
+                        ins.span(task.rank, "run", "sched", stretch_start,
+                                 task.clock, {"until": "park"})
+                        ins.instant(task.rank, "park", "sched", task.clock,
+                                    {"on": fut.label})
+                    break
+            except StopIteration as stop:
+                task.state = TaskState.DONE
+                task.result = stop.value
+                if ins.enabled:
+                    ins.span(task.rank, "run", "sched", stretch_start,
+                             task.clock, {"until": "done"})
+            except EngineLimitError:
+                # The step budget is a property of the run, not of the
+                # rank that happened to be scheduled when it tripped:
+                # do not wrap, do not blame.
+                task.state = TaskState.READY
+                self._current = None
+                self._close_unfinished()
+                raise
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                task.state = TaskState.FAILED
+                task.error = exc
+                self._current = None
+                if inj.active:
+                    # Partial failure: record the casualty, keep the
+                    # survivors running; orphaned peers are released by
+                    # the op_timeout below.
+                    inj.failed.add(task.rank)
+                    self._purge_pending(task)
+                    if ins.enabled:
+                        ins.instant(task.rank, "rank_failed", "fault",
+                                    task.clock, {"error": repr(exc)})
+                        ins.metrics.count("fault/rank_failures", 1,
+                                          rank=task.rank, t=task.clock)
+                    continue
+                self._close_unfinished()
+                raise TaskFailedError(task.rank, exc) from exc
+            finally:
+                if self._current is task:
+                    self._current = None
+
 
     # -- fault handling ----------------------------------------------------
 

@@ -18,7 +18,8 @@ from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from .collectives import Communicator
 from .comm import CommContext
 from .engine import Engine, Task
-from .timing import NetworkModel, QDR_CLUSTER
+from .simconfig import SimConfig, resolve_config
+from .timing import NetworkModel
 
 
 class RankContext:
@@ -126,17 +127,25 @@ def run_spmd(
     main: MainFn,
     nprocs: int,
     *args: Any,
-    network: NetworkModel = QDR_CLUSTER,
+    config: SimConfig | None = None,
+    network: NetworkModel | None = None,
     max_steps: int | None = None,
     instrument: Instrument = NULL_INSTRUMENT,
     faults: FaultPlan | FaultInjector | None = None,
-    matching: str = "indexed",
-    collectives: str = "fast",
+    matching: str | None = None,
+    collectives: str | None = None,
+    shards: int | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``main(ctx, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     ``main`` must be an ``async def``; it is instantiated once per rank.
+    Engine options travel in ``config`` (a :class:`SimConfig`); the
+    individual ``network=``/``matching=``/``collectives=``/``shards=``/
+    ``max_steps=`` keywords are deprecated shims that still work for one
+    release (each emits a :class:`DeprecationWarning` and overrides the
+    corresponding ``config`` field).
+
     ``instrument`` receives the run's observability events (scheduler,
     p2p, collectives, tracers); the default is the zero-cost no-op.
     Raises :class:`~repro.simmpi.errors.TaskFailedError` if any rank raises
@@ -148,26 +157,59 @@ def run_spmd(
     results, and no error is raised for them.  An empty plan is a strict
     no-op — all virtual times stay bit-identical.
 
-    ``matching`` selects the mailbox implementation: ``"indexed"`` (default,
-    per-``(src, tag)`` lanes) or ``"linear"`` (the pre-index FIFO-scan
-    reference, kept for equivalence testing — both produce bit-identical
-    match order and virtual times).
+    ``config.matching`` selects the mailbox implementation: ``"indexed"``
+    (default, per-``(src, tag)`` lanes) or ``"linear"`` (the pre-index
+    FIFO-scan reference, kept for equivalence testing — both produce
+    bit-identical match order and virtual times).
 
-    ``collectives`` selects the collective execution mode: ``"fast"``
-    (default) lets eligible collectives take the closed-form macro path —
-    bit-identical virtual times and results, orders of magnitude fewer
-    engine steps — while anything a fault or tracer could observe falls
-    back per instance to ``"simulated"``, the always-message-level
-    reference path.  See docs/PERF.md ("Macro-collectives").
+    ``config.collectives`` selects the collective execution mode:
+    ``"fast"`` (default) lets eligible collectives take the closed-form
+    macro path — bit-identical virtual times and results, orders of
+    magnitude fewer engine steps — while anything a fault or tracer could
+    observe falls back per instance to ``"simulated"``, the
+    always-message-level reference path.  See docs/PERF.md
+    ("Macro-collectives").
+
+    ``config.shards`` partitions the ranks over that many worker
+    processes advancing in conservative-PDES waves — bit-identical
+    virtual clocks/busy/results/totals to ``shards=1``, with automatic
+    fallback to the single-process engine whenever a run uses a feature
+    the sharded path cannot reproduce exactly (see docs/PERF.md,
+    "Sharded engine"; the fallback reason lands in
+    ``SpmdResult.extras["shard_fallback"]``).
     """
+    cfg = resolve_config(
+        config, network=network, max_steps=max_steps, matching=matching,
+        collectives=collectives, shards=shards,
+    )
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
+    if cfg.shards > 1:
+        from .sharded import run_sharded
+
+        return run_sharded(main, nprocs, args, kwargs, cfg,
+                           instrument=instrument, faults=faults)
+    return _run_single(main, nprocs, args, kwargs, cfg,
+                       instrument=instrument, faults=faults)
+
+
+def _run_single(
+    main: MainFn,
+    nprocs: int,
+    args: tuple,
+    kwargs: dict,
+    cfg: SimConfig,
+    *,
+    instrument: Instrument = NULL_INSTRUMENT,
+    faults: FaultPlan | FaultInjector | None = None,
+) -> SpmdResult:
+    """The single-process engine: the reference (and oracle) execution."""
     injector = injector_for(faults)
     if injector.active:
         injector.plan.validate(nprocs)
-    engine = Engine(network=network, max_steps=max_steps,
+    engine = Engine(network=cfg.network, max_steps=cfg.max_steps,
                     instrument=instrument, faults=injector,
-                    matching=matching, collectives=collectives)
+                    matching=cfg.matching, collectives=cfg.collectives)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn

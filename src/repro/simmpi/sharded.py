@@ -1,0 +1,790 @@
+"""Conservative-PDES sharding: the engine partitioned over processes.
+
+``run_spmd(..., config=SimConfig(shards=S))`` splits the world's ranks
+into ``S`` contiguous blocks, each advanced by an unmodified
+single-process :class:`~repro.simmpi.engine.Engine` in a forked worker.
+Workers alternate between *waves* — :meth:`Engine.run_ready` drains every
+runnable task until all owned ranks are parked on cross-shard futures —
+and a barrier exchange through the coordinator (this process), which
+routes cross-shard point-to-point messages, rendezvous completions and
+macro-collective gate replays.  Lookahead is implicit: a rank only parks
+when its next event depends on a remote shard, and everything it produced
+before parking carries final virtual timestamps (the LogGP model charges
+costs at post time), so delivering at the barrier can never violate
+causality — the classic conservative-PDES argument.
+
+**Bit-identity contract.**  A sharded run returns *bit-identical* virtual
+clocks, busy times, results and communication totals to ``shards=1``.
+This falls out of two properties:
+
+* per-rank virtual state depends only on the rank's program order and on
+  which message matched which receive — never on global scheduling order;
+* every matching decision the sharded run makes is interleaving-invariant:
+  exact-source receives (including ``ANY_TAG``) reduce to per-sender-pair
+  FIFO matching, and anything order-sensitive is a *hazard* (below).
+
+**Hazards and the oracle.**  Any construct whose outcome could depend on
+cross-shard scheduling — ``ANY_SOURCE`` receives, ``probe``,
+communicator ``split``/``dup``, a user tag colliding with a collective's
+private tag window, an unpicklable payload — aborts the shards and
+transparently reruns the whole program on the single-process engine,
+which *is* the oracle: results and exceptions are exact by construction.
+Errors, deadlocks and collective mismatches take the same route so their
+diagnostics match ``shards=1`` verbatim.  The fallback reason is recorded
+in ``SpmdResult.extras["shard_fallback"]``; sharding is purely an
+optimization and never changes observable behaviour.
+
+**Fault plans.**  Delay/duplicate message faults, degraded links and
+compute noise are shard-safe: every draw keys on (seed, kind, endpoints,
+per-sender ordinal), so it lands identically wherever it is evaluated.
+Crash faults and message *drops* are not (they create LOST holes whose
+release order is engine-global), so such plans fall back before forking.
+
+See docs/PERF.md ("Sharded engine") for the design discussion and the
+cases where ``shards > 1`` loses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Sequence
+
+from ..faults.injector import FaultInjector, injector_for
+from ..faults.plan import FaultPlan
+from ..obs.instrument import NULL_INSTRUMENT, Instrument, ObsData, Recorder
+from .collectives import (
+    _ALGORITHMS,
+    _BarrierReplay,
+    _CollGate,
+    _GEN_FACTORIES,
+    _GateEntry,
+    _MiniEngine,
+    Communicator,
+)
+from .comm import ANY_SOURCE, ANY_TAG, CommContext, MAX_USER_TAG, Message, Request
+from .datatypes import payload_nbytes
+from .engine import Engine, Task, TaskState
+from .errors import CollectiveMismatchError
+from .futures import SimFuture
+from .simconfig import SimConfig
+
+_TAG_STRIDE = 4096  # collectives._TAG_STRIDE (kept in sync by a test)
+
+
+class ShardHazard(Exception):
+    """Raised inside a worker when the program uses a construct the
+    sharded engine cannot reproduce bit-identically; the run falls back
+    to the single-process oracle."""
+
+
+# -- shard-side communicator --------------------------------------------------
+
+
+class ShardCommContext(CommContext):
+    """World communicator context as seen by one shard.
+
+    Rank numbering, mailboxes and collective sequence numbers cover the
+    *whole* world (so they align exactly with the single-process run),
+    but only ranks in ``[lo, hi)`` have live tasks here; traffic to the
+    rest is queued in ``outbox`` for the coordinator to route.
+    """
+
+    def __init__(self, engine: Engine, nprocs: int, lo: int, hi: int) -> None:
+        super().__init__(engine, range(nprocs))
+        self.lo = lo
+        self.hi = hi
+        self.owned_count = hi - lo
+        #: set to a reason string the moment a hazard is detected; checked
+        #: at every wave boundary (an active fault injector would swallow
+        #: the exception as a partial failure, so the flag is the backstop)
+        self.hazard: str | None = None
+        #: cross-shard messages produced this wave
+        self.outbox: list[tuple] = []
+        #: rendezvous sender futures awaiting a remote completion,
+        #: keyed by (src_world, sender ordinal)
+        self.rdv_waiting: dict[tuple[int, int], SimFuture] = {}
+        #: rendezvous completions produced this wave (we are the receiver)
+        self.rdv_replies_out: list[tuple] = []
+        #: locally-complete collective gates awaiting the global replay
+        self.gates_out: list[tuple[int, _CollGate]] = []
+        self.gate_pending: dict[int, _CollGate] = {}
+
+    def owns(self, world_rank: int) -> bool:
+        return self.lo <= world_rank < self.hi
+
+    def flag_hazard(self, reason: str) -> None:
+        if self.hazard is None:
+            self.hazard = reason
+
+
+class ShardCommunicator(Communicator):
+    """World communicator bound to a rank owned by this shard.
+
+    Intra-shard traffic uses the inherited implementation unchanged.
+    Cross-shard sends replicate ``Comm.isend``'s exact arithmetic locally
+    (all sender-side costs are charged at post time) and queue a record
+    for the coordinator; cross-shard receives simply park in the local
+    mailbox until the barrier delivers the message.  Order-sensitive
+    operations raise :class:`ShardHazard`.
+    """
+
+    def isend(
+        self, dest: int, payload: Any = None, tag: int = 0, size: int | None = None
+    ) -> Request:
+        ctx: ShardCommContext = self.context  # type: ignore[assignment]
+        if ctx.owns(dest):
+            return super().isend(dest, payload, tag=tag, size=size)
+        self._check_peer(dest, "destination")
+        self._check_tag(tag, recv=False)
+        nbytes = payload_nbytes(payload) if size is None else int(size)
+        net = self.net
+        task = self.task
+        engine = self.engine
+        task.msgs_sent += 1
+        task.bytes_sent += nbytes
+        engine.total_messages += 1
+        engine.total_bytes += nbytes
+        ins = engine.instrument
+        if ins.enabled:
+            ins.metrics.count("p2p/bytes_sent", nbytes, rank=self.rank,
+                              op="send", t=task.clock)
+            ins.metrics.count("p2p/messages", 1, rank=self.rank,
+                              op="send", t=task.clock)
+        fut = SimFuture(kind="isend", src=self.rank, dest=dest, tag=tag,
+                        comm=ctx.id, post_time=task.clock)
+        ordinal = task.msgs_sent  # after increment: matches Comm.isend
+        inj = engine.faults
+        if net.eager(nbytes):
+            task.charge(net.o_send + net.transfer_time(nbytes))
+            latency = net.latency
+            if inj.active:
+                latency *= inj.link_factors(self.rank, dest)[0]
+                extra = inj.message_delay(self.rank, dest, ordinal)
+                if extra is None:  # pragma: no cover - drops are pre-filtered
+                    ctx.flag_hazard("message-drop")
+                    raise ShardHazard("message drop in a sharded run")
+                latency += extra
+                if extra and ins.enabled:
+                    ins.instant(self.rank, "msg_delayed", "fault", task.clock,
+                                {"dest": dest, "tag": tag, "extra": extra})
+                    ins.metrics.count("fault/messages_delayed", 1,
+                                      rank=self.rank, t=task.clock)
+            ctx.outbox.append((self.rank, dest, tag, payload, nbytes,
+                               task.clock + latency, False, None))
+            fut.resolve(None, time=task.clock)
+        else:
+            task.charge(net.o_send)  # posting cost is paid now
+            pid = (self.rank, ordinal)
+            ctx.rdv_waiting[pid] = fut
+            ctx.outbox.append((self.rank, dest, tag, payload, nbytes,
+                               task.clock, True, pid))
+        return Request(fut, task, "isend")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        if source == ANY_SOURCE:
+            # Which sender matches first depends on global scheduling
+            # order, which sharding does not preserve.  (ANY_TAG with an
+            # exact source is fine: per-pair matching is FIFO regardless.)
+            self.context.flag_hazard("wildcard-source")
+            raise ShardHazard(
+                "recv(ANY_SOURCE) is not shard-safe; the run falls back "
+                "to the single-process engine"
+            )
+        return super().irecv(source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> dict | None:
+        # A probe observes in-flight state that may live on another shard.
+        self.context.flag_hazard("probe")
+        raise ShardHazard("probe() is not shard-safe")
+
+    async def split(self, color: int, key: int | None = None):
+        # Sub-communicator contexts are built on rank 0 and broadcast as
+        # in-process objects; they cannot cross process boundaries.
+        self.context.flag_hazard("split")
+        raise ShardHazard("split()/dup() are not shard-safe")
+
+    async def dup(self) -> "Communicator":
+        self.context.flag_hazard("split")
+        raise ShardHazard("split()/dup() are not shard-safe")
+
+    # -- collectives ---------------------------------------------------
+
+    def _consult_gate(self, kind: str, root: int | None) -> _CollGate | None:
+        ctx: ShardCommContext = self.context  # type: ignore[assignment]
+        seq = ctx.coll_seq[self.rank]
+        gate = ctx._gates.get(seq)
+        if gate is None:
+            reason = self._fallback_reason(seq)
+            if reason == "tag-window":
+                # A divergent per-shard verdict would desynchronise the
+                # collective across shards; make it a whole-run hazard.
+                ctx.flag_hazard("tag-window")
+                raise ShardHazard(
+                    "pending traffic in a collective tag window"
+                )
+            # Every other verdict input (knobs, instrument granularity,
+            # static fault plan) is identical in all shards, so each shard
+            # independently computes the same fast/simulated decision.
+            gate = _CollGate(kind, root, reason, ctx.owned_count)
+            ctx._gates[seq] = gate
+        elif gate.kind != kind or gate.root != root:
+            raise CollectiveMismatchError(
+                f"rank {self.rank} called {kind}(root={root}) as collective "
+                f"#{seq} but other ranks are in "
+                f"{gate.kind}(root={gate.root})"
+            )
+        gate.consulted += 1
+        if gate.consulted == ctx.owned_count:
+            del ctx._gates[seq]
+        if gate.reason is None:
+            return gate
+        engine = self.engine
+        engine.collectives_simulated += 1
+        ins = engine.instrument
+        if ins.enabled:
+            ins.metrics.count(
+                "coll/fallbacks", 1, rank=self.rank,
+                op=f"{kind}:{gate.reason}", t=self.task.clock,
+            )
+        return None
+
+    async def _join_fast(self, gate: _CollGate, genargs: tuple) -> Any:
+        ctx: ShardCommContext = self.context  # type: ignore[assignment]
+        task = self.task
+        seq = ctx.coll_seq[self.rank]
+        ctx.coll_seq[self.rank] = seq + 1
+        task.collectives += 1
+        self.engine.collectives_fast += 1
+        fut = SimFuture(kind="coll", tag=seq, dest=self.rank, comm=ctx.id,
+                        post_time=task.clock)
+        # The ``gen`` slot carries the (picklable) genargs tuple here; the
+        # coordinator rebuilds the actual generator from _GEN_FACTORIES.
+        gate.entries.append(_GateEntry(self.rank, task, fut, genargs))
+        if len(gate.entries) == gate.expected:
+            ctx.gates_out.append((seq, gate))
+            ctx.gate_pending[seq] = gate
+        result = await fut
+        task.advance_to(fut.time)
+        return result
+
+
+# -- wire format helpers ------------------------------------------------------
+
+
+def _gate_record(seq: int, gate: _CollGate) -> tuple:
+    """Columnar encoding of one shard's entries for gate ``seq`` (cheap to
+    pickle at P=65536: eight flat lists instead of P objects)."""
+    es = gate.entries
+    return (
+        seq, gate.kind, gate.root,
+        [e.rank for e in es],
+        [e.clock0 for e in es],
+        [e.busy0 for e in es],
+        [e.sent0 for e in es],
+        [e.bytes_sent0 for e in es],
+        [e.recvd0 for e in es],
+        [e.bytes_recvd0 for e in es],
+        [e.gen for e in es],  # genargs tuples
+    )
+
+
+class _RemoteEntry:
+    """Coordinator-side stand-in for a _GateEntry: just the attributes the
+    mini-engine's _RankState snapshot reads, plus a live generator."""
+
+    __slots__ = ("rank", "gen", "clock0", "busy0", "sent0", "bytes_sent0",
+                 "recvd0", "bytes_recvd0")
+
+    def __init__(self, rank, gen, clock0, busy0, sent0, bytes_sent0,
+                 recvd0, bytes_recvd0) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.clock0 = clock0
+        self.busy0 = busy0
+        self.sent0 = sent0
+        self.bytes_sent0 = bytes_sent0
+        self.recvd0 = recvd0
+        self.bytes_recvd0 = bytes_recvd0
+
+
+def _safe_send(conn, obj) -> bool:
+    """Send ``obj``, degrading to an error status on pickle failure.
+
+    ``Connection.send`` pickles the full object before writing any bytes,
+    so a failed attempt leaves the pipe clean and the fallback status can
+    still go through.
+    """
+    try:
+        conn.send(obj)
+        return True
+    except Exception as exc:  # noqa: BLE001 - unpicklable payload/result
+        conn.send(("error", f"pickle:{type(exc).__name__}"))
+        return False
+
+
+# -- shard worker -------------------------------------------------------------
+
+
+def _apply_inbox(ctx: ShardCommContext, engine: Engine, inbox: dict) -> None:
+    """Apply one wave's deliveries.  Message records from one sender arrive
+    in its program order (per-pair FIFO is all exact-source matching needs);
+    gate results bulk-advance exactly like _CollGate.complete."""
+    for src, dest, tag, payload, nbytes, t, rdv, pid in inbox["msgs"]:
+        mbox = ctx.mailbox(dest)
+        if rdv:
+            proxy = SimFuture(kind="isend", src=src, dest=dest, tag=tag,
+                              comm=ctx.id, post_time=t)
+            proxy.add_done_callback(
+                lambda f, pid=pid: ctx.rdv_replies_out.append(
+                    (pid, f.time, f.busy_charge)
+                )
+            )
+            msg = Message(src=src, dest=dest, tag=tag, payload=payload,
+                          nbytes=nbytes, arrival=0.0, rendezvous=True,
+                          send_ready=t, sender_future=proxy)
+        else:
+            msg = Message(src=src, dest=dest, tag=tag, payload=payload,
+                          nbytes=nbytes, arrival=t)
+        ctx.deliver(mbox, msg)
+    for pid, t, busy_charge in inbox["replies"]:
+        fut = ctx.rdv_waiting.pop(pid)
+        fut.busy_charge = busy_charge
+        fut.resolve(None, time=t)
+    for seq, ranks, results, clocks, busys, sent, bsent, recvd, brecvd in (
+        inbox["gate_results"]
+    ):
+        gate = ctx.gate_pending.pop(seq)
+        ins = engine.instrument
+        emit = ins.enabled
+        alg = _ALGORITHMS[gate.kind]
+        by_rank = {e.rank: e for e in gate.entries}
+        resolutions = []
+        for i, rank in enumerate(ranks):
+            entry = by_rank[rank]
+            task = entry.task
+            task.clock = clocks[i]
+            task.busy = busys[i]
+            task.msgs_sent = sent[i]
+            task.bytes_sent = bsent[i]
+            task.msgs_received = recvd[i]
+            task.bytes_received = brecvd[i]
+            if emit:
+                ins.span(rank, gate.kind, "coll", entry.clock0, clocks[i],
+                         {"algorithm": alg, "comm": ctx.id, "size": ctx.size})
+                ins.metrics.count("coll/calls", 1, rank=rank,
+                                  op=gate.kind, t=clocks[i])
+                ins.metrics.count("coll/time", clocks[i] - entry.clock0,
+                                  rank=rank, op=gate.kind, t=clocks[i])
+                ins.metrics.count("coll/fast_hits", 1, rank=rank,
+                                  op=gate.kind, t=clocks[i])
+            resolutions.append((entry.fut, results[i], clocks[i]))
+        engine.wave_resolve(resolutions)
+
+
+def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
+                  cfg: SimConfig, plan: FaultPlan | None,
+                  rec_params: tuple | None) -> None:
+    """Child process entry point (fork start method: ``main``/``args`` are
+    inherited, never pickled).  Alternates run_ready waves with barrier
+    exchanges until told to finish or abort."""
+    import gc
+
+    # Everything inherited from the parent is effectively immutable here;
+    # moving it to the permanent generation keeps this worker's collector
+    # from re-traversing the parent's heap on every GC pass.
+    gc.freeze()
+    try:
+        injector = injector_for(plan)
+        if injector.active:
+            injector.plan.validate(nprocs)
+        ins: Instrument = NULL_INSTRUMENT
+        if rec_params is not None:
+            ins = Recorder(time_bucket=rec_params[0], max_events=rec_params[1],
+                           granularity=rec_params[2])
+        engine = Engine(network=cfg.network, instrument=ins, faults=injector,
+                        matching=cfg.matching, collectives=cfg.collectives)
+        ctx = ShardCommContext(engine, nprocs, lo, hi)
+        tasks: list[Task] = []
+        for rank in range(lo, hi):
+            task = Task(rank, None)  # type: ignore[arg-type]
+            comm = ShardCommunicator(ctx, rank, task)
+            from .launcher import RankContext  # local: avoid import cycle
+
+            rctx = RankContext(comm, task)
+            task.coro = main(rctx, *args, **kwargs)
+            engine.adopt(task)
+            tasks.append(task)
+        while True:
+            err: str | None = None
+            try:
+                engine.run_ready()
+            except BaseException as exc:  # noqa: BLE001 - reported upstream
+                err = repr(exc)
+            if ctx.hazard is not None:
+                conn.send(("error", f"hazard:{ctx.hazard}"))
+                return
+            if err is None and any(
+                t.state is TaskState.FAILED for t in tasks
+            ):
+                err = "rank-failed"
+            if err is not None:
+                conn.send(("error", err))
+                return
+            status = {
+                "msgs": ctx.outbox,
+                "replies": ctx.rdv_replies_out,
+                "gates": [_gate_record(seq, g) for seq, g in ctx.gates_out],
+                "done": all(t.state is TaskState.DONE for t in tasks),
+                "resumes": engine.resumes,
+            }
+            ctx.outbox = []
+            ctx.rdv_replies_out = []
+            ctx.gates_out = []
+            if not _safe_send(conn, ("status", status)):
+                return
+            cmd = conn.recv()
+            if cmd[0] == "deliver":
+                _apply_inbox(ctx, engine, cmd[1])
+                continue
+            if cmd[0] == "finish":
+                final = {
+                    "ranks": list(range(lo, hi)),
+                    "results": [t.result for t in tasks],
+                    "clocks": [t.clock for t in tasks],
+                    "busy": [t.busy for t in tasks],
+                    "total_messages": engine.total_messages,
+                    "total_bytes": engine.total_bytes,
+                    "total_matches": engine.total_matches,
+                    "steps": engine.steps,
+                    "resumes": engine.resumes,
+                    "collectives_fast": engine.collectives_fast,
+                    "collectives_simulated": engine.collectives_simulated,
+                    "injected": dict(injector.injected)
+                    if injector.active else None,
+                    "obs": ins.snapshot({"shard": (lo, hi)})
+                    if rec_params is not None else None,
+                }
+                _safe_send(conn, ("final", final))
+                return
+            return  # abort
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        return
+    finally:
+        conn.close()
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+class _Fallback(Exception):
+    """Internal: abort sharded execution and rerun on the oracle."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _replay_gate(kind: str, root: int | None, entries: list[_RemoteEntry],
+                 network) -> tuple:
+    """Run the macro-collective replay over all shards' entries; returns
+    (states-by-rank, messages, bytes).  Raises _Fallback if the replay
+    fails (a raising reduction op — the oracle reproduces the exact
+    error semantics)."""
+    entries.sort(key=lambda e: e.rank)
+    if kind == "barrier":
+        sim: _MiniEngine | _BarrierReplay = _BarrierReplay(network, entries)
+    else:
+        sim = _MiniEngine(network, entries)
+    sim.run()
+    if sim.failure is not None:
+        raise _Fallback("collective-raise")
+    return sim.states, sim.total_messages, sim.total_bytes
+
+
+def _coordinate(conns: Sequence, bounds: list[int], nprocs: int,
+                cfg: SimConfig, recorder: Recorder | None):
+    """Run the wave-barrier protocol to completion.
+
+    Returns the merged result dict, or raises _Fallback when anything
+    requires the oracle.
+    """
+    from bisect import bisect_right
+
+    nshards = len(conns)
+    network = cfg.network
+
+    def shard_of(rank: int) -> int:
+        # bounds is the sorted block-partition fencepost list
+        return bisect_right(bounds, rank) - 1
+    # gates accumulating across shards: seq -> [kind, root, entries]
+    gates: dict[int, list] = {}
+    high_tags_routed: set[int] = set()
+    replay_messages = 0
+    replay_bytes = 0
+    waves = 0
+    while True:
+        waves += 1
+        statuses = []
+        for conn in conns:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                raise _Fallback("worker-died") from None
+            if msg[0] == "error":
+                raise _Fallback(msg[1])
+            statuses.append(msg[1])
+        inboxes: list[dict] = [
+            {"msgs": [], "replies": [], "gate_results": []}
+            for _ in range(nshards)
+        ]
+        routed = False
+        for st in statuses:
+            for rec in st["msgs"]:
+                dest = rec[1]
+                if rec[2] > MAX_USER_TAG:
+                    high_tags_routed.add(rec[2])
+                inboxes[shard_of(dest)]["msgs"].append(rec)
+                routed = True
+            for rep in st["replies"]:
+                # pid = (src_world, ordinal): route back to the sender
+                inboxes[shard_of(rep[0][0])]["replies"].append(rep)
+                routed = True
+            for g in st["gates"]:
+                (seq, kind, root, ranks, clock0, busy0, sent0, bsent0,
+                 recvd0, brecvd0, genargs) = g
+                acc = gates.get(seq)
+                if acc is None:
+                    acc = gates[seq] = [kind, root, []]
+                elif acc[0] != kind or acc[1] != root:
+                    raise _Fallback("collective-mismatch")
+                factory = _GEN_FACTORIES[kind]
+                acc[2].extend(
+                    _RemoteEntry(
+                        ranks[i],
+                        factory(ranks[i], nprocs, *genargs[i]),
+                        clock0[i], busy0[i], sent0[i], bsent0[i],
+                        recvd0[i], brecvd0[i],
+                    )
+                    for i in range(len(ranks))
+                )
+        for seq in sorted(s for s, acc in gates.items()
+                          if len(acc[2]) == nprocs):
+            kind, root, entries = gates.pop(seq)
+            base = MAX_USER_TAG + 1024 + seq * _TAG_STRIDE
+            if any(base <= t < base + _TAG_STRIDE for t in high_tags_routed):
+                # A user (or tool) message crossed shards inside this
+                # gate's private window; the single-process verdict scan
+                # would have seen it, so ours is not trustworthy.
+                raise _Fallback("tag-window")
+            states, n_msgs, n_bytes = _replay_gate(kind, root, entries,
+                                                   network)
+            replay_messages += n_msgs
+            replay_bytes += n_bytes
+            for s in range(nshards):
+                ranks = [e.rank for e in entries
+                         if bounds[s] <= e.rank < bounds[s + 1]]
+                if not ranks:
+                    continue
+                sts = [states[r] for r in ranks]
+                inboxes[s]["gate_results"].append((
+                    seq, ranks,
+                    [st.result for st in sts],
+                    [st.clock for st in sts],
+                    [st.busy for st in sts],
+                    [st.msgs_sent for st in sts],
+                    [st.bytes_sent for st in sts],
+                    [st.msgs_received for st in sts],
+                    [st.bytes_received for st in sts],
+                ))
+                routed = True
+        all_done = all(st["done"] for st in statuses)
+        if all_done and not routed and not gates:
+            break
+        if not routed:
+            # Nothing in flight, nothing delivered, ranks still blocked:
+            # the program is deadlocked (or stuck in a half-joined
+            # collective).  The oracle reruns to produce the exact
+            # DeadlockError/diagnostic the single-process engine raises.
+            raise _Fallback("stuck")
+        for conn, inbox in zip(conns, inboxes):
+            conn.send(("deliver", inbox))
+    for conn in conns:
+        conn.send(("finish",))
+    finals = []
+    for conn in conns:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            raise _Fallback("worker-died") from None
+        if msg[0] == "error":
+            raise _Fallback(msg[1])
+        finals.append(msg[1])
+    return finals, replay_messages, replay_bytes, waves
+
+
+def run_sharded(main, nprocs: int, args: tuple, kwargs: dict, cfg: SimConfig,
+                *, instrument: Instrument = NULL_INSTRUMENT,
+                faults: FaultPlan | FaultInjector | None = None):
+    """Entry point from :func:`~repro.simmpi.launcher.run_spmd` for
+    ``cfg.shards > 1``.  Falls back to the single-process engine (with the
+    reason in ``extras["shard_fallback"]``) whenever the run is not
+    shard-eligible, before or after forking."""
+    from .launcher import _run_single  # circular at module import time
+
+    def _single(reason: str | None):
+        result = _run_single(main, nprocs, args, kwargs, cfg,
+                             instrument=instrument, faults=faults)
+        result.extras["shards"] = cfg.shards
+        if reason is not None:
+            result.extras["shard_fallback"] = reason
+        return result
+
+    nshards = min(cfg.shards, nprocs)
+    if nshards <= 1:
+        return _single("nprocs")
+    if cfg.max_steps is not None:
+        # The raw resume count differs between sharded and single-process
+        # scheduling, so a budget trip cannot be reproduced bit-exactly.
+        return _single("max-steps")
+    if isinstance(faults, FaultInjector):
+        # A caller-held injector instance accumulates counters we cannot
+        # mutate from worker processes.
+        if faults.active:
+            return _single("injector-instance")
+        plan: FaultPlan | None = None
+    else:
+        plan = faults
+    if plan is not None and not plan.is_empty():
+        if plan.crashes or plan.messages.drop_prob > 0.0:
+            # Crashes and drops create LOST holes whose timeout-release
+            # order is a property of the global engine loop.
+            return _single("faults")
+    recorder: Recorder | None = None
+    if instrument is not NULL_INSTRUMENT and instrument.enabled:
+        if isinstance(instrument, Recorder):
+            recorder = instrument
+        else:
+            return _single("instrument")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return _single("platform")
+
+    # Collect before forking: garbage left over from earlier runs in this
+    # process would otherwise be duplicated into (and re-scanned by) every
+    # worker — measured at 2-3x wall time on a post-benchmark heap.
+    import gc
+
+    gc.collect()
+    mp = multiprocessing.get_context("fork")
+    bounds = [(s * nprocs) // nshards for s in range(nshards + 1)]
+    rec_params = (
+        (recorder.metrics.time_bucket, recorder.max_events,
+         recorder.granularity)
+        if recorder is not None else None
+    )
+    conns = []
+    procs = []
+    try:
+        for s in range(nshards):
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_shard_worker,
+                args=(child_conn, bounds[s], bounds[s + 1], nprocs, main,
+                      args, kwargs, cfg, plan, rec_params),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        try:
+            finals, replay_messages, replay_bytes, waves = _coordinate(
+                conns, bounds, nprocs, cfg, recorder
+            )
+        except _Fallback as fb:
+            for conn in conns:
+                try:
+                    conn.send(("abort",))
+                except (BrokenPipeError, OSError):
+                    pass
+            return _single(fb.reason)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+
+    return _merge(finals, nprocs, cfg, replay_messages, replay_bytes, waves,
+                  recorder, plan)
+
+
+def _merge(finals: list[dict], nprocs: int, cfg: SimConfig,
+           replay_messages: int, replay_bytes: int, waves: int,
+           recorder: Recorder | None, plan: FaultPlan | None):
+    from .launcher import SpmdResult
+
+    results: list[Any] = [None] * nprocs
+    clocks = [0.0] * nprocs
+    busy = [0.0] * nprocs
+    total_messages = replay_messages
+    total_bytes = replay_bytes
+    total_matches = 0
+    steps = 0
+    coll_fast = 0
+    coll_sim = 0
+    injected: dict[str, int] = {}
+    for final in finals:
+        for i, rank in enumerate(final["ranks"]):
+            results[rank] = final["results"][i]
+            clocks[rank] = final["clocks"][i]
+            busy[rank] = final["busy"][i]
+        total_messages += final["total_messages"]
+        total_bytes += final["total_bytes"]
+        total_matches += final["total_matches"]
+        steps += final["steps"]
+        coll_fast += final["collectives_fast"]
+        coll_sim += final["collectives_simulated"]
+        if final["injected"] is not None:
+            for k, v in final["injected"].items():
+                injected[k] = injected.get(k, 0) + v
+    if recorder is not None:
+        snaps = [f["obs"] for f in finals if f["obs"] is not None]
+        _merge_obs(recorder, snaps)
+    fault_summary: dict[str, int] = {}
+    if plan is not None and not plan.is_empty():
+        fault_summary = dict(injected)
+        fault_summary["failed_ranks"] = 0
+    return SpmdResult(
+        results=results,
+        clocks=clocks,
+        busy_times=busy,
+        total_messages=total_messages,
+        total_bytes=total_bytes,
+        extras={"shards": len(finals), "waves": waves},
+        engine_steps=steps,
+        messages_matched=total_matches,
+        failed_ranks=(),
+        fault_summary=fault_summary,
+        collectives_fast=coll_fast,
+        collectives_simulated=coll_sim,
+    )
+
+
+def _merge_obs(recorder: Recorder, snaps: list[ObsData]) -> None:
+    """Merge per-shard span streams into the caller's recorder in
+    virtual-time order (start time, rank as tie-break).  Per-event
+    content is identical to a single-process run; only the stream order
+    and the scheduler park/wake bookkeeping differ (documented in
+    docs/PERF.md)."""
+    spans = [s for snap in snaps for s in snap.spans]
+    instants = [i for snap in snaps for i in snap.instants]
+    spans.sort(key=lambda s: (s.start, s.rank))
+    instants.sort(key=lambda i: (i.ts, i.rank))
+    for s in spans:
+        recorder.span(s.rank, s.name, s.cat, s.start, s.end, s.args)
+    for i in instants:
+        recorder.instant(i.rank, i.name, i.cat, i.ts, i.args)
+    for snap in snaps:
+        recorder.metrics.merge(snap.metrics)

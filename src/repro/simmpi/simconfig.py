@@ -1,0 +1,193 @@
+"""`SimConfig` — the one object that configures a simulated run.
+
+Engine options used to arrive as a growing pile of orthogonal keyword
+arguments (``network=``, ``matching=``, ``collectives=``, ``max_steps=``,
+and now ``shards=``).  :class:`SimConfig` replaces them with a single
+frozen, validated dataclass accepted everywhere a run starts —
+``run_spmd(config=...)``, ``repro.api.run(sim=...)``, ``repro bench
+--config KEY=VAL`` — while the old kwargs keep working for one release as
+deprecation shims (see :func:`resolve_config`).
+
+Cache participation: :meth:`SimConfig.digest` (and the tuple behind it,
+:meth:`SimConfig.cache_key`) covers only the fields that can change a
+run's *virtual-time outcome* — the network model and ``max_steps``.
+``matching``, ``collectives`` and ``shards`` are bit-identity-preserving
+execution strategies (each is fuzz-verified against its reference path),
+so equivalent spellings of the same run hash identically and the run
+cache can serve a result computed under any of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import warnings
+from dataclasses import dataclass
+from typing import Any
+
+from .timing import NetworkModel, QDR_CLUSTER, SLOW_CLUSTER, ZERO_COST
+
+__all__ = ["SimConfig", "DEFAULT_CONFIG", "parse_config", "resolve_config"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Validated, hashable engine configuration for one simulated run.
+
+    Attributes:
+        network: LogGP cost model charged for every operation.
+        matching: mailbox implementation — ``"indexed"`` (default) or the
+            ``"linear"`` reference scan (bit-identical, kept for
+            equivalence testing).
+        collectives: ``"fast"`` (closed-form macro collectives, default)
+            or ``"simulated"`` (always message-level).
+        shards: worker processes the ranks are partitioned over.  ``1``
+            (default) is the single-process engine; ``shards > 1`` runs
+            conservative-PDES waves and is bit-identical to ``shards=1``
+            (ineligible runs fall back automatically — see
+            docs/PERF.md, "Sharded engine").
+        max_steps: scheduler-resume budget; ``None`` means unlimited.
+    """
+
+    network: NetworkModel = QDR_CLUSTER
+    matching: str = "indexed"
+    collectives: str = "fast"
+    shards: int = 1
+    max_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.network, NetworkModel):
+            raise ValueError(
+                f"network must be a NetworkModel, got {type(self.network).__name__}"
+            )
+        if self.matching not in ("indexed", "linear"):
+            raise ValueError(
+                f"matching must be 'indexed' or 'linear', got {self.matching!r}"
+            )
+        if self.collectives not in ("fast", "simulated"):
+            raise ValueError(
+                "collectives must be 'fast' or 'simulated', "
+                f"got {self.collectives!r}"
+            )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ValueError(f"shards must be an int, got {self.shards!r}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.max_steps is not None and self.max_steps <= 0:
+            raise ValueError(f"max_steps must be positive, got {self.max_steps}")
+
+    def replace(self, **changes: Any) -> "SimConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- cache identity ----------------------------------------------------
+
+    def cache_key(self) -> tuple:
+        """The outcome-determining normal form used by the run cache.
+
+        Deliberately excludes ``matching``/``collectives``/``shards``:
+        those select bit-identical execution strategies, so two configs
+        differing only there describe the same run.
+        """
+        n = self.network
+        return (
+            "simconfig",
+            n.latency,
+            n.bandwidth,
+            n.o_send,
+            n.o_recv,
+            n.eager_threshold,
+            n.min_message_bytes,
+            self.max_steps,
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of :meth:`cache_key`."""
+        return hashlib.sha256(repr(self.cache_key()).encode()).hexdigest()
+
+
+#: The default configuration (QDR network, indexed mailbox, fast
+#: collectives, single process, unlimited steps).
+DEFAULT_CONFIG = SimConfig()
+
+
+def resolve_config(
+    config: SimConfig | None = None,
+    *,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> SimConfig:
+    """Merge legacy engine kwargs into a :class:`SimConfig`.
+
+    This is the single deprecation shim behind every entry point that
+    still accepts the pre-``SimConfig`` kwargs (``network=``,
+    ``matching=``, ``collectives=``, ``shards=``, ``max_steps=``): each
+    non-``None`` legacy value emits a :class:`DeprecationWarning` naming
+    the replacement spelling and overrides the corresponding field of
+    ``config`` (or of :data:`DEFAULT_CONFIG` when no config was given).
+    """
+    used = {k: v for k, v in legacy.items() if v is not None}
+    base = config if config is not None else DEFAULT_CONFIG
+    if not used:
+        return base
+    for name in sorted(used):
+        warnings.warn(
+            f"the {name}= keyword is deprecated; pass "
+            f"config=SimConfig({name}=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return dataclasses.replace(base, **used)
+
+
+#: Named network models accepted by ``--config network=NAME``.
+NETWORK_PRESETS: dict[str, NetworkModel] = {
+    "qdr": QDR_CLUSTER,
+    "slow": SLOW_CLUSTER,
+    "zero": ZERO_COST,
+}
+
+
+def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
+    """Build a :class:`SimConfig` from CLI ``KEY=VAL`` strings.
+
+    This is the parser behind ``repro bench --config`` (and any future
+    ``--config`` flag).  Accepted keys: ``network`` (a preset name from
+    :data:`NETWORK_PRESETS`), ``matching``, ``collectives``, ``shards``
+    (int) and ``max_steps`` (int, or ``none`` for unlimited).  Raises
+    ``ValueError`` with a usable message on anything else; field values
+    are validated by ``SimConfig`` itself.
+    """
+    fields: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key or not value:
+            raise ValueError(
+                f"--config expects KEY=VAL, got {pair!r}"
+            )
+        if key == "network":
+            try:
+                fields[key] = NETWORK_PRESETS[value]
+            except KeyError:
+                raise ValueError(
+                    f"unknown network preset {value!r}; choose from "
+                    f"{', '.join(sorted(NETWORK_PRESETS))}"
+                ) from None
+        elif key in ("matching", "collectives"):
+            fields[key] = value
+        elif key in ("shards", "max_steps"):
+            if key == "max_steps" and value.lower() == "none":
+                fields[key] = None
+                continue
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--config {key}= expects an integer, got {value!r}"
+                ) from None
+        else:
+            raise ValueError(
+                f"unknown --config key {key!r}; choose from "
+                "network, matching, collectives, shards, max_steps"
+            )
+    return SimConfig(**fields)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AutoMarkerTracer, ChameleonConfig, ChameleonTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def run_auto(prog, nprocs, k=3, confirmations=3):
@@ -20,7 +20,7 @@ def run_auto(prog, nprocs, k=3, confirmations=3):
             "auto_markers": tracer.auto_markers,
         }
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 async def stencil_no_markers(ctx, tr, steps=12):
@@ -121,7 +121,7 @@ class TestAnchorDetection:
             await tracer.finalize()
             return tracer.cstats
 
-        manual_cs = run_spmd(manual, 8, network=ZERO_COST).results[0]
+        manual_cs = run_spmd(manual, 8, config=SimConfig(network=ZERO_COST)).results[0]
         auto_cs = run_auto(stencil_no_markers, 8)[0]["cstats"]
         assert auto_cs.state_counts.get("clustering") == manual_cs.state_counts.get(
             "clustering"

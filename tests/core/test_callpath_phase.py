@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import MarkerState, PhaseTracker, SignatureAccumulator
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 class TestSignatureAccumulator:
@@ -66,7 +66,7 @@ def run_phase_sequence(per_rank_callpaths):
             out.append(decision)
         return out
 
-    return run_spmd(main, 4, network=ZERO_COST).results
+    return run_spmd(main, 4, config=SimConfig(network=ZERO_COST)).results
 
 
 class TestPhaseTracker:
@@ -167,6 +167,6 @@ class TestPhaseTracker:
                 await t.decide(ctx.comm, cp)
             return t.votes
 
-        res = run_spmd(main, 2, network=ZERO_COST)
+        res = run_spmd(main, 2, config=SimConfig(network=ZERO_COST))
         # first marker records baseline without voting
         assert res.results == [2, 2]

@@ -9,7 +9,7 @@ from repro.core import (
     MarkerState,
 )
 from repro.scalatrace import Op, Trace
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def run_chameleon(prog, nprocs, config=None, network=ZERO_COST):
@@ -25,7 +25,7 @@ def run_chameleon(prog, nprocs, config=None, network=ZERO_COST):
             "clock": ctx.clock,
         }
 
-    return run_spmd(main, nprocs, network=network)
+    return run_spmd(main, nprocs, config=SimConfig(network=network))
 
 
 async def stencil_step(ctx, tr, tag=0):
@@ -228,7 +228,7 @@ class TestAcurdion:
             return {"trace": trace, "bytes": tracer.current_bytes(),
                     "stats": tracer.stats}
 
-        res = run_spmd(main, 8, network=ZERO_COST)
+        res = run_spmd(main, 8, config=SimConfig(network=ZERO_COST))
         trace = res.results[0]["trace"]
         assert trace is not None
         leaf = next(trace.leaves())
@@ -244,7 +244,7 @@ class TestAcurdion:
             await tracer.finalize()
             return peak
 
-        res = run_spmd(main, 8, network=ZERO_COST)
+        res = run_spmd(main, 8, config=SimConfig(network=ZERO_COST))
         # no lead phase: every rank paid trace memory
         assert all(p > 0 for p in res.results)
 

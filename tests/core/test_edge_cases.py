@@ -9,7 +9,7 @@ from repro.core import (
     SignatureAccumulator,
 )
 from repro.scalatrace import Trace
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def run_with(prog, nprocs, config):
@@ -19,7 +19,7 @@ def run_with(prog, nprocs, config):
         trace = await tracer.finalize()
         return {"trace": trace, "cstats": tracer.cstats}
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 async def uniform(ctx, tr, steps=6):
@@ -138,7 +138,7 @@ class TestAcurdionEdgeCases:
                 await tracer.allreduce(1.0)
             return await tracer.finalize()
 
-        res = run_spmd(main, 1, network=ZERO_COST)
+        res = run_spmd(main, 1, config=SimConfig(network=ZERO_COST))
         assert res.results[0].expanded_count() == 1
 
     def test_marker_is_noop(self):
@@ -149,7 +149,7 @@ class TestAcurdionEdgeCases:
                 await tracer.allreduce(1.0)
             return await tracer.finalize()
 
-        res = run_spmd(main, 2, network=ZERO_COST)
+        res = run_spmd(main, 2, config=SimConfig(network=ZERO_COST))
         assert res.results[0] is not None
 
 

@@ -18,7 +18,7 @@ from repro.scalatrace import (
     ScalaTraceTracer,
     Trace,
 )
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def run_ranks(prog, nprocs):
@@ -26,7 +26,7 @@ def run_ranks(prog, nprocs):
         tracer = ScalaTraceTracer(ctx)
         return await prog(ctx, tracer)
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 class TestClusterOverTree:

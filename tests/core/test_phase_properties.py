@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.core import MarkerState, PhaseTracker
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 callpath_streams = st.lists(st.integers(1, 4), min_size=1, max_size=30)
 
@@ -13,7 +13,7 @@ def drive(stream, nprocs=3):
         tracker = PhaseTracker()
         return [await tracker.decide(ctx.comm, cp) for cp in stream]
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 class TestTransitionInvariants:

@@ -10,6 +10,7 @@ import pytest
 from repro.cli import main
 from repro.harness.bench import (
     SCHEMA_ID,
+    SHARD_TIERS,
     WALL_FLOOR_S,
     compare,
     load_bench,
@@ -17,6 +18,7 @@ from repro.harness.bench import (
     save_bench,
 )
 from repro.obs.schema import validate
+from repro.simmpi import SimConfig
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
 SCHEMA = json.loads(
@@ -24,16 +26,20 @@ SCHEMA = json.loads(
 )
 
 
-def _doc(*cells: tuple[str, int, float]) -> dict:
+def _doc(*cells: tuple) -> dict:
+    """Build a v3 document from (kernel, nprocs, wall[, shards]) cells."""
     return {
         "schema": SCHEMA_ID,
-        "ps": sorted({p for _, p, _ in cells}),
-        "kernels": sorted({k for k, _, _ in cells}),
+        "ps": sorted({c[1] for c in cells}),
+        "kernels": sorted({c[0] for c in cells}),
+        "config": {"matching": "indexed", "collectives": "fast",
+                   "shards": 1, "max_steps": None},
         "results": [
             {
-                "kernel": k,
-                "nprocs": p,
-                "wall_s": wall,
+                "kernel": c[0],
+                "nprocs": c[1],
+                "shards": c[3] if len(c) > 3 else 1,
+                "wall_s": c[2],
                 "peak_rss_kb": 1024,
                 "engine_steps": 10,
                 "messages_matched": 100,
@@ -41,7 +47,7 @@ def _doc(*cells: tuple[str, int, float]) -> dict:
                 "collectives_fast": 12,
                 "virtual_makespan_s": 1e-4,
             }
-            for k, p, wall in cells
+            for c in cells
         ],
     }
 
@@ -82,14 +88,37 @@ class TestCompareGate:
         cur = _doc(("allreduce_barrier", 4, WALL_FLOOR_S))
         assert compare(cur, base, tolerance=0.2) == []
 
+    def test_cells_keyed_by_shards(self):
+        # A sharded baseline cell is distinct from the single-process one
+        # at the same (kernel, P): it must be present and is gated on its
+        # own wall time.
+        base = _doc(("allreduce_barrier", 256, 1.0),
+                    ("allreduce_barrier", 256, 0.5, 4))
+        cur = _doc(("allreduce_barrier", 256, 1.0))
+        problems = compare(cur, base, tolerance=0.2)
+        assert len(problems) == 1
+        assert "shards=4" in problems[0] and "missing" in problems[0]
+        cur = _doc(("allreduce_barrier", 256, 1.0),
+                   ("allreduce_barrier", 256, 2.0, 4))
+        problems = compare(cur, base, tolerance=0.2)
+        assert len(problems) == 1 and "shards=4" in problems[0]
+
+    def test_legacy_shardless_baseline_records_still_compare(self):
+        base = _doc(("allreduce_barrier", 256, 1.0))
+        for r in base["results"]:
+            del r["shards"]  # pre-v3 record shape
+        cur = _doc(("allreduce_barrier", 256, 1.0))
+        assert compare(cur, base, tolerance=0.2) == []
+
 
 class TestBenchDocument:
     def test_tiny_matrix_validates_against_schema(self):
         doc = run_scaling_bench(ps=(4, 8))
         assert validate(doc, SCHEMA) == []
-        assert len(doc["results"]) == 4  # 2 kernels x 2 Ps
+        assert len(doc["results"]) == 4  # 2 kernels x 2 Ps, no shard tiers
         for r in doc["results"]:
             assert r["engine_steps"] > 0
+            assert r["shards"] == 1
             if r["kernel"] == "halo_exchange":
                 # P2P traffic still goes through the mailbox under the
                 # collective fast path.
@@ -102,19 +131,44 @@ class TestBenchDocument:
 
     def test_simulated_mode_still_matches_messages(self):
         doc = run_scaling_bench(ps=(4,), kernels=("allreduce_barrier",),
-                                collectives="simulated")
-        assert doc["collectives"] == "simulated"
+                                sim=SimConfig(collectives="simulated"))
+        assert doc["config"]["collectives"] == "simulated"
         (r,) = doc["results"]
         assert r["messages_matched"] > 0
         assert r["collectives_fast"] == 0
 
+    def test_legacy_collectives_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="collectives="):
+            doc = run_scaling_bench(ps=(4,), kernels=("allreduce_barrier",),
+                                    collectives="simulated")
+        assert doc["config"]["collectives"] == "simulated"
+
+    def test_sharded_point_records_shards(self):
+        doc = run_scaling_bench(ps=(8,), kernels=("allreduce_barrier",),
+                                sim=SimConfig(shards=2))
+        (r,) = doc["results"]
+        assert r["shards"] == 2
+        assert "shard_fallback" not in r
+
+    def test_shard_ineligible_point_records_fallback(self):
+        # halo_exchange's wildcard drain forces the single-process rerun;
+        # the record says so instead of silently measuring the oracle.
+        doc = run_scaling_bench(ps=(8,), kernels=("halo_exchange",),
+                                sim=SimConfig(shards=2))
+        (r,) = doc["results"]
+        assert r["shards"] == 2
+        assert r["shard_fallback"] == "hazard:wildcard-source"
+
     def test_committed_baseline_is_valid_and_covers_the_ladder(self):
         doc = load_bench(str(REPO / "benchmarks" / "BENCH_scaling.json"))
         assert validate(doc, SCHEMA) == []
-        cells = {(r["kernel"], r["nprocs"]) for r in doc["results"]}
+        cells = {(r["kernel"], r["nprocs"], r["shards"])
+                 for r in doc["results"]}
         for p in (256, 1024, 4096, 16384):
-            assert ("allreduce_barrier", p) in cells
-            assert ("halo_exchange", p) in cells
+            assert ("allreduce_barrier", p, 1) in cells
+            assert ("halo_exchange", p, 1) in cells
+        for kernel, p, shards in SHARD_TIERS:
+            assert (kernel, p, shards) in cells
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValueError, match="unknown bench kernel"):
@@ -148,6 +202,25 @@ class TestBenchCli:
              "-o", "", "--baseline", str(out)]
         ) == 0
         assert "within" in capsys.readouterr().out
+
+    def test_bench_config_flag(self, tmp_path):
+        out = tmp_path / "b.json"
+        assert main(
+            ["bench", "--p", "4", "--kernel", "allreduce_barrier",
+             "-o", str(out), "--config", "collectives=simulated",
+             "--config", "shards=2"]
+        ) == 0
+        doc = load_bench(str(out))
+        assert doc["config"]["collectives"] == "simulated"
+        assert doc["config"]["shards"] == 2
+        (r,) = doc["results"]
+        assert r["shards"] == 2
+
+    def test_bench_rejects_bad_config(self):
+        with pytest.raises(SystemExit, match="unknown --config key"):
+            main(["bench", "--p", "4", "--config", "warp=9"])
+        with pytest.raises(SystemExit, match="KEY=VAL"):
+            main(["bench", "--p", "4", "--config", "shards"])
 
     def test_bench_fails_on_regression(self, tmp_path, capsys):
         # Baseline with an impossible wall time: any real run regresses.

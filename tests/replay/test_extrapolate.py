@@ -4,7 +4,7 @@ import pytest
 
 from repro.replay import coverage, extrapolate_trace, replay_trace
 from repro.scalatrace import ScalaTraceTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def trace_of(prog, nprocs):
@@ -13,7 +13,7 @@ def trace_of(prog, nprocs):
         await prog(ctx, tracer)
         return await tracer.finalize()
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results[0]
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results[0]
 
 
 async def chain(ctx, tr, steps=4):

@@ -13,7 +13,7 @@ from repro.replay import (
     replay_trace,
 )
 from repro.scalatrace import ScalaTraceTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def trace_of(prog, nprocs, tracer_cls=ScalaTraceTracer, **kw):
@@ -22,7 +22,7 @@ def trace_of(prog, nprocs, tracer_cls=ScalaTraceTracer, **kw):
         await prog(ctx, tracer)
         return await tracer.finalize()
 
-    res = run_spmd(main, nprocs, network=ZERO_COST)
+    res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
     return res.results[0]
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.replay import accuracy, replay_trace
 from repro.scalatrace import DeltaHistogram, ScalaTraceTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 class TestHistogramDraw:
@@ -52,7 +52,7 @@ def make_trace():
                 await tracer.allreduce(0.0, size=8)
         return await tracer.finalize()
 
-    return run_spmd(main, 4, network=ZERO_COST).results[0]
+    return run_spmd(main, 4, config=SimConfig(network=ZERO_COST)).results[0]
 
 
 class TestSampledReplay:

@@ -10,7 +10,7 @@ from repro.scalatrace.analysis import (
     hotspots,
     summarize,
 )
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +28,7 @@ def chain_trace():
                 await tracer.allreduce(0.0, size=8)
         return await tracer.finalize()
 
-    return run_spmd(main, 6, network=ZERO_COST).results[0]
+    return run_spmd(main, 6, config=SimConfig(network=ZERO_COST)).results[0]
 
 
 class TestSummarize:
@@ -92,7 +92,7 @@ class TestCommunicationMatrix:
                         await tracer.send(0, None, size=64)
             return await tracer.finalize()
 
-        trace = run_spmd(main, 5, network=ZERO_COST).results[0]
+        trace = run_spmd(main, 5, config=SimConfig(network=ZERO_COST)).results[0]
         m = communication_matrix(trace)
         for w in range(1, 5):
             assert m[w, 0] == pytest.approx(3 * 64)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.scalatrace import Op, ScalaTraceTracer, Trace, ZERO_COSTS
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 
 def run_traced(prog, nprocs, network=ZERO_COST, **tracer_kw):
@@ -13,7 +13,7 @@ def run_traced(prog, nprocs, network=ZERO_COST, **tracer_kw):
         trace = await tracer.finalize()
         return {"trace": trace, "ret": ret, "stats": tracer.stats, "clock": ctx.clock}
 
-    return run_spmd(main, nprocs, network=network)
+    return run_spmd(main, nprocs, config=SimConfig(network=network))
 
 
 class TestBasicTracing:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.scalatrace import Op, RankSet, ScalaTraceTracer, Trace
-from repro.simmpi import ANY_SOURCE, ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ANY_SOURCE, ZERO_COST, run_spmd
 
 
 def run_traced(prog, nprocs):
@@ -12,7 +12,7 @@ def run_traced(prog, nprocs):
         ret = await prog(ctx, tracer)
         return {"ret": ret, "tracer": tracer}
 
-    return run_spmd(main, nprocs, network=ZERO_COST)
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
 
 
 class TestTracedCollectives:

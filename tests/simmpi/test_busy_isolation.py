@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simmpi import (
+    SimConfig,
     ANY_TAG,
     NetworkModel,
     ZERO_COST,
@@ -17,7 +18,7 @@ class TestBusyAccounting:
             ctx.compute(2.0)
             return None
 
-        res = run_spmd(main, 1, network=ZERO_COST)
+        res = run_spmd(main, 1, config=SimConfig(network=ZERO_COST))
         assert res.busy_times == [2.0]
 
     def test_waiting_is_not_busy(self):
@@ -33,7 +34,7 @@ class TestBusyAccounting:
                 await ctx.comm.recv(0)  # waits 10s, does no work
             return None
 
-        res = run_spmd(main, 2, network=net)
+        res = run_spmd(main, 2, config=SimConfig(network=net))
         assert res.busy_times[0] == pytest.approx(10.0)
         assert res.busy_times[1] == pytest.approx(0.0)
         # but rank 1's clock advanced to the arrival
@@ -51,7 +52,7 @@ class TestBusyAccounting:
                 await ctx.comm.recv(0)
             return None
 
-        res = run_spmd(main, 2, network=net)
+        res = run_spmd(main, 2, config=SimConfig(network=net))
         assert res.busy_times[0] == pytest.approx(1.5)
         assert res.busy_times[1] == pytest.approx(0.25)
 
@@ -68,7 +69,7 @@ class TestBusyAccounting:
                 await ctx.comm.recv(0)
             return None
 
-        res = run_spmd(main, 2, network=net)
+        res = run_spmd(main, 2, config=SimConfig(network=net))
         assert res.busy_times[0] == pytest.approx(5.0)  # streaming
         assert res.busy_times[1] == pytest.approx(3.0)  # own compute only
 
@@ -130,7 +131,7 @@ class TestWildcardIsolation:
                     await tracer.send(0, None, size=32)
             return await tracer.finalize()
 
-        res = run_spmd(main, 5, network=ZERO_COST)
+        res = run_spmd(main, 5, config=SimConfig(network=ZERO_COST))
         trace = res.results[0]
         assert trace is not None
         assert trace.expanded_count() > 0

@@ -25,7 +25,7 @@ import pytest
 
 from repro.faults.plan import CrashFault, FaultPlan
 from repro.obs.instrument import Recorder
-from repro.simmpi import run_spmd
+from repro.simmpi import SimConfig, run_spmd
 from repro.simmpi.collectives import BOR, LAND, LOR, MAX, MIN, PROD, SUM
 
 FUZZ_PS = (3, 5, 16, 31, 64)
@@ -37,8 +37,8 @@ ALL_OPS = {
 
 def _pair(prog, nprocs, **kwargs):
     """Run ``prog`` under both collective modes and return (fast, sim)."""
-    fast = run_spmd(prog, nprocs, collectives="fast", **kwargs)
-    sim = run_spmd(prog, nprocs, collectives="simulated", **kwargs)
+    fast = run_spmd(prog, nprocs, config=SimConfig(collectives="fast"), **kwargs)
+    sim = run_spmd(prog, nprocs, config=SimConfig(collectives="simulated"), **kwargs)
     return fast, sim
 
 
@@ -223,7 +223,7 @@ class TestFallbacks:
             await ctx.comm.barrier()
             return await ctx.comm.allreduce(ctx.rank)
 
-        sim = run_spmd(prog, 7, collectives="simulated")
+        sim = run_spmd(prog, 7, config=SimConfig(collectives="simulated"))
         assert sim.collectives_fast == 0
         assert sim.collectives_simulated == 3 * 7  # barrier+reduce+bcast
 
@@ -232,7 +232,7 @@ class TestFallbacks:
             return None
 
         with pytest.raises(ValueError, match="collectives"):
-            run_spmd(prog, 2, collectives="warp")
+            run_spmd(prog, 2, config=SimConfig(collectives="warp"))
 
 
 class TestObservabilityParity:
@@ -251,8 +251,8 @@ class TestObservabilityParity:
 
         rec_fast = Recorder(granularity="span")
         rec_sim = Recorder(granularity="span")
-        fast = run_spmd(prog, 9, collectives="fast", instrument=rec_fast)
-        sim = run_spmd(prog, 9, collectives="simulated", instrument=rec_sim)
+        fast = run_spmd(prog, 9, config=SimConfig(collectives="fast"), instrument=rec_fast)
+        sim = run_spmd(prog, 9, config=SimConfig(collectives="simulated"), instrument=rec_sim)
         _assert_identical(fast, sim)
         assert fast.collectives_fast == 4 * 9
         # The synthesized coll spans must be indistinguishable from the

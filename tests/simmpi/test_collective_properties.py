@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.simmpi import MAX, MIN, SUM, ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, MAX, MIN, SUM, ZERO_COST, run_spmd
 
 sizes = st.sampled_from([1, 2, 3, 5, 8])
 values = st.lists(st.integers(-1000, 1000), min_size=8, max_size=8)
@@ -15,7 +15,7 @@ class TestCollectiveSemantics:
         async def main(ctx):
             return await ctx.comm.allreduce(vals[ctx.rank], op=SUM)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         assert res.results == [sum(vals[:nprocs])] * nprocs
 
     @given(sizes, values)
@@ -26,7 +26,7 @@ class TestCollectiveSemantics:
             lo = await ctx.comm.allreduce(vals[ctx.rank], op=MIN)
             return (hi, lo)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         expected = (max(vals[:nprocs]), min(vals[:nprocs]))
         assert res.results == [expected] * nprocs
 
@@ -38,7 +38,7 @@ class TestCollectiveSemantics:
             mine = await ctx.comm.scatter(gathered, root=0)
             return mine
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         assert res.results == vals[:nprocs]
 
     @given(sizes, values)
@@ -50,7 +50,7 @@ class TestCollectiveSemantics:
             gb = await ctx.comm.bcast(g, root=0)
             return (ag, gb)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         for ag, gb in res.results:
             assert ag == gb == vals[:nprocs]
 
@@ -60,7 +60,7 @@ class TestCollectiveSemantics:
         async def main(ctx):
             return await ctx.comm.scan(vals[ctx.rank], op=SUM)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         assert res.results == [sum(vals[: r + 1]) for r in range(nprocs)]
 
     @given(sizes)
@@ -70,7 +70,7 @@ class TestCollectiveSemantics:
             row = [(ctx.rank, j) for j in range(ctx.size)]
             return await ctx.comm.alltoall(row)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         for j, out in enumerate(res.results):
             assert out == [(i, j) for i in range(nprocs)]
 
@@ -83,7 +83,7 @@ class TestCollectiveSemantics:
             payload = vals if ctx.rank == root else None
             return await ctx.comm.bcast(payload, root=root)
 
-        res = run_spmd(main, nprocs, network=ZERO_COST)
+        res = run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
         assert res.results == [vals] * nprocs
 
 

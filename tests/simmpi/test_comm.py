@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simmpi import (
+    SimConfig,
     ANY_SOURCE,
     ANY_TAG,
     MatchingError,
@@ -150,7 +151,7 @@ def test_eager_timing_latency_and_bandwidth():
         assert got is None
         return ctx.clock
 
-    res = run_spmd(main, 2, network=net)
+    res = run_spmd(main, 2, config=SimConfig(network=net))
     # Sender: o_send + 200/100 = 2.1.  Receiver: posted at 0, message
     # arrives at sender_done + latency = 3.1 >= post + o_recv.
     assert res.results[0] == pytest.approx(2.1)
@@ -171,7 +172,7 @@ def test_rendezvous_blocks_sender_until_recv_posted():
         await ctx.comm.recv(0)
         return ctx.clock
 
-    res = run_spmd(main, 2, network=net)
+    res = run_spmd(main, 2, config=SimConfig(network=net))
     # Transfer starts at max(0 + 0.1, 50 + 0.2) = 50.2; sender done at
     # 50.2 + 10; receiver done at 50.2 + 1 + 10.
     assert res.results[0] == pytest.approx(60.2)
@@ -192,7 +193,7 @@ def test_rendezvous_recv_first_also_synchronizes():
         await ctx.comm.send(1, None, size=2000)
         return ctx.clock
 
-    res = run_spmd(main, 2, network=net)
+    res = run_spmd(main, 2, config=SimConfig(network=net))
     assert res.results[0] == pytest.approx(22.0)  # 20 + 2000/1000
     assert res.results[1] == pytest.approx(22.5)  # + latency
 
@@ -203,7 +204,7 @@ def test_zero_cost_network_moves_no_time():
         await ctx.comm.sendrecv(peer, "v", source=peer)
         return ctx.clock
 
-    res = run_spmd(main, 2, network=ZERO_COST)
+    res = run_spmd(main, 2, config=SimConfig(network=ZERO_COST))
     assert res.clocks == [0.0, 0.0]
 
 

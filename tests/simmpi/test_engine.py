@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simmpi import (
+    SimConfig,
     EngineLimitError,
     DeadlockError,
     Engine,
@@ -55,7 +56,7 @@ def test_future_time_advances_clock_via_request_semantics():
         ctx.compute(1.0)
         return ctx.clock
 
-    res = run_spmd(main, 1, network=ZERO_COST)
+    res = run_spmd(main, 1, config=SimConfig(network=ZERO_COST))
     assert res.clocks == [1.0]
 
 
@@ -107,7 +108,7 @@ def test_max_steps_guard():
     # happened to be scheduled: it must NOT be wrapped in TaskFailedError
     # (which would blame an innocent rank).
     with pytest.raises(EngineLimitError) as ei:
-        run_spmd(pingpong, 2, max_steps=50)
+        run_spmd(pingpong, 2, config=SimConfig(max_steps=50))
     assert "max_steps=50" in str(ei.value)
     assert ei.value.limit == 50
     assert not isinstance(ei.value, TaskFailedError)
@@ -119,7 +120,7 @@ def test_results_and_clocks_sorted_by_rank():
         ctx.compute(float(ctx.rank))
         return ctx.rank * 10
 
-    res = run_spmd(main, 5, network=ZERO_COST)
+    res = run_spmd(main, 5, config=SimConfig(network=ZERO_COST))
     assert res.results == [0, 10, 20, 30, 40]
     assert res.clocks == [0.0, 1.0, 2.0, 3.0, 4.0]
     assert res.max_time == 4.0

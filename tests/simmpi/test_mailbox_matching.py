@@ -5,7 +5,7 @@ wildcard overflow lane) must be *observationally identical* to the
 pre-index :class:`~repro.simmpi.comm.LinearMailbox` FIFO scan: same match
 order, same payload/status per receive, same virtual timestamps, same
 counters.  These tests drive the same seeded traffic through both
-implementations (``run_spmd(..., matching=...)``) and assert byte-identical
+implementations (``run_spmd(..., config=SimConfig(matching=...))``) and assert byte-identical
 outcomes.
 
 Traffic generation is deliberately adversarial for an index:
@@ -28,7 +28,7 @@ import random
 
 import pytest
 
-from repro.simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+from repro.simmpi import SimConfig, ANY_SOURCE, ANY_TAG, run_spmd
 
 EAGER_SIZES = (64, 4096, 1 << 15)
 RENDEZVOUS_SIZES = (1 << 17, 1 << 18)
@@ -90,7 +90,8 @@ async def _traffic_prog(ctx, sends, recv_plan):
 def _transcript(seed: int, nprocs: int, msgs_per_rank: int, matching: str):
     sends, recv_plan = make_traffic(seed, nprocs, msgs_per_rank)
     result = run_spmd(
-        _traffic_prog, nprocs, sends, recv_plan, matching=matching
+        _traffic_prog, nprocs, sends, recv_plan,
+        config=SimConfig(matching=matching),
     )
     return result
 
@@ -151,8 +152,8 @@ def test_collectives_identical_across_matching_impls():
         await ctx.comm.barrier()
         return (total, gathered)
 
-    linear = run_spmd(prog, 32, matching="linear")
-    indexed = run_spmd(prog, 32, matching="indexed")
+    linear = run_spmd(prog, 32, config=SimConfig(matching="linear"))
+    indexed = run_spmd(prog, 32, config=SimConfig(matching="indexed"))
     assert indexed.results == linear.results
     assert indexed.clocks == linear.clocks
     assert indexed.busy_times == linear.busy_times

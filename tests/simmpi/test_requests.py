@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simmpi import ANY_SOURCE, ANY_TAG, MatchingError, TaskFailedError, ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ANY_SOURCE, ANY_TAG, MatchingError, TaskFailedError, ZERO_COST, run_spmd
 
 
 class TestRequestLifecycle:
@@ -126,7 +126,7 @@ class TestRequestLifecycle:
             await ctx.comm.recv(0, tag=1)
             return ctx.clock
 
-        res = run_spmd(main, 2, network=net)
+        res = run_spmd(main, 2, config=SimConfig(network=net))
         posted_done, sender_clock = res.results[0]
         assert posted_done is False  # rendezvous: waits for the receiver
         assert sender_clock == pytest.approx(12.0)  # start@2 + 10s stream

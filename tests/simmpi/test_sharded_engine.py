@@ -1,0 +1,363 @@
+"""Seeded fuzz: the sharded conservative-PDES engine is bit-identical to
+the single-process engine.
+
+Every test runs the same program under ``shards=1`` (the oracle) and
+``shards>1`` and asserts *exact* equality (``==`` on floats, no
+tolerances) of results, per-rank virtual clocks, per-rank busy times and
+traffic totals — the same contract (and the same assertion shape) as the
+macro-collective fast path in test_collective_fastpath.py.
+
+Coverage:
+
+* point-to-point: eager and rendezvous, exact tags and ``ANY_TAG`` with an
+  exact source, across the P x shards matrix;
+* collectives: the macro fast path and the message-level simulated path;
+* shard-eligible fault plans (delays, duplicates, compute noise, slow
+  links) including the merged injection counters;
+* every fallback route — hazards (``ANY_SOURCE``, ``probe``, ``split``),
+  statically ineligible runs (crash plans, ``max_steps``), and error
+  reruns (failing ranks, deadlock) whose diagnostics must match the
+  single-process engine verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.plan import (
+    ComputeFault,
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    MessageFaults,
+)
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DeadlockError,
+    SimConfig,
+    TaskFailedError,
+    run_spmd,
+)
+
+FUZZ_PS = (16, 64, 256)
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _pair(prog, nprocs, shards, *, config=None, **kwargs):
+    """Run ``prog`` single-process and sharded; return (single, sharded)."""
+    base = config if config is not None else SimConfig()
+    single = run_spmd(prog, nprocs, config=base.replace(shards=1), **kwargs)
+    sharded = run_spmd(prog, nprocs, config=base.replace(shards=shards),
+                       **kwargs)
+    return single, sharded
+
+
+def _assert_identical(single, sharded, *, results: bool = True):
+    if results:
+        assert sharded.results == single.results
+    assert sharded.clocks == single.clocks
+    assert sharded.busy_times == single.busy_times
+    assert sharded.total_messages == single.total_messages
+    assert sharded.total_bytes == single.total_bytes
+    assert sharded.messages_matched == single.messages_matched
+    assert sharded.collectives_fast == single.collectives_fast
+    assert sharded.collectives_simulated == single.collectives_simulated
+    assert sharded.failed_ranks == single.failed_ranks
+
+
+def _assert_sharded(result, shards):
+    """The run really went through the wave protocol (no fallback)."""
+    if shards > 1:
+        assert result.extras.get("shards") == shards
+        assert "shard_fallback" not in result.extras
+        assert result.extras.get("waves", 0) >= 1
+
+
+async def _p2p_collective_mix(ctx):
+    comm, rank, size = ctx.comm, ctx.rank, ctx.size
+    right, left = (rank + 1) % size, (rank - 1) % size
+    acc = 0.0
+    for r in range(3):
+        s = comm.isend(right, rank * 10 + r, tag=r)
+        acc += await comm.recv(source=left, tag=r)
+        await s.wait()
+        acc += await comm.allreduce(rank + r * 0.25)
+    await comm.barrier()
+    return acc
+
+
+class TestP2PShardMatrix:
+    @pytest.mark.parametrize("nprocs", FUZZ_PS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_ring_with_collectives(self, nprocs, shards):
+        single, sharded = _pair(_p2p_collective_mix, nprocs, shards)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_any_tag_exact_source_is_shard_safe(self, shards):
+        # ANY_TAG with a pinned source reduces to per-pair FIFO matching,
+        # which is interleaving-invariant — no fallback.
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            right, left = (rank + 1) % size, (rank - 1) % size
+            sends = [comm.isend(right, rank * 100 + t, tag=t)
+                     for t in (3, 1, 2)]
+            got = [await comm.recv(source=left, tag=ANY_TAG)
+                   for _ in range(3)]
+            for s in sends:
+                await s.wait()
+            return got
+
+        single, sharded = _pair(prog, 16, shards)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_rendezvous_cross_shard(self, shards):
+        # 80 KiB payloads exceed eager_threshold: the sender's completion
+        # (and deferred busy charge) travels back across the shard barrier.
+        big = 80 * 1024
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            right, left = (rank + 1) % size, (rank - 1) % size
+            s = comm.isend(right, bytes(big), tag=0)
+            got = await comm.recv(source=left, tag=0)
+            await s.wait()
+            await comm.barrier()
+            return len(got)
+
+        single, sharded = _pair(prog, 16, shards)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+        assert single.total_bytes > big * 15
+
+    def test_seeded_random_program(self):
+        rng = random.Random(0x5EED5)
+        script = [rng.choice(["send", "allreduce", "barrier", "bcast",
+                              "allgather", "scan"])
+                  for _ in range(30)]
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            right, left = (rank + 1) % size, (rank - 1) % size
+            acc = 0.0
+            for i, kind in enumerate(script):
+                if kind == "send":
+                    s = comm.isend(right, rank + i, tag=i)
+                    acc += await comm.recv(source=left, tag=i)
+                    await s.wait()
+                elif kind == "allreduce":
+                    acc += await comm.allreduce(rank + i * 0.5)
+                elif kind == "barrier":
+                    await comm.barrier()
+                elif kind == "bcast":
+                    root = i % size
+                    acc += await comm.bcast(i if rank == root else None,
+                                            root=root)
+                elif kind == "allgather":
+                    acc += sum(await comm.allgather(rank))
+                elif kind == "scan":
+                    acc += await comm.scan(1)
+            return acc
+
+        for nprocs, shards in ((16, 2), (64, 4), (256, 8)):
+            single, sharded = _pair(prog, nprocs, shards)
+            _assert_identical(single, sharded)
+            _assert_sharded(sharded, shards)
+
+
+class TestCollectiveModes:
+    @pytest.mark.parametrize("shards", (2, 4, 8))
+    def test_simulated_collectives_cross_shard(self, shards):
+        # The message-level reference path: collective traffic itself
+        # crosses shards through the wave barrier, tag windows and all.
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            a = await comm.allreduce(rank)
+            g = await comm.gather(rank, root=0)
+            await comm.barrier()
+            return (a, len(g) if g else 0)
+
+        single, sharded = _pair(
+            prog, 16, shards, config=SimConfig(collectives="simulated")
+        )
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+        # allreduce decomposes into reduce+bcast: 4 instances per rank.
+        assert single.collectives_simulated == 4 * 16
+        assert single.collectives_fast == 0
+
+    def test_fast_collectives_replayed_at_coordinator(self):
+        async def prog(ctx):
+            total = await ctx.comm.allreduce(ctx.rank)
+            await ctx.comm.barrier()
+            return total
+
+        single, sharded = _pair(prog, 64, 4)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, 4)
+        assert sharded.collectives_fast == 3 * 64
+        assert sharded.messages_matched == 0
+
+
+class TestShardEligibleFaults:
+    def test_delay_compute_link_plan_bit_identical(self):
+        # Every draw keys on (seed, kind, endpoints, per-sender ordinal),
+        # so delays/dups/noise land identically wherever evaluated; the
+        # per-shard injection counters must merge to the oracle's.
+        plan = FaultPlan(
+            seed=77,
+            messages=MessageFaults(delay_prob=0.5, delay=1e-5,
+                                   dup_prob=0.2),
+            compute=(ComputeFault(rank=2, slowdown=1.5, jitter=0.1),),
+            links=(LinkFault(src=0, dest=1, latency_factor=3.0),),
+        )
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            right, left = (rank + 1) % size, (rank - 1) % size
+            acc = 0.0
+            for r in range(4):
+                s = comm.isend(right, rank + r, tag=r)
+                acc += await comm.recv(source=left, tag=r)
+                await s.wait()
+            ctx.compute(1e-5)
+            await comm.barrier()
+            return acc
+
+        single, sharded = _pair(prog, 16, 4, faults=plan)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, 4)
+        assert sharded.fault_summary == single.fault_summary
+        assert sharded.fault_summary.get("delay", 0) > 0
+
+
+class TestFallbacks:
+    def _fallback_reason(self, result):
+        return result.extras.get("shard_fallback")
+
+    def test_wildcard_source_falls_back_exactly(self):
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            s = comm.isend((rank + 1) % size, rank, tag=0)
+            got = await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            await s.wait()
+            return got
+
+        single, sharded = _pair(prog, 16, 4)
+        _assert_identical(single, sharded)
+        assert self._fallback_reason(sharded) == "hazard:wildcard-source"
+
+    def test_probe_and_split_fall_back(self):
+        async def probing(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            s = comm.isend((rank + 1) % size, rank, tag=0)
+            comm.probe(source=(rank - 1) % size, tag=0)
+            got = await comm.recv(source=(rank - 1) % size, tag=0)
+            await s.wait()
+            return got
+
+        async def splitting(ctx):
+            sub = await ctx.comm.split(color=ctx.rank % 2)
+            return await sub.allreduce(ctx.rank)
+
+        for prog, reason in ((probing, "hazard:probe"),
+                             (splitting, "hazard:split")):
+            single, sharded = _pair(prog, 16, 2)
+            _assert_identical(single, sharded)
+            assert self._fallback_reason(sharded) == reason
+
+    def test_crash_plan_is_statically_ineligible(self):
+        plan = FaultPlan(crashes=(CrashFault(rank=3, time=1e-5),))
+
+        async def prog(ctx):
+            acc = 0.0
+            for i in range(3):
+                acc += await ctx.comm.allreduce(ctx.rank + i)
+            return acc
+
+        single, sharded = _pair(prog, 16, 4, faults=plan)
+        _assert_identical(single, sharded)
+        assert self._fallback_reason(sharded) == "faults"
+        assert 3 in sharded.failed_ranks
+
+    def test_drop_plan_is_statically_ineligible(self):
+        plan = FaultPlan(seed=5, messages=MessageFaults(drop_prob=0.3))
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            s = comm.isend((rank + 1) % size, rank, tag=0)
+            got = await comm.recv(source=(rank - 1) % size, tag=0)
+            await s.wait()
+            return got
+
+        single, sharded = _pair(prog, 16, 2, faults=plan)
+        _assert_identical(single, sharded)
+        assert self._fallback_reason(sharded) == "faults"
+
+    def test_max_steps_is_statically_ineligible(self):
+        async def prog(ctx):
+            return await ctx.comm.allreduce(ctx.rank)
+
+        res = run_spmd(prog, 16,
+                       config=SimConfig(shards=4, max_steps=10_000))
+        assert self._fallback_reason(res) == "max-steps"
+
+    def test_single_effective_shard_is_labelled(self):
+        async def prog(ctx):
+            return ctx.rank
+
+        res = run_spmd(prog, 2, config=SimConfig(shards=8))
+        # min(shards, nprocs) collapses... 2 still shards; nprocs=1 can't.
+        res1 = run_spmd(prog, 1, config=SimConfig(shards=8))
+        assert res1.extras.get("shard_fallback") == "nprocs"
+        assert res.extras.get("shard_fallback") != "nprocs"
+
+    def test_failing_rank_reraises_the_oracle_error(self):
+        async def prog(ctx):
+            if ctx.rank == 5:
+                raise RuntimeError("boom on rank 5")
+            await ctx.comm.barrier()
+            return ctx.rank
+
+        with pytest.raises(TaskFailedError) as single_exc:
+            run_spmd(prog, 16, config=SimConfig(shards=1))
+        with pytest.raises(TaskFailedError) as sharded_exc:
+            run_spmd(prog, 16, config=SimConfig(shards=4))
+        assert str(sharded_exc.value) == str(single_exc.value)
+
+    def test_deadlock_reraises_the_oracle_diagnostic(self):
+        async def prog(ctx):
+            # Everyone receives from the left; nobody ever sends.
+            return await ctx.comm.recv(
+                source=(ctx.rank - 1) % ctx.size, tag=0
+            )
+
+        with pytest.raises(DeadlockError) as single_exc:
+            run_spmd(prog, 8, config=SimConfig(shards=1))
+        with pytest.raises(DeadlockError) as sharded_exc:
+            run_spmd(prog, 8, config=SimConfig(shards=4))
+        assert str(sharded_exc.value) == str(single_exc.value)
+
+    def test_unpicklable_result_falls_back(self):
+        async def prog(ctx):
+            await ctx.comm.barrier()
+            return lambda: ctx.rank  # cannot cross the pipe
+
+        res = run_spmd(prog, 8, config=SimConfig(shards=2))
+        reason = self._fallback_reason(res)
+        assert reason is not None and reason.startswith("pickle:")
+        assert all(callable(r) for r in res.results)
+
+
+class TestExtras:
+    def test_success_extras_record_shards_and_waves(self):
+        single, sharded = _pair(_p2p_collective_mix, 16, 4)
+        assert sharded.extras["shards"] == 4
+        assert sharded.extras["waves"] >= 1
+        assert "shards" not in single.extras

@@ -1,0 +1,188 @@
+"""SimConfig: validation, cache-digest stability, and the deprecation
+shims that keep the pre-SimConfig keyword arguments working for one
+release.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.harness.engine import make_cell
+from repro.simmpi import (
+    DEFAULT_CONFIG,
+    QDR_CLUSTER,
+    SLOW_CLUSTER,
+    ZERO_COST,
+    SimConfig,
+    resolve_config,
+    run_spmd,
+)
+from repro.simmpi.simconfig import NETWORK_PRESETS, parse_config
+
+
+async def _prog(ctx):
+    return await ctx.comm.allreduce(ctx.rank)
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = SimConfig()
+        assert cfg.network is QDR_CLUSTER
+        assert cfg.matching == "indexed"
+        assert cfg.collectives == "fast"
+        assert cfg.shards == 1
+        assert cfg.max_steps is None
+        assert cfg == DEFAULT_CONFIG
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("network", "qdr", "NetworkModel"),
+            ("matching", "hash", "matching"),
+            ("collectives", "warp", "collectives"),
+            ("shards", 0, "shards"),
+            ("shards", 2.0, "shards"),
+            ("shards", True, "shards"),
+            ("max_steps", 0, "max_steps"),
+            ("max_steps", -5, "max_steps"),
+        ],
+    )
+    def test_rejects_bad_fields(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            SimConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SimConfig().shards = 4  # type: ignore[misc]
+
+    def test_replace_revalidates(self):
+        cfg = SimConfig()
+        assert cfg.replace(shards=4).shards == 4
+        with pytest.raises(ValueError, match="shards"):
+            cfg.replace(shards=-1)
+
+    def test_invalid_knob_rejected_at_run_spmd(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="collectives"):
+                run_spmd(_prog, 2, collectives="warp")
+
+
+class TestDigestStability:
+    def test_equivalent_spellings_share_a_digest(self):
+        # matching/collectives/shards select bit-identical execution
+        # strategies; the cache must serve one result for all of them.
+        base = SimConfig()
+        for variant in (
+            SimConfig(matching="linear"),
+            SimConfig(collectives="simulated"),
+            SimConfig(shards=8),
+            SimConfig(matching="linear", collectives="simulated", shards=4),
+        ):
+            assert variant.digest() == base.digest()
+            assert variant.cache_key() == base.cache_key()
+
+    def test_outcome_fields_change_the_digest(self):
+        base = SimConfig()
+        assert SimConfig(network=SLOW_CLUSTER).digest() != base.digest()
+        assert SimConfig(network=ZERO_COST).digest() != base.digest()
+        assert SimConfig(max_steps=100).digest() != base.digest()
+
+    def test_cell_digest_routes_through_simconfig(self):
+        mode = repro.Mode.CHAMELEON
+        a = make_cell("bt", 8, mode, sim=SimConfig(network=SLOW_CLUSTER))
+        b = make_cell("bt", 8, mode, network=SLOW_CLUSTER)
+        c = make_cell("bt", 8, mode,
+                      sim=SimConfig(network=SLOW_CLUSTER, shards=4))
+        d = make_cell("bt", 8, mode)
+        assert a.digest() == b.digest() == c.digest()
+        assert d.digest() != a.digest()
+
+
+class TestDeprecationShims:
+    def test_resolve_config_warns_per_legacy_kwarg(self):
+        with pytest.warns(DeprecationWarning) as record:
+            cfg = resolve_config(None, network=ZERO_COST, shards=2)
+        assert sorted(str(w.message).split("=")[0] for w in record) == \
+            ["the network", "the shards"]
+        assert cfg.network is ZERO_COST
+        assert cfg.shards == 2
+
+    def test_resolve_config_quiet_without_legacy_kwargs(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_config(None) is DEFAULT_CONFIG
+            custom = SimConfig(shards=2)
+            assert resolve_config(custom) is custom
+
+    def test_legacy_kwargs_override_config(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = resolve_config(SimConfig(collectives="fast"),
+                                 collectives="simulated")
+        assert cfg.collectives == "simulated"
+
+    def test_run_spmd_legacy_kwargs_warn_and_work(self):
+        with pytest.warns(DeprecationWarning, match="network="):
+            legacy = run_spmd(_prog, 4, network=ZERO_COST)
+        modern = run_spmd(_prog, 4, config=SimConfig(network=ZERO_COST))
+        assert legacy.results == modern.results
+        assert legacy.clocks == modern.clocks
+
+    def test_run_spmd_config_path_is_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_spmd(_prog, 4, config=SimConfig(network=ZERO_COST))
+
+    def test_api_run_network_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="network="):
+            repro.run("bt", 8, "chameleon", network=ZERO_COST)
+
+    def test_api_run_sim_path_is_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.run("bt", 8, "chameleon",
+                      sim=SimConfig(network=ZERO_COST))
+
+
+class TestParseConfig:
+    def test_all_keys(self):
+        cfg = parse_config([
+            "network=slow", "matching=linear", "collectives=simulated",
+            "shards=4", "max_steps=500",
+        ])
+        assert cfg.network is SLOW_CLUSTER
+        assert cfg.matching == "linear"
+        assert cfg.collectives == "simulated"
+        assert cfg.shards == 4
+        assert cfg.max_steps == 500
+
+    def test_empty_is_default(self):
+        assert parse_config([]) == DEFAULT_CONFIG
+
+    def test_max_steps_none(self):
+        assert parse_config(["max_steps=none"]).max_steps is None
+
+    def test_network_presets_cover_all_models(self):
+        assert set(NETWORK_PRESETS) == {"qdr", "slow", "zero"}
+        assert NETWORK_PRESETS["qdr"] is QDR_CLUSTER
+
+    @pytest.mark.parametrize(
+        ("pair", "match"),
+        [
+            ("shards", "KEY=VAL"),
+            ("=4", "KEY=VAL"),
+            ("shards=", "KEY=VAL"),
+            ("network=fddi", "unknown network preset"),
+            ("shards=four", "expects an integer"),
+            ("warp=9", "unknown --config key"),
+        ],
+    )
+    def test_rejects_malformed_pairs(self, pair, match):
+        with pytest.raises(ValueError, match=match):
+            parse_config([pair])
+
+    def test_field_validation_still_applies(self):
+        with pytest.raises(ValueError, match="shards"):
+            parse_config(["shards=0"])

@@ -17,7 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import ChameleonConfig, ChameleonTracer
 from repro.replay import replay_trace
 from repro.scalatrace import ScalaTraceTracer, diff_traces
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 
 #: step vocabulary: (name, coroutine) — all collectively deadlock-free
 STEPS = ["allreduce", "barrier", "shift_right", "shift_left", "hub", "bcast"]
@@ -76,7 +76,7 @@ def run_traced(factory, steps, repeats, nprocs):
         await prog(ctx, tracer)
         return await tracer.finalize()
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results[0]
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results[0]
 
 
 class TestPipelineFuzz:

@@ -5,6 +5,7 @@ import pytest
 from repro.core import ChameleonConfig, ChameleonTracer
 from repro.scalatrace import ScalaTraceTracer, Trace
 from repro.simmpi import (
+    SimConfig,
     DeadlockError,
     TaskFailedError,
     ZERO_COST,
@@ -28,7 +29,7 @@ class TestAMG:
             )
             return ctx.clock
 
-        res = run_spmd(main, 8, network=ZERO_COST)
+        res = run_spmd(main, 8, config=SimConfig(network=ZERO_COST))
         assert all(c > 0 for c in res.clocks)
 
     def test_message_sizes_shrink_with_level(self):
@@ -44,7 +45,7 @@ class TestAMG:
             )
             return await tracer.finalize()
 
-        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        trace = run_spmd(main, 8, config=SimConfig(network=ZERO_COST)).results[0]
         from repro.scalatrace import Op
 
         send_groups = {
@@ -64,7 +65,7 @@ class TestAMG:
             await tracer.finalize()
             return tracer.cstats
 
-        cs = run_spmd(main, 8, network=ZERO_COST).results[0]
+        cs = run_spmd(main, 8, config=SimConfig(network=ZERO_COST)).results[0]
         assert cs.state_counts.get("clustering", 0) >= 1
         assert cs.state_counts.get("lead", 0) >= 4
 
@@ -99,7 +100,7 @@ class TestFailureInjection:
             await tracer.finalize()
 
         with pytest.raises((DeadlockError, TaskFailedError)):
-            run_spmd(main, 4, max_steps=200_000)
+            run_spmd(main, 4, config=SimConfig(max_steps=200_000))
 
     def test_corrupt_trace_file_rejected(self, tmp_path):
         path = tmp_path / "bad.st"
@@ -127,7 +128,7 @@ class TestFailureInjection:
                         await tracer.recv(ctx.rank - 1)
             return await tracer.finalize()
 
-        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        trace = run_spmd(main, 8, config=SimConfig(network=ZERO_COST)).results[0]
         from repro.replay import replay_trace
 
         result = replay_trace(trace, nprocs=3)

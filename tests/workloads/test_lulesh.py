@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.core import ChameleonConfig, ChameleonTracer
 from repro.scalatrace import Op, ScalaTraceTracer
-from repro.simmpi import Grid3D, ZERO_COST, cube_grid, run_spmd
+from repro.simmpi import SimConfig, Grid3D, ZERO_COST, cube_grid, run_spmd
 from repro.workloads import LULESH, NullTracer, make_workload
 
 
@@ -50,7 +50,7 @@ class TestLULESH:
             await wl.run(ctx, NullTracer(ctx))
             return ctx.clock
 
-        return run_spmd(main, nprocs, network=ZERO_COST)
+        return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
 
     def test_requires_cube(self):
         from repro.simmpi import TaskFailedError
@@ -77,7 +77,7 @@ class TestLULESH:
             await LULESH(edge_elems=6, iterations=3).run(ctx, tracer)
             return await tracer.finalize()
 
-        trace = run_spmd(main, 8, network=ZERO_COST).results[0]
+        trace = run_spmd(main, 8, config=SimConfig(network=ZERO_COST)).results[0]
         ops = {l.record.op for l in trace.leaves()}
         assert Op.ISEND in ops and Op.RECV in ops and Op.ALLREDUCE in ops
         frames = {f for l in trace.leaves() for f in l.record.frames}
@@ -92,7 +92,7 @@ class TestLULESH:
             trace = await tracer.finalize()
             return {"trace": trace, "cstats": tracer.cstats}
 
-        res = run_spmd(main, 8, network=ZERO_COST).results
+        res = run_spmd(main, 8, config=SimConfig(network=ZERO_COST)).results
         cs = res[0]["cstats"]
         assert cs.state_counts.get("clustering", 0) == 1
         assert cs.state_counts.get("lead", 0) >= 5
@@ -111,6 +111,6 @@ class TestLULESH:
             await tracer.finalize()
             return tracer.cstats
 
-        cs = run_spmd(main, 27, network=ZERO_COST).results[0]
+        cs = run_spmd(main, 27, config=SimConfig(network=ZERO_COST)).results[0]
         # 3x3x3: corner/edge/face/interior classes appear
         assert cs.num_callpaths > 1

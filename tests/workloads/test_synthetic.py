@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ChameleonConfig, ChameleonTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 from repro.workloads import (
     AlternatingPhases,
     BehaviourGroups,
@@ -19,7 +19,7 @@ def run_chameleon(workload, nprocs, k=4):
         await tracer.finalize()
         return tracer.cstats
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 class TestUniform:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ChameleonConfig, ChameleonTracer
 from repro.scalatrace import Op, ScalaTraceTracer
-from repro.simmpi import ZERO_COST, run_spmd
+from repro.simmpi import SimConfig, ZERO_COST, run_spmd
 from repro.workloads import (
     BT,
     CG,
@@ -29,7 +29,7 @@ def run_app(workload, nprocs):
         await workload.run(ctx, NullTracer(ctx))
         return ctx.clock
 
-    return run_spmd(main, nprocs, network=ZERO_COST)
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST))
 
 
 def run_scalatrace(workload, nprocs):
@@ -38,7 +38,7 @@ def run_scalatrace(workload, nprocs):
         await workload.run(ctx, tracer)
         return await tracer.finalize()
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results[0]
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results[0]
 
 
 def run_chameleon(workload, nprocs, **cfg):
@@ -50,7 +50,7 @@ def run_chameleon(workload, nprocs, **cfg):
         trace = await tracer.finalize()
         return {"trace": trace, "cstats": tracer.cstats}
 
-    return run_spmd(main, nprocs, network=ZERO_COST).results
+    return run_spmd(main, nprocs, config=SimConfig(network=ZERO_COST)).results
 
 
 class TestRegistry:
