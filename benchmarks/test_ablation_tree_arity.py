@@ -31,7 +31,7 @@ def _rows():
                 "overhead": overhead(st, app),
                 "leaves": st.trace.leaf_count(),
                 "mass": mass,
-                "merge_time": st.sum_stat("merge_time"),
+                "merge_time": st.stat("merge_time", source="tracer"),
             }
         )
     return rows

@@ -53,7 +53,7 @@ from .obs import (
 from .replay.replayer import ReplayResult, replay_trace
 from .scalatrace.difftool import TraceDiff, diff_traces
 from .scalatrace.trace import Trace
-from .simmpi.simconfig import DEFAULT_CONFIG, SimConfig
+from .simmpi.simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
 from .simmpi.timing import NetworkModel, QDR_CLUSTER
 
 #: Every paper artifact regenerable via :func:`run_experiment` / the CLI.
@@ -129,10 +129,10 @@ def run(
     engine's worker pool.
 
     ``sim`` is a :class:`SimConfig` carrying every simulator engine option
-    (network model, matching, collectives mode, shard count, step budget).
-    The bare ``network=`` keyword is a deprecated shim kept for one
-    release; it emits a :class:`DeprecationWarning` and is ignored when
-    ``sim`` is also given.
+    (network model, matching, collectives mode, p2p mode, shard count,
+    step budget).  The bare ``network=`` keyword shipped one release as a
+    deprecation shim and is now retired: passing it raises ``TypeError``
+    naming the ``SimConfig`` spelling.
 
     Pass ``instrument=Recorder()`` to capture the run's virtual-time event
     timeline on ``result.obs`` (see :func:`inspect`); instrumented runs
@@ -146,17 +146,7 @@ def run(
     ``result.extra["fault_summary"]``.  The same plan and seed always
     reproduce the same result; an empty plan changes nothing.
     """
-    if network is not None:
-        import warnings
-
-        warnings.warn(
-            "the network= keyword is deprecated; pass "
-            "sim=SimConfig(network=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if sim is None:
-            sim = SimConfig(network=network)
+    resolve_config(sim, network=network)
     engine = engine or get_engine()
     cell = make_cell(
         workload,

@@ -564,6 +564,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    """``repro config show``: print the resolved engine configuration."""
+    from .simmpi.simconfig import NETWORK_PRESETS
+
+    sim = _sim_from(args)
+    n = sim.network
+    preset = next(
+        (name for name, model in NETWORK_PRESETS.items() if model == n),
+        "<custom>",
+    )
+    ms = "unlimited" if sim.max_steps is None else str(sim.max_steps)
+    print(f"network       {preset}")
+    print(f"  latency             {n.latency:.3e} s")
+    print(f"  bandwidth           {n.bandwidth:.3e} B/s")
+    print(f"  o_send              {n.o_send:.3e} s")
+    print(f"  o_recv              {n.o_recv:.3e} s")
+    print(f"  eager_threshold     {n.eager_threshold} B")
+    print(f"  min_message_bytes   {n.min_message_bytes} B")
+    print(f"matching      {sim.matching}")
+    print(f"collectives   {sim.collectives}")
+    print(f"p2p           {sim.p2p}")
+    print(f"shards        {sim.shards}")
+    print(f"max_steps     {ms}")
+    print(f"cache digest  {sim.digest()}")
+    print("  (digests only the outcome-determining fields; matching/"
+          "collectives/p2p/shards\n   select bit-identical strategies and "
+          "share one cache slot)")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         fn = _EXPERIMENTS[args.name]
@@ -765,9 +795,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", action="append", metavar="KEY=VAL",
         help="engine option as a SimConfig field (repeatable): "
         "network=qdr|slow|zero, matching=indexed|linear, "
-        "collectives=fast|simulated, shards=N, max_steps=N|none",
+        "collectives=fast|simulated, p2p=fast|simulated, shards=N, "
+        "max_steps=N|none",
     )
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_config = sub.add_parser(
+        "config",
+        help="inspect the resolved engine configuration",
+    )
+    p_config.add_argument(
+        "action", choices=("show",),
+        help="show: print the resolved SimConfig (preset expanded) and "
+        "its cache digest",
+    )
+    p_config.add_argument(
+        "--config", action="append", metavar="KEY=VAL",
+        help="engine option as a SimConfig field (repeatable), "
+        "as in `repro bench --config`",
+    )
+    p_config.set_defaults(fn=_cmd_config)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper experiment")
     p_exp.add_argument("name")

@@ -15,8 +15,9 @@ Engine options come in as a :class:`~repro.simmpi.SimConfig` (CLI:
 or ``--config shards=4``); the default ladder additionally appends the
 sharded-engine tiers in :data:`SHARD_TIERS` — ``allreduce_barrier`` at
 P=16384 and P=65536 under ``shards=4`` — so CI tracks the conservative-PDES
-path next to the single-process engine it must beat at scale.  The legacy
-``collectives=`` keyword still works for one release and warns.
+path next to the single-process engine it must beat at scale.  (The legacy
+``collectives=`` keyword shipped one release as a deprecation shim and now
+raises ``TypeError``.)
 
 Kernels:
 
@@ -24,22 +25,26 @@ Kernels:
   barrier over the world communicator; stresses the tree collectives and
   exact-tag matching.
 * ``halo_exchange`` — point-to-point dominated: a periodic 1-D halo swap
-  (both neighbours, several rounds, per-round tags) with a wildcard
-  drain round; stresses mailbox lane churn and wildcard matching.
+  (both neighbours, several rounds, per-round tags) declared as a
+  :class:`~repro.simmpi.NeighborPattern` so the macro p2p gate can
+  resolve it, plus a message-level wildcard drain round that stresses
+  mailbox lane churn and wildcard matching (and keeps the kernel
+  exercising the real matching engine at every tier).
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import resource
 import sys
 import time
 from typing import Any, Callable, Iterable, Sequence
 
-from ..simmpi import ANY_SOURCE, ANY_TAG, run_spmd
+from ..simmpi import ANY_SOURCE, ANY_TAG, NeighborPattern, run_spmd
 from ..simmpi.simconfig import SimConfig, resolve_config
 
-SCHEMA_ID = "repro/bench-scaling/v3"
+SCHEMA_ID = "repro/bench-scaling/v4"
 
 #: Default process counts — the scaling ladder.  The 16384 tier is only
 #: tractable because eligible collectives take the macro fast path.
@@ -65,22 +70,35 @@ async def _allreduce_barrier(ctx) -> int:
     return total
 
 
+@functools.lru_cache(maxsize=None)
+def _halo_pattern(size: int, rounds: int) -> NeighborPattern:
+    """The halo kernel's declared rounds: the exact op sequence of the
+    pre-declaration kernel (8-byte scalar payloads), slot-aligned so the
+    gate replay vectorizes over ranks."""
+    ops = []
+    for rank in range(size):
+        left, right = (rank - 1) % size, (rank + 1) % size
+        row = []
+        for r in range(rounds):
+            row += [
+                ("isend", left, r, 8),
+                ("isend", right, r, 8),
+                ("recv", right, r),
+                ("recv", left, r),
+                ("wait", 2 * r),
+                ("wait", 2 * r + 1),
+            ]
+        ops.append(row)
+    return NeighborPattern("bench-halo", size, ops)
+
+
 async def _halo_exchange(ctx, rounds: int = 4) -> int:
     comm, rank, size = ctx.comm, ctx.rank, ctx.size
     left, right = (rank - 1) % size, (rank + 1) % size
-    acc = 0
-    for r in range(rounds):
-        sends = [
-            comm.isend(left, rank, tag=r),
-            comm.isend(right, rank, tag=r),
-        ]
-        acc += await comm.recv(source=right, tag=r)
-        acc += await comm.recv(source=left, tag=r)
-        for s in sends:
-            await s.wait()
+    await comm.exchange(_halo_pattern(size, rounds))
     # Wildcard drain round: one message each way, matched by ANY/ANY.
     await comm.send(right, rank, tag=rounds)
-    acc += await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+    acc = await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
     await comm.barrier()
     return acc
 
@@ -132,6 +150,7 @@ def bench_point(
             round(result.messages_matched / wall) if wall > 0 else 0
         ),
         "collectives_fast": result.collectives_fast,
+        "p2p_fast": result.p2p_fast,
         "virtual_makespan_s": result.max_time,
     }
     if "shard_fallback" in result.extras:
@@ -188,6 +207,7 @@ def run_scaling_bench(
         "config": {
             "matching": sim.matching,
             "collectives": sim.collectives,
+            "p2p": sim.p2p,
             "shards": sim.shards,
             "max_steps": sim.max_steps,
         },
@@ -253,7 +273,7 @@ def format_bench(doc: dict[str, Any]) -> str:
     lines = [
         f"{'kernel':<18s} {'P':>6s} {'sh':>3s} {'wall[s]':>8s} "
         f"{'RSS[MB]':>8s} {'steps':>9s} {'matched':>9s} {'match/s':>10s} "
-        f"{'coll.fast':>9s}"
+        f"{'coll.fast':>9s} {'p2p.fast':>9s}"
     ]
     for r in doc["results"]:
         lines.append(
@@ -261,6 +281,6 @@ def format_bench(doc: dict[str, Any]) -> str:
             f"{r.get('shards', 1):>3d} {r['wall_s']:>8.3f} "
             f"{r['peak_rss_kb'] / 1024:>8.1f} {r['engine_steps']:>9d} "
             f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d} "
-            f"{r.get('collectives_fast', 0):>9d}"
+            f"{r.get('collectives_fast', 0):>9d} {r.get('p2p_fast', 0):>9d}"
         )
     return "\n".join(lines)

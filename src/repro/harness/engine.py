@@ -38,7 +38,7 @@ from typing import Any, Callable, Sequence
 from ..core.config import ChameleonConfig
 from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
-from ..simmpi.simconfig import DEFAULT_CONFIG, SimConfig
+from ..simmpi.simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
 from ..simmpi.timing import NetworkModel
 from ..workloads.base import Workload
 from ..workloads.registry import make_workload
@@ -146,22 +146,6 @@ class Cell:
         return workload
 
 
-def _resolve_sim(
-    sim: SimConfig | None, network: NetworkModel | None
-) -> SimConfig:
-    """Fold the legacy ``network=`` keyword into a :class:`SimConfig`.
-
-    ``sim`` wins when both are given; the bare keyword maps quietly (the
-    deprecation story lives on the :func:`repro.api.run`/``run_spmd``
-    surface, not on every internal helper).
-    """
-    if sim is not None:
-        return sim
-    if network is not None:
-        return SimConfig(network=network)
-    return DEFAULT_CONFIG
-
-
 def make_cell(
     workload_name: str,
     nprocs: int,
@@ -192,7 +176,7 @@ def make_cell(
         nprocs=nprocs,
         mode=mode,
         config=config,
-        sim=_resolve_sim(sim, network),
+        sim=resolve_config(sim, network=network),
         faults=faults,
     )
 
@@ -228,7 +212,7 @@ def make_suite_cells(
             nprocs=nprocs,
             mode=mode,
             config=config,
-            sim=_resolve_sim(sim, network),
+            sim=resolve_config(sim, network=network),
         )
         for mode in modes
     ]

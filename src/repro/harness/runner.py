@@ -19,7 +19,6 @@ import dataclasses
 import enum
 import hashlib
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -33,7 +32,7 @@ from ..scalatrace.costmodel import DEFAULT_COSTS
 from ..scalatrace.trace import Trace
 from ..scalatrace.tracer import ScalaTraceTracer, TracerStats
 from ..simmpi.launcher import run_spmd
-from ..simmpi.simconfig import SimConfig
+from ..simmpi.simconfig import SimConfig, resolve_config
 from ..simmpi.timing import NetworkModel
 from ..workloads.base import NullTracer, Workload
 from ..workloads.registry import PAPER_K
@@ -140,31 +139,21 @@ class RunResult:
 
     # -- aggregates ---------------------------------------------------------
 
-    def sum_stat(self, name: str) -> float:
-        """Sum a :class:`TracerStats` field over ranks.
-
-        .. deprecated:: use ``stat(name, source="tracer")``.
-        """
-        warnings.warn(
-            "RunResult.sum_stat is deprecated; use "
-            "RunResult.stat(name, source='tracer')",
-            DeprecationWarning,
-            stacklevel=2,
+    @property
+    def sum_stat(self):
+        """Removed after a one-release deprecation."""
+        raise AttributeError(
+            "RunResult.sum_stat was removed after a one-release "
+            "deprecation; use RunResult.stat(name, source='tracer')"
         )
-        return self.stat(name, source="tracer")
 
-    def sum_cstat(self, name: str) -> float:
-        """Sum a :class:`ChameleonStats` field over ranks.
-
-        .. deprecated:: use ``stat(name, source="chameleon")``.
-        """
-        warnings.warn(
-            "RunResult.sum_cstat is deprecated; use "
-            "RunResult.stat(name, source='chameleon')",
-            DeprecationWarning,
-            stacklevel=2,
+    @property
+    def sum_cstat(self):
+        """Removed after a one-release deprecation."""
+        raise AttributeError(
+            "RunResult.sum_cstat was removed after a one-release "
+            "deprecation; use RunResult.stat(name, source='chameleon')"
         )
-        return self.stat(name, source="chameleon")
 
     @property
     def cstats0(self) -> ChameleonStats:
@@ -233,11 +222,11 @@ def run_mode(
 
     ``sim`` carries every simulator engine option as one
     :class:`~repro.simmpi.SimConfig` (network model, matching, collectives
-    mode, shard count, step budget).  The ``network=``/``collectives=``
-    keywords are retained for compatibility and quietly folded into the
-    effective config; they are ignored when ``sim`` is given.  Matching,
-    collectives and shards all produce bit-identical results and virtual
-    times, so they are deliberately excluded from :meth:`Cell.digest`.
+    mode, p2p mode, shard count, step budget).  The retired
+    ``network=``/``collectives=`` keywords raise ``TypeError`` naming the
+    ``SimConfig`` spelling.  Matching, collectives, p2p and shards all
+    produce bit-identical results and virtual times, so they are
+    deliberately excluded from :meth:`Cell.digest`.
 
     Pass a :class:`~repro.obs.instrument.Recorder` as ``instrument`` to
     capture the run's event timeline; its snapshot is attached to
@@ -252,12 +241,7 @@ def run_mode(
     """
     cfg = config or chameleon_config_for(workload)
     ins = instrument if instrument is not None else NULL_INSTRUMENT
-    if sim is None:
-        sim = SimConfig(
-            **{k: v for k, v in (
-                ("network", network), ("collectives", collectives)
-            ) if v is not None}
-        )
+    sim = resolve_config(sim, network=network, collectives=collectives)
 
     async def main(ctx):
         if mode is Mode.APP:

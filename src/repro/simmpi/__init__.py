@@ -28,12 +28,15 @@ from .errors import (
     DeadlockError,
     EngineLimitError,
     MatchingError,
+    PatternMismatchError,
     RankCrashedError,
     SimMPIError,
     TaskFailedError,
 )
 from .futures import SimFuture
 from .launcher import RankContext, SpmdResult, run_spmd
+from .patterns import NeighborPattern
+from .rankstate import RankStateColumns
 from .simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
 from .timing import QDR_CLUSTER, SLOW_CLUSTER, ZERO_COST, NetworkModel
 from .topology import (
@@ -67,12 +70,15 @@ __all__ = [
     "MAX",
     "MIN",
     "MatchingError",
+    "NeighborPattern",
     "NetworkModel",
     "PROD",
+    "PatternMismatchError",
     "QDR_CLUSTER",
     "RadixTree",
     "RankCrashedError",
     "RankContext",
+    "RankStateColumns",
     "Request",
     "SLOW_CLUSTER",
     "SUM",

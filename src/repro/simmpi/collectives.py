@@ -50,8 +50,15 @@ from typing import Any, Callable, Sequence
 from ..faults.injector import LOST
 from .comm import Comm, CommContext, MAX_USER_TAG
 from .datatypes import payload_nbytes
-from .errors import CollectiveMismatchError
+from .errors import CollectiveMismatchError, PatternMismatchError
 from .futures import SimFuture
+from .patterns import (
+    NeighborPattern,
+    RUN_SIM,
+    _P2PEntry,
+    _P2PGate,
+    resolve_p2p_gate,
+)
 from .schedules import binomial_children, binomial_parent, binomial_subtree
 
 # -- reduction operators -----------------------------------------------------
@@ -1184,3 +1191,169 @@ class Communicator(Comm):
         new = await self.split(color=0, key=self.rank)
         assert new is not None
         return new
+
+    # -- declared p2p patterns (macro p2p fast path) -----------------------
+
+    async def exchange(
+        self,
+        pattern: NeighborPattern,
+        *,
+        compute: Callable[[float], Any] | None = None,
+    ) -> None:
+        """Run one declared regular exchange (collective over the comm).
+
+        Every rank must call ``exchange`` with an equal pattern (same
+        content key) in the same program position.  Eligible instances
+        resolve through the macro p2p gate — one bulk clock advance, no
+        mailbox traffic; ineligible ones (and runs under
+        ``SimConfig(p2p="simulated")``) drive this rank's declared ops
+        through the ordinary message-level path instead.  Bit-identical
+        virtual time either way.
+
+        ``compute`` (pass ``ctx.compute``) is used by the fallback to
+        charge the pattern's ``("compute", s)`` ops, which keeps fault
+        compute-factor draws aligned with the undeclared body; the gate
+        replay charges them directly (fault plans force the fallback, so
+        the factors are the identity whenever the gate runs).
+        """
+        if pattern.size != self.size:
+            raise PatternMismatchError(
+                f"pattern {pattern.name!r} declares {pattern.size} ranks "
+                f"but communicator {self.context.id} has {self.size}"
+            )
+        gate = self._consult_p2p_gate(pattern)
+        if gate is None:
+            return await self._drive_pattern(pattern, compute)
+        return await self._join_p2p_fast(gate, pattern, compute)
+
+    def _p2p_traffic_reason(self) -> str | None:
+        """Mailbox-state eligibility: the gate may only bypass matching
+        when nothing is queued or posted anywhere on this communicator
+        (only materialized mailboxes are visited, so an idle communicator
+        costs nothing to scan)."""
+        for mbox in self.context._mailboxes.values():
+            if mbox.has_wild_pending():
+                return "pending-wildcard"
+            if mbox.has_pending():
+                return "pending-recv"
+            if mbox.has_queued():
+                return "queued-traffic"
+        return None
+
+    def _p2p_fallback_reason(self) -> str | None:
+        """Why this exchange instance must take the message-level path
+        (``None`` = the gate is safe), evaluated by the first arrival."""
+        engine = self.engine
+        if engine.p2p != "fast":
+            return "disabled"
+        if engine.matching != "indexed":
+            return "linear-matching"
+        ins = engine.instrument
+        if ins.enabled and ins.granularity != "span":
+            return "message-tracing"
+        if engine.faults.active:
+            # Any armed plan falls back — message/link faults perturb p2p
+            # directly, and compute factors are keyed to a per-rank draw
+            # sequence only the real ``ctx.compute`` path advances.
+            return "faults"
+        return self._p2p_traffic_reason()
+
+    def _consult_p2p_gate(self, pattern: NeighborPattern) -> _P2PGate | None:
+        """Join the decision gate for this rank's next exchange instance.
+
+        Returns the gate when the instance runs on the fast path, or
+        ``None`` when this rank must drive the message-level body.
+        Unlike the collective gate, the verdict is *re-checked* at every
+        arrival: traffic posted between arrivals (by ranks still short of
+        their exchange call) could interleave with the pattern's
+        messages, so a dirty mailbox scan aborts the gate and releases
+        the already-parked ranks to the message-level path at their join
+        clocks.
+        """
+        ctx = self.context
+        seq = ctx.p2p_seq[self.rank]
+        ctx.p2p_seq[self.rank] = seq + 1
+        gate = ctx._p2p_gates.get(seq)
+        if gate is None:
+            gate = _P2PGate(pattern, seq, self._p2p_fallback_reason(),
+                            ctx.size)
+            ctx._p2p_gates[seq] = gate
+        elif gate.key != pattern.key:
+            raise PatternMismatchError(
+                f"rank {self.rank} called exchange({pattern.name!r}) as p2p "
+                f"instance #{seq} but other ranks are in {gate.name!r}"
+            )
+        elif gate.reason is None and self._p2p_traffic_reason() is not None:
+            gate.abort(self.engine, "mid-phase-traffic")
+        gate.consulted += 1
+        if gate.consulted == ctx.size:
+            del ctx._p2p_gates[seq]
+        if gate.reason is None:
+            return gate
+        engine = self.engine
+        engine.p2p_simulated += 1
+        ins = engine.instrument
+        if ins.enabled:
+            ins.metrics.count(
+                "p2p/fallbacks", 1, rank=self.world_rank(self.rank),
+                op=f"{pattern.name}:{gate.reason}", t=self.task.clock,
+            )
+        return None
+
+    async def _join_p2p_fast(
+        self,
+        gate: _P2PGate,
+        pattern: NeighborPattern,
+        compute: Callable[[float], Any] | None,
+    ) -> None:
+        """Register this rank on ``gate`` and await the bulk advance."""
+        ctx = self.context
+        task = self.task
+        fut = SimFuture(
+            kind="p2p", tag=gate.seq, dest=ctx.ranks[self.rank],
+            comm=ctx.id, post_time=task.clock,
+        )
+        gate.entries.append(_P2PEntry(self.rank, task, fut))
+        if len(gate.entries) == gate.expected:
+            resolve_p2p_gate(self, pattern, gate)
+        result = await fut
+        task.advance_to(fut.time)
+        if result is RUN_SIM:
+            # Aborted mid-phase: rerun from the join clock (parking cost
+            # nothing in virtual time) on the message-level path.
+            engine = self.engine
+            engine.p2p_simulated += 1
+            ins = engine.instrument
+            if ins.enabled:
+                ins.metrics.count(
+                    "p2p/fallbacks", 1, rank=self.world_rank(self.rank),
+                    op=f"{pattern.name}:{gate.reason}", t=task.clock,
+                )
+            await self._drive_pattern(pattern, compute)
+
+    async def _drive_pattern(
+        self,
+        pattern: NeighborPattern,
+        compute: Callable[[float], Any] | None,
+    ) -> None:
+        """Message-level reference: run this rank's declared ops through
+        the ordinary isend/send/recv/wait primitives (also the
+        ``p2p="simulated"`` path and the bit-identity oracle)."""
+        task = self.task
+        reqs: list[Any] = []
+        for op in pattern.ops[self.rank]:
+            if op is None:
+                continue
+            code = op[0]
+            if code == "isend":
+                reqs.append(self.isend(op[1], None, tag=op[2], size=op[3]))
+            elif code == "send":
+                await self.send(op[1], None, tag=op[2], size=op[3])
+            elif code == "recv":
+                await self.recv(op[1], tag=op[2])
+            elif code == "wait":
+                await reqs[op[1]].wait()
+            elif compute is not None:
+                compute(op[1])
+            else:
+                task.charge(op[1])

@@ -306,6 +306,17 @@ class Mailbox:
     def has_pending(self) -> bool:
         return self._pending_count > 0
 
+    def has_queued(self) -> bool:
+        """Any undelivered queued message?  Empty class lanes are always
+        deleted, so the lane dict doubles as the live-message indicator."""
+        return bool(self._lanes)
+
+    def has_wild_pending(self) -> bool:
+        """Any live posted receive that could match by wildcard (the
+        overflow pending lane also carries ANY_SOURCE exact-high-tag
+        receives; counting them too only errs on the safe side)."""
+        return any(not p.future.done for p in self._pending_wild)
+
     def has_tag_window(self, lo: int, hi: int) -> bool:
         """Any queued message or live posted receive with an exact tag in
         ``[lo, hi)``?  The macro-collective eligibility probe: a collective
@@ -419,6 +430,15 @@ class LinearMailbox:
     def has_pending(self) -> bool:
         return bool(self.pending)
 
+    def has_queued(self) -> bool:
+        return bool(self.queued)
+
+    def has_wild_pending(self) -> bool:
+        return any(
+            not p.future.done and (p.src == ANY_SOURCE or p.tag == ANY_TAG)
+            for p in self.pending
+        )
+
     def has_tag_window(self, lo: int, hi: int) -> bool:
         return any(lo <= m.tag < hi for m in self.queued) or any(
             not p.future.done and lo <= p.tag < hi for p in self.pending
@@ -491,6 +511,11 @@ class CommContext:
         # instance, later arrivals join (fast) or follow the verdict
         # (simulated).  Entries are removed once every rank has consulted.
         self._gates: dict[int, Any] = {}
+        # Per-rank declared-p2p sequence numbers and their gates, the p2p
+        # mirror of coll_seq/_gates: every rank calls exchange() in the
+        # same order, so sequence N names one pattern instance.
+        self.p2p_seq: dict[int, int] = {i: 0 for i in range(len(self.ranks))}
+        self._p2p_gates: dict[int, Any] = {}
         # Registered so a rank crash can purge its pending receives from
         # every communicator it participates in.
         engine._contexts.append(self)

@@ -111,6 +111,7 @@ class Engine:
         faults: FaultInjector = NULL_INJECTOR,
         matching: str = "indexed",
         collectives: str = "fast",
+        p2p: str = "fast",
     ) -> None:
         if matching not in ("indexed", "linear"):
             raise ValueError(
@@ -120,6 +121,10 @@ class Engine:
             raise ValueError(
                 "collectives must be 'fast' or 'simulated', "
                 f"got {collectives!r}"
+            )
+        if p2p not in ("fast", "simulated"):
+            raise ValueError(
+                f"p2p must be 'fast' or 'simulated', got {p2p!r}"
             )
         self.network = network
         #: mailbox implementation for every CommContext built on this engine:
@@ -131,10 +136,19 @@ class Engine:
         #: "simulated" (always per-message).  Both are bit-identical in
         #: virtual time and results; "fast" is the default.
         self.collectives = collectives
+        #: declared-p2p execution policy: "fast" (macro gate replay of
+        #: eligible NeighborPattern exchanges, per-message fallback
+        #: otherwise) or "simulated" (always per-message).  Both are
+        #: bit-identical in virtual time; "fast" is the default.
+        self.p2p = p2p
         #: per-rank collective calls served by the closed-form fast path /
         #: routed to the message-level algorithms
         self.collectives_fast = 0
         self.collectives_simulated = 0
+        #: per-rank declared-pattern exchanges resolved by the p2p gate /
+        #: driven through the message-level mailbox path
+        self.p2p_fast = 0
+        self.p2p_simulated = 0
         self.tasks: list[Task] = []
         self._sorted_tasks: list[Task] | None = None
         self._ready: deque[Task] = deque()

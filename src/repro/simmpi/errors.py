@@ -46,6 +46,14 @@ class CollectiveMismatchError(SimMPIError):
     """Ranks disagreed on a collective's parameters (e.g. different roots)."""
 
 
+class PatternMismatchError(SimMPIError):
+    """Ranks joined one declared-p2p exchange with different patterns.
+
+    ``Communicator.exchange`` is collective over the communicator; every
+    rank of one instance must present a :class:`~.patterns.NeighborPattern`
+    with the same content key (name, size, per-rank op scripts)."""
+
+
 class EngineLimitError(SimMPIError):
     """The engine exceeded a configured resource limit (``max_steps``).
 

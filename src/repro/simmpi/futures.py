@@ -103,6 +103,10 @@ class SimFuture:
             # A macro-collective gate future; ``tag`` carries the
             # communicator-local collective sequence number.
             return f"coll rank={self.dest} seq={self.tag} comm={self.comm}"
+        if self.kind == "p2p":
+            # A declared-pattern gate future; ``tag`` carries the
+            # communicator-local exchange sequence number.
+            return f"p2p-gate rank={self.dest} seq={self.tag} comm={self.comm}"
         return self._label
 
     @label.setter

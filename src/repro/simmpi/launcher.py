@@ -103,6 +103,12 @@ class SpmdResult:
     #: leaf collective instances (per rank) that ran message-level,
     #: either by knob or by an eligibility fallback
     collectives_simulated: int = 0
+    #: declared-pattern exchange instances (per rank) resolved by the
+    #: macro p2p gate
+    p2p_fast: int = 0
+    #: declared-pattern exchange instances (per rank) that ran
+    #: message-level, either by knob or by an eligibility fallback
+    p2p_simulated: int = 0
 
     @property
     def nprocs(self) -> int:
@@ -141,10 +147,11 @@ def run_spmd(
 
     ``main`` must be an ``async def``; it is instantiated once per rank.
     Engine options travel in ``config`` (a :class:`SimConfig`); the
-    individual ``network=``/``matching=``/``collectives=``/``shards=``/
-    ``max_steps=`` keywords are deprecated shims that still work for one
-    release (each emits a :class:`DeprecationWarning` and overrides the
-    corresponding ``config`` field).
+    pre-``SimConfig`` per-knob keywords (``network=``/``matching=``/
+    ``collectives=``/``shards=``/``max_steps=``) are retired — passing
+    one raises ``TypeError`` naming the ``SimConfig`` spelling.  (They
+    stay in the signature so a stale call site gets that message instead
+    of the keyword silently landing in ``main``'s ``**kwargs``.)
 
     ``instrument`` receives the run's observability events (scheduler,
     p2p, collectives, tracers); the default is the zero-cost no-op.
@@ -169,6 +176,14 @@ def run_spmd(
     observe falls back per instance to ``"simulated"``, the
     always-message-level reference path.  See docs/PERF.md
     ("Macro-collectives").
+
+    ``config.p2p`` does the same for declared regular exchanges
+    (:class:`~repro.simmpi.patterns.NeighborPattern` via
+    ``Communicator.exchange``): ``"fast"`` (default) resolves eligible
+    instances through a per-instance gate replay — bit-identical virtual
+    times, one scheduler step per rank — while ``"simulated"`` (and any
+    eligibility fallback) drives the declared ops message-level.  See
+    docs/PERF.md ("Macro p2p").
 
     ``config.shards`` partitions the ranks over that many worker
     processes advancing in conservative-PDES waves — bit-identical
@@ -209,7 +224,8 @@ def _run_single(
         injector.plan.validate(nprocs)
     engine = Engine(network=cfg.network, max_steps=cfg.max_steps,
                     instrument=instrument, faults=injector,
-                    matching=cfg.matching, collectives=cfg.collectives)
+                    matching=cfg.matching, collectives=cfg.collectives,
+                    p2p=cfg.p2p)
     world_ctx = CommContext(engine, range(nprocs))
     for rank in range(nprocs):
         # Task must exist before the Communicator that references it; spawn
@@ -232,4 +248,6 @@ def _run_single(
         fault_summary=injector.summary() if injector.active else {},
         collectives_fast=engine.collectives_fast,
         collectives_simulated=engine.collectives_simulated,
+        p2p_fast=engine.p2p_fast,
+        p2p_simulated=engine.p2p_simulated,
     )

@@ -1,0 +1,926 @@
+"""Declared regular p2p patterns and the macro p2p gate replay.
+
+PR 5 made collectives closed-form; this module does the same for the
+*regular* point-to-point phases that dominate the stencil/wavefront
+workloads (POP halos, Sweep3D sweeps, AMG/LULESH neighbor exchanges, NPB
+transposes).  A workload declares its exchange structure once as a
+:class:`NeighborPattern` — a per-rank script of isend/send/recv/wait/compute
+ops with static peers, tags and sizes — and ``Communicator.exchange``
+resolves an eligible instance through a :class:`_P2PGate`: every rank of
+the communicator parks on the gate, the last arrival replays the whole
+pattern with the engine's exact LogGP arithmetic, and one
+``engine.wave_resolve`` bulk-advances all clocks.  Bit-identical in
+virtual time to the message-level path, which survives unchanged as the
+per-instance fallback and as ``SimConfig(p2p="simulated")``.
+
+Two replay tiers, both writing into a :class:`~.rankstate.RankStateColumns`
+columnar store:
+
+* **slot replay** — when the pattern compiles to aligned slots (uniform op
+  kind per position, matched sends strictly earlier than their recvs) and
+  no instrumentation is attached, each slot is one vectorized numpy
+  expression over the participating ranks: no Python loop over ranks.
+* **script replay** — a scalar interpreter mirroring the collective
+  mini-engine op for op; handles wavefront dependency chains, rendezvous
+  fused sends and obs emission synthesis (per-message recv spans and
+  p2p/* metrics identical to the simulated path's).
+
+The op vocabulary (all peers are communicator-local ranks, payloads are
+always ``None``):
+
+* ``("isend", dest, tag, nbytes)`` — non-blocking send
+* ``("send", dest, tag, nbytes)`` — blocking send (isend + wait fused)
+* ``("recv", src, tag)`` — blocking exact-source, exact-tag receive
+* ``("wait", k)`` — wait on this rank's ``k``-th ``isend`` (0-based)
+* ``("compute", seconds)`` — local busy time (pre-scaled by the caller)
+* ``None`` — placeholder keeping per-rank scripts slot-aligned
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from .comm import MAX_USER_TAG
+from .errors import DeadlockError
+from .rankstate import RankStateColumns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .timing import NetworkModel
+
+_OP_KINDS = ("isend", "send", "recv", "wait", "compute")
+
+
+class _RunSimToken:
+    """Sentinel a gate resolves parked entries with when the instance must
+    rerun on the message-level path (mid-phase traffic abort)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RUN_SIM>"
+
+
+RUN_SIM = _RunSimToken()
+
+
+class NeighborPattern:
+    """One declared regular exchange: per-rank op scripts, validated.
+
+    Construction validates the whole pattern once (peers in range, user
+    tags only, wait indices sane, and — the property the gate relies on —
+    *channel balance*: every ``(src, dest, tag)`` channel carries exactly
+    as many sends as receives, so a completed instance leaves every
+    mailbox exactly as it found it).
+
+    Instances are immutable and content-keyed: ranks of one gate must
+    present patterns with equal :attr:`key` or the gate raises
+    ``PatternMismatchError``.
+    """
+
+    __slots__ = (
+        "name", "size", "ops", "total_messages", "total_bytes",
+        "_plan", "_plan_tried",
+    )
+
+    def __init__(self, name: str, size: int,
+                 ops: Sequence[Sequence[tuple | None]]) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("pattern name must be a non-empty string")
+        if not isinstance(size, int) or size < 1:
+            raise ValueError(f"pattern size must be a positive int, got {size!r}")
+        if len(ops) != size:
+            raise ValueError(
+                f"pattern {name!r}: ops must list one script per rank "
+                f"({size}), got {len(ops)}"
+            )
+        self.name = name
+        self.size = size
+        frozen = tuple(tuple(rank_ops) for rank_ops in ops)
+        self.total_messages, self.total_bytes = self._validate(frozen)
+        self.ops = frozen
+        self._plan = None
+        self._plan_tried = False
+
+    def _validate(self, ops: tuple) -> tuple[int, int]:
+        """Single fused pass: validate every op and return the pattern's
+        ``(total_messages, total_bytes)``.
+
+        The hot loop makes only cheap combined checks; any anomaly defers
+        to :meth:`_diagnose`, which re-walks that rank's script with the
+        detailed per-op validator and raises the precise error.  Patterns
+        are built once per ``declare_pattern`` cache key, but at P=16384
+        even one pass over ~400k ops sits on the bench's critical path,
+        so the common case stays branch-light.
+        """
+        size = self.size
+        maxtag = MAX_USER_TAG
+        channels: dict[tuple[int, int, int], int] = {}
+        get = channels.get
+        nmsg = 0
+        nbytes_total = 0
+        for rank, rank_ops in enumerate(ops):
+            n_isends = 0
+            waited = 0  # bitmask over this rank's isend indices
+            for pos, op in enumerate(rank_ops):
+                if op is None:
+                    continue
+                if not isinstance(op, tuple) or not op:
+                    self._diagnose(rank, rank_ops)
+                kind = op[0]
+                if kind == "isend" or kind == "send":
+                    if len(op) != 4:
+                        self._diagnose(rank, rank_ops)
+                    _, dest, tag, nbytes = op
+                    if (type(dest) is not int or dest < 0 or dest >= size
+                            or type(tag) is not int or tag < 0
+                            or tag > maxtag
+                            or type(nbytes) is not int or nbytes < 0):
+                        self._diagnose(rank, rank_ops)
+                    key = (rank, dest, tag)
+                    channels[key] = get(key, 0) + 1
+                    nmsg += 1
+                    nbytes_total += nbytes
+                    if kind == "isend":
+                        n_isends += 1
+                elif kind == "recv":
+                    if len(op) != 3:
+                        self._diagnose(rank, rank_ops)
+                    _, src, tag = op
+                    if (type(src) is not int or src < 0 or src >= size
+                            or type(tag) is not int or tag < 0
+                            or tag > maxtag):
+                        self._diagnose(rank, rank_ops)
+                    key = (src, rank, tag)
+                    channels[key] = get(key, 0) - 1
+                elif kind == "wait":
+                    if len(op) != 2:
+                        self._diagnose(rank, rank_ops)
+                    k = op[1]
+                    if (type(k) is not int or k < 0 or k >= n_isends
+                            or (waited >> k) & 1):
+                        self._diagnose(rank, rank_ops)
+                    waited |= 1 << k
+                elif kind == "compute":
+                    if len(op) != 2:
+                        self._diagnose(rank, rank_ops)
+                    seconds = op[1]
+                    if (type(seconds) is not float
+                            and type(seconds) is not int) or seconds < 0:
+                        self._diagnose(rank, rank_ops)
+                else:
+                    self._diagnose(rank, rank_ops)
+        for (src, dest, tag), balance in channels.items():
+            if balance:
+                nrecv = -min(balance, 0)
+                nsend = max(balance, 0)
+                raise ValueError(
+                    f"pattern {self.name!r}: channel {src}->{dest} tag={tag} "
+                    f"has {nsend} more send(s) than recv(s)"
+                    if balance > 0 else
+                    f"pattern {self.name!r}: channel {src}->{dest} tag={tag} "
+                    f"has {nrecv} more recv(s) than send(s)"
+                )
+        return nmsg, nbytes_total
+
+    def _diagnose(self, rank: int, rank_ops: tuple) -> None:
+        """Slow path: re-walk one rank's script with detailed checks and
+        raise the precise error the fast loop only detected."""
+        name = self.name
+        n_isends = 0
+        waited: set[int] = set()
+        for pos, op in enumerate(rank_ops):
+            if op is None:
+                continue
+            if not isinstance(op, tuple) or not op or op[0] not in _OP_KINDS:
+                raise ValueError(
+                    f"pattern {name!r} rank {rank} op {pos}: "
+                    f"unknown op {op!r}"
+                )
+            kind = op[0]
+            if kind == "isend" or kind == "send":
+                if len(op) != 4:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: "
+                        f"{kind} needs (kind, dest, tag, nbytes)"
+                    )
+                _, dest, tag, nbytes = op
+                self._check_peer(rank, pos, dest, "dest")
+                self._check_tag(rank, pos, tag)
+                if not isinstance(nbytes, int) or isinstance(nbytes, bool) \
+                        or nbytes < 0:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: "
+                        f"nbytes must be a non-negative int, got {nbytes!r}"
+                    )
+                if kind == "isend":
+                    n_isends += 1
+            elif kind == "recv":
+                if len(op) != 3:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: "
+                        "recv needs (kind, src, tag)"
+                    )
+                _, src, tag = op
+                self._check_peer(rank, pos, src, "src")
+                self._check_tag(rank, pos, tag)
+            elif kind == "wait":
+                if len(op) != 2 or not isinstance(op[1], int) \
+                        or isinstance(op[1], bool):
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: "
+                        "wait needs (kind, isend_index)"
+                    )
+                k = op[1]
+                if k < 0 or k >= n_isends:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: wait({k}) "
+                        f"does not follow isend #{k} (seen {n_isends})"
+                    )
+                if k in waited:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: "
+                        f"isend #{k} waited twice"
+                    )
+                waited.add(k)
+            else:  # compute
+                if len(op) != 2 or not isinstance(op[1], (int, float)) \
+                        or isinstance(op[1], bool) or op[1] < 0:
+                    raise ValueError(
+                        f"pattern {name!r} rank {rank} op {pos}: compute "
+                        "needs (kind, seconds >= 0)"
+                    )
+        raise AssertionError(
+            f"pattern {name!r} rank {rank}: fast validator flagged this "
+            "script but the detailed walk found nothing wrong"
+        )  # pragma: no cover - fast/slow paths check the same properties
+
+    def _check_peer(self, rank: int, pos: int, peer: Any, role: str) -> None:
+        if not isinstance(peer, int) or isinstance(peer, bool) \
+                or peer < 0 or peer >= self.size:
+            raise ValueError(
+                f"pattern {self.name!r} rank {rank} op {pos}: {role} "
+                f"{peer!r} out of range for size {self.size}"
+            )
+
+    def _check_tag(self, rank: int, pos: int, tag: Any) -> None:
+        if not isinstance(tag, int) or isinstance(tag, bool) \
+                or tag < 0 or tag > MAX_USER_TAG:
+            raise ValueError(
+                f"pattern {self.name!r} rank {rank} op {pos}: tag {tag!r} "
+                f"must be a user tag in [0, {MAX_USER_TAG}]"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """Content identity: ranks joining one gate must agree on this."""
+        return (self.name, self.size, self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NeighborPattern {self.name!r} size={self.size} "
+            f"messages={self.total_messages} bytes={self.total_bytes}>"
+        )
+
+    def slot_plan(self):
+        """The compiled vectorizable slot plan, or ``None`` when the
+        pattern's structure cannot be replayed slot-by-slot (then the
+        scalar script replay runs instead).  Compiled once, cached."""
+        if not self._plan_tried:
+            self._plan_tried = True
+            self._plan = _compile_slots(self)
+        return self._plan
+
+
+# -- slot compilation ---------------------------------------------------------
+#
+# A slot plan exists when the per-rank scripts align positionally: every
+# occupied position (slot) holds ops of one kind, each recv's matched send
+# lives in a single earlier slot shared by all receivers of that slot, and
+# each wait slot targets a single isend slot.  Halo exchanges and
+# transposes compile; wavefront sweeps (recv-before-send chains) do not
+# and take the script replay.
+
+
+class _SendSlot:
+    __slots__ = ("slot", "kind", "idx", "nb", "pos_of")
+
+    def __init__(self, slot, kind, ranks, nbytes):
+        self.slot = slot
+        self.kind = kind
+        self.idx = np.array(ranks, dtype=np.intp)
+        self.nb = np.array(nbytes, dtype=np.int64)
+        self.pos_of = {r: j for j, r in enumerate(ranks)}
+
+
+class _RecvSlot:
+    __slots__ = ("slot", "idx", "send", "gather")
+
+    def __init__(self, slot, ranks, send, gather):
+        self.slot = slot
+        self.idx = np.array(ranks, dtype=np.intp)
+        self.send = send
+        self.gather = np.array(gather, dtype=np.intp)
+
+
+class _WaitSlot:
+    __slots__ = ("slot", "idx", "send", "pos", "rslot")
+
+    def __init__(self, slot, ranks, send, pos, rslot):
+        self.slot = slot
+        self.idx = np.array(ranks, dtype=np.intp)
+        self.send = send
+        self.pos = np.array(pos, dtype=np.intp)
+        self.rslot = np.array(rslot, dtype=np.int64)
+
+
+class _ComputeSlot:
+    __slots__ = ("slot", "idx", "sec")
+
+    def __init__(self, slot, ranks, sec):
+        self.slot = slot
+        self.idx = np.array(ranks, dtype=np.intp)
+        self.sec = np.array(sec, dtype=np.float64)
+
+
+def _compile_slots(pattern: NeighborPattern):
+    size = pattern.size
+    ops = pattern.ops
+    nslots = max((len(o) for o in ops), default=0)
+    slot_kind: list[str | None] = [None] * nslots
+    slot_ranks: list[list[int]] = [[] for _ in range(nslots)]
+    slot_args: list[list[tuple]] = [[] for _ in range(nslots)]
+    isend_slots: list[list[int]] = [[] for _ in range(size)]
+    for r in range(size):
+        for s, op in enumerate(ops[r]):
+            if op is None:
+                continue
+            kind = op[0]
+            if slot_kind[s] is None:
+                slot_kind[s] = kind
+            elif slot_kind[s] != kind:
+                return None  # mixed kinds in one slot
+            slot_ranks[s].append(r)
+            slot_args[s].append(op)
+            if kind == "isend":
+                isend_slots[r].append(s)
+    # Channel FIFO pairing: the i-th send on a (src, dest, tag) channel
+    # matches the i-th recv — exactly the engine's per-lane discipline.
+    # Ascending slot order is each rank's program order.
+    chan_sends: dict[tuple, list[tuple[int, int]]] = {}
+    chan_recvs: dict[tuple, list[tuple[int, int]]] = {}
+    for s in range(nslots):
+        kind = slot_kind[s]
+        if kind == "isend" or kind == "send":
+            for r, op in zip(slot_ranks[s], slot_args[s]):
+                chan_sends.setdefault((r, op[1], op[2]), []).append((s, r))
+        elif kind == "recv":
+            for r, op in zip(slot_ranks[s], slot_args[s]):
+                chan_recvs.setdefault((op[1], r, op[2]), []).append((s, r))
+    match_of: dict[tuple[int, int], tuple[int, int]] = {}
+    recv_slot_of_send: dict[tuple[int, int], int] = {}
+    for key, sends in chan_sends.items():
+        recvs = chan_recvs.get(key)
+        if recvs is None or len(recvs) != len(sends):
+            return None  # placeholder asymmetry; script replay handles it
+        for (sslot, srank), (rslot, rrank) in zip(sends, recvs):
+            if sslot >= rslot:
+                return None  # send must land strictly before its recv slot
+            match_of[(rslot, rrank)] = (sslot, srank)
+            recv_slot_of_send[(sslot, srank)] = rslot
+    compiled: list = []
+    by_slot: dict[int, Any] = {}
+    for s in range(nslots):
+        kind = slot_kind[s]
+        if kind is None:
+            continue
+        ranks = slot_ranks[s]
+        args = slot_args[s]
+        if kind == "isend" or kind == "send":
+            rec: Any = _SendSlot(s, kind, ranks, [a[3] for a in args])
+        elif kind == "recv":
+            pairs = [match_of[(s, r)] for r in ranks]
+            sslots = {p[0] for p in pairs}
+            if len(sslots) != 1:
+                return None  # receivers disagree on the send slot
+            send = by_slot[sslots.pop()]
+            rec = _RecvSlot(s, ranks, send,
+                            [send.pos_of[p[1]] for p in pairs])
+        elif kind == "wait":
+            targets = {isend_slots[r][a[1]] for r, a in zip(ranks, args)}
+            if len(targets) != 1:
+                return None
+            send = by_slot[targets.pop()]
+            rec = _WaitSlot(
+                s, ranks, send,
+                [send.pos_of[r] for r in ranks],
+                [recv_slot_of_send[(send.slot, r)] for r in ranks],
+            )
+        else:  # compute
+            rec = _ComputeSlot(s, ranks, [float(a[1]) for a in args])
+        compiled.append(rec)
+        by_slot[s] = rec
+    return compiled
+
+
+# -- slot replay (vectorized) -------------------------------------------------
+
+
+def _replay_slots(plan: list, cols: RankStateColumns,
+                  net: "NetworkModel") -> bool:
+    """Replay a compiled slot plan over the columns; one numpy expression
+    per slot, no per-rank Python loop.
+
+    Returns ``False`` without touching ``cols`` when the plan is
+    infeasible for this network (a fused send or an unfireable wait would
+    go rendezvous); the caller then runs the script replay.  Every
+    floating-point expression below evaluates the same IEEE-754 operation
+    sequence as ``comm.py``/the mini-engine, so the results are bit-equal.
+    """
+    o_send = net.o_send
+    o_recv = net.o_recv
+    latency = net.latency
+    eager_max = net.eager_threshold
+    mb = net.min_message_bytes
+    bw = net.bandwidth
+    # Feasibility pass first: no column is mutated unless the whole plan
+    # can run.  Rendezvous needs the matching recv to have fired before
+    # the sender's wait slot; a fused ("send", ...) has its wait at the
+    # send itself, which can never follow the recv.
+    eager_of: dict[int, np.ndarray] = {}
+    for rec in plan:
+        if isinstance(rec, _SendSlot):
+            eager_m = rec.nb <= eager_max
+            eager_of[rec.slot] = eager_m
+            if rec.kind == "send" and not eager_m.all():
+                return False
+        elif isinstance(rec, _WaitSlot):
+            rdv = ~eager_of[rec.send.slot][rec.pos]
+            if rdv.any() and (rec.rslot[rdv] >= rec.slot).any():
+                return False
+    clock = cols.clock
+    busy = cols.busy
+    runtime: dict[int, tuple] = {}
+    for rec in plan:
+        if isinstance(rec, _SendSlot):
+            idx = rec.idx
+            nb = rec.nb
+            eager_m = eager_of[rec.slot]
+            cols.msgs_sent[idx] += 1
+            cols.bytes_sent[idx] += nb
+            # eager: charge(o_send + transfer); rendezvous: charge(o_send)
+            transfer = np.maximum(nb, mb) / bw
+            dt = np.where(eager_m, o_send + transfer, o_send)
+            c = clock[idx] + dt
+            clock[idx] = c
+            busy[idx] += dt
+            # eager message time is the arrival, rendezvous is send_ready
+            msg_time = np.where(eager_m, c + latency, c)
+            runtime[rec.slot] = (
+                eager_m, transfer, msg_time, np.zeros(len(idx)),
+            )
+        elif isinstance(rec, _RecvSlot):
+            g = rec.gather
+            s_eager, s_transfer, s_msg_time, s_done_send = \
+                runtime[rec.send.slot]
+            mt = s_msg_time[g]
+            eg = s_eager[g]
+            tr = s_transfer[g]
+            nbg = rec.send.nb[g]
+            ridx = rec.idx
+            post = clock[ridx]
+            # eager: done_recv = max(post + o_recv, arrival)
+            # rendezvous: start = max(post + o_recv, send_ready)
+            start = np.maximum(post + o_recv, mt)
+            done_recv = np.where(eg, start, (start + latency) + tr)
+            s_done_send[g] = start + tr
+            cols.msgs_received[ridx] += 1
+            cols.bytes_received[ridx] += nbg
+            busy[ridx] += o_recv
+            clock[ridx] = np.maximum(post, done_recv)
+        elif isinstance(rec, _WaitSlot):
+            s_eager, s_transfer, _, s_done_send = runtime[rec.send.slot]
+            p = rec.pos
+            rdv = ~s_eager[p]
+            if rdv.any():
+                widx = rec.idx[rdv]
+                prdv = p[rdv]
+                # Request.wait: advance to done_send, absorb the deferred
+                # transfer busy charge.  Eager waits are no-ops.
+                clock[widx] = np.maximum(clock[widx], s_done_send[prdv])
+                busy[widx] += s_transfer[prdv]
+        else:  # _ComputeSlot
+            idx = rec.idx
+            clock[idx] += rec.sec
+            busy[idx] += rec.sec
+    return True
+
+
+# -- script replay (scalar interpreter) ---------------------------------------
+
+
+class _PFut:
+    """Completion handle inside the script replay (mirrors _MiniFut)."""
+
+    __slots__ = ("done", "time", "busy_charge", "waiter")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.time = 0.0
+        self.busy_charge = 0.0
+        self.waiter = None
+
+
+#: Shared pre-resolved handle for eager sends (completion time equals the
+#: post-charge clock, so waiting never advances anything).
+_EAGER_DONE = _PFut()
+_EAGER_DONE.done = True
+_EAGER_DONE.time = -1.0
+
+
+class _PState:
+    """One rank's replica of its task state during the script replay."""
+
+    __slots__ = (
+        "i", "ops", "pc", "clock", "busy", "msgs_sent", "bytes_sent",
+        "msgs_received", "bytes_received", "isends", "events", "finished",
+    )
+
+    def __init__(self, i, ops, clock, busy, msgs_sent, bytes_sent,
+                 msgs_received, bytes_received, collect):
+        self.i = i
+        self.ops = ops
+        self.pc = 0
+        self.clock = clock
+        self.busy = busy
+        self.msgs_sent = msgs_sent
+        self.bytes_sent = bytes_sent
+        self.msgs_received = msgs_received
+        self.bytes_received = bytes_received
+        self.isends: list[_PFut] = []
+        self.events: list[tuple] | None = [] if collect else None
+        self.finished = False
+
+
+class _ScriptReplay:
+    """Scalar replay of one pattern instance.
+
+    Clock/busy/counter arithmetic copies the collective mini-engine (and
+    therefore ``Comm.isend`` / ``CommContext._fire_match``) operation for
+    operation; matching is per-(src, dest, tag) FIFO lanes, exactly the
+    indexed mailbox's discipline for exact-tag receives.  With ``collect``
+    the replay records, per rank in program order, the send-metric and
+    recv-span events the message-level path would have emitted, for the
+    gate to synthesize afterwards.
+    """
+
+    __slots__ = (
+        "pattern", "states", "_queued", "_pending", "_ready", "collect",
+        "_o_send", "_o_recv", "_latency", "_eager_max", "_min_bytes",
+        "_bandwidth",
+    )
+
+    def __init__(self, pattern: NeighborPattern, cols: RankStateColumns,
+                 net: "NetworkModel", collect: bool) -> None:
+        self.pattern = pattern
+        self.collect = collect
+        self._o_send = net.o_send
+        self._o_recv = net.o_recv
+        self._latency = net.latency
+        self._eager_max = net.eager_threshold
+        self._min_bytes = net.min_message_bytes
+        self._bandwidth = net.bandwidth
+        clock = cols.clock.tolist()
+        busy = cols.busy.tolist()
+        ms = cols.msgs_sent.tolist()
+        bs = cols.bytes_sent.tolist()
+        mr = cols.msgs_received.tolist()
+        br = cols.bytes_received.tolist()
+        self.states = [
+            _PState(
+                i, [op for op in pattern.ops[i] if op is not None],
+                clock[i], busy[i], ms[i], bs[i], mr[i], br[i], collect,
+            )
+            for i in range(cols.n)
+        ]
+        # (src, dest, tag) -> deque of messages / a single parked recv.
+        # A receiver blocks on each recv, so at most one pending per key;
+        # queued lanes are real deques (a channel may carry several
+        # messages, e.g. a 2-rank ring sending both ways on one tag).
+        self._queued: dict[tuple, deque] = {}
+        self._pending: dict[tuple, tuple] = {}
+        self._ready: deque = deque()
+
+    def run(self, cols: RankStateColumns) -> None:
+        ready = self._ready
+        for st in self.states:
+            ready.append((st, None))
+        while ready:
+            st, fut = ready.popleft()
+            if fut is not None:
+                # Request.wait's resume: advance to the completion time,
+                # then absorb any deferred busy charge, in that order.
+                if fut.time > st.clock:
+                    st.clock = fut.time
+                if fut.busy_charge:
+                    st.busy += fut.busy_charge
+                    fut.busy_charge = 0.0
+            self._step(st)
+        blocked = [
+            f"rank {st.i}: pattern {self.pattern.name!r} blocked at op "
+            f"{st.ops[st.pc - 1] if st.pc else None!r}"
+            for st in self.states if not st.finished
+        ]
+        if blocked:
+            # The message-level path would deadlock on the same cycle
+            # (e.g. mutual rendezvous blocking sends); same diagnosis.
+            raise DeadlockError(blocked)
+        for st in self.states:
+            i = st.i
+            cols.clock[i] = st.clock
+            cols.busy[i] = st.busy
+            cols.msgs_sent[i] = st.msgs_sent
+            cols.bytes_sent[i] = st.bytes_sent
+            cols.msgs_received[i] = st.msgs_received
+            cols.bytes_received[i] = st.bytes_received
+
+    def _step(self, st: _PState) -> None:
+        ops = st.ops
+        n = len(ops)
+        while st.pc < n:
+            op = ops[st.pc]
+            code = op[0]
+            if code == "recv":
+                src, tag = op[1], op[2]
+                key = (src, st.i, tag)
+                lane = self._queued.get(key)
+                if lane is None:
+                    fut = _PFut()
+                    fut.waiter = st
+                    self._pending[key] = (st.clock, fut, st)
+                    st.pc += 1
+                    return
+                msg = lane.popleft()
+                if not lane:
+                    del self._queued[key]
+                st.pc += 1
+                # already queued: fire inline, like irecv's immediate
+                # match + Request.wait short-circuit
+                self._fire_recv(st, st.clock, msg, src, tag)
+                continue
+            if code == "isend" or code == "send":
+                fut = self._isend(st, op[1], op[2], op[3])
+                st.pc += 1
+                if code == "isend":
+                    st.isends.append(fut)
+                    continue
+            else:
+                if code == "wait":
+                    fut = st.isends[op[1]]
+                    st.pc += 1
+                else:  # compute
+                    sec = op[1]
+                    st.clock += sec
+                    st.busy += sec
+                    st.pc += 1
+                    continue
+            if fut.done:
+                # resolved-future short-circuit, exactly Request.wait()
+                if fut.time > st.clock:
+                    st.clock = fut.time
+                if fut.busy_charge:
+                    st.busy += fut.busy_charge
+                    fut.busy_charge = 0.0
+            else:
+                fut.waiter = st
+                return
+        st.finished = True
+
+    # -- comm.py arithmetic replicas (see collectives._MiniEngine) ------
+
+    def _isend(self, st: _PState, dest: int, tag: int, nbytes: int) -> _PFut:
+        if st.events is not None:
+            # p2p/bytes_sent + p2p/messages are emitted at the pre-charge
+            # clock on the simulated path.
+            st.events.append(("s", st.clock, nbytes))
+        st.msgs_sent += 1
+        st.bytes_sent += nbytes
+        if nbytes <= self._eager_max:
+            mb = self._min_bytes
+            dt = self._o_send + (nbytes if nbytes > mb else mb) / self._bandwidth
+            st.clock += dt
+            st.busy += dt
+            self._deliver(st.i, dest, tag,
+                          (nbytes, st.clock + self._latency, None))
+            return _EAGER_DONE
+        fut = _PFut()
+        o_send = self._o_send
+        st.clock += o_send
+        st.busy += o_send
+        self._deliver(st.i, dest, tag, (nbytes, st.clock, fut))
+        return fut
+
+    def _deliver(self, src: int, dest: int, tag: int, msg: tuple) -> None:
+        key = (src, dest, tag)
+        p = self._pending.pop(key, None)
+        if p is not None:
+            post_time, fut, rst = p
+            self._fire(post_time, fut, rst, msg, src, tag)
+        else:
+            lane = self._queued.get(key)
+            if lane is None:
+                self._queued[key] = lane = deque()
+            lane.append(msg)
+
+    def _fire_recv(self, st: _PState, post_time: float, msg: tuple,
+                   src: int, tag: int) -> None:
+        nbytes, msg_time, sfut = msg
+        if sfut is not None:  # rendezvous: msg_time is send_ready
+            mb = self._min_bytes
+            transfer = (nbytes if nbytes > mb else mb) / self._bandwidth
+            start = post_time + self._o_recv
+            if msg_time > start:
+                start = msg_time
+            done_recv = start + self._latency + transfer
+            sfut.done = True
+            sfut.time = start + transfer
+            sfut.busy_charge = transfer
+            if sfut.waiter is not None:
+                self._ready.append((sfut.waiter, sfut))
+                sfut.waiter = None
+            rdv = True
+        else:  # eager: msg_time is the arrival
+            done_recv = post_time + self._o_recv
+            if msg_time > done_recv:
+                done_recv = msg_time
+            rdv = False
+        st.msgs_received += 1
+        st.bytes_received += nbytes
+        st.busy += self._o_recv
+        if done_recv > st.clock:
+            st.clock = done_recv
+        if st.events is not None:
+            st.events.append(("r", post_time, done_recv, src, tag,
+                              nbytes, rdv))
+
+    def _fire(self, post_time: float, fut: _PFut, rst: _PState,
+              msg: tuple, src: int, tag: int) -> None:
+        # Sender resolution strictly before the receiver's counters and
+        # resolution, mirroring CommContext.fire_match's wake order.
+        nbytes, msg_time, sfut = msg
+        if sfut is not None:  # rendezvous
+            mb = self._min_bytes
+            transfer = (nbytes if nbytes > mb else mb) / self._bandwidth
+            start = post_time + self._o_recv
+            if msg_time > start:
+                start = msg_time
+            done_send = start + transfer
+            done_recv = start + self._latency + transfer
+            sfut.done = True
+            sfut.time = done_send
+            sfut.busy_charge = transfer
+            if sfut.waiter is not None:
+                self._ready.append((sfut.waiter, sfut))
+                sfut.waiter = None
+            rdv = True
+        else:  # eager
+            done_recv = post_time + self._o_recv
+            if msg_time > done_recv:
+                done_recv = msg_time
+            rdv = False
+        rst.msgs_received += 1
+        rst.bytes_received += nbytes
+        rst.busy += self._o_recv
+        if rst.events is not None:
+            rst.events.append(("r", post_time, done_recv, src, tag,
+                               nbytes, rdv))
+        fut.done = True
+        fut.time = done_recv
+        if fut.waiter is not None:
+            self._ready.append((fut.waiter, fut))
+            fut.waiter = None
+
+
+# -- the gate -----------------------------------------------------------------
+
+
+class _P2PEntry:
+    """One rank's registration at a p2p gate: its park future plus a
+    snapshot of the task state at join time."""
+
+    __slots__ = (
+        "rank", "task", "fut", "clock0", "busy0", "sent0",
+        "bytes_sent0", "recvd0", "bytes_recvd0",
+    )
+
+    def __init__(self, rank, task, fut):
+        self.rank = rank
+        self.task = task
+        self.fut = fut
+        self.clock0 = task.clock
+        self.busy0 = task.busy
+        self.sent0 = task.msgs_sent
+        self.bytes_sent0 = task.bytes_sent
+        self.recvd0 = task.msgs_received
+        self.bytes_recvd0 = task.bytes_received
+
+
+class _P2PGate:
+    """Rendezvous point for one declared-pattern instance on one
+    communicator.
+
+    The first arriving rank computes the fast-vs-simulated verdict; every
+    arrival re-checks that the communicator's mailboxes are still clean
+    (stray traffic posted between arrivals aborts the gate — parked ranks
+    are released with :data:`RUN_SIM` at their join clocks, costing zero
+    virtual time, and everyone runs the message-level body instead).
+    """
+
+    __slots__ = ("key", "name", "seq", "reason", "expected", "consulted",
+                 "entries")
+
+    def __init__(self, pattern: NeighborPattern, seq: int,
+                 reason: str | None, expected: int) -> None:
+        self.key = pattern.key
+        self.name = pattern.name
+        self.seq = seq
+        self.reason = reason
+        self.expected = expected
+        self.consulted = 0
+        self.entries: list[_P2PEntry] = []
+
+    def abort(self, engine, reason: str) -> None:
+        """Late-conflict abort: release every parked entry to the
+        message-level path at its own join clock."""
+        self.reason = reason
+        entries = self.entries
+        self.entries = []
+        engine.wave_resolve(
+            [(e.fut, RUN_SIM, e.clock0) for e in entries]
+        )
+
+
+def resolve_p2p_gate(comm, pattern: NeighborPattern, gate: _P2PGate) -> None:
+    """Replay the pattern for all participants and bulk-advance clocks.
+
+    Called by the last-arriving rank.  Chooses the vectorized slot replay
+    when no instrumentation is attached and the pattern compiled (and is
+    network-feasible); otherwise the scalar script replay, which also
+    synthesizes the obs events the message-level path would have emitted.
+    """
+    ctx = comm.context
+    engine = comm.engine
+    entries = sorted(gate.entries, key=lambda e: e.rank)
+    # All communicator-local ranks participate, so entry i is local rank i.
+    cols = RankStateColumns.from_entries(entries)
+    net = engine.network
+    ins = engine.instrument
+    emit = ins.enabled
+    events = None
+    replayed = False
+    if not emit:
+        plan = pattern.slot_plan()
+        if plan is not None:
+            replayed = _replay_slots(plan, cols, net)
+    if not replayed:
+        script = _ScriptReplay(pattern, cols, net, collect=emit)
+        script.run(cols)
+        if emit:
+            events = [st.events for st in script.states]
+    engine.total_messages += pattern.total_messages
+    engine.total_bytes += pattern.total_bytes
+    engine.p2p_fast += len(entries)
+    cols.write_back([e.task for e in entries])
+    final_clock = cols.clock.tolist()
+    if emit:
+        metrics = ins.metrics
+        ranks = ctx.ranks
+        for i, entry in enumerate(entries):
+            world = ranks[entry.rank]
+            for ev in events[i]:
+                if ev[0] == "s":
+                    _, t, nbytes = ev
+                    metrics.count("p2p/bytes_sent", nbytes, rank=world,
+                                  op="send", t=t)
+                    metrics.count("p2p/messages", 1, rank=world,
+                                  op="send", t=t)
+                else:
+                    _, post, done, src, tag, nbytes, rdv = ev
+                    wsrc = ranks[src]
+                    ins.span(
+                        world, f"recv<-{wsrc}", "p2p", post, done,
+                        {"src": wsrc, "tag": tag, "nbytes": nbytes,
+                         "rendezvous": rdv, "comm": ctx.id},
+                    )
+                    metrics.count("p2p/bytes_received", nbytes, rank=world,
+                                  op="recv", t=done)
+                    metrics.observe("p2p/recv_latency",
+                                    max(done - post, 0.0), rank=world)
+            metrics.count("p2p/fast_hits", 1, rank=world, op=pattern.name,
+                          t=final_clock[i])
+    engine.wave_resolve(
+        [(entry.fut, None, final_clock[i])
+         for i, entry in enumerate(entries)]
+    )

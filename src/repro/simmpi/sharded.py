@@ -64,8 +64,9 @@ from .collectives import (
 from .comm import ANY_SOURCE, ANY_TAG, CommContext, MAX_USER_TAG, Message, Request
 from .datatypes import payload_nbytes
 from .engine import Engine, Task, TaskState
-from .errors import CollectiveMismatchError
+from .errors import CollectiveMismatchError, PatternMismatchError
 from .futures import SimFuture
+from .patterns import NeighborPattern, _P2PGate
 from .simconfig import SimConfig
 
 _TAG_STRIDE = 4096  # collectives._TAG_STRIDE (kept in sync by a test)
@@ -248,6 +249,58 @@ class ShardCommunicator(Communicator):
             )
         return None
 
+    # -- declared p2p patterns -----------------------------------------
+
+    def _p2p_fallback_reason(self) -> str | None:
+        # The p2p gate needs every participant's entry inside one engine,
+        # which a shard never has: declared exchanges always drive their
+        # message-level ops here (bit-identical in virtual time by the
+        # macro-p2p contract; only the fast/simulated instance counters
+        # differ from shards=1).  With a recorder attached that counter
+        # difference would also surface as p2p/fallbacks metrics the
+        # single-process run does not emit, so obs parity requires the
+        # oracle.
+        if self.engine.p2p != "fast":
+            return "disabled"
+        if self.engine.instrument.enabled:
+            self.context.flag_hazard("p2p-patterns")
+            raise ShardHazard(
+                "declared p2p patterns under instrumentation are not "
+                "shard-safe; the run falls back to the single-process engine"
+            )
+        return "sharded"
+
+    def _consult_p2p_gate(self, pattern: NeighborPattern) -> None:
+        ctx: ShardCommContext = self.context  # type: ignore[assignment]
+        seq = ctx.p2p_seq[self.rank]
+        ctx.p2p_seq[self.rank] = seq + 1
+        gate = ctx._p2p_gates.get(seq)
+        if gate is None:
+            # Cross-shard pattern mismatches at the same seq are caught by
+            # the message-level drive itself (a mismatched exchange
+            # deadlocks, and the "stuck" fallback reruns on the oracle,
+            # which raises the exact PatternMismatchError).
+            gate = _P2PGate(pattern, seq, self._p2p_fallback_reason(),
+                            ctx.owned_count)
+            ctx._p2p_gates[seq] = gate
+        elif gate.key != pattern.key:
+            raise PatternMismatchError(
+                f"rank {self.rank} called exchange({pattern.name!r}) as p2p "
+                f"instance #{seq} but other ranks are in {gate.name!r}"
+            )
+        gate.consulted += 1
+        if gate.consulted == ctx.owned_count:
+            del ctx._p2p_gates[seq]
+        engine = self.engine
+        engine.p2p_simulated += 1
+        ins = engine.instrument
+        if ins.enabled:
+            ins.metrics.count(
+                "p2p/fallbacks", 1, rank=self.world_rank(self.rank),
+                op=f"{pattern.name}:{gate.reason}", t=self.task.clock,
+            )
+        return None
+
     async def _join_fast(self, gate: _CollGate, genargs: tuple) -> Any:
         ctx: ShardCommContext = self.context  # type: ignore[assignment]
         task = self.task
@@ -402,7 +455,8 @@ def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
             ins = Recorder(time_bucket=rec_params[0], max_events=rec_params[1],
                            granularity=rec_params[2])
         engine = Engine(network=cfg.network, instrument=ins, faults=injector,
-                        matching=cfg.matching, collectives=cfg.collectives)
+                        matching=cfg.matching, collectives=cfg.collectives,
+                        p2p=cfg.p2p)
         ctx = ShardCommContext(engine, nprocs, lo, hi)
         tasks: list[Task] = []
         for rank in range(lo, hi):
@@ -459,6 +513,7 @@ def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
                     "resumes": engine.resumes,
                     "collectives_fast": engine.collectives_fast,
                     "collectives_simulated": engine.collectives_simulated,
+                    "p2p_simulated": engine.p2p_simulated,
                     "injected": dict(injector.injected)
                     if injector.active else None,
                     "obs": ins.snapshot({"shard": (lo, hi)})
@@ -734,6 +789,7 @@ def _merge(finals: list[dict], nprocs: int, cfg: SimConfig,
     steps = 0
     coll_fast = 0
     coll_sim = 0
+    p2p_sim = 0
     injected: dict[str, int] = {}
     for final in finals:
         for i, rank in enumerate(final["ranks"]):
@@ -746,6 +802,7 @@ def _merge(finals: list[dict], nprocs: int, cfg: SimConfig,
         steps += final["steps"]
         coll_fast += final["collectives_fast"]
         coll_sim += final["collectives_simulated"]
+        p2p_sim += final["p2p_simulated"]
         if final["injected"] is not None:
             for k, v in final["injected"].items():
                 injected[k] = injected.get(k, 0) + v
@@ -769,6 +826,8 @@ def _merge(finals: list[dict], nprocs: int, cfg: SimConfig,
         fault_summary=fault_summary,
         collectives_fast=coll_fast,
         collectives_simulated=coll_sim,
+        p2p_fast=0,
+        p2p_simulated=p2p_sim,
     )
 
 

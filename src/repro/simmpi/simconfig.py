@@ -1,27 +1,28 @@
 """`SimConfig` — the one object that configures a simulated run.
 
 Engine options used to arrive as a growing pile of orthogonal keyword
-arguments (``network=``, ``matching=``, ``collectives=``, ``max_steps=``,
-and now ``shards=``).  :class:`SimConfig` replaces them with a single
-frozen, validated dataclass accepted everywhere a run starts —
+arguments (``network=``, ``matching=``, ``collectives=``, ``shards=``,
+``max_steps=``).  :class:`SimConfig` replaces them with a single frozen,
+validated dataclass accepted everywhere a run starts —
 ``run_spmd(config=...)``, ``repro.api.run(sim=...)``, ``repro bench
---config KEY=VAL`` — while the old kwargs keep working for one release as
-deprecation shims (see :func:`resolve_config`).
+--config KEY=VAL``.  The per-knob kwargs shipped one release as
+deprecation shims and are now removed: :func:`resolve_config` raises
+``TypeError`` naming the replacement spelling.
 
 Cache participation: :meth:`SimConfig.digest` (and the tuple behind it,
 :meth:`SimConfig.cache_key`) covers only the fields that can change a
 run's *virtual-time outcome* — the network model and ``max_steps``.
-``matching``, ``collectives`` and ``shards`` are bit-identity-preserving
-execution strategies (each is fuzz-verified against its reference path),
-so equivalent spellings of the same run hash identically and the run
-cache can serve a result computed under any of them.
+``matching``, ``collectives``, ``p2p`` and ``shards`` are
+bit-identity-preserving execution strategies (each is fuzz-verified
+against its reference path), so equivalent spellings of the same run hash
+identically and the run cache can serve a result computed under any of
+them.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
-import warnings
 from dataclasses import dataclass
 from typing import Any
 
@@ -41,6 +42,10 @@ class SimConfig:
             equivalence testing).
         collectives: ``"fast"`` (closed-form macro collectives, default)
             or ``"simulated"`` (always message-level).
+        p2p: ``"fast"`` (macro gate replay of declared
+            ``NeighborPattern`` exchanges, default) or ``"simulated"``
+            (always message-level).  Bit-identical either way; see
+            docs/PERF.md, "Macro p2p".
         shards: worker processes the ranks are partitioned over.  ``1``
             (default) is the single-process engine; ``shards > 1`` runs
             conservative-PDES waves and is bit-identical to ``shards=1``
@@ -52,6 +57,7 @@ class SimConfig:
     network: NetworkModel = QDR_CLUSTER
     matching: str = "indexed"
     collectives: str = "fast"
+    p2p: str = "fast"
     shards: int = 1
     max_steps: int | None = None
 
@@ -69,6 +75,10 @@ class SimConfig:
                 "collectives must be 'fast' or 'simulated', "
                 f"got {self.collectives!r}"
             )
+        if self.p2p not in ("fast", "simulated"):
+            raise ValueError(
+                f"p2p must be 'fast' or 'simulated', got {self.p2p!r}"
+            )
         if not isinstance(self.shards, int) or isinstance(self.shards, bool):
             raise ValueError(f"shards must be an int, got {self.shards!r}")
         if self.shards < 1:
@@ -85,9 +95,9 @@ class SimConfig:
     def cache_key(self) -> tuple:
         """The outcome-determining normal form used by the run cache.
 
-        Deliberately excludes ``matching``/``collectives``/``shards``:
-        those select bit-identical execution strategies, so two configs
-        differing only there describe the same run.
+        Deliberately excludes ``matching``/``collectives``/``p2p``/
+        ``shards``: those select bit-identical execution strategies, so
+        two configs differing only there describe the same run.
         """
         n = self.network
         return (
@@ -107,7 +117,7 @@ class SimConfig:
 
 
 #: The default configuration (QDR network, indexed mailbox, fast
-#: collectives, single process, unlimited steps).
+#: collectives, fast p2p, single process, unlimited steps).
 DEFAULT_CONFIG = SimConfig()
 
 
@@ -117,27 +127,25 @@ def resolve_config(
     stacklevel: int = 3,
     **legacy: Any,
 ) -> SimConfig:
-    """Merge legacy engine kwargs into a :class:`SimConfig`.
+    """Reject retired per-knob engine kwargs; return the ``SimConfig``.
 
-    This is the single deprecation shim behind every entry point that
-    still accepts the pre-``SimConfig`` kwargs (``network=``,
-    ``matching=``, ``collectives=``, ``shards=``, ``max_steps=``): each
-    non-``None`` legacy value emits a :class:`DeprecationWarning` naming
-    the replacement spelling and overrides the corresponding field of
-    ``config`` (or of :data:`DEFAULT_CONFIG` when no config was given).
+    The pre-``SimConfig`` kwargs (``network=``, ``matching=``,
+    ``collectives=``, ``shards=``, ``max_steps=``) shipped one release as
+    ``DeprecationWarning`` shims and are now removed: any non-``None``
+    legacy value raises ``TypeError`` naming the replacement spelling.
+    Every entry point that used to accept them still routes through here
+    so the error message stays consistent.
     """
     used = {k: v for k, v in legacy.items() if v is not None}
-    base = config if config is not None else DEFAULT_CONFIG
-    if not used:
-        return base
-    for name in sorted(used):
-        warnings.warn(
-            f"the {name}= keyword is deprecated; pass "
-            f"config=SimConfig({name}=...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+    if used:
+        names = ", ".join(f"{k}=" for k in sorted(used))
+        raise TypeError(
+            f"the {names} keyword{'s are' if len(used) > 1 else ' is'} no "
+            "longer accepted (removed after a one-release deprecation); "
+            f"pass config=SimConfig({', '.join(f'{k}=...' for k in sorted(used))}) "
+            "instead"
         )
-    return dataclasses.replace(base, **used)
+    return config if config is not None else DEFAULT_CONFIG
 
 
 #: Named network models accepted by ``--config network=NAME``.
@@ -153,10 +161,10 @@ def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
 
     This is the parser behind ``repro bench --config`` (and any future
     ``--config`` flag).  Accepted keys: ``network`` (a preset name from
-    :data:`NETWORK_PRESETS`), ``matching``, ``collectives``, ``shards``
-    (int) and ``max_steps`` (int, or ``none`` for unlimited).  Raises
-    ``ValueError`` with a usable message on anything else; field values
-    are validated by ``SimConfig`` itself.
+    :data:`NETWORK_PRESETS`), ``matching``, ``collectives``, ``p2p``,
+    ``shards`` (int) and ``max_steps`` (int, or ``none`` for unlimited).
+    Raises ``ValueError`` with a usable message on anything else; field
+    values are validated by ``SimConfig`` itself.
     """
     fields: dict[str, Any] = {}
     for pair in pairs:
@@ -173,7 +181,7 @@ def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
                     f"unknown network preset {value!r}; choose from "
                     f"{', '.join(sorted(NETWORK_PRESETS))}"
                 ) from None
-        elif key in ("matching", "collectives"):
+        elif key in ("matching", "collectives", "p2p"):
             fields[key] = value
         elif key in ("shards", "max_steps"):
             if key == "max_steps" and value.lower() == "none":
@@ -188,6 +196,6 @@ def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
         else:
             raise ValueError(
                 f"unknown --config key {key!r}; choose from "
-                "network, matching, collectives, shards, max_steps"
+                "network, matching, collectives, p2p, shards, max_steps"
             )
     return SimConfig(**fields)

@@ -12,7 +12,7 @@ ranklist factorization and partial-group collectives.
 from __future__ import annotations
 
 from ..simmpi.launcher import RankContext
-from .base import Workload
+from .base import Workload, declare_pattern, run_declared
 
 
 class AMG(Workload):
@@ -42,8 +42,39 @@ class AMG(Workload):
         """Coarser levels keep every 2^level-th rank active."""
         return 1 << level
 
+    def _smooth_ops(self, nprocs: int, level: int) -> list:
+        """Per-rank scripts of one level's smoothing step; ranks inactive at
+        this level get empty scripts (they still consult the gate — the
+        declared path is hoisted above the early return so the exchange
+        stays collective over the world)."""
+        stride = self.active_stride(level)
+        nbytes = self.level_bytes(level, nprocs)
+        ops: list = []
+        for rank in range(nprocs):
+            if rank % stride != 0:
+                ops.append(())
+                continue
+            left = rank - stride
+            right = rank + stride
+            seconds = max(self.fine_points >> (2 * level), 1) / nprocs * 2e-8
+            ops.append((
+                ("isend", right, 90 + level, nbytes)
+                if right < nprocs else None,
+                ("recv", left, 90 + level) if left >= 0 else None,
+                ("wait", 0) if right < nprocs else None,
+                ("compute", seconds * self.compute_scale),
+            ))
+        return ops
+
     async def _smooth(self, ctx: RankContext, tracer, level: int) -> None:
         """Jacobi smoothing halo exchange among the level's active ranks."""
+        pattern = declare_pattern(
+            "amg-smooth", ctx.size,
+            (level, self.fine_points, self.compute_scale),
+            lambda: self._smooth_ops(ctx.size, level),
+        )
+        if await run_declared(ctx, tracer, pattern):
+            return
         stride = self.active_stride(level)
         if ctx.rank % stride != 0:
             return

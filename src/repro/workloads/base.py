@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from ..simmpi.launcher import RankContext
+from ..simmpi.patterns import NeighborPattern
 
 
 class NullTracer:
@@ -27,6 +28,13 @@ class NullTracer:
     the marker a no-op, so the virtual time of a run under NullTracer is the
     paper's baseline application time.
     """
+
+    #: declared exchanges may bypass the per-call tracer surface: the
+    #: NullTracer adds nothing per call, so a workload's regular phases can
+    #: run through ``Communicator.exchange`` (and its macro fast path)
+    #: without changing what this tracer observes.  Real tracers keep the
+    #: original per-call sites — their signatures hash the call sequence.
+    pattern_transparent = True
 
     def __init__(self, ctx: RankContext) -> None:
         self.ctx = ctx
@@ -47,6 +55,52 @@ class NullTracer:
 
     async def finalize(self) -> None:
         return None
+
+
+# -- declared regular exchanges ---------------------------------------------
+
+#: process-wide pattern cache: building a NeighborPattern is O(P * ops) and
+#: workloads re-enter the same phase every timestep, so instances are built
+#: once per (pattern name, comm size, parameter key) and reused.
+_PATTERN_CACHE: dict[tuple, NeighborPattern] = {}
+
+
+def declare_pattern(
+    name: str,
+    size: int,
+    key: tuple,
+    build: Callable[[], Sequence],
+) -> NeighborPattern:
+    """Get (or build and cache) a declared exchange pattern.
+
+    ``key`` must cover every parameter that changes the per-rank op lists
+    (tags, byte counts, pre-scaled compute durations, ...); ``build`` is
+    only called on a cache miss and returns the per-rank op lists for
+    :class:`~repro.simmpi.patterns.NeighborPattern`.
+    """
+    cache_key = (name, size, key)
+    pattern = _PATTERN_CACHE.get(cache_key)
+    if pattern is None:
+        pattern = _PATTERN_CACHE[cache_key] = NeighborPattern(
+            name, size, build()
+        )
+    return pattern
+
+
+async def run_declared(ctx: RankContext, tracer: Any,
+                       pattern: NeighborPattern) -> bool:
+    """Run ``pattern`` through the declared-exchange path if the tracer
+    permits it; returns whether it ran.
+
+    Declared phases only bypass the tracer when it is *pattern
+    transparent* (the :class:`NullTracer`): tracers that hash call sites
+    must keep seeing the original per-message calls, so workloads fall
+    through to their unchanged bodies when this returns ``False``.
+    """
+    if not getattr(tracer, "pattern_transparent", False):
+        return False
+    await ctx.comm.exchange(pattern, compute=ctx.compute)
+    return True
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..simmpi.collectives import MIN
 from ..simmpi.launcher import RankContext
 from ..simmpi.topology import cube_grid
-from .base import Workload
+from .base import Workload, declare_pattern, run_declared
 
 #: the six face directions of the 3-D decomposition
 _FACES = (
@@ -67,9 +67,41 @@ class LULESH(Workload):
     def step_seconds(self) -> float:
         return self.edge_elems**3 * 6.0e-8
 
+    def _ghost_ops(self, nprocs: int, tag: int, nbytes: int) -> list:
+        """Per-rank scripts of one ghost exchange: all live-face isends,
+        then the matching receives, then the waits in posting order."""
+        grid = cube_grid(nprocs)
+        ops = []
+        for rank in range(nprocs):
+            row: list = []
+            n_isends = 0
+            for i, d in enumerate(_FACES):
+                peer = grid.neighbor(rank, *d)
+                if peer is not None:
+                    row.append(("isend", peer, tag + i, nbytes))
+                    n_isends += 1
+                else:
+                    row.append(None)
+            for i, d in enumerate(_FACES):
+                opposite = i ^ 1
+                peer = grid.neighbor(rank, *d)
+                row.append(
+                    ("recv", peer, tag + opposite) if peer is not None else None
+                )
+            for j in range(len(_FACES)):
+                row.append(("wait", j) if j < n_isends else None)
+            ops.append(row)
+        return ops
+
     async def _ghost_exchange(
         self, ctx: RankContext, tracer, tag: int, nbytes: int
     ) -> None:
+        pattern = declare_pattern(
+            "lulesh-ghost", ctx.size, (tag, nbytes),
+            lambda: self._ghost_ops(ctx.size, tag, nbytes),
+        )
+        if await run_declared(ctx, tracer, pattern):
+            return
         grid = cube_grid(ctx.size)
         requests = []
         for i, d in enumerate(_FACES):

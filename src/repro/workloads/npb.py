@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from ..simmpi.launcher import RankContext
 from ..simmpi.topology import Grid2D, square_grid
-from .base import ProblemClass, Workload
+from .base import ProblemClass, Workload, declare_pattern, run_declared
 
 #: NPB problem classes (grid points per dimension, timesteps) — BT/SP/LU
 #: use the same grids; iteration counts follow the benchmark specs
@@ -311,13 +311,35 @@ class CG(_GridWorkload):
             return rank  # non-square layout: degenerate to self
         return grid.rank(col, row)
 
+    def _transpose_ops(self, nprocs: int, row_bytes: int) -> list:
+        """Per-rank scripts of the transpose exchange (``sendrecv`` is
+        isend + recv + wait); diagonal ranks exchange nothing but still
+        consult the gate with an empty script."""
+        ops: list = []
+        for rank in range(nprocs):
+            partner = self.transpose_partner(rank, nprocs)
+            if partner == rank:
+                ops.append(())
+            else:
+                ops.append((
+                    ("isend", partner, 20, row_bytes),
+                    ("recv", partner, 20),
+                    ("wait", 0),
+                ))
+        return ops
+
     async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
         work = self.step_compute(ctx)
         partner = self.transpose_partner(ctx.rank, ctx.size)
         row_bytes = 8 * max(self.problem_class.points // ctx.size, 1)
         with ctx.frame("spmv"):
             self.compute(ctx, 0.7 * work)
-            if partner != ctx.rank:
+            pattern = declare_pattern(
+                "cg-transpose", ctx.size, (row_bytes,),
+                lambda: self._transpose_ops(ctx.size, row_bytes),
+            )
+            if not await run_declared(ctx, tracer, pattern) \
+                    and partner != ctx.rank:
                 await tracer.sendrecv(
                     partner, None, source=partner, sendtag=20, recvtag=20,
                     size=row_bytes,

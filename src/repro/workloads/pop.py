@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from ..simmpi.launcher import RankContext
 from ..simmpi.topology import square_grid
-from .base import Workload
+from .base import Workload, declare_pattern, run_declared
 
 
 def convergence_iters(step: int, base: int = 12, spread: int = 8) -> int:
@@ -58,7 +58,38 @@ class POP(Workload):
     def points_per_rank(self, nprocs: int) -> float:
         return float(self.grid_points * self.grid_points) / nprocs
 
+    def _halo_ops(self, nprocs: int, tag: int, size: int) -> list:
+        """Per-rank op scripts of one halo update, slot-aligned (``None``
+        placeholders on edge ranks) so the macro gate can vectorize it."""
+        grid = square_grid(nprocs)
+        ops = []
+        for rank in range(nprocs):
+            row: list = []
+            n_isends = 0
+            for fwd_of, bwd_of in (
+                (grid.east, grid.west),
+                (grid.south, grid.north),
+            ):
+                fwd, bwd = fwd_of(rank), bwd_of(rank)
+                if fwd is not None:
+                    row.append(("isend", fwd, tag, size))
+                    k = n_isends
+                    n_isends += 1
+                else:
+                    row.append(None)
+                    k = None
+                row.append(("recv", bwd, tag) if bwd is not None else None)
+                row.append(("wait", k) if k is not None else None)
+            ops.append(row)
+        return ops
+
     async def _halo(self, ctx: RankContext, tracer, tag: int, size: int) -> None:
+        pattern = declare_pattern(
+            "pop-halo", ctx.size, (tag, size),
+            lambda: self._halo_ops(ctx.size, tag, size),
+        )
+        if await run_declared(ctx, tracer, pattern):
+            return
         grid = square_grid(ctx.size)
         for fwd_of, bwd_of in (
             (grid.east, grid.west),

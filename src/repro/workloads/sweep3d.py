@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..simmpi.launcher import RankContext
 from ..simmpi.topology import square_grid
-from .base import Workload
+from .base import Workload, declare_pattern, run_declared
 
 #: the eight octants as (di, dj) sweep directions, each appearing twice
 #: (two k-block sweeps per direction pair in the real code)
@@ -65,6 +65,32 @@ class Sweep3D(Workload):
             cells = (self.nx // max(grid.rows, 1)) * self.nz
         return 8 * 6 * max(cells, 1)  # 6 angles per block face
 
+    def _octant_ops(self, nprocs: int, di: int, dj: int, fb: int) -> list:
+        """Per-rank scripts of one octant sweep.  The recv-before-send
+        dependency chain cannot slot-align (each recv pairs with a *later*
+        send slot), so the gate replays this with the scalar script tier —
+        still one engine step for the whole wavefront."""
+        grid = square_grid(nprocs)
+        ops = []
+        for rank in range(nprocs):
+            row, col = grid.coords(rank)
+            imbalance = 1.0 + 0.05 * ((row + col) % 4)
+            work = self.points_per_rank(nprocs) * 1.5e-8 * imbalance / len(
+                _OCTANTS
+            )
+            up_i = grid.neighbor(rank, -di, 0)
+            up_j = grid.neighbor(rank, 0, -dj)
+            down_i = grid.neighbor(rank, di, 0)
+            down_j = grid.neighbor(rank, 0, dj)
+            ops.append((
+                ("recv", up_i, 30) if up_i is not None else None,
+                ("recv", up_j, 31) if up_j is not None else None,
+                ("compute", work * self.compute_scale),
+                ("send", down_i, 30, fb) if down_i is not None else None,
+                ("send", down_j, 31, fb) if down_j is not None else None,
+            ))
+        return ops
+
     async def timestep(self, ctx: RankContext, tracer, step: int) -> None:
         grid = square_grid(ctx.size)
         row, col = grid.coords(ctx.rank)
@@ -78,6 +104,14 @@ class Sweep3D(Workload):
         )
         for di, dj in _OCTANTS:
             with ctx.frame("sweep"):
+                pattern = declare_pattern(
+                    "sweep3d-octant", ctx.size,
+                    (di, dj, fb, self.nx, self.ny, self.nz,
+                     self.weak_scaling, self.compute_scale),
+                    lambda di=di, dj=dj: self._octant_ops(ctx.size, di, dj, fb),
+                )
+                if await run_declared(ctx, tracer, pattern):
+                    continue
                 up_i = grid.neighbor(ctx.rank, -di, 0)
                 up_j = grid.neighbor(ctx.rank, 0, -dj)
                 if up_i is not None:

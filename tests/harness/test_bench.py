@@ -27,13 +27,13 @@ SCHEMA = json.loads(
 
 
 def _doc(*cells: tuple) -> dict:
-    """Build a v3 document from (kernel, nprocs, wall[, shards]) cells."""
+    """Build a v4 document from (kernel, nprocs, wall[, shards]) cells."""
     return {
         "schema": SCHEMA_ID,
         "ps": sorted({c[1] for c in cells}),
         "kernels": sorted({c[0] for c in cells}),
         "config": {"matching": "indexed", "collectives": "fast",
-                   "shards": 1, "max_steps": None},
+                   "p2p": "fast", "shards": 1, "max_steps": None},
         "results": [
             {
                 "kernel": c[0],
@@ -45,6 +45,7 @@ def _doc(*cells: tuple) -> dict:
                 "messages_matched": 100,
                 "matched_per_s": 1000,
                 "collectives_fast": 12,
+                "p2p_fast": 3,
                 "virtual_makespan_s": 1e-4,
             }
             for c in cells
@@ -137,11 +138,26 @@ class TestBenchDocument:
         assert r["messages_matched"] > 0
         assert r["collectives_fast"] == 0
 
-    def test_legacy_collectives_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="collectives="):
-            doc = run_scaling_bench(ps=(4,), kernels=("allreduce_barrier",),
-                                    collectives="simulated")
-        assert doc["config"]["collectives"] == "simulated"
+    def test_retired_collectives_kwarg_raises(self):
+        with pytest.raises(TypeError, match="collectives="):
+            run_scaling_bench(ps=(4,), kernels=("allreduce_barrier",),
+                              collectives="simulated")
+
+    def test_p2p_simulated_mode_disables_fast_path(self):
+        doc = run_scaling_bench(ps=(4,), kernels=("halo_exchange",),
+                                sim=SimConfig(p2p="simulated"))
+        assert doc["config"]["p2p"] == "simulated"
+        (r,) = doc["results"]
+        assert r["p2p_fast"] == 0
+        assert r["messages_matched"] > 0
+
+    def test_p2p_fast_path_resolves_the_declared_halo(self):
+        doc = run_scaling_bench(ps=(4,), kernels=("halo_exchange",))
+        (r,) = doc["results"]
+        # every rank's declared halo resolves through the gate; only the
+        # wildcard drain round still goes through the mailbox
+        assert r["p2p_fast"] == 4
+        assert r["messages_matched"] == 4
 
     def test_sharded_point_records_shards(self):
         doc = run_scaling_bench(ps=(8,), kernels=("allreduce_barrier",),
@@ -236,3 +252,18 @@ class TestBenchCli:
         )
         assert code == 1
         assert "regression" in capsys.readouterr().err
+
+    def test_config_show_prints_resolved_config(self, capsys):
+        assert main(
+            ["config", "show", "--config", "p2p=simulated",
+             "--config", "network=slow"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "network       slow" in out
+        assert "p2p           simulated" in out
+        assert "matching      indexed" in out
+        assert "cache digest  " in out
+
+    def test_config_show_rejects_bad_config(self):
+        with pytest.raises(SystemExit, match="unknown --config key"):
+            main(["config", "show", "--config", "warp=9"])

@@ -13,6 +13,7 @@ from repro.harness.engine import (
     make_suite_cells,
 )
 from repro.harness.runner import Mode
+from repro.simmpi.simconfig import SimConfig
 from repro.simmpi.timing import SLOW_CLUSTER
 
 BT_PARAMS = {"problem_class": "A", "iterations": 4}
@@ -33,7 +34,8 @@ class TestCells:
     def test_digest_separates_inputs(self):
         base = _cell()
         assert base.digest() != _cell(mode=Mode.SCALATRACE).digest()
-        assert base.digest() != _cell(network=SLOW_CLUSTER).digest()
+        slow = _cell(sim=SimConfig(network=SLOW_CLUSTER))
+        assert base.digest() != slow.digest()
         assert base.digest() != _cell(call_frequency=2).digest()
         other_params = make_cell(
             "bt", 4, Mode.CHAMELEON,

@@ -96,16 +96,14 @@ class TestRegistry:
         assert reg.has("chameleon/vote_time")  # stats-derived
 
 
-class TestDeprecatedShims:
-    def test_sum_stat_warns_but_agrees(self, chameleon):
-        with pytest.warns(DeprecationWarning, match="sum_stat"):
-            old = chameleon.sum_stat("record_time")
-        assert old == chameleon.stat("record_time", source="tracer")
+class TestRetiredShims:
+    def test_sum_stat_removed(self, chameleon):
+        with pytest.raises(AttributeError, match=r"source='tracer'"):
+            chameleon.sum_stat
 
-    def test_sum_cstat_warns_but_agrees(self, chameleon):
-        with pytest.warns(DeprecationWarning, match="sum_cstat"):
-            old = chameleon.sum_cstat("vote_time")
-        assert old == chameleon.stat("vote_time", source="chameleon")
+    def test_sum_cstat_removed(self, chameleon):
+        with pytest.raises(AttributeError, match=r"source='chameleon'"):
+            chameleon.sum_cstat
 
 
 class TestBreakdownFix:

@@ -1,0 +1,559 @@
+"""Seeded fuzz: the macro p2p fast path is bit-identical to the
+message-level reference.
+
+Mirror of ``test_collective_fastpath.py`` for declared
+:class:`~repro.simmpi.NeighborPattern` exchanges.  Every bit-identity test
+runs the same program under ``p2p="fast"`` and ``p2p="simulated"`` and
+asserts *exact* equality (``==`` on floats, no tolerances) of results,
+per-rank virtual clocks, per-rank busy times and traffic totals.  The
+workload tests add a third leg: the original hand-written message-level
+bodies (forced by a tracer that is not pattern-transparent) must agree
+with both.
+
+Coverage:
+
+* POP halo (slot replay), Sweep3D wavefront (script replay: recv-before-
+  send chains) and AMG smoothing (partial participation) over
+  P ∈ {4, 16, 64, 256}, eager and rendezvous payloads;
+* every documented fallback reason, each surfaced as a labelled
+  ``p2p/fallbacks`` metric and each bit-identical to the always-simulated
+  run;
+* sharded-engine behaviour (never gates; hazard under instrumentation);
+* span-granularity observability parity;
+* pattern validation errors and gate key mismatches;
+* the columnar rank-state store round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import CrashFault, FaultPlan
+from repro.obs.instrument import Recorder
+from repro.simmpi import (
+    ANY_SOURCE,
+    NeighborPattern,
+    PatternMismatchError,
+    RankStateColumns,
+    SimConfig,
+    run_spmd,
+)
+from repro.simmpi.errors import TaskFailedError
+from repro.workloads.amg import AMG
+from repro.workloads.base import NullTracer
+from repro.workloads.pop import POP
+from repro.workloads.sweep3d import Sweep3D
+
+FUZZ_PS = (4, 16, 64, 256)
+
+#: workload factories per payload regime; sizes chosen so every message is
+#: eager (< 64 KiB) resp. rendezvous (> 64 KiB) at every fuzz P
+_WORKLOADS = {
+    "pop": {
+        "eager": lambda: POP(grid_points=896, iterations=2),
+        "rendezvous": lambda: POP(grid_points=1 << 20, iterations=2),
+    },
+    "sweep3d": {
+        "eager": lambda: Sweep3D(nx=16, ny=16, nz=16, iterations=2),
+        "rendezvous": lambda: Sweep3D(nx=64, ny=64, nz=512, iterations=2,
+                                      weak_scaling=True),
+    },
+    "amg": {
+        "eager": lambda: AMG(fine_points=1 << 12, levels=3, iterations=2),
+        "rendezvous": lambda: AMG(fine_points=1 << 26, levels=2,
+                                  iterations=2),
+    },
+}
+
+
+class _OpaqueTracer(NullTracer):
+    """Not pattern-transparent: forces the original message-level bodies."""
+
+    pattern_transparent = False
+
+
+def _workload_prog(factory, opaque: bool = False):
+    async def prog(ctx):
+        workload = factory()
+        tracer = (_OpaqueTracer if opaque else NullTracer)(ctx)
+        await workload.run(ctx, tracer)
+        return ctx.rank
+
+    return prog
+
+
+def _pair(prog, nprocs, **kwargs):
+    """Run ``prog`` under both p2p modes and return (fast, sim)."""
+    fast = run_spmd(prog, nprocs, config=SimConfig(p2p="fast"), **kwargs)
+    sim = run_spmd(prog, nprocs, config=SimConfig(p2p="simulated"), **kwargs)
+    return fast, sim
+
+
+def _assert_identical(fast, sim, *, results: bool = True):
+    if results:
+        assert fast.results == sim.results
+    assert fast.clocks == sim.clocks
+    assert fast.busy_times == sim.busy_times
+    assert fast.total_messages == sim.total_messages
+    assert fast.total_bytes == sim.total_bytes
+    assert fast.failed_ranks == sim.failed_ranks
+
+
+def _ring_pattern(size: int, nbytes: int = 8, rounds: int = 2,
+                  name: str = "test-ring") -> NeighborPattern:
+    """Slot-aligned periodic ring: vectorized slot-replay tier."""
+    ops = []
+    for rank in range(size):
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        row = []
+        for r in range(rounds):
+            row += [("isend", right, r, nbytes), ("recv", left, r),
+                    ("wait", r)]
+        ops.append(row)
+    return NeighborPattern(name, size, ops)
+
+
+def _chain_pattern(size: int, nbytes: int = 8) -> NeighborPattern:
+    """Open chain with recv-before-send dependencies: the slot compiler
+    rejects it (a recv precedes its matching send slot), so the scalar
+    script-replay tier runs."""
+    ops = []
+    for rank in range(size):
+        row = []
+        if rank > 0:
+            row.append(("recv", rank - 1, 5))
+        row.append(("compute", 1e-7 * (rank + 1)))
+        if rank < size - 1:
+            row.append(("send", rank + 1, 5, nbytes))
+        ops.append(row)
+    return NeighborPattern("test-chain", size, ops)
+
+
+class TestWorkloadBitIdentity:
+    """The tentpole contract: fast == simulated == original bodies."""
+
+    @pytest.mark.parametrize("nprocs", FUZZ_PS)
+    @pytest.mark.parametrize("regime", ("eager", "rendezvous"))
+    @pytest.mark.parametrize("workload", sorted(_WORKLOADS))
+    def test_fast_simulated_and_original_agree(self, workload, regime,
+                                               nprocs):
+        factory = _WORKLOADS[workload][regime]
+        fast, sim = _pair(_workload_prog(factory), nprocs)
+        _assert_identical(fast, sim)
+        original = run_spmd(_workload_prog(factory, opaque=True), nprocs,
+                            config=SimConfig(p2p="fast"))
+        _assert_identical(fast, original)
+        assert fast.p2p_fast > 0
+        assert fast.p2p_simulated == 0
+        assert sim.p2p_fast == 0
+        assert sim.p2p_simulated > 0
+        # an opaque tracer never consults the gate at all
+        assert original.p2p_fast == 0
+        assert original.p2p_simulated == 0
+        # the fast path must also collapse scheduler work
+        assert fast.engine_steps < sim.engine_steps
+
+
+class TestReplayTiers:
+    @pytest.mark.parametrize("nprocs", (3, 4, 16, 64))
+    @pytest.mark.parametrize("nbytes", (8, 80 * 1024))
+    def test_slot_replay_ring(self, nprocs, nbytes):
+        pattern = _ring_pattern(nprocs, nbytes=nbytes,
+                                name=f"ring-{nprocs}-{nbytes}")
+        assert pattern.slot_plan() is not None
+
+        async def prog(ctx):
+            for _ in range(3):
+                await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        fast, sim = _pair(prog, nprocs)
+        _assert_identical(fast, sim)
+        assert fast.p2p_fast == 3 * nprocs
+        assert fast.total_messages == 3 * pattern.total_messages
+        assert fast.total_bytes == 3 * pattern.total_bytes
+
+    @pytest.mark.parametrize("nprocs", (2, 5, 16))
+    @pytest.mark.parametrize("nbytes", (8, 80 * 1024))
+    def test_script_replay_chain(self, nprocs, nbytes):
+        pattern = _chain_pattern(nprocs, nbytes=nbytes)
+        assert pattern.slot_plan() is None  # forces the script tier
+
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        fast, sim = _pair(prog, nprocs)
+        _assert_identical(fast, sim)
+        assert fast.p2p_fast == nprocs
+
+    def test_compute_callback_matches_inline_charge(self):
+        # exchange(compute=...) must charge exactly like the fallback's
+        # compute hook does
+        pattern = _chain_pattern(4)
+
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern, compute=ctx.compute)
+            return ctx.rank
+
+        fast, sim = _pair(prog, 4)
+        _assert_identical(fast, sim)
+
+
+class TestStepCollapse:
+    def test_one_step_per_rank_for_pure_patterns(self):
+        pattern = _ring_pattern(64, name="collapse-ring")
+
+        async def prog(ctx):
+            for _ in range(5):
+                await ctx.comm.exchange(pattern)
+
+        res = run_spmd(prog, 64)
+        # each rank is dispatched once; every instance completes via bulk
+        # gate resolution, never re-entering the scheduler loop
+        assert res.engine_steps == 64
+        assert res.p2p_fast == 5 * 64
+
+
+def _reasons(rec: Recorder) -> set:
+    return {
+        op.rsplit(":", 1)[1]
+        for (_, _rank, _phase, op) in rec.metrics.labels("p2p/fallbacks")
+    }
+
+
+class TestFallbackReasons:
+    """Every documented eligibility-envelope exit, each bit-identical and
+    each surfaced as a labelled ``p2p/fallbacks`` metric."""
+
+    def _pattern_prog(self, pattern):
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        return prog
+
+    def test_disabled(self):
+        pattern = _ring_pattern(4, name="fb-disabled")
+        rec = Recorder(granularity="span")
+        res = run_spmd(self._pattern_prog(pattern), 4,
+                       config=SimConfig(p2p="simulated"), instrument=rec)
+        assert res.p2p_fast == 0
+        assert res.p2p_simulated == 4
+        assert _reasons(rec) == {"disabled"}
+
+    def test_linear_matching(self):
+        pattern = _ring_pattern(4, name="fb-linear")
+        rec = Recorder(granularity="span")
+        res = run_spmd(self._pattern_prog(pattern), 4,
+                       config=SimConfig(matching="linear"), instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"linear-matching"}
+        # and the linear-matching run is still bit-identical
+        fast = run_spmd(self._pattern_prog(pattern), 4)
+        sim = run_spmd(self._pattern_prog(pattern), 4,
+                       config=SimConfig(matching="linear"))
+        _assert_identical(fast, sim)
+
+    def test_message_tracing(self):
+        pattern = _ring_pattern(4, name="fb-tracing")
+        rec = Recorder()  # granularity="message"
+        res = run_spmd(self._pattern_prog(pattern), 4, instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"message-tracing"}
+
+    def test_faults(self):
+        # an armed crash is a standing fallback condition even when it
+        # never fires inside the run
+        pattern = _ring_pattern(4, name="fb-faults")
+        plan = FaultPlan(crashes=(CrashFault(rank=2, time=10.0),))
+        rec = Recorder(granularity="span")
+        res = run_spmd(self._pattern_prog(pattern), 4, faults=plan,
+                       instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"faults"}
+        fast, sim = _pair(self._pattern_prog(pattern), 4, faults=plan)
+        _assert_identical(fast, sim)
+
+    def test_crash_mid_run_falls_back_identically(self):
+        pattern = _ring_pattern(6, name="fb-crash")
+
+        async def prog(ctx):
+            for _ in range(12):
+                await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        plan = FaultPlan(crashes=(CrashFault(rank=2, time=1e-5),))
+        fast, sim = _pair(prog, 6, faults=plan)
+        _assert_identical(fast, sim)
+        assert 2 in fast.failed_ranks
+        assert fast.p2p_fast == 0
+
+    def test_pending_wildcard(self):
+        pattern = _ring_pattern(4, name="fb-wild")
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            req = comm.irecv(source=ANY_SOURCE, tag=99) if rank == 0 else None
+            await comm.exchange(pattern)
+            if rank == 3:
+                await comm.send(0, None, tag=99, size=8)
+            if req is not None:
+                await req.wait()
+            return rank
+
+        rec = Recorder(granularity="span")
+        res = run_spmd(prog, 4, instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"pending-wildcard"}
+        _assert_identical(*_pair(prog, 4))
+
+    def test_pending_recv(self):
+        pattern = _ring_pattern(4, name="fb-pending")
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            req = comm.irecv(source=3, tag=99) if rank == 0 else None
+            await comm.exchange(pattern)
+            if rank == 3:
+                await comm.send(0, None, tag=99, size=8)
+            if req is not None:
+                await req.wait()
+            return rank
+
+        rec = Recorder(granularity="span")
+        res = run_spmd(prog, 4, instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"pending-recv"}
+        _assert_identical(*_pair(prog, 4))
+
+    def test_queued_traffic(self):
+        pattern = _ring_pattern(4, name="fb-queued")
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            req = comm.isend(1, None, tag=99, size=8) if rank == 0 else None
+            await comm.exchange(pattern)
+            if req is not None:
+                await req.wait()
+            if rank == 1:
+                await comm.recv(0, tag=99)
+            return rank
+
+        rec = Recorder(granularity="span")
+        res = run_spmd(prog, 4, instrument=rec)
+        assert res.p2p_fast == 0
+        assert _reasons(rec) == {"queued-traffic"}
+        _assert_identical(*_pair(prog, 4))
+
+    def test_mid_phase_traffic(self):
+        # rank 0 consults a clean gate and parks; rank 1 then injects
+        # traffic before its own consult, which must abort the gate and
+        # resolve rank 0's parked entry with the rerun token
+        pattern = _ring_pattern(4, name="fb-midphase")
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            req = comm.isend(2, None, tag=99, size=8) if rank == 1 else None
+            await comm.exchange(pattern)
+            if req is not None:
+                await req.wait()
+            if rank == 2:
+                await comm.recv(1, tag=99)
+            return rank
+
+        rec = Recorder(granularity="span")
+        res = run_spmd(prog, 4, instrument=rec)
+        assert res.p2p_fast == 0
+        reasons = _reasons(rec)
+        assert "mid-phase-traffic" in reasons
+        _assert_identical(*_pair(prog, 4))
+
+    def test_clean_faultplan_without_crashes_keeps_fast_path(self):
+        pattern = _ring_pattern(4, name="fb-cleanplan")
+        plan = FaultPlan(compute=())
+        fast, sim = _pair(self._pattern_prog(pattern), 4, faults=plan)
+        _assert_identical(fast, sim)
+        assert fast.p2p_fast == 4
+
+
+class TestSharded:
+    def test_shard_workers_never_gate_but_stay_identical(self):
+        pattern = _ring_pattern(8, name="shard-ring")
+
+        async def prog(ctx):
+            for _ in range(2):
+                await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        single = run_spmd(prog, 8)
+        sharded = run_spmd(prog, 8, config=SimConfig(shards=2))
+        assert "shard_fallback" not in sharded.extras
+        # virtual time is identical; only the strategy-dependent p2p
+        # counters differ (workers always take the message-level path)
+        assert sharded.clocks == single.clocks
+        assert sharded.busy_times == single.busy_times
+        assert sharded.total_messages == single.total_messages
+        assert sharded.total_bytes == single.total_bytes
+        assert single.p2p_fast == 2 * 8
+        assert sharded.p2p_fast == 0
+        assert sharded.p2p_simulated == 2 * 8
+
+    def test_instrumented_sharded_run_reruns_on_the_oracle(self):
+        pattern = _ring_pattern(8, name="shard-ins-ring")
+
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        rec = Recorder(granularity="span")
+        res = run_spmd(prog, 8, config=SimConfig(shards=2), instrument=rec)
+        # obs parity requires the single-process oracle: the run is
+        # flagged, rerun, and reports the hazard
+        assert res.extras["shard_fallback"] == "hazard:p2p-patterns"
+        assert res.p2p_fast == 8
+
+
+class TestObservabilityParity:
+    def _p2p_spans(self, rec):
+        return sorted(
+            (s.rank, s.name, s.start, s.end, tuple(sorted(s.args.items())))
+            for s in rec.spans if s.cat == "p2p"
+        )
+
+    @pytest.mark.parametrize("nbytes", (8, 80 * 1024))
+    def test_span_granularity_spans_and_metrics_identical(self, nbytes):
+        pattern = _ring_pattern(6, nbytes=nbytes, name=f"obs-ring-{nbytes}")
+
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern)
+            return ctx.rank
+
+        rec_fast = Recorder(granularity="span")
+        rec_sim = Recorder(granularity="span")
+        fast = run_spmd(prog, 6, config=SimConfig(p2p="fast"),
+                        instrument=rec_fast)
+        sim = run_spmd(prog, 6, config=SimConfig(p2p="simulated"),
+                       instrument=rec_sim)
+        _assert_identical(fast, sim)
+        assert fast.p2p_fast == 6
+        # the synthesized p2p spans must be indistinguishable from the
+        # simulated path's observed ones
+        assert self._p2p_spans(rec_fast) == self._p2p_spans(rec_sim)
+        # per-label exact equality of every p2p metric
+        for name in ("p2p/bytes_sent", "p2p/messages", "p2p/bytes_received",
+                     "p2p/recv_latency"):
+            labels = rec_sim.metrics.labels(name)
+            assert rec_fast.metrics.labels(name) == labels
+            for _, rank, phase, op in labels:
+                assert rec_fast.metrics.value(
+                    name, rank=rank, phase=phase, op=op
+                ) == rec_sim.metrics.value(name, rank=rank, phase=phase,
+                                           op=op)
+        # coverage counters: every instance was a fast hit in one run and
+        # absent in the other
+        assert rec_fast.metrics.value("p2p/fast_hits") == 6
+        assert rec_sim.metrics.value("p2p/fast_hits") == 0
+        assert rec_sim.metrics.value("p2p/fallbacks") == 6
+
+
+class TestPatternValidation:
+    def test_rejects_out_of_range_peer(self):
+        with pytest.raises(ValueError, match="out of range"):
+            NeighborPattern("bad", 2,
+                            [(("isend", 5, 0, 8),), (("recv", 0, 0),)])
+
+    def test_rejects_bad_tag(self):
+        with pytest.raises(ValueError, match="tag"):
+            NeighborPattern("bad", 2,
+                            [(("isend", 1, -3, 8),), (("recv", 0, -3),)])
+
+    def test_rejects_unbalanced_channel(self):
+        with pytest.raises(ValueError, match="more send"):
+            NeighborPattern("bad", 2, [(("isend", 1, 0, 8), ("wait", 0)),
+                                       ()])
+        with pytest.raises(ValueError, match="more recv"):
+            NeighborPattern("bad", 2, [(), (("recv", 0, 0),)])
+
+    def test_rejects_wait_before_isend(self):
+        with pytest.raises(ValueError, match="does not follow"):
+            NeighborPattern("bad", 1, [(("wait", 0),)])
+
+    def test_rejects_double_wait(self):
+        with pytest.raises(ValueError, match="waited twice"):
+            NeighborPattern(
+                "bad", 2,
+                [(("isend", 1, 0, 8), ("wait", 0), ("wait", 0)),
+                 (("recv", 0, 0),)])
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            NeighborPattern("bad", 1, [(("frobnicate", 1),)])
+
+    def test_rejects_wrong_rank_count(self):
+        with pytest.raises(ValueError, match="one script per rank"):
+            NeighborPattern("bad", 3, [(), ()])
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(ValueError, match="compute"):
+            NeighborPattern("bad", 1, [(("compute", -1.0),)])
+
+    def test_size_mismatch_with_communicator(self):
+        pattern = _ring_pattern(3, name="mismatch-size")
+
+        async def prog(ctx):
+            await ctx.comm.exchange(pattern)
+
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(prog, 4)
+        assert isinstance(ei.value.original, PatternMismatchError)
+
+    def test_gate_key_mismatch_between_ranks(self):
+        a = _ring_pattern(4, rounds=1, name="key-a")
+        b = _ring_pattern(4, rounds=1, name="key-b")
+
+        async def prog(ctx):
+            await ctx.comm.exchange(a if ctx.rank == 0 else b)
+
+        with pytest.raises(TaskFailedError) as ei:
+            run_spmd(prog, 4)
+        assert isinstance(ei.value.original, PatternMismatchError)
+
+
+class TestColumnarState:
+    def test_dict_roundtrip_is_bit_exact(self):
+        dicts = [
+            {"clock": 0.1 + 0.2, "busy": 1e-9 * (i + 1), "msgs_sent": i,
+             "bytes_sent": i * 8, "msgs_received": i * 2,
+             "bytes_received": i * 16}
+            for i in range(17)
+        ]
+        cols = RankStateColumns.from_dicts(dicts)
+        out = cols.to_dicts()
+        assert out == dicts
+        # native scalars, not numpy types
+        assert type(out[0]["clock"]) is float
+        assert type(out[0]["msgs_sent"]) is int
+
+    def test_write_back_copies_every_column(self):
+        class _Stub:
+            clock = busy = 0.0
+            msgs_sent = bytes_sent = msgs_received = bytes_received = 0
+
+        dicts = [
+            {"clock": 1.5 * i, "busy": 0.25 * i, "msgs_sent": i,
+             "bytes_sent": 8 * i, "msgs_received": 2 * i,
+             "bytes_received": 16 * i}
+            for i in range(5)
+        ]
+        cols = RankStateColumns.from_dicts(dicts)
+        tasks = [_Stub() for _ in range(5)]
+        cols.write_back(tasks)
+        for i, t in enumerate(tasks):
+            assert t.clock == dicts[i]["clock"]
+            assert t.busy == dicts[i]["busy"]
+            assert t.msgs_sent == dicts[i]["msgs_sent"]
+            assert t.bytes_sent == dicts[i]["bytes_sent"]
+            assert t.msgs_received == dicts[i]["msgs_received"]
+            assert t.bytes_received == dicts[i]["bytes_received"]

@@ -1,6 +1,6 @@
-"""SimConfig: validation, cache-digest stability, and the deprecation
-shims that keep the pre-SimConfig keyword arguments working for one
-release.
+"""SimConfig: validation, cache-digest stability, and the retirement
+errors that replaced the pre-SimConfig keyword arguments (one release as
+``DeprecationWarning`` shims, now ``TypeError``).
 """
 
 from __future__ import annotations
@@ -33,6 +33,7 @@ class TestValidation:
         assert cfg.network is QDR_CLUSTER
         assert cfg.matching == "indexed"
         assert cfg.collectives == "fast"
+        assert cfg.p2p == "fast"
         assert cfg.shards == 1
         assert cfg.max_steps is None
         assert cfg == DEFAULT_CONFIG
@@ -43,6 +44,7 @@ class TestValidation:
             ("network", "qdr", "NetworkModel"),
             ("matching", "hash", "matching"),
             ("collectives", "warp", "collectives"),
+            ("p2p", "warp", "p2p"),
             ("shards", 0, "shards"),
             ("shards", 2.0, "shards"),
             ("shards", True, "shards"),
@@ -64,22 +66,23 @@ class TestValidation:
         with pytest.raises(ValueError, match="shards"):
             cfg.replace(shards=-1)
 
-    def test_invalid_knob_rejected_at_run_spmd(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="collectives"):
-                run_spmd(_prog, 2, collectives="warp")
+    def test_invalid_knob_rejected_at_simconfig(self):
+        with pytest.raises(ValueError, match="collectives"):
+            run_spmd(_prog, 2, config=SimConfig(collectives="warp"))
 
 
 class TestDigestStability:
     def test_equivalent_spellings_share_a_digest(self):
-        # matching/collectives/shards select bit-identical execution
+        # matching/collectives/p2p/shards select bit-identical execution
         # strategies; the cache must serve one result for all of them.
         base = SimConfig()
         for variant in (
             SimConfig(matching="linear"),
             SimConfig(collectives="simulated"),
+            SimConfig(p2p="simulated"),
             SimConfig(shards=8),
-            SimConfig(matching="linear", collectives="simulated", shards=4),
+            SimConfig(matching="linear", collectives="simulated",
+                      p2p="simulated", shards=4),
         ):
             assert variant.digest() == base.digest()
             assert variant.cache_key() == base.cache_key()
@@ -93,22 +96,25 @@ class TestDigestStability:
     def test_cell_digest_routes_through_simconfig(self):
         mode = repro.Mode.CHAMELEON
         a = make_cell("bt", 8, mode, sim=SimConfig(network=SLOW_CLUSTER))
-        b = make_cell("bt", 8, mode, network=SLOW_CLUSTER)
-        c = make_cell("bt", 8, mode,
+        b = make_cell("bt", 8, mode,
                       sim=SimConfig(network=SLOW_CLUSTER, shards=4))
-        d = make_cell("bt", 8, mode)
-        assert a.digest() == b.digest() == c.digest()
-        assert d.digest() != a.digest()
+        c = make_cell("bt", 8, mode)
+        assert a.digest() == b.digest()
+        assert c.digest() != a.digest()
 
 
-class TestDeprecationShims:
-    def test_resolve_config_warns_per_legacy_kwarg(self):
-        with pytest.warns(DeprecationWarning) as record:
-            cfg = resolve_config(None, network=ZERO_COST, shards=2)
-        assert sorted(str(w.message).split("=")[0] for w in record) == \
-            ["the network", "the shards"]
-        assert cfg.network is ZERO_COST
-        assert cfg.shards == 2
+class TestRetiredKwargs:
+    """The pre-SimConfig per-knob keywords shipped one release as
+    ``DeprecationWarning`` shims and now raise ``TypeError`` naming the
+    replacement spelling."""
+
+    def test_resolve_config_names_every_offending_kwarg(self):
+        with pytest.raises(TypeError, match=r"network=, shards="):
+            resolve_config(None, network=ZERO_COST, shards=2)
+
+    def test_resolve_config_names_the_replacement(self):
+        with pytest.raises(TypeError, match=r"SimConfig\(collectives=\.\.\.\)"):
+            resolve_config(None, collectives="simulated")
 
     def test_resolve_config_quiet_without_legacy_kwargs(self):
         with warnings.catch_warnings():
@@ -117,27 +123,30 @@ class TestDeprecationShims:
             custom = SimConfig(shards=2)
             assert resolve_config(custom) is custom
 
-    def test_legacy_kwargs_override_config(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = resolve_config(SimConfig(collectives="fast"),
-                                 collectives="simulated")
-        assert cfg.collectives == "simulated"
+    def test_none_valued_legacy_kwargs_are_ignored(self):
+        # stale call sites passing explicit None keep working: only a
+        # *value* trips the retirement error
+        assert resolve_config(None, network=None, collectives=None) \
+            is DEFAULT_CONFIG
 
-    def test_run_spmd_legacy_kwargs_warn_and_work(self):
-        with pytest.warns(DeprecationWarning, match="network="):
-            legacy = run_spmd(_prog, 4, network=ZERO_COST)
-        modern = run_spmd(_prog, 4, config=SimConfig(network=ZERO_COST))
-        assert legacy.results == modern.results
-        assert legacy.clocks == modern.clocks
+    def test_run_spmd_legacy_kwargs_raise(self):
+        with pytest.raises(TypeError, match=r"network="):
+            run_spmd(_prog, 4, network=ZERO_COST)
+        with pytest.raises(TypeError, match=r"collectives="):
+            run_spmd(_prog, 4, collectives="simulated")
 
     def test_run_spmd_config_path_is_quiet(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_spmd(_prog, 4, config=SimConfig(network=ZERO_COST))
 
-    def test_api_run_network_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="network="):
+    def test_api_run_network_kwarg_raises(self):
+        with pytest.raises(TypeError, match=r"SimConfig\(network=\.\.\.\)"):
             repro.run("bt", 8, "chameleon", network=ZERO_COST)
+
+    def test_make_cell_network_kwarg_raises(self):
+        with pytest.raises(TypeError, match=r"network="):
+            make_cell("bt", 8, repro.Mode.CHAMELEON, network=ZERO_COST)
 
     def test_api_run_sim_path_is_quiet(self):
         with warnings.catch_warnings():
@@ -150,11 +159,12 @@ class TestParseConfig:
     def test_all_keys(self):
         cfg = parse_config([
             "network=slow", "matching=linear", "collectives=simulated",
-            "shards=4", "max_steps=500",
+            "p2p=simulated", "shards=4", "max_steps=500",
         ])
         assert cfg.network is SLOW_CLUSTER
         assert cfg.matching == "linear"
         assert cfg.collectives == "simulated"
+        assert cfg.p2p == "simulated"
         assert cfg.shards == 4
         assert cfg.max_steps == 500
 
