@@ -51,6 +51,7 @@ from .obs import (
     export_metrics_jsonl,
 )
 from .replay.replayer import ReplayResult, replay_trace
+from .resilience import QuarantineError, RetryPolicy
 from .scalatrace.difftool import TraceDiff, diff_traces
 from .scalatrace.trace import Trace
 from .simmpi.simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
@@ -88,7 +89,9 @@ __all__ = [
     "Mode",
     "NetworkModel",
     "ObsData",
+    "QuarantineError",
     "Recorder",
+    "RetryPolicy",
     "RunResult",
     "SimConfig",
     "Trace",

@@ -37,8 +37,16 @@ drop-messages, noisy-rank — running every scenario twice with the same
 seed to check bit-identical reproduction, and reports survival plus the
 trace-fidelity delta against the fault-free baseline.
 
+Host resilience: ``repro chaos host`` sweeps *host-level* faults — killed
+and SIGSTOPped shard/pool worker processes, damaged cache files — twice,
+asserting every fault ends in a recorded fallback, retry or quarantine
+with identical virtual-time results (docs/RESILIENCE.md).  ``repro cache
+verify`` (``--fix``) sweeps the run cache for corrupt and orphaned
+entries.
+
 Failures map to distinct exit codes with one-line diagnostics: invalid
-fault plan = 2, deadlock = 3, rank failure = 4, engine limit = 5.  Pass
+fault plan = 2, deadlock = 3, rank failure = 4, engine limit = 5,
+quarantined cells = 6 (partial results preserved on the error).  Pass
 ``repro --traceback …`` to get the full Python stack instead.
 """
 
@@ -54,6 +62,7 @@ from .faults.plan import FaultPlan, FaultPlanError
 from .harness import Mode, overhead, run_suite
 from .harness.engine import CellEvent, ExperimentEngine, configure_engine
 from .replay import accuracy, replay_trace
+from .resilience.policy import QuarantineError
 from .scalatrace.analysis import communication_matrix, hotspots, summarize
 from .scalatrace.trace import Trace
 from .simmpi.errors import DeadlockError, EngineLimitError, TaskFailedError
@@ -401,11 +410,37 @@ def _chaos_plan(name: str, baseline, nprocs: int, seed: int) -> FaultPlan:
     raise ValueError(f"unknown chaos scenario {name!r}")
 
 
+def _cmd_chaos_host(args: argparse.Namespace) -> int:
+    from .resilience.chaos import HOST_SCENARIOS, run_host_chaos
+
+    scenarios = args.scenario or list(HOST_SCENARIOS)
+    unknown = [s for s in scenarios if s not in HOST_SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown host chaos scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(HOST_SCENARIOS)})"
+        )
+    seed = args.fault_seed if args.fault_seed is not None else 0x0457
+    print(f"chaos host: {len(scenarios)} scenarios, seed={seed:#x}")
+    report = run_host_chaos(scenarios, seed=seed,
+                            report_path=args.report, log=print)
+    if args.report:
+        print(f"chaos report: {args.report}")
+    if report["ok"]:
+        print("chaos host: every injected fault recovered, reruns identical")
+    else:
+        print("chaos host: FAILURES above", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from .api import run as api_run
     from .simmpi.errors import SimMPIError
+
+    if args.kind == "host":
+        return _cmd_chaos_host(args)
 
     # The determinism check needs both runs computed, not one computed and
     # one served from disk, so chaos always bypasses the run cache.
@@ -414,6 +449,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     mode = Mode(args.mode)
     seed = args.fault_seed if args.fault_seed is not None else FaultPlan.seed
     scenarios = args.scenario or list(CHAOS_SCENARIOS)
+    unknown = [s for s in scenarios if s not in CHAOS_SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown chaos scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(CHAOS_SCENARIOS)})"
+        )
     params = {}
     if args.problem_class:
         params["problem_class"] = args.problem_class
@@ -505,6 +546,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print("chaos: FAILURES above", file=sys.stderr)
     return 0 if ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness.cache import RunCache, default_cache_dir
+
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = RunCache(root=root)
+    report = cache.verify(fix=args.fix)
+    print(f"cache: {root} (generation {report.generation})")
+    print(report.summary())
+    for path in report.corrupt:
+        print(f"  corrupt:  {path}")
+    for path in report.orphaned:
+        print(f"  orphaned: {path}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"cache report: {args.report}")
+    if report.clean:
+        return 0
+    damage = len(report.corrupt) + len(report.orphaned)
+    return 0 if args.fix and report.removed == damage else 1
 
 
 def _sim_from(args: argparse.Namespace):
@@ -724,8 +790,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chaos = sub.add_parser(
         "chaos",
-        help="sweep a fault matrix; report survival, trace fidelity, "
-        "and run-to-run determinism",
+        help="sweep a fault matrix (virtual-time faults) or the host-fault "
+        "suite (`chaos host`); report survival and determinism",
+    )
+    p_chaos.add_argument(
+        "kind", nargs="?", default="matrix", choices=("matrix", "host"),
+        help="matrix = virtual-time fault scenarios inside the simulation "
+        "(default); host = kill/stop/delay real worker processes and "
+        "damage cache files, asserting recorded recovery",
     )
     p_chaos.add_argument(
         "--workload", default="bt", choices=workload_names()
@@ -743,10 +815,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for every scenario's plan (default: the plan default)",
     )
     p_chaos.add_argument(
-        "--scenario", action="append", choices=CHAOS_SCENARIOS,
-        metavar="NAME",
-        help=f"run only this scenario (repeatable; default: all of "
-        f"{', '.join(CHAOS_SCENARIOS)})",
+        "--scenario", action="append", metavar="NAME",
+        help=f"run only this scenario (repeatable; matrix scenarios: "
+        f"{', '.join(CHAOS_SCENARIOS)}; host scenarios: "
+        "kill-shard-worker, stop-shard-worker, ... — an unknown name "
+        "lists the full set)",
     )
     p_chaos.add_argument(
         "--config", action="append", metavar="KEY=VAL",
@@ -762,6 +835,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and repair the on-disk run cache",
+    )
+    p_cache.add_argument(
+        "action", choices=("verify",),
+        help="verify: re-validate every entry of the current generation "
+        "(schema, key, checksum) and report orphaned .tmp spills and "
+        "stale-generation entries",
+    )
+    p_cache.add_argument(
+        "--fix", action="store_true",
+        help="delete corrupt and orphaned files instead of just reporting "
+        "them",
+    )
+    p_cache.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="run cache directory (default: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    p_cache.add_argument(
+        "--report", default="", metavar="FILE",
+        help="write the verification report as JSON",
+    )
+    p_cache.set_defaults(fn=_cmd_cache)
 
     p_bench = sub.add_parser(
         "bench",
@@ -837,6 +936,7 @@ _DIAGNOSTIC_EXITS: tuple[tuple[type, int, str], ...] = (
     (DeadlockError, 3, "deadlock"),
     (EngineLimitError, 5, "engine limit"),
     (TaskFailedError, 4, "rank failure"),
+    (QuarantineError, 6, "cells quarantined"),
 )
 
 
@@ -847,7 +947,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:  # e.g. `python -m repro list | head`
         return 0
     except (FaultPlanError, DeadlockError, EngineLimitError,
-            TaskFailedError) as exc:
+            TaskFailedError, QuarantineError) as exc:
         if args.traceback:
             raise
         for etype, code, label in _DIAGNOSTIC_EXITS:

@@ -141,6 +141,46 @@ class CacheStats:
         return dataclasses.asdict(self)
 
 
+@dataclass
+class CacheVerifyReport:
+    """What one :meth:`RunCache.verify` sweep found (and removed).
+
+    ``corrupt`` entries live in the current generation but fail schema,
+    key or checksum validation; ``orphaned`` files are leftover ``.tmp``
+    spills from interrupted writes and entries stranded in stale
+    generation directories that no current code can ever read.
+    """
+
+    generation: str = ""
+    scanned: int = 0
+    ok: int = 0
+    corrupt: list[str] = dataclasses.field(default_factory=list)
+    orphaned: list[str] = dataclasses.field(default_factory=list)
+    removed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.orphaned
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "orphaned": list(self.orphaned),
+            "removed": self.removed,
+        }
+
+    def summary(self) -> str:
+        state = "clean" if self.clean else "damaged"
+        return (
+            f"cache {state}: {self.scanned} scanned | {self.ok} ok | "
+            f"{len(self.corrupt)} corrupt | {len(self.orphaned)} orphaned"
+            + (f" | {self.removed} removed" if self.removed else "")
+        )
+
+
 class RunCache:
     """Content-addressed pickle store for :class:`RunResult` objects."""
 
@@ -167,6 +207,26 @@ class RunCache:
 
     # -- read/write --------------------------------------------------------
 
+    def _load_checked(self, path: Path, digest: str) -> bytes:
+        """The verified result blob stored at ``path``, or raise.
+
+        One validation path for :meth:`get` and :meth:`verify`: the
+        stored schema and digest must match the key and the payload's
+        SHA-256 checksum must verify.
+        """
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != self.schema
+            or payload.get("digest") != digest
+        ):
+            raise ValueError("cache entry does not match its key")
+        blob = payload["blob"]
+        if hashlib.sha256(blob).hexdigest() != payload.get("checksum"):
+            raise ValueError("cache entry failed checksum verification")
+        return blob
+
     def get(self, digest: str) -> Any | None:
         """The cached result for ``digest``, or None on miss/invalid.
 
@@ -177,17 +237,7 @@ class RunCache:
         """
         path = self.path_for(digest)
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
-            if (
-                not isinstance(payload, dict)
-                or payload.get("schema") != self.schema
-                or payload.get("digest") != digest
-            ):
-                raise ValueError("cache entry does not match its key")
-            blob = payload["blob"]
-            if hashlib.sha256(blob).hexdigest() != payload.get("checksum"):
-                raise ValueError("cache entry failed checksum verification")
+            blob = self._load_checked(path, digest)
             self.stats.hits += 1
             return pickle.loads(blob)
         except FileNotFoundError:
@@ -250,3 +300,50 @@ class RunCache:
             except OSError:
                 pass
         return removed
+
+    def verify(self, fix: bool = False) -> CacheVerifyReport:
+        """Sweep the store for damaged and orphaned files.
+
+        Every entry of the current generation is re-validated through the
+        same schema/digest/checksum path :meth:`get` uses; ``.tmp``
+        leftovers from interrupted writes and entries stranded in stale
+        generation directories are reported as orphans.  With ``fix``,
+        corrupt and orphaned files are deleted (reads would delete the
+        corrupt ones lazily anyway — this just front-loads the cost) and
+        counted in ``removed``.  Damage found is surfaced through the same
+        ``fault``-category instrument hooks as lazy invalidation.
+        """
+        report = CacheVerifyReport(generation=self.generation)
+        for path in self.entries():
+            report.scanned += 1
+            try:
+                self._load_checked(path, path.stem)
+                report.ok += 1
+            except Exception as exc:
+                report.corrupt.append(str(path))
+                self.stats.invalidated += 1
+                if self.instrument.enabled:
+                    self.instrument.instant(
+                        -1, "cache_corrupt", "fault", 0.0,
+                        {"digest": path.stem, "error": str(exc)},
+                    )
+                    self.instrument.metrics.count("fault/cache_invalidated", 1)
+        if self.root.is_dir():
+            for path in sorted(self.root.rglob("*.tmp")):
+                report.orphaned.append(str(path))
+            for gen_dir in sorted(self.root.iterdir()):
+                if not gen_dir.is_dir() or gen_dir.name == self.generation:
+                    continue
+                if not gen_dir.name.startswith("v"):
+                    continue
+                report.orphaned.extend(
+                    str(p) for p in sorted(gen_dir.rglob("*.pkl"))
+                )
+        if fix:
+            for name in report.corrupt + report.orphaned:
+                try:
+                    Path(name).unlink()
+                    report.removed += 1
+                except OSError:
+                    pass
+        return report

@@ -38,6 +38,8 @@ from typing import Any, Callable, Sequence
 from ..core.config import ChameleonConfig
 from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument
+from ..resilience.hostfaults import cell_hook
+from ..resilience.policy import QuarantinedCell, QuarantineError, RetryPolicy
 from ..simmpi.simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
 from ..simmpi.timing import NetworkModel
 from ..workloads.base import Workload
@@ -221,8 +223,9 @@ def make_suite_cells(
     return cells
 
 
-def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
+def _execute_cell(cell: Cell, digest: str = "") -> tuple[RunResult, float]:
     """Worker entry point: rebuild the workload and run the cell."""
+    cell_hook(digest, cell.label)  # chaos injection point; no-op unarmed
     start = time.perf_counter()
     result = run_mode(
         cell.build_workload(),
@@ -245,7 +248,10 @@ class CellEvent:
     """One structured progress notification from the engine.
 
     ``kind`` is one of ``scheduled`` / ``hit`` / ``start`` / ``done`` /
-    ``retry`` (worker-pool crash recovery);
+    ``retry`` (worker-pool crash recovery, labelled with the suspected
+    cells) / ``deadline`` (a running cell exceeded its wall-clock budget
+    and its worker was killed) / ``quarantine`` (a cell exhausted its
+    attempt budget and was abandoned so the batch could finish);
     ``index``/``total`` position the cell within its batch, ``wall`` is
     the execution wall-time (``done`` events only).
     """
@@ -269,6 +275,7 @@ class EngineMetrics:
     deduped: int = 0  # duplicates collapsed inside a batch
     hits: int = 0  # unique cells served from the cache
     executed: int = 0  # unique cells actually simulated
+    quarantined: int = 0  # cells abandoned after repeated host faults
     batches: int = 0
     total_wall: float = 0.0  # wall-clock across batches
     cell_walls: list[tuple[str, float]] = field(default_factory=list)
@@ -288,6 +295,7 @@ class EngineMetrics:
             "deduped": self.deduped,
             "hits": self.hits,
             "executed": self.executed,
+            "quarantined": self.quarantined,
             "batches": self.batches,
             "total_wall": self.total_wall,
             "hit_rate": self.hit_rate(),
@@ -320,13 +328,11 @@ class ExperimentEngine:
             activity (scheduled/hit/executed cells) is counted into its
             metrics, and :meth:`run_cell_instrumented` threads it into the
             simulation itself.
+        policy: a :class:`~repro.resilience.RetryPolicy` bounding the
+            engine's host-fault recovery (pool-crash retries, per-cell
+            deadlines, quarantine); defaults to
+            :meth:`RetryPolicy.from_env`.
     """
-
-    #: worker-pool crash recovery (BrokenProcessPool): how many pool
-    #: rebuilds to attempt before giving up, and the base backoff seconds
-    #: (doubled per crash)
-    _max_pool_crashes = 3
-    _pool_backoff = 0.1
 
     def __init__(
         self,
@@ -334,6 +340,7 @@ class ExperimentEngine:
         cache: RunCache | None = None,
         progress: ProgressFn | None = None,
         instrument: Instrument = NULL_INSTRUMENT,
+        policy: RetryPolicy | None = None,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be >= 0")
@@ -341,6 +348,7 @@ class ExperimentEngine:
         self.cache = cache
         self.progress = progress
         self.instrument = instrument
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
         self.metrics = EngineMetrics()
 
     # -- scheduling --------------------------------------------------------
@@ -360,6 +368,11 @@ class ExperimentEngine:
         cells (same digest) within the batch are simulated once and the
         result shared; order of the returned list is deterministic and
         independent of worker completion order.
+
+        Raises :class:`~repro.resilience.QuarantineError` when one or
+        more cells exhausted their :class:`RetryPolicy` attempt budget
+        (repeated pool kills or deadline overruns); the error carries the
+        completed partial results instead of discarding them.
         """
         started = time.perf_counter()
         total = len(cells)
@@ -387,10 +400,14 @@ class ExperimentEngine:
             else:
                 pending.append((digest, cell))
 
+        quarantined: list[QuarantinedCell] = []
         if pending:
-            self._execute_pending(pending, by_digest, results, total)
+            quarantined = self._execute_pending(pending, by_digest, results,
+                                                total)
 
         self.metrics.total_wall += time.perf_counter() - started
+        if quarantined:
+            raise QuarantineError(quarantined, list(results))
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
@@ -400,7 +417,7 @@ class ExperimentEngine:
         by_digest: dict[str, list[int]],
         results: list[RunResult | None],
         total: int,
-    ) -> None:
+    ) -> list[QuarantinedCell]:
         def complete(digest: str, result: RunResult, wall: float) -> None:
             cell_indices = by_digest[digest]
             cell = pending_map[digest]
@@ -414,56 +431,203 @@ class ExperimentEngine:
                 results[i] = result
 
         pending_map = {digest: cell for digest, cell in pending}
+        for digest, cell in pending:
+            self._emit(CellEvent("start", cell.label, digest,
+                                 by_digest[digest][0], total))
         if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            for digest, cell in pending:
-                self._emit(CellEvent("start", cell.label, digest,
-                                     by_digest[digest][0], total))
-            remaining = dict(pending_map)
-            crashes = 0
-            while remaining:
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=min(workers, len(remaining))
-                    ) as pool:
-                        futures = {
-                            pool.submit(_execute_cell, cell): digest
-                            for digest, cell in remaining.items()
-                        }
-                        outstanding = set(futures)
-                        while outstanding:
-                            done, outstanding = wait(
-                                outstanding, return_when=FIRST_COMPLETED
-                            )
-                            for fut in done:
-                                # re-raises worker errors
-                                result, wall = fut.result()
-                                digest = futures[fut]
-                                complete(digest, result, wall)
-                                remaining.pop(digest, None)
-                except BrokenProcessPool:
-                    # A worker process died (OOM kill, signal, interpreter
-                    # crash) — not a cell error, which would re-raise above.
-                    # Rebuild the pool and resubmit the incomplete cells,
-                    # backing off a little in case the host is thrashing.
-                    crashes += 1
-                    if crashes > self._max_pool_crashes:
-                        raise
+            return self._execute_pool(pending_map, by_digest, complete, total)
+        for digest, cell in pending:
+            result, wall = _execute_cell(cell, digest)
+            complete(digest, result, wall)
+        return []
+
+    # -- host-fault recovery (pool crashes, deadlines, quarantine) ---------
+
+    @staticmethod
+    def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+        """SIGKILL every live pool worker (deadline enforcement).  The
+        executor notices the deaths and raises BrokenProcessPool, which
+        the caller handles like any other crash."""
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - racing exit
+                pass
+
+    def _drain_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        batch: dict[str, Cell],
+        remaining: dict[str, Cell],
+        started: dict[str, float],
+        overdue: set[str],
+        complete: Callable[[str, RunResult, float], None],
+        total: int,
+    ) -> None:
+        """Run one pool generation to completion or first crash.
+
+        ``started`` records when each cell's future was first observed
+        running (deadline clock); cells added to ``overdue`` had their
+        workers killed for exceeding ``policy.cell_deadline``.
+        """
+        policy = self.policy
+        futures = {
+            pool.submit(_execute_cell, cell, digest): digest
+            for digest, cell in batch.items()
+        }
+        outstanding = set(futures)
+        killing = False
+        while outstanding:
+            done, outstanding = wait(outstanding,
+                                     timeout=policy.poll_interval,
+                                     return_when=FIRST_COMPLETED)
+            for fut in done:
+                # re-raises worker errors (and BrokenProcessPool)
+                result, wall = fut.result()
+                digest = futures[fut]
+                complete(digest, result, wall)
+                remaining.pop(digest, None)
+                started.pop(digest, None)
+            if killing or policy.cell_deadline is None:
+                continue
+            now = time.monotonic()
+            for fut in outstanding:
+                if not fut.running():
+                    continue
+                digest = futures[fut]
+                begun = started.setdefault(digest, now)
+                if now - begun >= policy.cell_deadline:
+                    overdue.add(digest)
+            if overdue:
+                for digest in overdue:
+                    cell = batch[digest]
                     if self.instrument.enabled:
                         self.instrument.metrics.count(
-                            "fault/pool_retries", 1
+                            "resilience/cell_deadline", 1, op=cell.label
+                        )
+                    self._emit(CellEvent("deadline", cell.label, digest,
+                                         0, total))
+                # No per-worker kill switch exists, so enforce the
+                # deadline the blunt way: break the pool and let the
+                # crash path re-run the innocent cells.
+                self._kill_pool_workers(pool)
+                killing = True  # wait for the BrokenProcessPool to surface
+
+    def _execute_pool(
+        self,
+        pending_map: dict[str, Cell],
+        by_digest: dict[str, list[int]],
+        complete: Callable[[str, RunResult, float], None],
+        total: int,
+    ) -> list[QuarantinedCell]:
+        """Fan pending cells over a worker pool, surviving host faults.
+
+        Two regimes: **fan-out** (all cells share one pool) until
+        ``policy.isolate_after`` unattributed pool crashes, then
+        **isolation** (one cell per single-worker pool) so the cell that
+        keeps killing the pool is identified precisely instead of the
+        whole batch being blamed.  Deadline overruns are always precise —
+        the overdue cell is known — and count against that cell's attempt
+        budget directly.  Cells that exhaust ``policy.max_attempts`` are
+        quarantined; everything else completes.
+        """
+        policy = self.policy
+        workers = min(self.jobs, len(pending_map))
+        remaining = dict(pending_map)
+        attempts: dict[str, int] = {digest: 0 for digest in remaining}
+        reasons: dict[str, str] = {}
+        quarantined: list[QuarantinedCell] = []
+        crashes = 0
+
+        def charge(digest: str, reason: str) -> None:
+            """One attempt consumed; quarantine on budget exhaustion."""
+            attempts[digest] += 1
+            reasons[digest] = reason
+            if attempts[digest] >= policy.max_attempts:
+                cell = remaining.pop(digest)
+                quarantined.append(
+                    QuarantinedCell(cell.label, digest, attempts[digest],
+                                    reason)
+                )
+                self.metrics.quarantined += 1
+                if self.instrument.enabled:
+                    self.instrument.metrics.count(
+                        "resilience/cell_quarantined", 1, op=cell.label
+                    )
+                self._emit(CellEvent(
+                    "quarantine", f"{cell.label} ({reason} "
+                    f"x{attempts[digest]})", digest,
+                    by_digest[digest][0], total
+                ))
+
+        # -- fan-out regime ------------------------------------------------
+        while remaining and crashes < policy.isolate_after:
+            started: dict[str, float] = {}
+            overdue: set[str] = set()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(remaining))
+                ) as pool:
+                    self._drain_pool(pool, dict(remaining), remaining,
+                                     started, overdue, complete, total)
+                break  # all cells completed
+            except BrokenProcessPool:
+                # A worker died (OOM kill, signal, interpreter crash, our
+                # own deadline kill) — not a cell error, which re-raises
+                # above.  Deadline kills are attributed precisely; an
+                # unattributed crash suspects every running cell but
+                # charges none of them (isolation mode decides).
+                for digest in overdue & set(remaining):
+                    charge(digest, "deadline")
+                if not overdue:
+                    crashes += 1
+                    if crashes > policy.max_pool_crashes:
+                        raise
+                    # Cells observed running when the pool broke are prime
+                    # suspects; when the crash outran the poll tick, every
+                    # incomplete cell is.
+                    suspects = [pending_map[d].label for d in started
+                                if d in remaining]
+                    if not suspects:
+                        suspects = [cell.label for cell in remaining.values()]
+                    if self.instrument.enabled:
+                        self.instrument.metrics.count("fault/pool_retries", 1)
+                        self.instrument.metrics.count(
+                            "resilience/pool_crash", 1
                         )
                     self._emit(CellEvent(
-                        "retry", f"worker-pool (crash {crashes}, "
-                        f"{len(remaining)} cells left)", "", 0, total
+                        "retry", f"worker-pool (crash {crashes}, suspects: "
+                        f"{', '.join(suspects) or 'unknown'})", "", 0, total
                     ))
-                    time.sleep(self._pool_backoff * 2 ** (crashes - 1))
-        else:
-            for digest, cell in pending:
-                self._emit(CellEvent("start", cell.label, digest,
-                                     by_digest[digest][0], total))
-                result, wall = _execute_cell(cell)
-                complete(digest, result, wall)
+                    time.sleep(policy.backoff(crashes))
+
+        # -- isolation regime ------------------------------------------------
+        if remaining and crashes >= policy.isolate_after:
+            self._emit(CellEvent(
+                "retry", f"worker-pool (isolating {len(remaining)} cells "
+                f"after {crashes} crashes)", "", 0, total
+            ))
+        while remaining:
+            digest, cell = next(iter(remaining.items()))
+            started = {}
+            overdue = set()
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    self._drain_pool(pool, {digest: cell}, remaining,
+                                     started, overdue, complete, total)
+            except BrokenProcessPool:
+                # Single-cell pool: the crash is this cell's, precisely.
+                charge(digest, "deadline" if digest in overdue
+                       else "pool-crash")
+                if digest in remaining:
+                    if self.instrument.enabled:
+                        self.instrument.metrics.count("fault/pool_retries", 1)
+                    self._emit(CellEvent(
+                        "retry", cell.label, digest,
+                        by_digest[digest][0], total
+                    ))
+                    time.sleep(policy.backoff(attempts[digest]))
+        return quarantined
 
     def run_cell_instrumented(
         self, cell: Cell, instrument: Instrument | None = None
@@ -578,11 +742,12 @@ def configure_engine(
     cache_dir: str | None = None,
     no_cache: bool | None = None,
     progress: ProgressFn | None = None,
+    policy: RetryPolicy | None = None,
 ) -> ExperimentEngine:
     """Install (and return) a new default engine.
 
     Unspecified arguments fall back to the environment: ``REPRO_JOBS``,
-    ``REPRO_CACHE_DIR`` and ``REPRO_NO_CACHE``.
+    ``REPRO_CACHE_DIR``, ``REPRO_NO_CACHE`` and ``REPRO_CELL_DEADLINE``.
     """
     global _DEFAULT_ENGINE
     if no_cache is None:
@@ -592,5 +757,6 @@ def configure_engine(
         jobs=_env_jobs() if jobs is None else jobs,
         cache=cache,
         progress=progress,
+        policy=policy,
     )
     return _DEFAULT_ENGINE

@@ -1,0 +1,196 @@
+"""Supervision primitives for shard worker processes.
+
+The sharded engine (:mod:`repro.simmpi.sharded`) forks one worker per
+shard and exchanges wave messages over pipes.  Without supervision a
+single misbehaving worker — SIGSTOPped, OOM-killed mid-pickle, or spinning
+in an infinite user loop that never reaches the wave barrier — parks the
+coordinator in an unbounded ``conn.recv()`` forever.  This module bounds
+every wait:
+
+* **Heartbeats** (:class:`Heartbeat`): each worker runs a daemon thread
+  that periodically sends ``("hb", engine.steps)`` frames on its pipe.  A
+  worker that stops beating (stopped or dead process) is detected within
+  a few intervals, long before the full wave deadline.
+* **Supervised receives** (:func:`recv_supervised`): every coordinator
+  read polls with a wall-clock deadline and a heartbeat-gap bound, and
+  classifies a miss as ``worker-died`` (process gone), ``worker-timeout``
+  (alive but silent during a wave) or ``worker-hung`` (alive but silent
+  while finalizing) — the fallback reasons recorded in
+  ``SpmdResult.extras["shard_fallback"]``.
+* **Bounded teardown** (:func:`shutdown_workers`): join → SIGTERM →
+  SIGKILL escalation with a grace period per stage, so even a worker that
+  never reads ``("abort",)`` (or cannot, because it is stopped) is gone
+  within a bounded time.
+
+Deadlines are wall-clock host time, never virtual time: these are *host*
+faults, orthogonal to the virtual-time fault plans of :mod:`repro.faults`
+(see docs/RESILIENCE.md for the disambiguation).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Sequence
+
+#: Seconds the coordinator waits for one wave (or final) message per
+#: worker before declaring it timed out.
+ENV_WAVE_DEADLINE = "REPRO_SHARD_DEADLINE"
+DEFAULT_WAVE_DEADLINE = 30.0
+
+#: Seconds between worker heartbeat frames (0/unset = derived).
+ENV_HEARTBEAT = "REPRO_SHARD_HEARTBEAT"
+
+#: Grace per teardown-escalation stage (join, terminate, kill).
+DEFAULT_TEARDOWN_GRACE = 5.0
+
+#: Heartbeat-gap tolerance, in intervals, before a silent worker is
+#: declared timed out.
+MISSED_BEATS = 4
+
+
+def wave_deadline() -> float:
+    """Per-message coordinator deadline (``$REPRO_SHARD_DEADLINE``)."""
+    try:
+        value = float(os.environ.get(ENV_WAVE_DEADLINE, DEFAULT_WAVE_DEADLINE))
+    except ValueError:
+        return DEFAULT_WAVE_DEADLINE
+    return value if value > 0 else DEFAULT_WAVE_DEADLINE
+
+
+def heartbeat_interval() -> float:
+    """Worker heartbeat period (``$REPRO_SHARD_HEARTBEAT`` or derived
+    from the wave deadline so the gap bound stays under the deadline)."""
+    try:
+        value = float(os.environ.get(ENV_HEARTBEAT, "0"))
+    except ValueError:
+        value = 0.0
+    if value > 0:
+        return value
+    return max(0.05, min(1.0, wave_deadline() / (2 * MISSED_BEATS)))
+
+
+class WorkerTimeout(Exception):
+    """A supervised worker missed its deadline or heartbeat budget.
+
+    ``reason`` is the shard-fallback reason string: ``worker-died``,
+    ``worker-timeout`` or ``worker-hung``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Heartbeat:
+    """Worker-side heartbeat pump sharing one pipe with the protocol.
+
+    All pipe writes — beats *and* protocol messages — must serialize on
+    :attr:`lock` so frames never interleave; use :meth:`send` (or take
+    the lock around raw ``conn.send`` calls) for every outbound message.
+    """
+
+    def __init__(self, conn, pulse: Callable[[], int],
+                 interval: float | None = None) -> None:
+        self.conn = conn
+        self.lock = threading.Lock()
+        self._pulse = pulse
+        self.interval = heartbeat_interval() if interval is None else interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="shard-heartbeat", daemon=True
+        )
+
+    def start(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                with self.lock:
+                    self.conn.send(("hb", self._pulse()))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # pipe gone: the coordinator will notice on its own
+
+    def send(self, obj) -> None:
+        """Send one protocol message, serialized against the beats."""
+        with self.lock:
+            self.conn.send(obj)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def recv_supervised(conn, proc, *, stage: str = "wave",
+                    deadline: float | None = None,
+                    grace: float | None = None):
+    """Receive the next protocol message from a worker, skipping beats.
+
+    Raises :class:`WorkerTimeout` when the worker's process has exited
+    (``worker-died``), when no frame of any kind arrives within the
+    heartbeat-gap budget or the stage deadline while the process lives
+    (``worker-timeout``), or the same during the final-result stage
+    (``worker-hung`` — a worker that computed its waves but wedged while
+    finalizing, e.g. inside a huge pickle, or never read a command).
+    """
+    if deadline is None:
+        deadline = wave_deadline()
+    if grace is None:
+        grace = MISSED_BEATS * heartbeat_interval()
+    now = time.monotonic()
+    hard_end = now + deadline
+    last_frame = now
+    while True:
+        window = min(hard_end, last_frame + grace) - time.monotonic()
+        try:
+            if window > 0 and conn.poll(window):
+                msg = conn.recv()
+                if isinstance(msg, tuple) and msg and msg[0] == "hb":
+                    last_frame = time.monotonic()
+                    continue
+                return msg
+        except (EOFError, OSError):
+            raise WorkerTimeout("worker-died") from None
+        now = time.monotonic()
+        if now < hard_end and now - last_frame < grace:
+            continue  # spurious short window; keep polling
+        if not proc.is_alive():
+            raise WorkerTimeout("worker-died")
+        raise WorkerTimeout(
+            "worker-hung" if stage == "final" else "worker-timeout"
+        )
+
+
+def _join_all(procs: Sequence, timeout: float) -> list:
+    """Join every process within one shared ``timeout`` budget; return
+    the ones still alive."""
+    end = time.monotonic() + timeout
+    for proc in procs:
+        proc.join(timeout=max(0.0, end - time.monotonic()))
+    return [proc for proc in procs if proc.is_alive()]
+
+
+def shutdown_workers(procs: Sequence,
+                     grace: float = DEFAULT_TEARDOWN_GRACE) -> str:
+    """Tear the workers down within a bounded time, escalating as needed.
+
+    join(grace) → SIGTERM → join(grace) → SIGKILL → join(grace).  SIGKILL
+    also collects SIGSTOPped workers (a stopped process queues SIGTERM
+    but cannot be terminated by it).  Returns the strongest measure that
+    was needed: ``"clean"``, ``"terminated"`` or ``"killed"``.
+    """
+    alive = _join_all(procs, grace)
+    if not alive:
+        return "clean"
+    for proc in alive:
+        proc.terminate()
+    alive = _join_all(alive, grace)
+    if not alive:
+        return "terminated"
+    for proc in alive:
+        proc.kill()
+    _join_all(alive, grace)
+    return "killed"

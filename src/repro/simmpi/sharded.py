@@ -52,6 +52,15 @@ from typing import Any, Sequence
 from ..faults.injector import FaultInjector, injector_for
 from ..faults.plan import FaultPlan
 from ..obs.instrument import NULL_INSTRUMENT, Instrument, ObsData, Recorder
+from ..resilience.hostfaults import shard_final_hook, shard_wave_hook
+from ..resilience.supervise import (
+    DEFAULT_TEARDOWN_GRACE,
+    Heartbeat,
+    WorkerTimeout,
+    recv_supervised,
+    shutdown_workers,
+    wave_deadline,
+)
 from .collectives import (
     _ALGORITHMS,
     _BarrierReplay,
@@ -360,18 +369,19 @@ class _RemoteEntry:
         self.bytes_recvd0 = bytes_recvd0
 
 
-def _safe_send(conn, obj) -> bool:
+def _safe_send(hb: Heartbeat, obj) -> bool:
     """Send ``obj``, degrading to an error status on pickle failure.
 
     ``Connection.send`` pickles the full object before writing any bytes,
     so a failed attempt leaves the pipe clean and the fallback status can
-    still go through.
+    still go through.  Sends go through the heartbeat's lock so beat
+    frames never interleave with protocol frames.
     """
     try:
-        conn.send(obj)
+        hb.send(obj)
         return True
     except Exception as exc:  # noqa: BLE001 - unpicklable payload/result
-        conn.send(("error", f"pickle:{type(exc).__name__}"))
+        hb.send(("error", f"pickle:{type(exc).__name__}"))
         return False
 
 
@@ -434,18 +444,22 @@ def _apply_inbox(ctx: ShardCommContext, engine: Engine, inbox: dict) -> None:
         engine.wave_resolve(resolutions)
 
 
-def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
-                  cfg: SimConfig, plan: FaultPlan | None,
+def _shard_worker(conn, shard_index: int, lo: int, hi: int, nprocs: int,
+                  main, args, kwargs, cfg: SimConfig,
+                  plan: FaultPlan | None,
                   rec_params: tuple | None) -> None:
     """Child process entry point (fork start method: ``main``/``args`` are
     inherited, never pickled).  Alternates run_ready waves with barrier
-    exchanges until told to finish or abort."""
+    exchanges until told to finish or abort.  A background heartbeat
+    keeps the coordinator's supervision informed that this worker is
+    alive even while a long wave computes."""
     import gc
 
     # Everything inherited from the parent is effectively immutable here;
     # moving it to the permanent generation keeps this worker's collector
     # from re-traversing the parent's heap on every GC pass.
     gc.freeze()
+    hb: Heartbeat | None = None
     try:
         injector = injector_for(plan)
         if injector.active:
@@ -468,21 +482,25 @@ def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
             task.coro = main(rctx, *args, **kwargs)
             engine.adopt(task)
             tasks.append(task)
+        hb = Heartbeat(conn, lambda: engine.steps).start()
+        wave = 0
         while True:
+            wave += 1
+            shard_wave_hook(shard_index, wave)
             err: str | None = None
             try:
                 engine.run_ready()
             except BaseException as exc:  # noqa: BLE001 - reported upstream
                 err = repr(exc)
             if ctx.hazard is not None:
-                conn.send(("error", f"hazard:{ctx.hazard}"))
+                hb.send(("error", f"hazard:{ctx.hazard}"))
                 return
             if err is None and any(
                 t.state is TaskState.FAILED for t in tasks
             ):
                 err = "rank-failed"
             if err is not None:
-                conn.send(("error", err))
+                hb.send(("error", err))
                 return
             status = {
                 "msgs": ctx.outbox,
@@ -494,13 +512,14 @@ def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
             ctx.outbox = []
             ctx.rdv_replies_out = []
             ctx.gates_out = []
-            if not _safe_send(conn, ("status", status)):
+            if not _safe_send(hb, ("status", status)):
                 return
             cmd = conn.recv()
             if cmd[0] == "deliver":
                 _apply_inbox(ctx, engine, cmd[1])
                 continue
             if cmd[0] == "finish":
+                shard_final_hook(shard_index)
                 final = {
                     "ranks": list(range(lo, hi)),
                     "results": [t.result for t in tasks],
@@ -519,12 +538,14 @@ def _shard_worker(conn, lo: int, hi: int, nprocs: int, main, args, kwargs,
                     "obs": ins.snapshot({"shard": (lo, hi)})
                     if rec_params is not None else None,
                 }
-                _safe_send(conn, ("final", final))
+                _safe_send(hb, ("final", final))
                 return
             return  # abort
     except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
         return
     finally:
+        if hb is not None:
+            hb.stop()
         conn.close()
 
 
@@ -556,12 +577,15 @@ def _replay_gate(kind: str, root: int | None, entries: list[_RemoteEntry],
     return sim.states, sim.total_messages, sim.total_bytes
 
 
-def _coordinate(conns: Sequence, bounds: list[int], nprocs: int,
-                cfg: SimConfig, recorder: Recorder | None):
+def _coordinate(conns: Sequence, procs: Sequence, bounds: list[int],
+                nprocs: int, cfg: SimConfig, recorder: Recorder | None):
     """Run the wave-barrier protocol to completion.
 
     Returns the merged result dict, or raises _Fallback when anything
-    requires the oracle.
+    requires the oracle.  Every receive is supervised — wall-clock
+    deadline plus heartbeat-gap detection — so a dead, stopped or wedged
+    worker becomes a ``worker-died`` / ``worker-timeout`` /
+    ``worker-hung`` fallback instead of hanging the coordinator forever.
     """
     from bisect import bisect_right
 
@@ -580,11 +604,11 @@ def _coordinate(conns: Sequence, bounds: list[int], nprocs: int,
     while True:
         waves += 1
         statuses = []
-        for conn in conns:
+        for conn, proc in zip(conns, procs):
             try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                raise _Fallback("worker-died") from None
+                msg = recv_supervised(conn, proc, stage="wave")
+            except WorkerTimeout as wt:
+                raise _Fallback(wt.reason) from None
             if msg[0] == "error":
                 raise _Fallback(msg[1])
             statuses.append(msg[1])
@@ -666,11 +690,14 @@ def _coordinate(conns: Sequence, bounds: list[int], nprocs: int,
     for conn in conns:
         conn.send(("finish",))
     finals = []
-    for conn in conns:
+    for conn, proc in zip(conns, procs):
         try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            raise _Fallback("worker-died") from None
+            # Supervised like every wave receive: a worker that wedges
+            # while finalizing (or never reads a command) is torn down
+            # within its deadline instead of hanging this recv forever.
+            msg = recv_supervised(conn, proc, stage="final")
+        except WorkerTimeout as wt:
+            raise _Fallback(wt.reason) from None
         if msg[0] == "error":
             raise _Fallback(msg[1])
         finals.append(msg[1])
@@ -738,12 +765,14 @@ def run_sharded(main, nprocs: int, args: tuple, kwargs: dict, cfg: SimConfig,
     )
     conns = []
     procs = []
+    fallback: str | None = None
+    teardown = "clean"
     try:
         for s in range(nshards):
             parent_conn, child_conn = mp.Pipe()
             proc = mp.Process(
                 target=_shard_worker,
-                args=(child_conn, bounds[s], bounds[s + 1], nprocs, main,
+                args=(child_conn, s, bounds[s], bounds[s + 1], nprocs, main,
                       args, kwargs, cfg, plan, rec_params),
                 daemon=True,
             )
@@ -753,23 +782,35 @@ def run_sharded(main, nprocs: int, args: tuple, kwargs: dict, cfg: SimConfig,
             procs.append(proc)
         try:
             finals, replay_messages, replay_bytes, waves = _coordinate(
-                conns, bounds, nprocs, cfg, recorder
+                conns, procs, bounds, nprocs, cfg, recorder
             )
         except _Fallback as fb:
+            fallback = fb.reason
             for conn in conns:
                 try:
                     conn.send(("abort",))
                 except (BrokenPipeError, OSError):
                     pass
-            return _single(fb.reason)
     finally:
         for conn in conns:
             conn.close()
-        for proc in procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=5)
+        # Bounded escalation: a worker that never reads ("abort",) — or
+        # cannot, because it is SIGSTOPped — is still gone within the
+        # grace budget.  SIGKILL is the only signal a stopped process
+        # cannot defer.
+        teardown = shutdown_workers(
+            procs, grace=min(DEFAULT_TEARDOWN_GRACE, wave_deadline())
+        )
+
+    if fallback is not None:
+        if fallback in ("worker-died", "worker-timeout", "worker-hung") \
+                and instrument.enabled:
+            instrument.metrics.count("resilience/shard_fallback", 1,
+                                     op=fallback)
+        result = _single(fallback)
+        if teardown != "clean":
+            result.extras["shard_teardown"] = teardown
+        return result
 
     return _merge(finals, nprocs, cfg, replay_messages, replay_bytes, waves,
                   recorder, plan)

@@ -1,0 +1,145 @@
+"""Harness host-fault recovery: deadlines, bounded retry, quarantine.
+
+A poisoned cell (one that deterministically kills every pool worker it
+lands on) must cost the batch exactly itself: siblings complete, the
+poison is identified precisely (isolation mode) and surfaced through
+:class:`QuarantineError` *with* the completed partial results.  Transient
+kills retry and succeed; hangs trip the per-cell wall-clock deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.engine import CellEvent, ExperimentEngine, make_cell
+from repro.harness.runner import Mode
+from repro.resilience import (
+    HostFaultPlan,
+    QuarantineError,
+    RetryPolicy,
+    installed,
+)
+
+#: Near-zero backoff + tight deadline so each test runs in seconds.
+FAST = RetryPolicy(max_attempts=2, cell_deadline=1.5, backoff_base=0.01,
+                   backoff_cap=0.05, poll_interval=0.02)
+
+
+def _cells(n=6):
+    return [
+        make_cell("uniform", 4, Mode.APP, workload_params={"iterations": it})
+        for it in range(3, 3 + n)
+    ]
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_siblings_finish(self):
+        cells = _cells(6)
+        poison = cells[2].digest()
+        engine = ExperimentEngine(jobs=2, cache=None, policy=FAST)
+        with installed(HostFaultPlan(kill_cell=poison)):
+            with pytest.raises(QuarantineError) as excinfo:
+                engine.run_cells(cells)
+        err = excinfo.value
+        assert [q.digest for q in err.quarantined] == [poison]
+        assert err.quarantined[0].reason == "pool-crash"
+        assert err.quarantined[0].attempts == FAST.max_attempts
+        # Partial results survive: every sibling completed, only the
+        # poisoned index is None.
+        assert [i for i, r in enumerate(err.results) if r is None] == [2]
+        assert engine.metrics.quarantined == 1
+
+    def test_hanging_cell_trips_deadline(self):
+        cells = _cells(4)
+        target = cells[1].digest()
+        engine = ExperimentEngine(jobs=2, cache=None, policy=FAST)
+        with installed(HostFaultPlan(hang_cell=target, hang_s=60.0)):
+            with pytest.raises(QuarantineError) as excinfo:
+                engine.run_cells(cells)
+        err = excinfo.value
+        assert [q.digest for q in err.quarantined] == [target]
+        assert err.quarantined[0].reason == "deadline"
+        assert sum(1 for r in err.results if r is not None) == 3
+
+    def test_transient_kill_retries_to_completion(self, tmp_path):
+        cells = _cells(4)
+        target = cells[1].digest()
+        events: list[CellEvent] = []
+        engine = ExperimentEngine(jobs=2, cache=None, policy=FAST,
+                                  progress=events.append)
+        plan = HostFaultPlan(kill_cell=target, attempts=1,
+                             state_dir=str(tmp_path))
+        with installed(plan):
+            results = engine.run_cells(cells)
+        assert all(r is not None for r in results)
+        assert engine.metrics.quarantined == 0
+        retries = [e for e in events if e.kind == "retry"]
+        assert retries, "pool crash must surface a retry event"
+        # The retry event names the suspected cells, not just a count.
+        assert any("uniform/P=4/app" in e.label for e in retries)
+
+    def test_quarantine_event_emitted(self):
+        cells = _cells(4)
+        poison = cells[0].digest()
+        events: list[CellEvent] = []
+        engine = ExperimentEngine(jobs=2, cache=None, policy=FAST,
+                                  progress=events.append)
+        with installed(HostFaultPlan(kill_cell=poison)):
+            with pytest.raises(QuarantineError):
+                engine.run_cells(cells)
+        kinds = {e.kind for e in events}
+        assert "quarantine" in kinds
+        quarantine = [e for e in events if e.kind == "quarantine"][0]
+        assert quarantine.digest == poison
+
+    def test_inline_execution_never_injured(self):
+        # jobs=1 executes in-process; the owner-pid guard means a cell
+        # fault plan cannot kill the coordinating process.
+        cells = _cells(3)
+        engine = ExperimentEngine(jobs=1, cache=None, policy=FAST)
+        with installed(HostFaultPlan(kill_cell=cells[0].digest())):
+            results = engine.run_cells(cells)
+        assert all(r is not None for r in results)
+
+    def test_parallel_results_identical_to_serial_under_faults(self, tmp_path):
+        cells = _cells(4)
+        target = cells[2].digest()
+        serial = ExperimentEngine(jobs=1, cache=None).run_cells(cells)
+        engine = ExperimentEngine(jobs=2, cache=None, policy=FAST)
+        plan = HostFaultPlan(kill_cell=target, attempts=1,
+                             state_dir=str(tmp_path))
+        with installed(plan):
+            recovered = engine.run_cells(cells)
+        assert [r.fingerprint() for r in recovered] == \
+            [r.fingerprint() for r in serial]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(cell_deadline=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(poll_interval=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=-0.1)
+
+    def test_from_env_reads_cell_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "12.5")
+        assert RetryPolicy.from_env().cell_deadline == 12.5
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "0")
+        assert RetryPolicy.from_env().cell_deadline is None
+        monkeypatch.setenv("REPRO_CELL_DEADLINE", "nope")
+        assert RetryPolicy.from_env().cell_deadline is None
+
+    def test_quarantine_error_message_and_payload(self):
+        from repro.resilience.policy import QuarantinedCell
+
+        err = QuarantineError(
+            [QuarantinedCell("w/P=4/app", "abc123", 3, "pool-crash")],
+            [object(), None, object()],
+        )
+        assert "1 cell(s) quarantined" in str(err)
+        assert "2/3 results completed" in str(err)
+        assert err.quarantined[0].attempts == 3

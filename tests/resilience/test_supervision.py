@@ -1,0 +1,137 @@
+"""Shard-worker supervision: injected host faults end in recorded
+fallbacks with bit-identical results, never a hang.
+
+Every test arms a :class:`HostFaultPlan` against a 2-shard run of a small
+p2p + collective kernel and asserts (a) the coordinator detects the fault
+within the (deliberately small) supervision deadline, (b) the recorded
+``shard_fallback`` reason matches the fault class, and (c) the fallback
+rerun on the single-process oracle is bit-identical to an undisturbed
+``shards=1`` run — a host fault can never change a virtual-time answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import HostFaultPlan, installed
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.supervise import (
+    ENV_HEARTBEAT,
+    ENV_WAVE_DEADLINE,
+    WorkerTimeout,
+    heartbeat_interval,
+    wave_deadline,
+)
+from repro.simmpi import SimConfig, run_spmd
+
+NPROCS = 8
+
+
+async def _kernel(ctx):
+    comm, rank, size = ctx.comm, ctx.rank, ctx.size
+    right, left = (rank + 1) % size, (rank - 1) % size
+    acc = 0.0
+    for r in range(3):
+        send = comm.isend(right, rank * 10 + r, tag=r)
+        acc += await comm.recv(source=left, tag=r)
+        await send.wait()
+        acc += await comm.allreduce(rank + r * 0.25)
+    await comm.barrier()
+    return acc
+
+
+@pytest.fixture(autouse=True)
+def _fast_supervision(monkeypatch):
+    """Small deadlines so fault detection takes ~2s, not the 30s default."""
+    monkeypatch.setenv(ENV_WAVE_DEADLINE, "2")
+    monkeypatch.setenv(ENV_HEARTBEAT, "0.1")
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return run_spmd(_kernel, NPROCS, config=SimConfig(shards=1))
+
+
+def _assert_identical(result, oracle):
+    assert result.results == oracle.results
+    assert result.clocks == oracle.clocks
+    assert result.busy_times == oracle.busy_times
+    assert result.total_messages == oracle.total_messages
+    assert result.total_bytes == oracle.total_bytes
+
+
+def _faulted_run(plan):
+    with installed(plan):
+        return run_spmd(_kernel, NPROCS, config=SimConfig(shards=2))
+
+
+class TestShardSupervision:
+    def test_killed_worker_falls_back_bit_identical(self, oracle):
+        result = _faulted_run(HostFaultPlan(kill_shard=1))
+        assert result.extras["shard_fallback"] == "worker-died"
+        _assert_identical(result, oracle)
+
+    def test_sigstopped_worker_times_out(self, oracle):
+        # A stopped process stops heartbeating but stays alive; SIGTERM
+        # queues on it, so teardown must escalate to SIGKILL.
+        result = _faulted_run(HostFaultPlan(stop_shard=0))
+        assert result.extras["shard_fallback"] == "worker-timeout"
+        assert result.extras["shard_teardown"] == "killed"
+        _assert_identical(result, oracle)
+
+    def test_slow_worker_exceeds_wave_deadline(self, oracle):
+        # The worker sleeps through the wave while its heartbeat thread
+        # keeps beating: only the hard deadline can catch it.
+        result = _faulted_run(HostFaultPlan(delay_shard=1, delay_s=30.0))
+        assert result.extras["shard_fallback"] == "worker-timeout"
+        _assert_identical(result, oracle)
+
+    def test_worker_wedged_finalizing_is_hung(self, oracle):
+        result = _faulted_run(HostFaultPlan(stall_final=1, delay_s=30.0))
+        assert result.extras["shard_fallback"] == "worker-hung"
+        _assert_identical(result, oracle)
+
+    def test_fault_detection_and_rerun_is_deterministic(self, oracle):
+        plan = HostFaultPlan(kill_shard=0)
+        first = _faulted_run(plan)
+        second = _faulted_run(plan)
+        assert first.extras["shard_fallback"] == "worker-died"
+        assert second.extras["shard_fallback"] == "worker-died"
+        _assert_identical(first, oracle)
+        _assert_identical(second, oracle)
+
+    def test_happy_path_unaffected_by_supervision(self, oracle):
+        result = run_spmd(_kernel, NPROCS, config=SimConfig(shards=2))
+        assert "shard_fallback" not in result.extras
+        assert "shard_teardown" not in result.extras
+        _assert_identical(result, oracle)
+
+
+class TestSupervisionKnobs:
+    def test_wave_deadline_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_WAVE_DEADLINE, "7.5")
+        assert wave_deadline() == 7.5
+        monkeypatch.setenv(ENV_WAVE_DEADLINE, "garbage")
+        assert wave_deadline() == 30.0
+        monkeypatch.setenv(ENV_WAVE_DEADLINE, "-1")
+        assert wave_deadline() == 30.0
+
+    def test_heartbeat_interval_derived_and_bounded(self, monkeypatch):
+        monkeypatch.setenv(ENV_HEARTBEAT, "0.25")
+        assert heartbeat_interval() == 0.25
+        monkeypatch.delenv(ENV_HEARTBEAT)
+        monkeypatch.setenv(ENV_WAVE_DEADLINE, "2")
+        # Derived: MISSED_BEATS gaps fit well inside the deadline.
+        assert heartbeat_interval() * 4 < 2.0
+
+    def test_worker_timeout_carries_reason(self):
+        err = WorkerTimeout("worker-hung")
+        assert err.reason == "worker-hung"
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=2.0,
+                             backoff_jitter=0.5)
+        sleeps = [policy.backoff(n) for n in range(1, 10)]
+        assert sleeps == [policy.backoff(n) for n in range(1, 10)]
+        assert all(s <= 2.0 * 1.5 for s in sleeps)
+        assert sleeps[0] >= 0.1
