@@ -51,6 +51,8 @@ from .api import (
     replay,
     run,
     run_experiment,
+    serve,
+    stream_run,
 )
 
 __all__ = [
@@ -77,4 +79,6 @@ __all__ = [
     "replay",
     "run",
     "run_experiment",
+    "serve",
+    "stream_run",
 ]

@@ -55,6 +55,7 @@ from .resilience import QuarantineError, RetryPolicy
 from .scalatrace.difftool import TraceDiff, diff_traces
 from .scalatrace.trace import Trace
 from .simmpi.simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
+from . import serve
 from .simmpi.timing import NetworkModel, QDR_CLUSTER
 
 #: Every paper artifact regenerable via :func:`run_experiment` / the CLI.
@@ -106,6 +107,8 @@ __all__ = [
     "replay",
     "run",
     "run_experiment",
+    "serve",
+    "stream_run",
 ]
 
 
@@ -247,3 +250,39 @@ def replay(
 def compare(a: Trace | str, b: Trace | str) -> TraceDiff:
     """Semantically diff two traces (objects or file paths)."""
     return diff_traces(_as_trace(a), _as_trace(b))
+
+
+def stream_run(
+    steps: "list[dict] | str",
+    nprocs: int = 16,
+    mode: Mode | str = Mode.CHAMELEON,
+    *,
+    call_frequency: int = 1,
+    config_overrides: dict[str, Any] | None = None,
+    sim: SimConfig | None = None,
+    engine: ExperimentEngine | None = None,
+) -> RunResult:
+    """Run a declared event stream as a batch ``stream`` workload.
+
+    ``steps`` is either a list of step-event dicts (the same objects a
+    client would POST to ``repro serve`` as NDJSON lines) or an
+    already-canonical steps-JSON string.  This is the batch twin of the
+    serving path — and its oracle: a served job over the same events
+    produces a bit-identical :class:`RunResult` (same fingerprint, same
+    trace bytes) and shares the same cache entry.
+    """
+    from .workloads.stream import canonical_steps_json, normalize_steps
+
+    if isinstance(steps, str):
+        import json as _json
+
+        steps = _json.loads(steps)
+    steps_json = canonical_steps_json(normalize_steps(steps))
+    return run(
+        "stream", nprocs, mode,
+        workload_params={"steps_json": steps_json},
+        call_frequency=call_frequency,
+        config_overrides=config_overrides,
+        sim=sim,
+        engine=engine,
+    )

@@ -15,6 +15,7 @@ Usage (installed as a module)::
     python -m repro run --workload bt --faults plan.json --fault-seed 7
     python -m repro chaos --workload bt --nprocs 16 --report chaos.json
     python -m repro bench --baseline benchmarks/BENCH_scaling.json
+    python -m repro serve --port 8537 --jobs 4
 
 ``experiment`` regenerates one of the paper's tables/figures and prints the
 same rows the paper reports (see EXPERIMENTS.md for the mapping).  ``run``
@@ -684,6 +685,70 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve.app import ServeApp
+    from .serve.jobs import ServeConfig
+
+    engine = _engine_from(args)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_stream_jobs=args.max_stream_jobs,
+            idle_timeout=args.idle_timeout,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    app = ServeApp(engine, config)
+
+    async def _main() -> None:
+        await app.start()
+        # Explicit handlers rather than relying on KeyboardInterrupt: a
+        # process started in the background inherits SIGINT as SIG_IGN,
+        # in which case Python never raises KeyboardInterrupt at all —
+        # add_signal_handler overrides the disposition either way, and
+        # SIGTERM gets the same graceful path.  Installed before the
+        # banner so "listening on" means signals are handled too.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop: ctrl-C still arrives as KeyboardInterrupt
+        print(
+            f"repro serve: listening on http://{config.host}:{app.port} "
+            f"(jobs={engine.jobs}, cache="
+            f"{'on' if engine.cache is not None else 'off'})",
+            flush=True,
+        )
+        server = app._server
+        assert server is not None
+        async with server:
+            forever = asyncio.ensure_future(server.serve_forever())
+            waiter = asyncio.ensure_future(stop.wait())
+            done, pending = await asyncio.wait(
+                {forever, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            if forever in done:
+                forever.result()  # surface unexpected server errors
+
+    try:
+        asyncio.run(_main())
+        print("repro serve: shutting down", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        app.registry.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -923,6 +988,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming trace-ingestion service (docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8537,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    p_serve.add_argument(
+        "--max-stream-jobs", type=int, default=32,
+        help="cap on concurrently-open streamed jobs",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail a streamed job when no event arrives for this long "
+        "(default: the engine policy's job_idle_timeout)",
+    )
+    _add_engine_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

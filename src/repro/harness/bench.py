@@ -109,6 +109,18 @@ KERNELS: dict[str, Callable[..., Any]] = {
 }
 
 
+def matched_per_s(messages_matched: int, wall: float) -> int:
+    """Match throughput with the wall time clamped to :data:`WALL_FLOOR_S`.
+
+    A run finishing under the timer floor — including a measured wall of
+    exactly ``0.0`` on a coarse clock — used to report a throughput of
+    ``0``, which reads as a catastrophic regression instead of a
+    sub-resolution run.  Clamping yields a conservative lower bound
+    instead; walls above the floor are unaffected.
+    """
+    return round(messages_matched / max(wall, WALL_FLOOR_S))
+
+
 def _peak_rss_kb() -> int:
     """Peak resident set size of this process in KiB.
 
@@ -146,9 +158,7 @@ def bench_point(
         "peak_rss_kb": _peak_rss_kb(),
         "engine_steps": result.engine_steps,
         "messages_matched": result.messages_matched,
-        "matched_per_s": (
-            round(result.messages_matched / wall) if wall > 0 else 0
-        ),
+        "matched_per_s": matched_per_s(result.messages_matched, wall),
         "collectives_fast": result.collectives_fast,
         "p2p_fast": result.p2p_fast,
         "virtual_makespan_s": result.max_time,
@@ -241,9 +251,10 @@ def compare(
     Returns one message per violation (empty list = pass).  Every
     ``(kernel, nprocs, shards)`` cell of the *baseline* must exist in
     ``current`` and run within ``(1 + tolerance) *`` the baseline wall
-    time; baselines under :data:`WALL_FLOOR_S` are measured against the
-    floor instead, so micro-cells whose runtime is timer noise cannot
-    flake the gate.  Speed-ups and extra cells in ``current`` never fail.
+    time; walls under :data:`WALL_FLOOR_S` are clamped to the floor on
+    *both* sides of the ratio, so micro-cells whose runtime is timer
+    noise — in the baseline or the current run — cannot flake the gate.
+    Speed-ups and extra cells in ``current`` never fail.
     """
     by_cell = {
         (r["kernel"], r["nprocs"], r.get("shards", 1)): r
@@ -260,7 +271,7 @@ def compare(
             problems.append(f"{label}: missing from current results")
             continue
         budget = max(base["wall_s"], WALL_FLOOR_S) * (1.0 + tolerance)
-        if cur["wall_s"] > budget:
+        if max(cur["wall_s"], WALL_FLOOR_S) > budget:
             problems.append(
                 f"{label}: wall {cur['wall_s']:.3f}s exceeds "
                 f"{budget:.3f}s (baseline {base['wall_s']:.3f}s "

@@ -32,9 +32,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import os
 import pickle
-import tempfile
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -127,6 +128,46 @@ def cache_disabled_by_env() -> bool:
 # the cache
 # ---------------------------------------------------------------------------
 
+#: Per-process counter feeding spill names.  Combined with the pid, two
+#: writers — same process or different processes racing on one digest —
+#: can never share a spill path, so neither can truncate the other's
+#: in-flight file before its atomic ``os.replace``.
+_SPILL_COUNTER = itertools.count()
+
+#: Spill name suffix: ``<entry>.<pid>-<counter>.tmp``.  ``verify`` parses
+#: the pid back out to tell a live writer's spill from a dead one's.
+_SPILL_RE = re.compile(r"\.(\d+)-(\d+)\.tmp$")
+
+
+def _spill_path(path: Path) -> Path:
+    """A unique spill path next to ``path`` for this process."""
+    return path.parent / (
+        f"{path.name}.{os.getpid()}-{next(_SPILL_COUNTER)}.tmp"
+    )
+
+
+def _spill_writer_alive(path: Path) -> bool:
+    """Whether ``path`` is a pid-tagged spill whose writer still runs.
+
+    Legacy or unparsable ``.tmp`` names report ``False`` (treated as
+    orphans, as before); a parsed pid is probed with ``kill(pid, 0)``.
+    """
+    match = _SPILL_RE.search(path.name)
+    if match is None:
+        return False
+    pid = int(match.group(1))
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, other user
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume dead
+        return False
+    return True
+
 
 @dataclass
 class CacheStats:
@@ -149,6 +190,8 @@ class CacheVerifyReport:
     key or checksum validation; ``orphaned`` files are leftover ``.tmp``
     spills from interrupted writes and entries stranded in stale
     generation directories that no current code can ever read.
+    ``in_flight`` spills carry the pid of a still-running writer — a
+    racer mid-``put`` — and are neither damage nor removable.
     """
 
     generation: str = ""
@@ -156,6 +199,7 @@ class CacheVerifyReport:
     ok: int = 0
     corrupt: list[str] = dataclasses.field(default_factory=list)
     orphaned: list[str] = dataclasses.field(default_factory=list)
+    in_flight: list[str] = dataclasses.field(default_factory=list)
     removed: int = 0
 
     @property
@@ -169,6 +213,7 @@ class CacheVerifyReport:
             "ok": self.ok,
             "corrupt": list(self.corrupt),
             "orphaned": list(self.orphaned),
+            "in_flight": list(self.in_flight),
             "removed": self.removed,
         }
 
@@ -177,6 +222,8 @@ class CacheVerifyReport:
         return (
             f"cache {state}: {self.scanned} scanned | {self.ok} ok | "
             f"{len(self.corrupt)} corrupt | {len(self.orphaned)} orphaned"
+            + (f" | {len(self.in_flight)} in flight" if self.in_flight
+               else "")
             + (f" | {self.removed} removed" if self.removed else "")
         )
 
@@ -259,7 +306,15 @@ class RunCache:
             return None
 
     def put(self, digest: str, result: Any) -> Path:
-        """Atomically store ``result`` under ``digest``."""
+        """Atomically store ``result`` under ``digest``.
+
+        The spill file is named ``<entry>.<pid>-<counter>.tmp`` — unique
+        per writer, so two processes racing on the same digest each
+        complete their own write-then-rename and the loser's replace
+        simply overwrites the winner's identical entry.  A live racer's
+        spill is recognized by :meth:`verify` (pid probe) instead of
+        being miscounted as an orphan.
+        """
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
@@ -269,9 +324,9 @@ class RunCache:
             "checksum": hashlib.sha256(blob).hexdigest(),
             "blob": blob,
         }
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        tmp = _spill_path(path)
         try:
-            with os.fdopen(fd, "wb") as fh:
+            with open(tmp, "xb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
@@ -307,7 +362,10 @@ class RunCache:
         Every entry of the current generation is re-validated through the
         same schema/digest/checksum path :meth:`get` uses; ``.tmp``
         leftovers from interrupted writes and entries stranded in stale
-        generation directories are reported as orphans.  With ``fix``,
+        generation directories are reported as orphans.  A spill whose
+        pid-tagged writer is still alive is an in-flight write, not an
+        orphan — it is reported separately and never removed.  With
+        ``fix``,
         corrupt and orphaned files are deleted (reads would delete the
         corrupt ones lazily anyway — this just front-loads the cost) and
         counted in ``removed``.  Damage found is surfaced through the same
@@ -330,7 +388,10 @@ class RunCache:
                     self.instrument.metrics.count("fault/cache_invalidated", 1)
         if self.root.is_dir():
             for path in sorted(self.root.rglob("*.tmp")):
-                report.orphaned.append(str(path))
+                if _spill_writer_alive(path):
+                    report.in_flight.append(str(path))
+                else:
+                    report.orphaned.append(str(path))
             for gen_dir in sorted(self.root.iterdir()):
                 if not gen_dir.is_dir() or gen_dir.name == self.generation:
                     continue

@@ -361,7 +361,9 @@ class ExperimentEngine:
         if self.progress is not None:
             self.progress(event)
 
-    def run_cells(self, cells: Sequence[Cell]) -> list[RunResult]:
+    def run_cells(
+        self, cells: Sequence[Cell], *, contain_errors: bool = False
+    ) -> list[RunResult]:
         """Execute a batch, resolving duplicates and cache hits first.
 
         Returns results positionally aligned with ``cells``.  Identical
@@ -373,6 +375,15 @@ class ExperimentEngine:
         more cells exhausted their :class:`RetryPolicy` attempt budget
         (repeated pool kills or deadline overruns); the error carries the
         completed partial results instead of discarding them.
+
+        With ``contain_errors`` a cell whose *execution* raises (a
+        deterministic simulation error — bad root rank, deadlock, engine
+        limit) is quarantined with reason ``cell-error`` instead of
+        aborting the batch: its siblings complete and the
+        :class:`QuarantineError` carries their results.  This is how the
+        serve layer keeps one poisoned tenant job from failing everyone
+        multiplexed into the same batch; the default (re-raise) preserves
+        the CLI's fail-fast diagnostics.
         """
         started = time.perf_counter()
         total = len(cells)
@@ -403,7 +414,7 @@ class ExperimentEngine:
         quarantined: list[QuarantinedCell] = []
         if pending:
             quarantined = self._execute_pending(pending, by_digest, results,
-                                                total)
+                                                total, contain_errors)
 
         self.metrics.total_wall += time.perf_counter() - started
         if quarantined:
@@ -417,6 +428,7 @@ class ExperimentEngine:
         by_digest: dict[str, list[int]],
         results: list[RunResult | None],
         total: int,
+        contain_errors: bool = False,
     ) -> list[QuarantinedCell]:
         def complete(digest: str, result: RunResult, wall: float) -> None:
             cell_indices = by_digest[digest]
@@ -435,11 +447,40 @@ class ExperimentEngine:
             self._emit(CellEvent("start", cell.label, digest,
                                  by_digest[digest][0], total))
         if self.jobs > 1 and len(pending) > 1:
-            return self._execute_pool(pending_map, by_digest, complete, total)
+            return self._execute_pool(pending_map, by_digest, complete, total,
+                                      contain_errors)
+        quarantined: list[QuarantinedCell] = []
         for digest, cell in pending:
-            result, wall = _execute_cell(cell, digest)
+            try:
+                result, wall = _execute_cell(cell, digest)
+            except Exception as exc:
+                if not contain_errors:
+                    raise
+                quarantined.append(self._condemn_cell(
+                    cell, digest, f"cell-error: {type(exc).__name__}: {exc}",
+                    by_digest[digest][0], total,
+                ))
+                continue
             complete(digest, result, wall)
-        return []
+        return quarantined
+
+    def _condemn_cell(
+        self, cell: Cell, digest: str, reason: str, index: int, total: int
+    ) -> QuarantinedCell:
+        """Quarantine a cell whose execution raised deterministically.
+
+        Unlike host faults (crashes, deadlines), a cell error reproduces
+        on every retry, so it consumes the cell immediately: one attempt,
+        reason ``cell-error: <exception>``."""
+        self.metrics.quarantined += 1
+        if self.instrument.enabled:
+            self.instrument.metrics.count(
+                "resilience/cell_quarantined", 1, op=cell.label
+            )
+        self._emit(CellEvent(
+            "quarantine", f"{cell.label} ({reason})", digest, index, total
+        ))
+        return QuarantinedCell(cell.label, digest, 1, reason)
 
     # -- host-fault recovery (pool crashes, deadlines, quarantine) ---------
 
@@ -447,12 +488,20 @@ class ExperimentEngine:
     def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
         """SIGKILL every live pool worker (deadline enforcement).  The
         executor notices the deaths and raises BrokenProcessPool, which
-        the caller handles like any other crash."""
+        the caller handles like any other crash.
+
+        Workers can exit between the deadline poll and this sweep: the
+        ``_processes`` map may hold ``None`` sentinels mid-teardown, and a
+        reaped ``Process`` handle raises ``ValueError`` once closed — both
+        must be skipped so one dead worker can't abort the remaining
+        kills and leave the overdue cell running."""
         for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            if proc is None:
+                continue
             try:
                 proc.kill()
-            except (OSError, AttributeError):  # pragma: no cover - racing exit
-                pass
+            except (OSError, ValueError, AttributeError):
+                pass  # racing exit / closed handle: already dead
 
     def _drain_pool(
         self,
@@ -463,12 +512,16 @@ class ExperimentEngine:
         overdue: set[str],
         complete: Callable[[str, RunResult, float], None],
         total: int,
+        on_cell_error: Callable[[str, str], None] | None = None,
     ) -> None:
         """Run one pool generation to completion or first crash.
 
         ``started`` records when each cell's future was first observed
         running (deadline clock); cells added to ``overdue`` had their
-        workers killed for exceeding ``policy.cell_deadline``.
+        workers killed for exceeding ``policy.cell_deadline``.  With
+        ``on_cell_error`` a worker exception that is *not* a pool crash
+        is reported to the callback (digest, reason) instead of being
+        re-raised, and the generation keeps draining.
         """
         policy = self.policy
         futures = {
@@ -482,9 +535,21 @@ class ExperimentEngine:
                                      timeout=policy.poll_interval,
                                      return_when=FIRST_COMPLETED)
             for fut in done:
-                # re-raises worker errors (and BrokenProcessPool)
-                result, wall = fut.result()
                 digest = futures[fut]
+                try:
+                    # re-raises worker errors (and BrokenProcessPool)
+                    result, wall = fut.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    if on_cell_error is None:
+                        raise
+                    remaining.pop(digest, None)
+                    started.pop(digest, None)
+                    on_cell_error(
+                        digest, f"cell-error: {type(exc).__name__}: {exc}"
+                    )
+                    continue
                 complete(digest, result, wall)
                 remaining.pop(digest, None)
                 started.pop(digest, None)
@@ -519,6 +584,7 @@ class ExperimentEngine:
         by_digest: dict[str, list[int]],
         complete: Callable[[str, RunResult, float], None],
         total: int,
+        contain_errors: bool = False,
     ) -> list[QuarantinedCell]:
         """Fan pending cells over a worker pool, surviving host faults.
 
@@ -538,6 +604,14 @@ class ExperimentEngine:
         reasons: dict[str, str] = {}
         quarantined: list[QuarantinedCell] = []
         crashes = 0
+
+        on_cell_error: Callable[[str, str], None] | None = None
+        if contain_errors:
+            def on_cell_error(digest: str, reason: str) -> None:
+                quarantined.append(self._condemn_cell(
+                    pending_map[digest], digest, reason,
+                    by_digest[digest][0], total,
+                ))
 
         def charge(digest: str, reason: str) -> None:
             """One attempt consumed; quarantine on budget exhaustion."""
@@ -569,7 +643,8 @@ class ExperimentEngine:
                     max_workers=min(workers, len(remaining))
                 ) as pool:
                     self._drain_pool(pool, dict(remaining), remaining,
-                                     started, overdue, complete, total)
+                                     started, overdue, complete, total,
+                                     on_cell_error)
                 break  # all cells completed
             except BrokenProcessPool:
                 # A worker died (OOM kill, signal, interpreter crash, our
@@ -614,7 +689,8 @@ class ExperimentEngine:
             try:
                 with ProcessPoolExecutor(max_workers=1) as pool:
                     self._drain_pool(pool, {digest: cell}, remaining,
-                                     started, overdue, complete, total)
+                                     started, overdue, complete, total,
+                                     on_cell_error)
             except BrokenProcessPool:
                 # Single-cell pool: the crash is this cell's, precisely.
                 charge(digest, "deadline" if digest in overdue

@@ -33,6 +33,14 @@ from dataclasses import dataclass
 #: in seconds (unset or non-positive = no deadline).
 ENV_CELL_DEADLINE = "REPRO_CELL_DEADLINE"
 
+#: Environment variable supplying the default idle timeout for streamed
+#: serve jobs in seconds (unset = the built-in default; non-positive = no
+#: timeout).
+ENV_JOB_IDLE_TIMEOUT = "REPRO_JOB_IDLE_TIMEOUT"
+
+#: Default idle timeout for streamed serve jobs (seconds).
+DEFAULT_JOB_IDLE_TIMEOUT = 300.0
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -58,6 +66,11 @@ class RetryPolicy:
         seed: drives the jitter draws; same (seed, attempt) = same sleep.
         poll_interval: how often the engine polls outstanding futures for
             deadline enforcement and crash attribution.
+        job_idle_timeout: wall-clock seconds a *streamed* serve job may
+            wait for its next event chunk before it is failed as
+            abandoned (``repro serve``; streamed jobs run in threads, so
+            the cell deadline's kill path cannot apply to them).
+            ``None`` disables the timeout.
     """
 
     max_attempts: int = 3
@@ -69,6 +82,7 @@ class RetryPolicy:
     backoff_jitter: float = 0.5
     seed: int = 0xB0FF
     poll_interval: float = 0.05
+    job_idle_timeout: float | None = DEFAULT_JOB_IDLE_TIMEOUT
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -85,6 +99,8 @@ class RetryPolicy:
             raise ValueError("backoff_jitter must be non-negative")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.job_idle_timeout is not None and self.job_idle_timeout <= 0:
+            raise ValueError("job_idle_timeout must be positive (or None)")
 
     def backoff(self, attempt: int) -> float:
         """Capped exponential backoff with seeded jitter for ``attempt``
@@ -98,7 +114,8 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls) -> "RetryPolicy":
-        """The default policy, with ``$REPRO_CELL_DEADLINE`` applied."""
+        """The default policy, with ``$REPRO_CELL_DEADLINE`` and
+        ``$REPRO_JOB_IDLE_TIMEOUT`` applied."""
         raw = os.environ.get(ENV_CELL_DEADLINE, "")
         try:
             deadline: float | None = float(raw)
@@ -106,7 +123,14 @@ class RetryPolicy:
             deadline = None
         if deadline is not None and deadline <= 0:
             deadline = None
-        return cls(cell_deadline=deadline)
+        raw_idle = os.environ.get(ENV_JOB_IDLE_TIMEOUT, "")
+        try:
+            idle: float | None = float(raw_idle)
+        except ValueError:
+            idle = DEFAULT_JOB_IDLE_TIMEOUT
+        if idle is not None and idle <= 0:
+            idle = None
+        return cls(cell_deadline=deadline, job_idle_timeout=idle)
 
 
 @dataclass(frozen=True)
@@ -116,7 +140,7 @@ class QuarantinedCell:
     label: str
     digest: str
     attempts: int
-    reason: str  # "pool-crash" or "deadline"
+    reason: str  # "pool-crash", "deadline", or "cell-error: <exception>"
 
 
 class QuarantineError(RuntimeError):

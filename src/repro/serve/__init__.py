@@ -1,0 +1,54 @@
+"""repro.serve — streaming trace-ingestion service with online clustering.
+
+A long-running asyncio HTTP server (stdlib only) behind ``repro serve``:
+clients create jobs, stream step events as NDJSON chunks (or upload a
+whole stream at creation), and the server feeds each tenant job's events
+into the Chameleon machinery *incrementally* — clustering state advances
+as chunks arrive, not at job close.  Jobs multiplex over the shared
+:class:`~repro.harness.engine.ExperimentEngine` with the
+content-addressed run cache as the dedup layer, supervised by the
+engine's :class:`~repro.resilience.RetryPolicy` (a poisoned job is
+quarantined and reported ``failed``; its siblings finish).
+
+The core correctness claim is the **streamed-vs-batch bit-identity
+oracle**: a job fed chunk-by-chunk produces the exact clustering output
+(`ClusterSet`, lead traces, downloadable trace bytes) of the equivalent
+batch ``repro run --workload stream``.  See docs/SERVING.md.
+
+This module keeps imports lazy so that dependency-light consumers (the
+``stream`` workload, the protocol helpers) never pull in the engine or
+the asyncio app.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "JobError",
+    "JobRegistry",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "parse_ndjson_events",
+]
+
+_LAZY = {
+    "JobError": ".jobs",
+    "JobRegistry": ".jobs",
+    "ServeApp": ".app",
+    "ServeConfig": ".jobs",
+    "ServerThread": ".app",
+    "ServeClient": ".client",
+    "parse_ndjson_events": ".protocol",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module, __name__), name)

@@ -1,0 +1,314 @@
+"""The asyncio HTTP front of the ingestion service (stdlib only).
+
+A deliberately small HTTP/1.1 server: every connection carries one
+request (``Connection: close``), bodies are bounded by
+``ServeConfig.max_body_bytes``, and all responses are JSON except the
+trace download (``text/plain``).  The heavy lifting — simulation
+threads, engine batches, quarantine — lives in :mod:`repro.serve.jobs`;
+handlers here only translate HTTP to registry calls.
+
+Routes (all under ``/v1`` except the health probe):
+
+====== ============================= =======================================
+POST   /v1/jobs                      create a job (201); body may carry
+                                     inline ``steps`` for an upload job
+POST   /v1/jobs/{id}/events          append one NDJSON chunk of step events
+POST   /v1/jobs/{id}/close           end of stream; job finalizes
+DELETE /v1/jobs/{id}                 cancel
+GET    /v1/jobs/{id}                 status (live progress while streaming)
+GET    /v1/jobs/{id}/clusters        current/final cluster set
+GET    /v1/jobs/{id}/metrics         serve + run metrics
+GET    /v1/jobs/{id}/result          result summary (409 until terminal)
+GET    /v1/jobs/{id}/trace           final trace, ``text/plain``
+GET    /v1/stats                     service-wide counters
+GET    /healthz                      liveness probe
+====== ============================= =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from ..harness.engine import ExperimentEngine
+from .jobs import TERMINAL_STATES, JobError, JobRegistry, ServeConfig
+
+__all__ = ["ServeApp", "ServeConfig", "ServerThread"]
+
+_MAX_HEADER_BYTES = 32 * 1024
+
+
+class _BadRequest(Exception):
+    pass
+
+
+def _json_bytes(doc: Any) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class ServeApp:
+    """One server instance: a registry plus an asyncio acceptor."""
+
+    def __init__(self, engine: ExperimentEngine,
+                 config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.registry = JobRegistry(engine, self.config)
+        self._server: asyncio.base_events.Server | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.registry.shutdown()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond(writer, 400, {"error": str(exc)})
+                return
+            except JobError as exc:
+                await self._respond(writer, exc.status, {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    ConnectionError):
+                return
+            try:
+                status, doc, content_type = await asyncio.get_running_loop(
+                ).run_in_executor(None, self._route, method, path, body)
+            except JobError as exc:
+                status, doc, content_type = (
+                    exc.status, {"error": str(exc)}, "application/json"
+                )
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                status, doc, content_type = (
+                    500, {"error": f"{type(exc).__name__}: {exc}"},
+                    "application/json",
+                )
+            await self._respond(writer, status, doc, content_type)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("request head too large") from None
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _BadRequest("request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise _BadRequest(
+                f"bad Content-Length: {length_raw!r}"
+            ) from None
+        if length < 0:
+            raise _BadRequest("negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise JobError(
+                413, f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    # -- routing (runs in a worker thread; may block on registry locks) ---
+
+    def _route(self, method: str, path: str,
+               body: bytes) -> tuple[int, Any, str]:
+        reg = self.registry
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}, "application/json"
+        if path == "/v1/stats" and method == "GET":
+            return 200, reg.stats(), "application/json"
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise JobError(405, "POST /v1/jobs")
+            job = reg.create(self._json_body(body))
+            return 201, job.status_doc(), "application/json"
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            if not job_id or "/" in action:
+                raise JobError(404, f"no such route: {path}")
+            if action == "" and method == "DELETE":
+                state = reg.get(job_id).cancel()
+                return 200, {"job": job_id, "state": state}, \
+                    "application/json"
+            if method == "POST":
+                if action == "events":
+                    return 200, reg.append(job_id, body), "application/json"
+                if action == "close":
+                    job = reg.get(job_id)
+                    job.close()
+                    return 200, job.status_doc(), "application/json"
+                raise JobError(404, f"no such route: {path}")
+            if method == "GET":
+                job = reg.get(job_id)
+                if action == "":
+                    return 200, job.status_doc(), "application/json"
+                if action == "clusters":
+                    return 200, job.clusters_doc(), "application/json"
+                if action == "metrics":
+                    return 200, job.metrics_doc(), "application/json"
+                if action == "result":
+                    if job.state not in TERMINAL_STATES:
+                        raise JobError(
+                            409, f"job {job_id} is {job.state}; result is "
+                            "available once terminal"
+                        )
+                    return 200, job.status_doc(), "application/json"
+                if action == "trace":
+                    return 200, job.trace_text(), "text/plain; charset=utf-8"
+                raise JobError(404, f"no such route: {path}")
+            raise JobError(405, f"{method} not allowed on {path}")
+        raise JobError(404, f"no such route: {path}")
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise JobError(400, "body must be a JSON object")
+        return doc
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       doc: Any, content_type: str = "application/json"
+                       ) -> None:
+        if isinstance(doc, str):
+            payload = doc.encode("utf-8")
+        else:
+            payload = _json_bytes(doc)
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ServerThread:
+    """A :class:`ServeApp` on its own event loop in a daemon thread.
+
+    The test-suite and the CI smoke script use this to run a real server
+    in-process: ``with ServerThread(engine) as srv: ... srv.port ...``.
+    """
+
+    def __init__(self, engine: ExperimentEngine,
+                 config: ServeConfig | None = None) -> None:
+        self.app = ServeApp(engine, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        assert self.app.port is not None, "server not started"
+        return self.app.port
+
+    @property
+    def registry(self) -> JobRegistry:
+        return self.app.registry
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.app.start()
+            self._started.set()
+            assert self.app._server is not None
+            async with self.app._server:
+                try:
+                    await self.app._server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            def _shutdown() -> None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_shutdown)
+            thread.join(timeout)
+        self.app.registry.shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,124 @@
+"""A minimal blocking client for the ingestion service (stdlib only).
+
+One :class:`http.client.HTTPConnection` per request — the server closes
+every connection after responding, so there is nothing to pool.  Used by
+the test-suite, the CI smoke script, and handy from a REPL:
+
+    client = ServeClient("127.0.0.1", 8537)
+    job = client.create_job(nprocs=8)["job"]
+    client.send_events(job, steps)     # repeat per chunk
+    client.close_job(job)
+    doc = client.wait(job)
+    trace_text = client.trace(job)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from .protocol import encode_ndjson
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, body: str) -> None:
+        super().__init__(f"HTTP {status}: {body.strip()}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8537,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes | None = None,
+                 content_type: str = "application/json") -> tuple[int, str]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": content_type} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: bytes | None = None) -> dict[str, Any]:
+        status, text = self._request(method, path, body)
+        if not 200 <= status < 300:
+            raise ServeHTTPError(status, text)
+        return json.loads(text)
+
+    # -- API --------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def create_job(self, **spec: Any) -> dict[str, Any]:
+        body = json.dumps(spec).encode("utf-8") if spec else b"{}"
+        return self._json("POST", "/v1/jobs", body)
+
+    def send_events(self, job_id: str,
+                    steps: list[dict]) -> dict[str, Any]:
+        status, text = self._request(
+            "POST", f"/v1/jobs/{job_id}/events", encode_ndjson(steps),
+            content_type="application/x-ndjson",
+        )
+        if not 200 <= status < 300:
+            raise ServeHTTPError(status, text)
+        return json.loads(text)
+
+    def close_job(self, job_id: str) -> dict[str, Any]:
+        return self._json("POST", f"/v1/jobs/{job_id}/close")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def clusters(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}/clusters")
+
+    def metrics(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}/metrics")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def trace(self, job_id: str) -> str:
+        status, text = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        if not 200 <= status < 300:
+            raise ServeHTTPError(status, text)
+        return text
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.05) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its
+        status document.  Raises :class:`TimeoutError` otherwise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in ("complete", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout:g}s"
+                )
+            time.sleep(poll)

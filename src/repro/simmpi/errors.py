@@ -24,6 +24,9 @@ class DeadlockError(SimMPIError):
         detail = "\n  ".join(blocked) if blocked else "(no detail)"
         super().__init__(f"deadlock: no runnable task; blocked ranks:\n  {detail}")
 
+    def __reduce__(self):
+        return (type(self), (self.blocked,))
+
 
 class CommunicatorError(SimMPIError):
     """Invalid communicator usage (rank out of range, bad color/key, ...)."""
@@ -40,6 +43,12 @@ class TaskFailedError(SimMPIError):
         self.rank = rank
         self.original = original
         super().__init__(f"rank {rank} failed: {original!r}")
+
+    def __reduce__(self):
+        # Exceptions with non-args __init__ signatures don't survive
+        # pickling by default — and these cross the worker-pool boundary,
+        # where an unpicklable exception masquerades as a pool crash.
+        return (type(self), (self.rank, self.original))
 
 
 class CollectiveMismatchError(SimMPIError):
@@ -71,6 +80,9 @@ class EngineLimitError(SimMPIError):
             "livelock"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.limit, self.steps))
+
 
 class RankCrashedError(SimMPIError):
     """A rank was killed by an injected :class:`~repro.faults.CrashFault`.
@@ -83,3 +95,6 @@ class RankCrashedError(SimMPIError):
         self.rank = rank
         self.time = time
         super().__init__(f"rank {rank} crashed at t={time:.6g} (injected fault)")
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.time))

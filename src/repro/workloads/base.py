@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..simmpi.launcher import RankContext
 from ..simmpi.patterns import NeighborPattern
@@ -169,15 +169,32 @@ class Workload(abc.ABC):
         with ctx.frame("progress"):
             await tracer.allreduce(0.0, size=8)
 
+    def _step_stream(self, ctx: RankContext) -> Iterable[int]:
+        """The step indices this rank will run, in order.
+
+        The default is the declared iteration count.  Streaming workloads
+        override this with a generator that blocks until the next step
+        *arrives* — a generator is the one override point that never
+        shows up in captured call paths (its frame is suspended while the
+        timestep runs), which is what keeps streamed traces bit-identical
+        to batch ones.
+        """
+        return range(self.iterations)
+
+    def _on_marker(self, ctx: RankContext, step: int, decision: Any,
+                   tracer: Any) -> None:
+        """Observation hook after each marker (must not touch the sim)."""
+
     async def run(self, ctx: RankContext, tracer: Any) -> None:
         """The main loop: timesteps with the marker at each boundary."""
         self.validate(ctx.size)
         await self.setup(ctx, tracer)
-        for step in range(self.iterations):
+        for step in self._step_stream(ctx):
             await self._pre_step(ctx, tracer, step)
             await self.timestep(ctx, tracer, step)
             await self._progress_point(ctx, tracer)
-            await tracer.marker()
+            decision = await tracer.marker()
+            self._on_marker(ctx, step, decision, tracer)
 
     # -- helpers for subclasses ------------------------------------------
 

@@ -10,6 +10,7 @@ from .emf import EMF
 from .lulesh import LULESH
 from .npb import BT, CG, LU, LUModified, LUWeak, SP
 from .pop import POP
+from .stream import StreamWorkload
 from .sweep3d import Sweep3D
 from .synthetic import AlternatingPhases, BehaviourGroups, UniformCollective
 
@@ -28,6 +29,8 @@ _REGISTRY: dict[str, Callable[..., Workload]] = {
     "uniform": UniformCollective,
     "alternating": AlternatingPhases,
     "groups": BehaviourGroups,
+    # Declared event streams: the batch twin of `repro serve` ingestion.
+    "stream": StreamWorkload,
     # Convenience alias: a small phase-alternating synthetic program, the
     # default target for quick observability/smoke runs.
     "synthetic": AlternatingPhases,

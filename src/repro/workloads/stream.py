@@ -1,0 +1,337 @@
+"""Stream workload: a program whose timesteps arrive as data, not code.
+
+Every other workload hard-codes its communication structure in Python;
+``stream`` executes a *declared* event stream — one step per timestep,
+each step a list of ops drawn from a small vocabulary (compute,
+collectives, a group-wise shift exchange).  This is the substrate of the
+``repro serve`` ingestion service: clients describe their application's
+communication structure as NDJSON events, and the same step executor
+runs them batch (here, as a registered workload) or incrementally (the
+serve layer's live buffer), producing bit-identical traces either way.
+
+The vocabulary is deadlock-free by construction: collectives are always
+communicator-wide, and ``shift`` pair-matches every send with the
+receive of the rank ``offset * groups`` above it (a chain, not a cycle).
+Distinct *behaviour groups* — what Chameleon clusters — arise from
+group-parameterized frame names on recorded MPI calls: call-path
+signatures observe logical frames at traced events only, so two ranks
+executing the same ops under different frames land in different
+clusters, exactly like :class:`~repro.workloads.synthetic.BehaviourGroups`.
+
+Steps are carried as a *canonical JSON string* (``steps_json``): sorted
+keys, compact separators, every default materialized.  A string
+parameter survives the harness's param freezing untouched, pickles
+across worker boundaries, and makes the cell digest depend only on the
+normalized content — two spellings of the same stream share one cache
+slot, which is what lets the serve layer use the run cache as its dedup
+layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..simmpi.launcher import RankContext
+from .base import Workload
+
+#: Op names accepted in a step's ``ops`` list.
+OP_NAMES = (
+    "compute",
+    "allreduce",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allgather",
+    "alltoall",
+    "shift",
+)
+
+#: Hard ceiling on ops per step (a serve config may lower it further).
+MAX_OPS_PER_STEP = 256
+
+#: Hard ceiling on steps per stream.
+MAX_STEPS = 1_000_000
+
+
+class StreamSpecError(ValueError):
+    """A step or op violates the stream vocabulary."""
+
+
+def _norm_int(op: dict, key: str, default: int, lo: int,
+              hi: int | None = None) -> int:
+    value = op.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise StreamSpecError(f"op {op.get('op')!r}: {key} must be an int")
+    if value < lo or (hi is not None and value > hi):
+        bound = f">= {lo}" if hi is None else f"in [{lo}, {hi}]"
+        raise StreamSpecError(f"op {op.get('op')!r}: {key} must be {bound}")
+    return value
+
+
+def _norm_ranks(op: dict) -> Any:
+    """Normalize a compute op's rank selector.
+
+    ``"all"`` (default), an explicit sorted list of ranks, or a modulo
+    selector ``{"mod": M, "eq": r}`` (rank participates iff
+    ``rank % M == r``).  Selectors only gate *compute* — collectives are
+    always world-wide, so a selector can never split one.
+    """
+    sel = op.get("ranks", "all")
+    if sel == "all":
+        return "all"
+    if isinstance(sel, list):
+        if not sel or not all(
+            isinstance(r, int) and not isinstance(r, bool) and r >= 0
+            for r in sel
+        ):
+            raise StreamSpecError(
+                "compute ranks list must be non-empty non-negative ints"
+            )
+        return sorted(set(sel))
+    if isinstance(sel, dict):
+        mod = sel.get("mod")
+        eq = sel.get("eq")
+        if (
+            not isinstance(mod, int) or isinstance(mod, bool) or mod < 1
+            or not isinstance(eq, int) or isinstance(eq, bool)
+            or not 0 <= eq < mod
+            or set(sel) != {"mod", "eq"}
+        ):
+            raise StreamSpecError(
+                'compute ranks selector must be {"mod": M>=1, "eq": 0..M-1}'
+            )
+        return {"mod": mod, "eq": eq}
+    raise StreamSpecError(f"bad compute ranks selector: {sel!r}")
+
+
+def _selected(rank: int, sel: Any) -> bool:
+    if sel == "all":
+        return True
+    if isinstance(sel, list):
+        return rank in sel
+    return rank % sel["mod"] == sel["eq"]
+
+
+def normalize_op(op: Any) -> dict[str, Any]:
+    """Validate one op and return its canonical form (defaults filled)."""
+    if not isinstance(op, dict):
+        raise StreamSpecError(f"op must be an object, got {type(op).__name__}")
+    kind = op.get("op")
+    if kind not in OP_NAMES:
+        raise StreamSpecError(
+            f"unknown op {kind!r}; choose one of {', '.join(OP_NAMES)}"
+        )
+    frame = op.get("frame", kind)
+    if not isinstance(frame, str) or not frame:
+        raise StreamSpecError(f"op {kind!r}: frame must be a non-empty string")
+    known = {"op", "frame"}
+    out: dict[str, Any] = {"op": kind, "frame": frame}
+    if kind == "compute":
+        seconds = op.get("seconds", 0.0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            raise StreamSpecError("compute seconds must be a number")
+        if not seconds >= 0:
+            raise StreamSpecError("compute seconds must be >= 0")
+        out["seconds"] = float(seconds)
+        out["ranks"] = _norm_ranks(op)
+        known |= {"seconds", "ranks"}
+    elif kind in ("allreduce", "allgather", "alltoall"):
+        out["size"] = _norm_int(op, "size", 8, 1)
+        known |= {"size"}
+    elif kind == "barrier":
+        pass
+    elif kind in ("bcast", "reduce"):
+        out["root"] = _norm_int(op, "root", 0, 0)
+        out["size"] = _norm_int(op, "size", 8, 1)
+        known |= {"root", "size"}
+    elif kind == "shift":
+        out["groups"] = _norm_int(op, "groups", 1, 1)
+        out["offset"] = _norm_int(op, "offset", 1, 1)
+        out["tag"] = _norm_int(op, "tag", 0, 0)
+        out["size"] = _norm_int(op, "size", 8, 1)
+        known |= {"groups", "offset", "tag", "size"}
+    extra = set(op) - known
+    if extra:
+        raise StreamSpecError(
+            f"op {kind!r}: unknown field(s) {', '.join(sorted(extra))}"
+        )
+    return out
+
+
+def normalize_step(step: Any, *, max_ops: int = MAX_OPS_PER_STEP) -> dict:
+    """Validate one step event and return its canonical form."""
+    if not isinstance(step, dict):
+        raise StreamSpecError(
+            f"step must be an object, got {type(step).__name__}"
+        )
+    if step.get("type", "step") != "step":
+        raise StreamSpecError(f"unknown event type {step.get('type')!r}")
+    extra = set(step) - {"type", "ops"}
+    if extra:
+        raise StreamSpecError(
+            f"step: unknown field(s) {', '.join(sorted(extra))}"
+        )
+    ops = step.get("ops")
+    if not isinstance(ops, list):
+        raise StreamSpecError("step must carry an 'ops' list")
+    if len(ops) > max_ops:
+        raise StreamSpecError(
+            f"step has {len(ops)} ops, limit is {max_ops}"
+        )
+    return {"ops": [normalize_op(op) for op in ops]}
+
+
+def normalize_steps(steps: Any, *, max_steps: int = MAX_STEPS,
+                    max_ops: int = MAX_OPS_PER_STEP) -> list[dict]:
+    if not isinstance(steps, list):
+        raise StreamSpecError("steps must be a list of step objects")
+    if len(steps) > max_steps:
+        raise StreamSpecError(
+            f"stream has {len(steps)} steps, limit is {max_steps}"
+        )
+    return [normalize_step(step, max_ops=max_ops) for step in steps]
+
+
+def canonical_steps_json(steps: list[dict]) -> str:
+    """The digest-stable JSON rendering of *normalized* steps."""
+    return json.dumps(steps, sort_keys=True, separators=(",", ":"))
+
+
+def decode_steps_json(steps_json: str) -> list[dict]:
+    """Parse and re-normalize a ``steps_json`` parameter."""
+    try:
+        raw = json.loads(steps_json)
+    except json.JSONDecodeError as exc:
+        raise StreamSpecError(f"steps_json is not valid JSON: {exc}") from None
+    steps = normalize_steps(raw)
+    if not steps:
+        raise StreamSpecError("a stream needs at least one step")
+    return steps
+
+
+async def exec_step(ctx: RankContext, tracer: Any, step: dict,
+                    compute_scale: float = 1.0) -> None:
+    """Execute one normalized step's ops on this rank.
+
+    This is the single executor shared by the batch workload and the
+    serve layer's live path — streamed-vs-batch bit-identity holds
+    because both feed the same normalized dicts through this function.
+    """
+    for op in step["ops"]:
+        kind = op["op"]
+        if kind == "compute":
+            if _selected(ctx.rank, op["ranks"]):
+                ctx.compute(op["seconds"] * compute_scale)
+        elif kind == "allreduce":
+            with ctx.frame(op["frame"]):
+                await tracer.allreduce(0.0, size=op["size"])
+        elif kind == "barrier":
+            with ctx.frame(op["frame"]):
+                await tracer.barrier()
+        elif kind == "bcast":
+            _check_root(op, ctx.size)
+            with ctx.frame(op["frame"]):
+                await tracer.bcast(0.0, root=op["root"], size=op["size"])
+        elif kind == "reduce":
+            _check_root(op, ctx.size)
+            with ctx.frame(op["frame"]):
+                await tracer.reduce(0.0, root=op["root"], size=op["size"])
+        elif kind == "allgather":
+            with ctx.frame(op["frame"]):
+                await tracer.allgather(0.0, size=op["size"])
+        elif kind == "alltoall":
+            with ctx.frame(op["frame"]):
+                await tracer.alltoall([0.0] * ctx.size, size=op["size"])
+        elif kind == "shift":
+            groups, offset = op["groups"], op["offset"]
+            group = ctx.rank % groups
+            frame = op["frame"].replace("{group}", str(group))
+            # Chain exchange within each modulo-group: rank -> rank +
+            # offset*groups.  Top-of-chain ranks only receive, so the
+            # dependency graph is acyclic (deadlock-free) while every
+            # send still has exactly one matching receive.
+            dst = ctx.rank + offset * groups
+            src = ctx.rank - offset * groups
+            with ctx.frame(frame):
+                if dst < ctx.size:
+                    await tracer.send(dst, float(ctx.rank), tag=op["tag"],
+                                      size=op["size"])
+                if src >= 0:
+                    await tracer.recv(src, tag=op["tag"])
+        else:  # pragma: no cover - normalize_op is exhaustive
+            raise StreamSpecError(f"unknown op {kind!r}")
+
+
+def _check_root(op: dict, size: int) -> None:
+    """Root ranks are validated at execution, not ingestion: the stream
+    vocabulary is nprocs-agnostic, so a root beyond the communicator is a
+    *runtime* poisoning (rank failure / quarantine), not a 400."""
+    if op["root"] >= size:
+        raise ValueError(
+            f"{op['op']} root {op['root']} out of range for {size} ranks"
+        )
+
+
+#: Default program: two collective-only steps, then four steps where two
+#: modulo-groups run distinct kernels (group-parameterized shift frames)
+#: around a shared reduction — small, but it exercises AT -> C -> L and
+#: produces two call-path clusters at any P >= 4.
+_DEFAULT_RAW = [
+    {"ops": [
+        {"op": "compute", "seconds": 0.0005},
+        {"op": "allreduce", "size": 8, "frame": "residual"},
+    ]},
+    {"ops": [
+        {"op": "compute", "seconds": 0.0005},
+        {"op": "allreduce", "size": 8, "frame": "residual"},
+    ]},
+] + [
+    {"ops": [
+        {"op": "compute", "seconds": 0.001,
+         "ranks": {"mod": 2, "eq": 0}},
+        {"op": "shift", "groups": 2, "offset": 1, "size": 512,
+         "frame": "group_kernel_{group}"},
+        {"op": "allreduce", "size": 8, "frame": "residual"},
+    ]}
+    for _ in range(4)
+]
+
+
+def default_steps() -> list[dict]:
+    """The built-in demo stream, normalized."""
+    return normalize_steps([dict(s) for s in _DEFAULT_RAW])
+
+
+def default_steps_json() -> str:
+    return canonical_steps_json(default_steps())
+
+
+class StreamWorkload(Workload):
+    """Replay a declared event stream as an iterative SPMD workload.
+
+    ``steps_json`` is the canonical JSON produced by
+    :func:`canonical_steps_json`; any valid spelling is accepted and
+    re-normalized, but callers that care about cache identity (the serve
+    layer) must canonicalize before building cells.
+    """
+
+    name = "stream"
+    paper_k = 4
+
+    def __init__(self, steps_json: str | None = None,
+                 compute_scale: float = 1.0) -> None:
+        if steps_json is None:
+            steps_json = default_steps_json()
+        steps = decode_steps_json(steps_json)
+        super().__init__(iterations=len(steps), compute_scale=compute_scale)
+        self.steps_json = steps_json
+        self._steps = steps
+
+    @property
+    def steps(self) -> list[dict]:
+        return self._steps
+
+    async def timestep(self, ctx: RankContext, tracer: Any,
+                       step: int) -> None:
+        await exec_step(ctx, tracer, self._steps[step], self.compute_scale)

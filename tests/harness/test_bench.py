@@ -89,6 +89,15 @@ class TestCompareGate:
         cur = _doc(("allreduce_barrier", 4, WALL_FLOOR_S))
         assert compare(cur, base, tolerance=0.2) == []
 
+    def test_noise_floor_clamps_both_sides(self):
+        # A zero-wall cell (clock quantization) passes against any
+        # sub-floor baseline, and a sub-floor current run passes against
+        # a zero-wall baseline: the ratio is floor/floor, not x/0.
+        base = _doc(("allreduce_barrier", 4, 0.0))
+        cur = _doc(("allreduce_barrier", 4, 0.04))
+        assert compare(cur, base, tolerance=0.2) == []
+        assert compare(base, cur, tolerance=0.2) == []
+
     def test_cells_keyed_by_shards(self):
         # A sharded baseline cell is distinct from the single-process one
         # at the same (kernel, P): it must be present and is gated on its
