@@ -959,7 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", action="append", metavar="KEY=VAL",
         help="engine option as a SimConfig field (repeatable): "
         "network=qdr|slow|zero, matching=indexed|linear, "
-        "collectives=fast|simulated, p2p=fast|simulated, shards=N, "
+        "collectives=fast|simulated, p2p=fast|simulated, shards=N|auto, "
         "max_steps=N|none",
     )
     p_bench.set_defaults(fn=_cmd_bench)

@@ -14,8 +14,9 @@ Engine options come in as a :class:`~repro.simmpi.SimConfig` (CLI:
 ``repro bench --config KEY=VAL``, e.g. ``--config collectives=simulated``
 or ``--config shards=4``); the default ladder additionally appends the
 sharded-engine tiers in :data:`SHARD_TIERS` — ``allreduce_barrier`` at
-P=16384 and P=65536 under ``shards=4`` — so CI tracks the conservative-PDES
-path next to the single-process engine it must beat at scale.  (The legacy
+P=16384 and P=65536 under ``shards=4``, plus the P=65536 single-process
+reference cell — so CI tracks the conservative-PDES path next to the
+single-process engine it must beat at scale.  (The legacy
 ``collectives=`` keyword shipped one release as a deprecation shim and now
 raises ``TypeError``.)
 
@@ -42,7 +43,7 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from ..simmpi import ANY_SOURCE, ANY_TAG, NeighborPattern, run_spmd
-from ..simmpi.simconfig import SimConfig, resolve_config
+from ..simmpi.simconfig import SimConfig, resolve_auto_shards, resolve_config
 
 SCHEMA_ID = "repro/bench-scaling/v4"
 
@@ -51,12 +52,18 @@ SCHEMA_ID = "repro/bench-scaling/v4"
 DEFAULT_PS = (256, 1024, 4096, 16384)
 
 #: Extra ``(kernel, nprocs, shards)`` points appended when the *default*
-#: ladder runs: the sharded-engine leg.  Only the collective kernel — the
-#: halo kernel's wildcard drain makes it shard-ineligible (it would just
-#: measure the fallback rerun).
+#: ladder runs: the sharded-engine leg.  The collective kernel at both
+#: big tiers (plus the P=65536 single-process reference cell the sharded
+#: run must beat) — the regime the parallel owner-shard gate replay
+#: exists for.  The sharded cells run *before* the P=65536 reference so
+#: their workers fork from the post-ladder heap rather than from the
+#: reference cell's freed-but-retained arenas (which copy-on-write
+#: fault into every worker and would charge the sharded cell for the
+#: single-process run's leavings).
 SHARD_TIERS = (
     ("allreduce_barrier", 16384, 4),
     ("allreduce_barrier", 65536, 4),
+    ("allreduce_barrier", 65536, 1),
 )
 
 #: Wall times below this (seconds) are noise-dominated; the regression gate
@@ -141,19 +148,22 @@ def bench_point(
 ) -> dict[str, Any]:
     """Run one (kernel, P) cell under ``sim`` and return its record.
 
-    The ``shards`` field records the *requested* shard count; when the run
-    was not shard-eligible the record additionally carries the
-    ``shard_fallback`` reason (and measured the single-process rerun).
+    The ``shards`` field records the requested shard count with ``"auto"``
+    resolved for this cell's P (what actually ran); when the run was not
+    shard-eligible the record additionally carries the ``shard_fallback``
+    reason (and measured the single-process rerun).
     """
     sim = resolve_config(sim, collectives=collectives)
     fn = KERNELS[kernel]
     t0 = time.perf_counter()
     result = run_spmd(fn, nprocs, config=sim)
     wall = time.perf_counter() - t0
+    shards = (sim.shards if isinstance(sim.shards, int)
+              else resolve_auto_shards(nprocs))
     record = {
         "kernel": kernel,
         "nprocs": nprocs,
-        "shards": sim.shards,
+        "shards": shards,
         "wall_s": round(wall, 4),
         "peak_rss_kb": _peak_rss_kb(),
         "engine_steps": result.engine_steps,
@@ -282,14 +292,14 @@ def compare(
 
 def format_bench(doc: dict[str, Any]) -> str:
     lines = [
-        f"{'kernel':<18s} {'P':>6s} {'sh':>3s} {'wall[s]':>8s} "
+        f"{'kernel':<18s} {'P':>6s} {'sh':>4s} {'wall[s]':>8s} "
         f"{'RSS[MB]':>8s} {'steps':>9s} {'matched':>9s} {'match/s':>10s} "
         f"{'coll.fast':>9s} {'p2p.fast':>9s}"
     ]
     for r in doc["results"]:
         lines.append(
             f"{r['kernel']:<18s} {r['nprocs']:>6d} "
-            f"{r.get('shards', 1):>3d} {r['wall_s']:>8.3f} "
+            f"{str(r.get('shards', 1)):>4s} {r['wall_s']:>8.3f} "
             f"{r['peak_rss_kb'] / 1024:>8.1f} {r['engine_steps']:>9d} "
             f"{r['messages_matched']:>9d} {r['matched_per_s']:>10d} "
             f"{r.get('collectives_fast', 0):>9d} {r.get('p2p_fast', 0):>9d}"

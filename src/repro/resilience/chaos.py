@@ -40,6 +40,7 @@ from .supervise import ENV_HEARTBEAT, ENV_WAVE_DEADLINE
 #: Every host-fault scenario the sweep knows, in report order.
 HOST_SCENARIOS = (
     "kill-shard-worker",
+    "kill-shard-mid-replay",
     "stop-shard-worker",
     "slow-shard-worker",
     "stall-shard-final",
@@ -197,6 +198,12 @@ def _scenario_runners(seed: int) -> dict[str, Callable[[], dict[str, Any]]]:
     return {
         "kill-shard-worker": lambda: _run_shard_scenario(
             HostFaultPlan(seed=seed, kill_shard=1), "worker-died"
+        ),
+        # Dies inside an owner-side gate replay — after its status went
+        # out but before the foreign completion columns come back, the
+        # window where a naive coordinator would wait forever.
+        "kill-shard-mid-replay": lambda: _run_shard_scenario(
+            HostFaultPlan(seed=seed, kill_replay_shard=0), "worker-died"
         ),
         "stop-shard-worker": lambda: _run_shard_scenario(
             HostFaultPlan(seed=seed, stop_shard=1), "worker-timeout"

@@ -68,6 +68,8 @@ class HostFaultPlan:
     at_wave: int = 1
     #: shard index that stalls (sleeps ``delay_s``) while finalizing
     stall_final: int | None = None
+    #: shard index to SIGKILL right before an owner-side gate replay
+    kill_replay_shard: int | None = None
     #: digest prefix (or exact label) of the harness cell to injure
     kill_cell: str = ""
     hang_cell: str = ""
@@ -87,6 +89,7 @@ class HostFaultPlan:
             and self.stop_shard is None
             and self.delay_shard is None
             and self.stall_final is None
+            and self.kill_replay_shard is None
             and not self.kill_cell
             and not self.hang_cell
             and not self.cache_mode
@@ -94,7 +97,7 @@ class HostFaultPlan:
 
     def validate(self) -> None:
         for name in ("kill_shard", "stop_shard", "delay_shard",
-                     "stall_final"):
+                     "stall_final", "kill_replay_shard"):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise HostFaultPlanError(f"{name}={value} is negative")
@@ -203,6 +206,18 @@ def shard_wave_hook(shard_index: int, wave: int) -> None:
         os.kill(os.getpid(), signal.SIGSTOP)
     if plan.delay_shard == shard_index and plan.delay_s > 0:
         time.sleep(plan.delay_s)
+
+
+def shard_replay_hook(shard_index: int) -> None:
+    """Called by a shard worker right before an owner-side gate replay."""
+    if ENV_HOST_FAULTS not in os.environ:
+        return
+    active = active_plan()
+    if active is None:
+        return
+    plan, _owner = active
+    if plan.kill_replay_shard == shard_index:
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 def shard_final_hook(shard_index: int) -> None:

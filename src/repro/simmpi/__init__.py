@@ -37,7 +37,12 @@ from .futures import SimFuture
 from .launcher import RankContext, SpmdResult, run_spmd
 from .patterns import NeighborPattern
 from .rankstate import RankStateColumns
-from .simconfig import DEFAULT_CONFIG, SimConfig, resolve_config
+from .simconfig import (
+    DEFAULT_CONFIG,
+    SimConfig,
+    resolve_auto_shards,
+    resolve_config,
+)
 from .timing import QDR_CLUSTER, SLOW_CLUSTER, ZERO_COST, NetworkModel
 from .topology import (
     Grid2D,
@@ -97,6 +102,7 @@ __all__ = [
     "hypercube_neighbors",
     "ints",
     "payload_nbytes",
+    "resolve_auto_shards",
     "resolve_config",
     "run_spmd",
     "square_grid",

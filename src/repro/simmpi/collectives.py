@@ -77,6 +77,15 @@ def _numpy():
     return _np
 
 
+def _numpy_or_none():
+    """Like :func:`_numpy` but degrades to ``None`` when numpy is absent
+    (the vectorized replays then fall back to the generator mini-engine)."""
+    try:
+        return _numpy()
+    except ImportError:  # pragma: no cover - numpy ships with the toolchain
+        return None
+
+
 def SUM(a: Any, b: Any) -> Any:
     return a + b
 
@@ -111,6 +120,10 @@ def BOR(a: Any, b: Any) -> Any:
 
 #: Tags per collective instance: room for log2(P) rounds plus ring steps.
 _TAG_STRIDE = 4096
+
+# Below this communicator size the vectorized replays lose to plain scalar
+# loops on numpy call overhead; the scalar/generator paths stay bit-exact.
+_VEC_MIN_SIZE = 16
 
 #: display algorithm per gated (leaf) collective, matching the labels the
 #: simulated path's ``_observed`` wrappers emit
@@ -607,6 +620,11 @@ class _BarrierReplay:
             nrounds += 1
             d <<= 1
         self.total_messages = size * nrounds
+        if nrounds and size >= _VEC_MIN_SIZE:
+            np = _numpy_or_none()
+            if np is not None:
+                self._run_vector(np, size, nrounds, dt, o_recv, latency)
+                return
         # queued[dest][round] -> arrival time; parked[rank] -> post_time of
         # the round it blocks on (round tracked in rnd[rank])
         queued: dict[tuple[int, int], float] = {}
@@ -663,6 +681,251 @@ class _BarrierReplay:
                 st.busy = busy
                 st.done = True
 
+    def _run_vector(self, np, size: int, nrounds: int, dt: float,
+                    o_recv: float, latency: float) -> None:
+        """Whole-world numpy recurrence for the dissemination barrier.
+
+        Rank ``i`` in round ``r`` (dist ``2**r``) posts its send at
+        ``S = C + dt`` and completes its recv from ``(i - dist) % size`` at
+        ``max(S + o_recv, S_sender + latency)`` — exactly the two scalar
+        paths above (queued and parked both reduce to that formula because
+        the recv immediately follows the send, so the post time *is* ``S``).
+        np.float64 elementwise ops are IEEE-identical to the CPython scalar
+        chain, so the result is bit-for-bit the same.
+        """
+        C = np.empty(size, dtype=np.float64)
+        B = np.empty(size, dtype=np.float64)
+        states = self.states
+        for st in states.values():
+            C[st.rank] = st.clock
+            B[st.rank] = st.busy
+        dist = 1
+        for _ in range(nrounds):
+            S = C + dt
+            # np.roll(A, dist)[i] == A[(i - dist) % size]: the sender's post
+            C = np.maximum(S + o_recv, np.roll(S + latency, dist))
+            B = (B + dt) + o_recv  # send charge then recv charge, in order
+            dist <<= 1
+        for st in states.values():
+            r = st.rank
+            st.clock = float(C[r])
+            st.busy = float(B[r])
+            st.msgs_sent += nrounds
+            st.msgs_received += nrounds
+            st.done = True
+
+
+class _TreeReplay:
+    """Vectorized replay of the binomial-tree collectives (bcast/reduce).
+
+    Both schedules are round-synchronous in relative-rank space: bcast
+    round ``t`` sends ``u -> u + 2**t`` for every ``u < 2**t`` (increasing
+    ``t``, matching each rank's increasing-bit child order), reduce runs
+    the same edges in *decreasing* ``t`` (matching the generator's
+    ``reversed(binomial_children)`` fold).  Each rank's program order is a
+    straight line — receives then sends for bcast, folds then one send for
+    reduce — so per-round array updates reproduce the scalar clock/busy
+    accumulation chains exactly.  ``run`` returns ``False`` (bail to the
+    generator mini-engine) on any rendezvous-sized payload or a raising
+    reduction op; the generator path then reproduces the raise with the
+    engine's exact failure semantics.
+    """
+
+    __slots__ = ("net", "entries", "kind", "root", "size", "states",
+                 "total_messages", "total_bytes", "failed_state", "failure")
+
+    def __init__(self, net, entries: list["_GateEntry"], kind: str,
+                 root: int, size: int) -> None:
+        self.net = net
+        self.entries = entries
+        self.kind = kind
+        self.root = root
+        self.size = size
+        self.states: dict[int, _RankState] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.failed_state = None
+        self.failure = None
+
+    def run(self) -> bool:
+        np = _numpy_or_none()
+        if np is None:
+            return False
+        size = self.size
+        by_rank = {e.rank: e for e in self.entries}
+        if len(by_rank) != size:  # pragma: no cover - gates always fill
+            return False
+        # relative rank u lives at comm-local rank (u + root) % size
+        rel = [by_rank[(u + self.root) % size] for u in range(size)]
+        if self.kind == "bcast":
+            return self._run_bcast(np, rel)
+        return self._run_reduce(np, rel)
+
+    def _run_bcast(self, np, rel: list["_GateEntry"]) -> bool:
+        size = self.size
+        net = self.net
+        value = rel[0].genargs[1]  # root's payload, shared by reference
+        eager_max = net.eager_threshold
+        default_nb = -1
+        nbs = []
+        for e in rel:
+            arg = e.genargs[2]
+            if arg is None:
+                if default_nb < 0:
+                    default_nb = payload_nbytes(value)
+                nbs.append(default_nb)
+            else:
+                nbs.append(int(arg))
+        if max(nbs) > eager_max:
+            return False  # rendezvous edges: generator replay handles
+        mb = net.min_message_bytes
+        nb_arr = np.array(nbs, dtype=np.int64)
+        # same expression _MiniEngine._isend evaluates, per sender
+        dts = net.o_send + np.where(nb_arr > mb, nb_arr, mb) / net.bandwidth
+        o_recv = net.o_recv
+        lat = net.latency
+        C = np.array([e.clock0 for e in rel], dtype=np.float64)
+        B = np.array([e.busy0 for e in rel], dtype=np.float64)
+        sent = np.zeros(size, dtype=np.int64)
+        recvd = np.zeros(size, dtype=np.int64)
+        bsent = np.zeros(size, dtype=np.int64)
+        brecvd = np.zeros(size, dtype=np.int64)
+        total_bytes = 0
+        half = 1
+        while half < size:
+            n = half if size - half > half else size - half
+            s = slice(0, n)
+            t = slice(half, half + n)
+            dt_s = dts[s]
+            Cs = C[s] + dt_s  # sender posts: clock += dt
+            C[s] = Cs
+            # receiver's first op: done = max(clock0 + o_recv, arrival)
+            C[t] = np.maximum(C[t] + o_recv, Cs + lat)
+            B[t] += o_recv
+            B[s] += dt_s
+            sent[s] += 1
+            bsent[s] += nb_arr[s]
+            recvd[t] += 1
+            brecvd[t] += nb_arr[s]
+            total_bytes += int(nb_arr[s].sum())
+            half <<= 1
+        self.total_messages = size - 1
+        self.total_bytes = total_bytes
+        self._writeback(rel, C, B, sent, bsent, recvd, brecvd,
+                        [value] * size)
+        return True
+
+    def _run_reduce(self, np, rel: list["_GateEntry"]) -> bool:
+        size = self.size
+        net = self.net
+        eager_max = net.eager_threshold
+        acc = [e.genargs[1] for e in rel]
+        ops = [e.genargs[2] for e in rel]
+        nbargs = [e.genargs[3] for e in rel]
+        halves = []
+        half = 1
+        while half < size:
+            halves.append(half)
+            half <<= 1
+        halves.reverse()  # decreasing distance == reversed(children) fold
+        # Data-plane pre-pass: fold accumulators and record per-edge byte
+        # counts in the exact per-receiver fold order.  A raising op bails
+        # to the generator replay, which re-runs the ops from scratch and
+        # reproduces the failure on the right rank.
+        nb_rounds = []
+        for half in halves:
+            n = half if size - half > half else size - half
+            nbs = np.empty(n, dtype=np.int64)
+            for u in range(n):
+                v = u + half
+                arg = nbargs[v]
+                nb = payload_nbytes(acc[v]) if arg is None else int(arg)
+                if nb > eager_max:
+                    return False
+                nbs[u] = nb
+                try:
+                    acc[u] = ops[u](acc[v], acc[u])
+                except BaseException:  # noqa: BLE001 - replayed by generators
+                    return False
+            nb_rounds.append(nbs)
+        mb = net.min_message_bytes
+        bw = net.bandwidth
+        o_send = net.o_send
+        o_recv = net.o_recv
+        lat = net.latency
+        C = np.array([e.clock0 for e in rel], dtype=np.float64)
+        B = np.array([e.busy0 for e in rel], dtype=np.float64)
+        sent = np.zeros(size, dtype=np.int64)
+        recvd = np.zeros(size, dtype=np.int64)
+        bsent = np.zeros(size, dtype=np.int64)
+        brecvd = np.zeros(size, dtype=np.int64)
+        total_bytes = 0
+        for i, half in enumerate(halves):
+            n = half if size - half > half else size - half
+            u = slice(0, n)
+            v = slice(half, half + n)
+            nbs = nb_rounds[i]
+            dt_v = o_send + np.where(nbs > mb, nbs, mb) / bw
+            Cv = C[v] + dt_v  # sender finished folding; send charge
+            C[v] = Cv
+            C[u] = np.maximum(C[u] + o_recv, Cv + lat)
+            B[u] += o_recv
+            B[v] += dt_v
+            sent[v] += 1
+            bsent[v] += nbs
+            recvd[u] += 1
+            brecvd[u] += nbs
+            total_bytes += int(nbs.sum())
+        self.total_messages = size - 1
+        self.total_bytes = total_bytes
+        results: list[Any] = [None] * size
+        results[0] = acc[0]  # only the root returns the reduction
+        self._writeback(rel, C, B, sent, bsent, recvd, brecvd, results)
+        return True
+
+    def _writeback(self, rel, C, B, sent, bsent, recvd, brecvd,
+                   results) -> None:
+        states = self.states
+        for i, e in enumerate(rel):
+            st = _RankState(e)
+            st.clock = float(C[i])
+            st.busy = float(B[i])
+            st.msgs_sent = e.sent0 + int(sent[i])
+            st.bytes_sent = e.bytes_sent0 + int(bsent[i])
+            st.msgs_received = e.recvd0 + int(recvd[i])
+            st.bytes_received = e.bytes_recvd0 + int(brecvd[i])
+            st.result = results[i]
+            st.done = True
+            states[st.rank] = st
+
+
+def _run_replay(kind: str, root: int | None, net,
+                entries: list["_GateEntry"], size: int):
+    """Run one gate instance through the cheapest bit-exact replay.
+
+    Barrier takes the dedicated array replay; large bcast/reduce try the
+    vectorized tree replay and bail to the generator mini-engine on
+    rendezvous-sized payloads or raising reduction ops; everything else
+    drives the schedule generators.  Generators are only built when the
+    generator path actually runs.  Shared by the single-process gate and
+    the sharded engine's owner-shard replay.
+    """
+    if kind == "barrier":
+        sim = _BarrierReplay(net, entries)
+        sim.run()
+        return sim
+    if size >= _VEC_MIN_SIZE and (kind == "bcast" or kind == "reduce"):
+        tree = _TreeReplay(net, entries, kind, root, size)
+        if tree.run():
+            return tree
+    factory = _GEN_FACTORIES[kind]
+    for e in entries:
+        if e.gen is None:
+            e.gen = factory(e.rank, size, *e.genargs)
+    sim = _MiniEngine(net, entries)
+    sim.run()
+    return sim
+
 
 class _Raised:
     """Wrapper carrying a mini-engine exception back to its owning rank."""
@@ -679,15 +942,20 @@ class _GateEntry:
     on before the gate completes, so live reads would be stale)."""
 
     __slots__ = (
-        "rank", "task", "fut", "gen", "clock0", "busy0", "sent0",
+        "rank", "task", "fut", "gen", "genargs", "clock0", "busy0", "sent0",
         "bytes_sent0", "recvd0", "bytes_recvd0",
     )
 
-    def __init__(self, rank, task, fut, gen):
+    def __init__(self, rank, task, fut, gen, genargs=()):
         self.rank = rank
         self.task = task
         self.fut = fut
+        # The schedule generator is built lazily at replay time: the
+        # barrier/tree replays never drive generators at all, so deferring
+        # construction skips P generator allocations per gate on the
+        # hottest collectives.
         self.gen = gen
+        self.genargs = genargs
         self.clock0 = task.clock
         self.busy0 = task.busy
         self.sent0 = task.msgs_sent
@@ -721,15 +989,8 @@ class _CollGate:
     def complete(self, comm: "Communicator") -> None:
         ctx = comm.context
         engine = comm.engine
-        if self.kind == "barrier":
-            # Highest message count, no payloads, no user callables: the
-            # dedicated array replay is ~4x cheaper than driving the
-            # schedule generators (bit-identical output either way).
-            sim: _MiniEngine | _BarrierReplay = _BarrierReplay(
-                engine.network, self.entries)
-        else:
-            sim = _MiniEngine(engine.network, self.entries)
-        sim.run()
+        sim = _run_replay(self.kind, self.root, engine.network,
+                          self.entries, self.expected)
         engine.total_messages += sim.total_messages
         engine.total_bytes += sim.total_bytes
         if sim.failure is not None:
@@ -882,8 +1143,7 @@ class Communicator(Comm):
             kind="coll", tag=seq, dest=ctx.ranks[self.rank], comm=ctx.id,
             post_time=task.clock,
         )
-        gen = _GEN_FACTORIES[gate.kind](self.rank, self.size, *genargs)
-        gate.entries.append(_GateEntry(self.rank, task, fut, gen))
+        gate.entries.append(_GateEntry(self.rank, task, fut, None, genargs))
         if len(gate.entries) == gate.expected:
             gate.complete(self)
         result = await fut

@@ -311,6 +311,17 @@ class Mailbox:
         deleted, so the lane dict doubles as the live-message indicator."""
         return bool(self._lanes)
 
+    def wild_candidate_sources(self, tag: int) -> set[int]:
+        """Distinct sources of live queued messages an ``(ANY_SOURCE,
+        tag)`` receive could match right now.  The sharded engine's
+        quiescent-drain probe: with exactly one candidate source the match
+        is interleaving-invariant (per-pair FIFO) and safe to fire."""
+        srcs: set[int] = set()
+        for msg in self._wild:
+            if not msg.consumed and _tag_matches(tag, msg.tag):
+                srcs.add(msg.src)
+        return srcs
+
     def has_wild_pending(self) -> bool:
         """Any live posted receive that could match by wildcard (the
         overflow pending lane also carries ANY_SOURCE exact-high-tag
@@ -406,6 +417,14 @@ class LinearMailbox:
         out = list(self.queued)
         self.queued.clear()
         return out
+
+    def wild_candidate_sources(self, tag: int) -> set[int]:
+        """See :meth:`Mailbox.wild_candidate_sources`."""
+        srcs: set[int] = set()
+        for msg in self.queued:
+            if msg.tag <= MAX_USER_TAG and _tag_matches(tag, msg.tag):
+                srcs.add(msg.src)
+        return srcs
 
     # -- posted receives ---------------------------------------------------
 

@@ -457,20 +457,33 @@ class Engine:
         runs always complete: every release makes progress, so the run
         terminates as long as the rank programs do.
         """
+        victim = self._orphan_candidate()
+        if victim is None:
+            return False
+        self.release_orphan(victim)
+        return True
+
+    @staticmethod
+    def _orphan_key(t: Task) -> tuple[float, int]:
+        # Earliest *posted* operation first — timeout order follows
+        # virtual-time causality, with rank only as the deterministic
+        # tie-break.  Futures without post metadata (synthetic waits)
+        # fall back to the task clock.
+        fut = t.blocked_on
+        post = fut.post_time if fut is not None and fut.post_time is not None else t.clock
+        return (post, t.rank)
+
+    def _orphan_candidate(self) -> Task | None:
+        """The task the next op-timeout would release, or None.  Exposed
+        separately so the sharded coordinator can arbitrate the *global*
+        minimum across shards before any worker releases anything."""
         blocked = [t for t in self.tasks if t.state is TaskState.BLOCKED]
         if not blocked:
-            return False
+            return None
+        return min(blocked, key=self._orphan_key)
 
-        def _oldest(t: Task) -> tuple[float, int]:
-            # Earliest *posted* operation first — timeout order follows
-            # virtual-time causality, with rank only as the deterministic
-            # tie-break.  Futures without post metadata (synthetic waits)
-            # fall back to the task clock.
-            fut = t.blocked_on
-            post = fut.post_time if fut is not None and fut.post_time is not None else t.clock
-            return (post, t.rank)
-
-        victim = min(blocked, key=_oldest)
+    def release_orphan(self, victim: Task) -> None:
+        """Release ``victim`` with ``LOST`` at ``clock + op_timeout``."""
         fut = victim.blocked_on
         assert fut is not None and not fut.done
         release_t = victim.clock + self.faults.plan.op_timeout
@@ -483,7 +496,6 @@ class Engine:
             ins.metrics.count("fault/timeouts", 1, rank=victim.rank,
                               t=release_t)
         fut.resolve(LOST, time=release_t)
-        return True
 
     def _deadlock_detail(self, unfinished: list[Task]) -> list[str]:
         """One line per stuck rank; ops orphaned by a crashed peer say so.

@@ -18,7 +18,7 @@ from ..obs.instrument import NULL_INSTRUMENT, Instrument
 from .collectives import Communicator
 from .comm import CommContext
 from .engine import Engine, Task
-from .simconfig import SimConfig, resolve_config
+from .simconfig import SimConfig, resolve_auto_shards, resolve_config
 from .timing import NetworkModel
 
 
@@ -191,7 +191,9 @@ def run_spmd(
     fallback to the single-process engine whenever a run uses a feature
     the sharded path cannot reproduce exactly (see docs/PERF.md,
     "Sharded engine"; the fallback reason lands in
-    ``SpmdResult.extras["shard_fallback"]``).
+    ``SpmdResult.extras["shard_fallback"]``).  ``shards="auto"`` resolves
+    a concrete count per run from the world size and machine cores
+    (:func:`~repro.simmpi.simconfig.resolve_auto_shards`).
     """
     cfg = resolve_config(
         config, network=network, max_steps=max_steps, matching=matching,
@@ -199,6 +201,11 @@ def run_spmd(
     )
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
+    if cfg.shards == "auto":
+        # Resolve before dispatch so the sharded path (and extras) always
+        # sees a concrete count; cache identity is unaffected (shards is
+        # excluded from SimConfig.cache_key by design).
+        cfg = cfg.replace(shards=resolve_auto_shards(nprocs))
     if cfg.shards > 1:
         from .sharded import run_sharded
 

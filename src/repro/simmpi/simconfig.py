@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 from dataclasses import dataclass
 from typing import Any
 
 from .timing import NetworkModel, QDR_CLUSTER, SLOW_CLUSTER, ZERO_COST
 
-__all__ = ["SimConfig", "DEFAULT_CONFIG", "parse_config", "resolve_config"]
+__all__ = ["SimConfig", "DEFAULT_CONFIG", "parse_config", "resolve_config",
+           "resolve_auto_shards"]
 
 
 @dataclass(frozen=True)
@@ -50,7 +52,9 @@ class SimConfig:
             (default) is the single-process engine; ``shards > 1`` runs
             conservative-PDES waves and is bit-identical to ``shards=1``
             (ineligible runs fall back automatically — see
-            docs/PERF.md, "Sharded engine").
+            docs/PERF.md, "Sharded engine").  ``"auto"`` picks the shard
+            count per run from the world size and the machine's cores
+            via :func:`resolve_auto_shards`.
         max_steps: scheduler-resume budget; ``None`` means unlimited.
     """
 
@@ -58,7 +62,7 @@ class SimConfig:
     matching: str = "indexed"
     collectives: str = "fast"
     p2p: str = "fast"
-    shards: int = 1
+    shards: int | str = 1
     max_steps: int | None = None
 
     def __post_init__(self) -> None:
@@ -79,9 +83,15 @@ class SimConfig:
             raise ValueError(
                 f"p2p must be 'fast' or 'simulated', got {self.p2p!r}"
             )
-        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
-            raise ValueError(f"shards must be an int, got {self.shards!r}")
-        if self.shards < 1:
+        if isinstance(self.shards, str):
+            if self.shards != "auto":
+                raise ValueError(
+                    f"shards must be an int or 'auto', got {self.shards!r}"
+                )
+        elif not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ValueError(f"shards must be an int or 'auto', "
+                             f"got {self.shards!r}")
+        elif self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.max_steps is not None and self.max_steps <= 0:
             raise ValueError(f"max_steps must be positive, got {self.max_steps}")
@@ -119,6 +129,26 @@ class SimConfig:
 #: The default configuration (QDR network, indexed mailbox, fast
 #: collectives, fast p2p, single process, unlimited steps).
 DEFAULT_CONFIG = SimConfig()
+
+
+def resolve_auto_shards(nprocs: int, cores: int | None = None) -> int:
+    """The shard count ``shards="auto"`` resolves to for a ``nprocs``-rank
+    run on a machine with ``cores`` CPUs (default: ``os.cpu_count()``).
+
+    The heuristic encodes the measured break-even points from docs/PERF.md
+    ("Sharded engine"): below ~8k ranks the fork + wave-barrier overhead
+    eats the win, so stay single-process; above it, grow the shard count
+    with the world size (one shard per ~4k ranks) up to a cap set by the
+    core count.  Sharding wins even on a single core — workers win on
+    heap locality, not parallelism — so the cap does not collapse to
+    ``cores``; it merely stops piling on barrier overhead where extra
+    shards cannot also buy CPU parallelism.
+    """
+    if nprocs < 8192:
+        return 1
+    cores = cores or os.cpu_count() or 1
+    cap = 4 if cores <= 4 else 8
+    return min(cap, max(2, nprocs // 4096))
 
 
 def resolve_config(
@@ -162,7 +192,8 @@ def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
     This is the parser behind ``repro bench --config`` (and any future
     ``--config`` flag).  Accepted keys: ``network`` (a preset name from
     :data:`NETWORK_PRESETS`), ``matching``, ``collectives``, ``p2p``,
-    ``shards`` (int) and ``max_steps`` (int, or ``none`` for unlimited).
+    ``shards`` (int, or ``auto``) and ``max_steps`` (int, or ``none``
+    for unlimited).
     Raises ``ValueError`` with a usable message on anything else; field
     values are validated by ``SimConfig`` itself.
     """
@@ -187,11 +218,16 @@ def parse_config(pairs: "list[str] | tuple[str, ...]") -> SimConfig:
             if key == "max_steps" and value.lower() == "none":
                 fields[key] = None
                 continue
+            if key == "shards" and value.lower() == "auto":
+                fields[key] = "auto"
+                continue
             try:
                 fields[key] = int(value)
             except ValueError:
                 raise ValueError(
-                    f"--config {key}= expects an integer, got {value!r}"
+                    f"--config {key}= expects an integer"
+                    f"{' (or auto)' if key == 'shards' else ''}, "
+                    f"got {value!r}"
                 ) from None
         else:
             raise ValueError(

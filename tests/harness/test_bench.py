@@ -175,14 +175,15 @@ class TestBenchDocument:
         assert r["shards"] == 2
         assert "shard_fallback" not in r
 
-    def test_shard_ineligible_point_records_fallback(self):
-        # halo_exchange's wildcard drain forces the single-process rerun;
-        # the record says so instead of silently measuring the oracle.
+    def test_halo_kernel_is_shard_eligible(self):
+        # The halo kernel's wildcard drain round used to force the
+        # single-process rerun; the quiescent-drain protocol keeps it
+        # sharded now (single candidate sender per receive).
         doc = run_scaling_bench(ps=(8,), kernels=("halo_exchange",),
                                 sim=SimConfig(shards=2))
         (r,) = doc["results"]
         assert r["shards"] == 2
-        assert r["shard_fallback"] == "hazard:wildcard-source"
+        assert "shard_fallback" not in r
 
     def test_committed_baseline_is_valid_and_covers_the_ladder(self):
         doc = load_bench(str(REPO / "benchmarks" / "BENCH_scaling.json"))

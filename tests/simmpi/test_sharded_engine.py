@@ -11,21 +11,31 @@ Coverage:
 
 * point-to-point: eager and rendezvous, exact tags and ``ANY_TAG`` with an
   exact source, across the P x shards matrix;
-* collectives: the macro fast path and the message-level simulated path;
+* collectives: the macro fast path (replayed in parallel on owner
+  shards) and the message-level simulated path;
+* cross-shard ``ANY_SOURCE`` via the quiescent drain (single-candidate
+  receives stay sharded; genuine races fall back);
 * shard-eligible fault plans (delays, duplicates, compute noise, slow
-  links) including the merged injection counters;
-* every fallback route — hazards (``ANY_SOURCE``, ``probe``, ``split``),
-  statically ineligible runs (crash plans, ``max_steps``), and error
-  reruns (failing ranks, deadlock) whose diagnostics must match the
-  single-process engine verbatim.
+  links, shard-local crashes) including the merged injection counters
+  and the coordinator-arbitrated orphan-release order;
+* every fallback route — hazards (wildcard races, ``probe``, ``split``,
+  cross-shard traffic into a crash-armed shard), statically ineligible
+  runs (drop plans, ``max_steps``), and error reruns (failing ranks,
+  deadlock) whose diagnostics must match the single-process engine
+  verbatim.
+
+Set ``REPRO_FUZZ_SHARDS=N`` to add a shard count to the fuzz matrix
+(CI runs a dedicated ``REPRO_FUZZ_SHARDS=8`` leg).
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
+from repro.faults import LOST
 from repro.faults.plan import (
     ComputeFault,
     CrashFault,
@@ -43,7 +53,10 @@ from repro.simmpi import (
 )
 
 FUZZ_PS = (16, 64, 256)
-SHARD_COUNTS = (1, 2, 4, 8)
+#: Default fuzz matrix; REPRO_FUZZ_SHARDS=N widens it (the CI fuzz leg
+#: runs N=8 so the dense-shard protocol gets a dedicated pass).
+SHARD_COUNTS = tuple(sorted({1, 2, 4}
+                            | {int(os.environ.get("REPRO_FUZZ_SHARDS", 1))}))
 
 
 def _pair(prog, nprocs, shards, *, config=None, **kwargs):
@@ -192,7 +205,9 @@ class TestCollectiveModes:
         assert single.collectives_simulated == 4 * 16
         assert single.collectives_fast == 0
 
-    def test_fast_collectives_replayed_at_coordinator(self):
+    def test_fast_collectives_replayed_on_owner_shards(self):
+        # Fast-path gates never touch a mailbox: every instance resolves
+        # through an owner-shard replay (round-robin by collective seq).
         async def prog(ctx):
             total = await ctx.comm.allreduce(ctx.rank)
             await ctx.comm.barrier()
@@ -203,6 +218,96 @@ class TestCollectiveModes:
         _assert_sharded(sharded, 4)
         assert sharded.collectives_fast == 3 * 64
         assert sharded.messages_matched == 0
+
+
+class TestWildcardDrain:
+    """Cross-shard ``ANY_SOURCE``: held until global quiescence, drained
+    when exactly one candidate sender exists, raced runs fall back."""
+
+    @pytest.mark.parametrize("nprocs", FUZZ_PS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_single_candidate_ring_stays_sharded(self, nprocs, shards):
+        # One sender per receiver per round: the drain is pinned by
+        # per-pair FIFO, so the run must stay sharded AND bit-identical.
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            acc = 0.0
+            for r in range(3):
+                s = comm.isend((rank + 1) % size, rank * 10 + r, tag=r)
+                acc += await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                await s.wait()
+                acc += await comm.allreduce(rank + r * 0.25)
+            await comm.barrier()
+            return acc
+
+        single, sharded = _pair(prog, nprocs, shards)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+
+    def test_seeded_wildcard_fuzz(self):
+        # Random per-rank mix of exact and wildcard receives (always from
+        # the single left neighbour, so every wildcard has one candidate)
+        # plus interleaved collectives, across uneven shard splits.
+        rng = random.Random(0xA57)
+        script = [rng.choice(["wild", "exact", "allreduce", "barrier"])
+                  for _ in range(24)]
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            right, left = (rank + 1) % size, (rank - 1) % size
+            acc = 0.0
+            for i, kind in enumerate(script):
+                if kind == "wild":
+                    s = comm.isend(right, rank + i, tag=i)
+                    acc += await comm.recv(source=ANY_SOURCE, tag=i)
+                    await s.wait()
+                elif kind == "exact":
+                    s = comm.isend(right, rank - i, tag=i)
+                    acc += await comm.recv(source=left, tag=i)
+                    await s.wait()
+                elif kind == "allreduce":
+                    acc += await comm.allreduce(rank + i * 0.5)
+                else:
+                    await comm.barrier()
+            return acc
+
+        for nprocs, shards in ((16, 2), (16, 3), (64, 4)):
+            single, sharded = _pair(prog, nprocs, shards)
+            _assert_identical(single, sharded)
+            _assert_sharded(sharded, shards)
+
+    def test_two_candidate_race_falls_back(self):
+        # Two senders racing one wildcard: the oracle's pick depends on
+        # global arrival order, so the sharded run must fall back — and
+        # the rerun is the oracle, so results still match exactly.
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            if rank == 0:
+                a = await comm.recv(source=ANY_SOURCE, tag=0)
+                b = await comm.recv(source=ANY_SOURCE, tag=0)
+                return (a, b)
+            if rank in (1, size - 1):
+                await comm.isend(0, rank, tag=0).wait()
+            return rank
+
+        single, sharded = _pair(prog, 16, 4)
+        _assert_identical(single, sharded)
+        assert sharded.extras.get("shard_fallback") == "wildcard-race"
+
+    def test_wildcard_under_fault_plan_falls_back(self):
+        plan = FaultPlan(messages=MessageFaults(delay_prob=0.5, delay=1e-5))
+
+        async def prog(ctx):
+            comm, rank, size = ctx.comm, ctx.rank, ctx.size
+            s = comm.isend((rank + 1) % size, rank, tag=0)
+            got = await comm.recv(source=ANY_SOURCE, tag=0)
+            await s.wait()
+            return got
+
+        single, sharded = _pair(prog, 16, 4, faults=plan)
+        _assert_identical(single, sharded)
+        assert (sharded.extras.get("shard_fallback")
+                == "hazard:wildcard-faults")
 
 
 class TestShardEligibleFaults:
@@ -236,22 +341,96 @@ class TestShardEligibleFaults:
         assert sharded.fault_summary == single.fault_summary
         assert sharded.fault_summary.get("delay", 0) > 0
 
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_shard_local_crash_plan_stays_sharded(self, shards):
+        # The crashed rank and every rank that talks to it live in one
+        # shard (pairs rank^1 inside aligned blocks), so the crash is an
+        # island: no fallback, and the dead-source LOST hole plus the
+        # merged failed/injected counters must match the oracle exactly.
+        plan = FaultPlan(crashes=(CrashFault(rank=3, time=1e-5),))
+
+        async def prog(ctx):
+            comm, rank = ctx.comm, ctx.rank
+            partner = rank ^ 1
+            ctx.compute(2e-5)  # past the crash time at the next dispatch
+            got = []
+            for r in range(3):
+                s = comm.isend(partner, rank + r, tag=r)
+                v = await comm.recv(source=partner, tag=r)
+                await s.wait()
+                got.append("lost" if v is LOST else v)
+            return got
+
+        single, sharded = _pair(prog, 16, shards)
+        single_f, sharded_f = _pair(prog, 16, shards, faults=plan)
+        # Sanity: the plan actually changed the run.
+        assert single_f.results != single.results
+        _assert_identical(single_f, sharded_f)
+        _assert_sharded(sharded_f, shards)
+        assert sharded_f.failed_ranks == (3,)
+        assert "lost" in sharded_f.results[2]
+        assert sharded_f.fault_summary == single_f.fault_summary
+        assert sharded_f.fault_summary.get("crash", 0) == 1
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_shard_local_release_order_matches_oracle(self, shards):
+        # An armed-but-never-firing crash keeps the injector active, so
+        # ranks orphaned by a silent peer are released by the op-timeout
+        # backstop.  Sharded, that release is arbitrated by the
+        # coordinator at global quiescence; the (post_time, rank) order —
+        # rank 2 blocked at t=0 before rank 1 at t=1 — and the resulting
+        # LOST holes must match the single-process engine exactly.
+        plan = FaultPlan(crashes=(CrashFault(rank=3, time=1e9),))
+
+        async def prog(ctx):
+            if ctx.rank in (0, 3) or ctx.rank >= 4:
+                return "done"
+            if ctx.rank == 2:
+                return await ctx.comm.recv(source=3, tag=7)
+            ctx.compute(1.0)
+            return await ctx.comm.recv(source=3, tag=7)
+
+        single, sharded = _pair(prog, 16, shards, faults=plan)
+        _assert_identical(single, sharded)
+        _assert_sharded(sharded, shards)
+        assert sharded.results[1] is LOST and sharded.results[2] is LOST
+        assert sharded.fault_summary == single.fault_summary
+        assert sharded.fault_summary.get("timeout", 0) == 2
+        assert sharded.failed_ranks == ()
+
+    def test_seeded_shard_local_crash_fuzz(self):
+        # Several crash sites, several shard splits: as long as each
+        # crash's traffic stays inside its block the run stays sharded
+        # and every release lands bit-identically.
+        for seed, crash_rank, shards in ((1, 5, 4), (2, 12, 4), (3, 9, 2)):
+            plan = FaultPlan(
+                seed=seed, crashes=(CrashFault(rank=crash_rank, time=1e-5),)
+            )
+            block = 16 // shards
+
+            async def prog(ctx, block=block):
+                comm, rank = ctx.comm, ctx.rank
+                base = (rank // block) * block
+                partner = base + (rank - base + 1) % block
+                source = base + (rank - base - 1) % block
+                ctx.compute(2e-5)
+                acc = []
+                for r in range(3):
+                    s = comm.isend(partner, rank + r, tag=r)
+                    got = await comm.recv(source=source, tag=r)
+                    await s.wait()
+                    acc.append("lost" if got is LOST else got)
+                return acc
+
+            single, sharded = _pair(prog, 16, shards, faults=plan)
+            _assert_identical(single, sharded)
+            _assert_sharded(sharded, shards)
+            assert sharded.failed_ranks == (crash_rank,)
+
 
 class TestFallbacks:
     def _fallback_reason(self, result):
         return result.extras.get("shard_fallback")
-
-    def test_wildcard_source_falls_back_exactly(self):
-        async def prog(ctx):
-            comm, rank, size = ctx.comm, ctx.rank, ctx.size
-            s = comm.isend((rank + 1) % size, rank, tag=0)
-            got = await comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
-            await s.wait()
-            return got
-
-        single, sharded = _pair(prog, 16, 4)
-        _assert_identical(single, sharded)
-        assert self._fallback_reason(sharded) == "hazard:wildcard-source"
 
     def test_probe_and_split_fall_back(self):
         async def probing(ctx):
@@ -272,7 +451,11 @@ class TestFallbacks:
             _assert_identical(single, sharded)
             assert self._fallback_reason(sharded) == reason
 
-    def test_crash_plan_is_statically_ineligible(self):
+    def test_cross_shard_crash_plan_falls_back(self):
+        # Collectives under a crash plan go message-level, so their
+        # world-spanning traffic touches the armed shard from outside —
+        # the hazard fires and the oracle rerun supplies the exact
+        # partial-failure semantics.
         plan = FaultPlan(crashes=(CrashFault(rank=3, time=1e-5),))
 
         async def prog(ctx):
@@ -283,7 +466,7 @@ class TestFallbacks:
 
         single, sharded = _pair(prog, 16, 4, faults=plan)
         _assert_identical(single, sharded)
-        assert self._fallback_reason(sharded) == "faults"
+        assert self._fallback_reason(sharded) == "hazard:fault-cross-shard"
         assert 3 in sharded.failed_ranks
 
     def test_drop_plan_is_statically_ineligible(self):
@@ -361,3 +544,64 @@ class TestExtras:
         assert sharded.extras["shards"] == 4
         assert sharded.extras["waves"] >= 1
         assert "shards" not in single.extras
+
+    def test_shard_profile_is_opt_in(self, monkeypatch):
+        # Unset: no profile anywhere (zero-cost path).  Set: the wave
+        # breakdown lands in extras with all four keys.
+        monkeypatch.delenv("REPRO_SHARD_PROFILE", raising=False)
+        plain = run_spmd(_p2p_collective_mix, 16,
+                         config=SimConfig(shards=4))
+        assert "shard_profile" not in plain.extras
+
+        monkeypatch.setenv("REPRO_SHARD_PROFILE", "1")
+        profiled = run_spmd(_p2p_collective_mix, 16,
+                            config=SimConfig(shards=4))
+        prof = profiled.extras["shard_profile"]
+        assert set(prof) == {"waves", "barrier_wait_s", "forward_s",
+                             "gate_replay_s"}
+        assert prof["waves"] == profiled.extras["waves"]
+        assert prof["barrier_wait_s"] >= 0.0
+        assert prof["gate_replay_s"] > 0.0  # the mix replays collectives
+        # Profiling must not perturb virtual time.
+        assert profiled.clocks == plain.clocks
+
+
+class TestAutoSharding:
+    def test_auto_resolution_heuristic(self):
+        from repro.simmpi import resolve_auto_shards
+
+        assert resolve_auto_shards(16) == 1
+        assert resolve_auto_shards(4096) == 1
+        assert resolve_auto_shards(8192, cores=1) == 2
+        assert resolve_auto_shards(16384, cores=4) == 4
+        assert resolve_auto_shards(65536, cores=4) == 4
+        assert resolve_auto_shards(65536, cores=16) == 8
+
+    def test_auto_accepted_everywhere(self):
+        from repro.simmpi.simconfig import parse_config
+
+        assert SimConfig(shards="auto").shards == "auto"
+        assert parse_config(["shards=auto"]).shards == "auto"
+        with pytest.raises(ValueError):
+            SimConfig(shards="many")
+
+    def test_auto_digest_is_stable(self):
+        # shards selects a bit-identical strategy, so "auto" must hash
+        # into the same cache slot as any concrete count.
+        assert (SimConfig(shards="auto").digest()
+                == SimConfig(shards=1).digest()
+                == SimConfig(shards=4).digest())
+
+    def test_auto_runs_small_worlds_single_process(self):
+        async def prog(ctx):
+            a = await ctx.comm.allreduce(ctx.rank)
+            await ctx.comm.barrier()
+            return a
+
+        auto = run_spmd(prog, 16, config=SimConfig(shards="auto"))
+        single = run_spmd(prog, 16, config=SimConfig(shards=1))
+        assert auto.results == single.results
+        assert auto.clocks == single.clocks
+        # P=16 resolves to one shard: the single-process engine, with no
+        # sharding extras at all.
+        assert "shards" not in auto.extras
